@@ -1,0 +1,246 @@
+// An Andrew-benchmark-style workload — the canonical evaluation for AFS-family
+// systems of the paper's era (Howard et al. 1988). Five phases over a
+// generated source tree:
+//
+//   MakeDir   recreate the directory skeleton
+//   Copy      copy every file into the tree
+//   ScanDir   stat every file and directory
+//   ReadAll   read every byte of every file
+//   "Make"    read every source and write a small output per directory
+//
+// Run against three stacks: local Episode, the DEcorum client over RPC, and
+// the NFS baseline. The interesting comparison is the remote columns: tokens
+// make the read/scan phases nearly free after Copy warmed the cache, while
+// NFS keeps revalidating.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "examples/example_util.h"
+#include "src/baselines/nfs.h"
+#include "src/common/rng.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr int kDirs = 8;
+constexpr int kFilesPerDir = 6;
+constexpr size_t kFileBytes = 12 * 1024;
+
+struct TreeSpec {
+  std::vector<std::string> dirs;
+  std::vector<std::pair<std::string, std::string>> files;  // path -> contents
+
+  static TreeSpec Generate() {
+    TreeSpec spec;
+    Rng rng(77);
+    for (int d = 0; d < kDirs; ++d) {
+      spec.dirs.push_back("/src" + std::to_string(d));
+      for (int f = 0; f < kFilesPerDir; ++f) {
+        spec.files.push_back({"/src" + std::to_string(d) + "/file" + std::to_string(f),
+                              rng.Name(kFileBytes)});
+      }
+    }
+    return spec;
+  }
+};
+
+struct PhaseTimes {
+  double mkdir_ms, copy_ms, scan_ms, read_ms, make_ms;
+  uint64_t rpcs;
+  uint64_t bytes;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Generic VFS driver (Episode local and the DEcorum client share it).
+PhaseTimes RunVfs(Vfs& vfs, const TreeSpec& spec, const Cred& cred,
+                  const std::function<LinkStats()>& net_stats) {
+  PhaseTimes t{};
+  LinkStats before = net_stats();
+
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& d : spec.dirs) {
+    EX_CHECK(MkdirAt(vfs, d, 0755, cred).status());
+  }
+  t.mkdir_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& [path, contents] : spec.files) {
+    EX_CHECK(WriteFileAt(vfs, path, contents, cred));
+  }
+  t.copy_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& d : spec.dirs) {
+    auto dir = ResolvePath(vfs, d);
+    EX_CHECK(dir.status());
+    auto entries = (*dir)->ReadDir();
+    EX_CHECK(entries.status());
+    for (const DirEntry& e : *entries) {
+      if (e.name == "." || e.name == "..") {
+        continue;
+      }
+      auto f = ResolvePath(vfs, d + "/" + e.name);
+      EX_CHECK(f.status());
+      EX_CHECK((*f)->GetAttr().status());
+    }
+  }
+  t.scan_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& [path, contents] : spec.files) {
+    auto back = ReadFileAt(vfs, path);
+    EX_CHECK(back.status());
+  }
+  t.read_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& d : spec.dirs) {
+    // "Compile": read the sources again and emit one object per directory.
+    for (int f = 0; f < kFilesPerDir; ++f) {
+      EX_CHECK(ReadFileAt(vfs, d + "/file" + std::to_string(f)).status());
+    }
+    EX_CHECK(WriteFileAt(vfs, d + "/output.o", "object code", cred));
+  }
+  t.make_ms = MsSince(start);
+
+  LinkStats after = net_stats();
+  t.rpcs = after.calls - before.calls;
+  t.bytes = after.bytes - before.bytes;
+  return t;
+}
+
+PhaseTimes RunNfs(const TreeSpec& spec) {
+  VirtualClock clock;
+  Network net(&clock);
+  SimDisk disk(32768);
+  Aggregate::Options aopts;
+  aopts.cache_blocks = 4096;
+  auto agg = Aggregate::Format(disk, aopts);
+  EX_CHECK(agg.status());
+  auto vid = (*agg)->CreateVolume("vol");
+  auto vfs = (*agg)->MountVolume(*vid);
+  NfsServer server(net, 10, *vfs);
+  NfsClient client(net, 10, clock, {20});
+  auto root = client.Root();
+  EX_CHECK(root.status());
+
+  PhaseTimes t{};
+  auto start = std::chrono::steady_clock::now();
+  std::map<std::string, Fid> dirs;
+  // The NFS client API is fid-based; emulate path use with a local map.
+  for (const auto& d : spec.dirs) {
+    // NFS baseline has no mkdir proc; create dirs through the server VFS.
+    auto dir = MkdirAt(**vfs, d, 0755, Cred{});
+    EX_CHECK(dir.status());
+    dirs[d] = (*dir)->fid();
+  }
+  t.mkdir_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  std::map<std::string, Fid> files;
+  for (const auto& [path, contents] : spec.files) {
+    std::string dir = path.substr(0, path.rfind('/'));
+    std::string name = path.substr(path.rfind('/') + 1);
+    auto fid = client.Create(dirs[dir], name);
+    EX_CHECK(fid.status());
+    EX_CHECK(client.Write(*fid, 0,
+                          std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(contents.data()),
+                              contents.size())));
+    files[path] = *fid;
+    clock.AdvanceMillis(50);
+  }
+  t.copy_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& [d, dfid] : dirs) {
+    EX_CHECK(client.ReadDir(dfid).status());
+  }
+  for (const auto& [path, fid] : files) {
+    EX_CHECK(client.GetAttr(fid).status());
+    clock.AdvanceMillis(20);
+  }
+  t.scan_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  std::vector<uint8_t> buf(kFileBytes);
+  for (const auto& [path, fid] : files) {
+    EX_CHECK(client.Read(fid, 0, buf).status());
+    clock.AdvanceMillis(50);
+  }
+  t.read_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const auto& [path, fid] : files) {
+    EX_CHECK(client.Read(fid, 0, buf).status());
+    clock.AdvanceMillis(50);
+  }
+  for (const auto& [d, dfid] : dirs) {
+    auto out = client.Create(dfid, "output.o");
+    EX_CHECK(out.status());
+    EX_CHECK(client.Write(*out, 0, std::span<const uint8_t>(
+                                       reinterpret_cast<const uint8_t*>("object code"), 11)));
+  }
+  t.make_ms = MsSince(start);
+
+  LinkStats s = net.TotalStats();
+  t.rpcs = s.calls;
+  t.bytes = s.bytes;
+  return t;
+}
+
+void Print(const char* name, const PhaseTimes& t) {
+  std::printf("%-16s %9.1f %9.1f %9.1f %9.1f %9.1f | %8llu %12llu\n", name, t.mkdir_ms,
+              t.copy_ms, t.scan_ms, t.read_ms, t.make_ms, (unsigned long long)t.rpcs,
+              (unsigned long long)t.bytes);
+}
+
+}  // namespace
+
+int main() {
+  TreeSpec spec = TreeSpec::Generate();
+  std::printf("Andrew-style workload: %d dirs x %d files x %zu KiB\n\n", kDirs, kFilesPerDir,
+              kFileBytes / 1024);
+  std::printf("%-16s %9s %9s %9s %9s %9s | %8s %12s\n", "stack", "mkdir_ms", "copy_ms",
+              "scan_ms", "read_ms", "make_ms", "rpcs", "net_bytes");
+
+  {
+    SimDisk disk(32768);
+    Aggregate::Options opts;
+    opts.cache_blocks = 4096;
+    opts.log_blocks = 2048;
+    auto agg = Aggregate::Format(disk, opts);
+    EX_CHECK(agg.status());
+    auto vid = (*agg)->CreateVolume("local");
+    auto vfs = (*agg)->MountVolume(*vid);
+    Print("episode-local",
+          RunVfs(**vfs, spec, Cred{100, {100}}, [] { return LinkStats{}; }));
+  }
+  {
+    auto cell = ExampleCell::Create(false);
+    CacheManager* client = cell->NewClient("alice");
+    auto vfs = client->MountVolume("home");
+    EX_CHECK(vfs.status());
+    NodeId node = client->node();
+    Print("dfs-client", RunVfs(**vfs, spec, UserCred(100), [&] {
+            LinkStats s = cell->net.StatsBetween(node, kExServer1);
+            s += cell->net.StatsBetween(kExServer1, node);
+            return s;
+          }));
+  }
+  Print("nfs-client", RunNfs(spec));
+
+  std::printf(
+      "\nexpected shape: the DFS client pays RPCs in the write-heavy phases (copy, make)\n"
+      "but scan and read run from token-protected caches; NFS revalidates and re-reads\n"
+      "as TTLs expire, so its RPC count keeps growing with every phase.\n");
+  return 0;
+}

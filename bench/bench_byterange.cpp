@@ -1,0 +1,121 @@
+// E6 — Section 5.4: "Callbacks cannot describe byte ranges of data. If a
+// group of users are accessing (and modifying) the same large file, even
+// though they may be using disjoint parts of it, the file will frequently be
+// shipped back and forth in its entirety between nodes."
+//
+// Two clients alternately write disjoint halves of one file, under three
+// protocols: DFS with byte-range data tokens, DFS degraded to whole-file
+// tokens (the ablation), and AFS whole-file caching. We report the bytes that
+// crossed the network per round of disjoint writes.
+#include <cstdio>
+#include <string>
+
+#include "examples/example_util.h"
+#include "src/baselines/afs.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr int kRounds = 10;
+
+uint64_t RunDfs(uint64_t file_blocks, bool whole_file_tokens) {
+  auto cell = ExampleCell::Create(false);
+  CacheManager::Options opts;
+  opts.whole_file_data_tokens = whole_file_tokens;
+  CacheManager* a = cell->NewClient("alice", opts);
+  CacheManager::Options opts_b = opts;
+  CacheManager* b = cell->NewClient("bob", opts_b);
+  auto av = a->MountVolume("home");
+  auto bv = b->MountVolume("home");
+  EX_CHECK(av.status());
+  EX_CHECK(bv.status());
+
+  uint64_t half = file_blocks / 2 * kBlockSize;
+  EX_CHECK(CreateFileAt(**av, "/big", 0666, UserCred(100)).status());
+  EX_CHECK(WriteFileAt(**av, "/big", std::string(2 * half, '.'), UserCred(100)));
+  EX_CHECK(a->SyncAll());
+  auto af = ResolvePath(**av, "/big");
+  auto bf = ResolvePath(**bv, "/big");
+  EX_CHECK(af.status());
+  EX_CHECK(bf.status());
+
+  std::string lo(half, 'A');
+  std::string hi(half, 'B');
+  auto span_of = [](const std::string& s) {
+    return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  };
+  // Warm both sides through the initial token shuffle (the first conflicting
+  // grant refetches each writer's half once), then measure the steady state.
+  for (int i = 0; i < 2; ++i) {
+    EX_CHECK((*af)->Write(0, span_of(lo)).status());
+    EX_CHECK((*bf)->Write(half, span_of(hi)).status());
+  }
+  cell->net.ResetStats();
+  for (int i = 0; i < kRounds; ++i) {
+    EX_CHECK((*af)->Write(0, span_of(lo)).status());
+    EX_CHECK((*bf)->Write(half, span_of(hi)).status());
+  }
+  return cell->net.TotalStats().bytes;
+}
+
+uint64_t RunAfs(uint64_t file_blocks) {
+  VirtualClock clock;
+  Network net(&clock);
+  SimDisk disk(32768);
+  Aggregate::Options aopts;
+  aopts.cache_blocks = 4096;
+  auto agg = Aggregate::Format(disk, aopts);
+  EX_CHECK(agg.status());
+  auto vid = (*agg)->CreateVolume("vol");
+  auto vfs = (*agg)->MountVolume(*vid);
+  AfsServer server(net, 10, *vfs);
+  AfsClient a(net, 20, 10);
+  AfsClient b(net, 21, 10);
+
+  auto root = a.Root();
+  EX_CHECK(root.status());
+  auto fid = a.Create(*root, "big");
+  EX_CHECK(fid.status());
+  uint64_t half = file_blocks / 2 * kBlockSize;
+  std::string lo(half, 'A');
+  std::string hi(half, 'B');
+  auto span_of = [](const std::string& s) {
+    return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  };
+  EX_CHECK(a.Open(*fid));
+  EX_CHECK(a.Write(*fid, 0, span_of(std::string(2 * half, '.'))));
+  EX_CHECK(a.Close(*fid));
+  net.ResetStats();
+  for (int i = 0; i < kRounds; ++i) {
+    EX_CHECK(a.Open(*fid));  // callback broken by b's store: whole-file fetch
+    EX_CHECK(a.Write(*fid, 0, span_of(lo)));
+    EX_CHECK(a.Close(*fid));  // whole-file store
+    EX_CHECK(b.Open(*fid));
+    EX_CHECK(b.Write(*fid, half, span_of(hi)));
+    EX_CHECK(b.Close(*fid));
+  }
+  return net.TotalStats().bytes;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6 — disjoint writers on one large file: bytes moved per %d rounds\n\n",
+              kRounds);
+  std::printf("%12s %12s | %18s %18s %18s\n", "file_blocks", "file_KiB", "dfs_byterange",
+              "dfs_wholefile", "afs");
+  for (uint64_t blocks : {16ull, 64ull, 256ull}) {
+    uint64_t dfs_range = RunDfs(blocks, /*whole_file_tokens=*/false);
+    uint64_t dfs_whole = RunDfs(blocks, /*whole_file_tokens=*/true);
+    uint64_t afs = RunAfs(blocks);
+    std::printf("%12llu %12llu | %18llu %18llu %18llu\n", (unsigned long long)blocks,
+                (unsigned long long)(blocks * 4), (unsigned long long)dfs_range,
+                (unsigned long long)dfs_whole, (unsigned long long)afs);
+  }
+  std::printf(
+      "\nexpected shape: byte-range tokens keep steady-state traffic near zero and flat in\n"
+      "file size; whole-file tokens and AFS ship half/whole files every round, growing\n"
+      "linearly with the file.\n");
+  return 0;
+}

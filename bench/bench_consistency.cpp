@@ -1,0 +1,193 @@
+// E5 — Section 5.4's comparison: DEcorum typed tokens vs AFS callbacks vs
+// NFS TTL caching, on two axes:
+//
+//   1. consistency: how long after a completed write can another client still
+//      read stale data? (single-system semantics = 0)
+//   2. network load: RPCs and bytes for a sharing workload, and for the
+//      no-sharing case the paper highlights (NFS revalidates every 3 s even
+//      though nothing changed).
+//
+// One writer updates a shared file; one reader polls it. Time advances on the
+// virtual clock between rounds.
+#include <cstdio>
+#include <string>
+
+#include "examples/example_util.h"  // the cell harness shared with examples
+#include "src/baselines/afs.h"
+#include "src/baselines/nfs.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr int kRounds = 30;
+constexpr uint64_t kPollSecs = 1;
+
+struct Outcome {
+  uint64_t rpcs = 0;
+  uint64_t bytes = 0;
+  int stale_reads = 0;   // reads returning outdated content after a write completed
+  int fresh_reads = 0;
+};
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+Outcome RunDfs(bool sharing) {
+  auto cell = ExampleCell::Create(false);
+  CacheManager* writer = cell->NewClient("alice");
+  CacheManager* reader = cell->NewClient("bob");
+  auto wv = writer->MountVolume("home");
+  auto rv = reader->MountVolume("home");
+  EX_CHECK(wv.status());
+  EX_CHECK(rv.status());
+  EX_CHECK(CreateFileAt(**wv, "/shared", 0666, UserCred(100)).status());
+  EX_CHECK(WriteFileAt(**wv, "/shared", "round 0000", UserCred(100)));
+  auto wf = ResolvePath(**wv, "/shared");
+  EX_CHECK(wf.status());
+  (void)ReadFileAt(**rv, "/shared");
+  cell->net.ResetStats();
+
+  Outcome out;
+  for (int i = 1; i <= kRounds; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "round %04d", i);
+    std::string latest(buf);
+    if (sharing) {
+      EX_CHECK((*wf)->Write(0, Bytes(latest)).status());
+    }
+    cell->clock.AdvanceSeconds(kPollSecs);
+    auto read = ReadFileAt(**rv, "/shared");
+    EX_CHECK(read.status());
+    const std::string& expect = sharing ? latest : std::string("round 0000");
+    (*read == expect) ? ++out.fresh_reads : ++out.stale_reads;
+  }
+  LinkStats a = cell->net.StatsBetween(100, kExServer1);
+  LinkStats b = cell->net.StatsBetween(101, kExServer1);
+  LinkStats ra = cell->net.StatsBetween(kExServer1, 100);
+  LinkStats rb = cell->net.StatsBetween(kExServer1, 101);
+  out.rpcs = a.calls + b.calls + ra.calls + rb.calls;
+  out.bytes = a.bytes + b.bytes + ra.bytes + rb.bytes;
+  return out;
+}
+
+Outcome RunAfs(bool sharing) {
+  VirtualClock clock;
+  Network net(&clock);
+  SimDisk disk(8192);
+  auto agg = Aggregate::Format(disk, {});
+  EX_CHECK(agg.status());
+  auto vid = (*agg)->CreateVolume("vol");
+  auto vfs = (*agg)->MountVolume(*vid);
+  AfsServer server(net, 10, *vfs);
+  AfsClient writer(net, 20, 10);
+  AfsClient reader(net, 21, 10);
+
+  auto root = writer.Root();
+  EX_CHECK(root.status());
+  auto fid = writer.Create(*root, "shared");
+  EX_CHECK(fid.status());
+  EX_CHECK(writer.Open(*fid));
+  EX_CHECK(writer.Write(*fid, 0, Bytes("round 0000")));
+  EX_CHECK(writer.Close(*fid));
+  net.ResetStats();
+
+  Outcome out;
+  std::vector<uint8_t> buf(10);
+  for (int i = 1; i <= kRounds; ++i) {
+    char tmp[16];
+    std::snprintf(tmp, sizeof(tmp), "round %04d", i);
+    std::string latest(tmp);
+    if (sharing) {
+      EX_CHECK(writer.Open(*fid));
+      EX_CHECK(writer.Write(*fid, 0, Bytes(latest)));
+      EX_CHECK(writer.Close(*fid));  // visibility only at close (store-on-close)
+    }
+    clock.AdvanceSeconds(kPollSecs);
+    EX_CHECK(reader.Open(*fid));
+    auto n = reader.Read(*fid, 0, buf);
+    EX_CHECK(n.status());
+    EX_CHECK(reader.Close(*fid));
+    std::string seen(buf.begin(), buf.begin() + *n);
+    const std::string& expect = sharing ? latest : std::string("round 0000");
+    (seen == expect) ? ++out.fresh_reads : ++out.stale_reads;
+  }
+  LinkStats total = net.TotalStats();
+  out.rpcs = total.calls;
+  out.bytes = total.bytes;
+  return out;
+}
+
+Outcome RunNfs(bool sharing) {
+  VirtualClock clock;
+  Network net(&clock);
+  SimDisk disk(8192);
+  auto agg = Aggregate::Format(disk, {});
+  EX_CHECK(agg.status());
+  auto vid = (*agg)->CreateVolume("vol");
+  auto vfs = (*agg)->MountVolume(*vid);
+  NfsServer server(net, 10, *vfs);
+  NfsClient writer(net, 10, clock, {20});
+  NfsClient reader(net, 10, clock, {21});
+
+  auto root = writer.Root();
+  EX_CHECK(root.status());
+  auto fid = writer.Create(*root, "shared");
+  EX_CHECK(fid.status());
+  EX_CHECK(writer.Write(*fid, 0, Bytes("round 0000")));
+  std::vector<uint8_t> buf(10);
+  (void)reader.Read(*fid, 0, buf);
+  net.ResetStats();
+
+  Outcome out;
+  for (int i = 1; i <= kRounds; ++i) {
+    char tmp[16];
+    std::snprintf(tmp, sizeof(tmp), "round %04d", i);
+    std::string latest(tmp);
+    if (sharing) {
+      EX_CHECK(writer.Write(*fid, 0, Bytes(latest)));  // write-through
+    }
+    clock.AdvanceSeconds(kPollSecs);
+    auto n = reader.Read(*fid, 0, buf);
+    EX_CHECK(n.status());
+    std::string seen(buf.begin(), buf.begin() + *n);
+    const std::string& expect = sharing ? latest : std::string("round 0000");
+    (seen == expect) ? ++out.fresh_reads : ++out.stale_reads;
+  }
+  LinkStats total = net.TotalStats();
+  out.rpcs = total.calls;
+  out.bytes = total.bytes;
+  return out;
+}
+
+void PrintRow(const char* proto, const Outcome& o) {
+  std::printf("%-10s %8llu %12llu %12d %12d\n", proto, (unsigned long long)o.rpcs,
+              (unsigned long long)o.bytes, o.fresh_reads, o.stale_reads);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5 — consistency & network load: DFS tokens vs AFS callbacks vs NFS TTL\n");
+  std::printf("(%d rounds, reader polls 1 s after each write on the virtual clock)\n\n",
+              kRounds);
+
+  std::printf("--- sharing workload: writer updates, reader polls ---\n");
+  std::printf("%-10s %8s %12s %12s %12s\n", "protocol", "rpcs", "bytes", "fresh", "stale");
+  PrintRow("dfs", RunDfs(true));
+  PrintRow("afs", RunAfs(true));
+  PrintRow("nfs", RunNfs(true));
+
+  std::printf("\n--- no-sharing workload: reader polls an unchanging file ---\n");
+  std::printf("%-10s %8s %12s %12s %12s\n", "protocol", "rpcs", "bytes", "fresh", "stale");
+  PrintRow("dfs", RunDfs(false));
+  PrintRow("afs", RunAfs(false));
+  PrintRow("nfs", RunNfs(false));
+
+  std::printf(
+      "\nexpected shape (Section 5.4): DFS has zero stale reads AND near-zero traffic when\n"
+      "nothing is shared; NFS is stale inside its 3 s TTL and keeps revalidating forever;\n"
+      "AFS is fresh only because this writer closes between rounds, at an RPC per close.\n");
+  return 0;
+}

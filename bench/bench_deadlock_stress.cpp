@@ -1,0 +1,151 @@
+// E9 — the Section-6 locking hierarchy under a revocation storm, plus the
+// Section-6.4 ablation: without the dedicated thread pool for revocation-path
+// calls, a saturated server wedges (revocation handlers cannot store dirty
+// data back, so grants time out); with it, the storm completes cleanly.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/client/cache_manager.h"
+#include "src/common/lock_order.h"
+#include "src/common/rng.h"
+#include "src/episode/aggregate.h"
+#include "src/rpc/auth.h"
+#include "src/server/file_server.h"
+#include "src/server/vldb.h"
+#include "src/vfs/path.h"
+
+using namespace dfs;
+
+namespace {
+
+struct StormResult {
+  int completed = 0;
+  int timeouts = 0;
+  int errors = 0;
+  double wall_ms = 0;
+  uint64_t revocations = 0;
+  uint64_t lock_checks = 0;
+};
+
+StormResult RunStorm(size_t server_workers, size_t revocation_workers, int clients,
+                     int ops_per_client) {
+  VirtualClock clock;
+  Network net(&clock);
+  AuthService auth;
+  auth.AddPrincipal("u", 100, 1);
+  VldbServer vldb(net, 1);
+  SimDisk disk(16384);
+  Aggregate::Options aopts;
+  aopts.wal.clock = &clock;
+  auto agg = Aggregate::Format(disk, aopts);
+  if (!agg.ok()) {
+    return {};
+  }
+  FileServer::Options sopts;
+  sopts.rpc.worker_threads = server_workers;
+  sopts.rpc.revocation_threads = revocation_workers;
+  sopts.rpc.call_timeout_ms = 500;  // bound the wedge so the ablation terminates
+  FileServer server(net, auth, 10, sopts);
+  auto vid = (*agg)->CreateVolume("home");
+  (void)server.ExportAggregate(agg->get());
+  VldbClient registrar(net, 10, {1});
+  (void)registrar.Register(*vid, "home", 10);
+
+  std::vector<std::unique_ptr<CacheManager>> cms;
+  std::vector<VfsRef> mounts;
+  for (int i = 0; i < clients; ++i) {
+    CacheManager::Options copts;
+    copts.node = 100 + i;
+    copts.rpc.call_timeout_ms = 500;
+    auto ticket = auth.IssueTicket("u", 1);
+    cms.push_back(std::make_unique<CacheManager>(net, std::vector<NodeId>{1}, *ticket, copts));
+    auto vfs = cms.back()->MountVolume("home");
+    if (!vfs.ok()) {
+      return {};
+    }
+    mounts.push_back(*vfs);
+  }
+  Cred cred{100, {100}};
+  (void)CreateFileAt(*mounts[0], "/hot", 0666, cred);
+  (void)WriteFileAt(*mounts[0], "/hot", std::string(8192, 'x'), cred);
+
+  StormResult result;
+  std::atomic<int> completed{0}, timeouts{0}, errors{0};
+  uint64_t checks_before = LockOrderChecker::checked_count();
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 7);
+      for (int op = 0; op < ops_per_client; ++op) {
+        Status s = Status::Ok();
+        if (rng.Chance(0.5)) {
+          s = ReadFileAt(*mounts[c], "/hot").status();
+        } else {
+          auto f = ResolvePath(*mounts[c], "/hot");
+          if (f.ok()) {
+            std::string data = rng.Name(64);
+            s = (*f)->Write(rng.Below(8000),
+                            std::span<const uint8_t>(
+                                reinterpret_cast<const uint8_t*>(data.data()), data.size()))
+                    .status();
+          } else {
+            s = f.status();
+          }
+        }
+        if (s.code() == ErrorCode::kTimedOut) {
+          timeouts.fetch_add(1);
+        } else if (!s.ok()) {
+          errors.fetch_add(1);
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.completed = completed.load();
+  result.timeouts = timeouts.load();
+  result.errors = errors.load();
+  for (auto& cm : cms) {
+    result.revocations += cm->stats().revocations_handled;
+  }
+  result.lock_checks = LockOrderChecker::checked_count() - checks_before;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  LockOrderChecker::Enable(true);
+  std::printf("E9 — revocation storm on one hot file (lock-order checker armed)\n\n");
+  std::printf("%-28s %8s %10s %10s %10s %12s %12s\n", "configuration", "ops", "timeouts",
+              "errors", "wall_ms", "revocations", "lock_checks");
+
+  StormResult with_pool = RunStorm(/*workers=*/4, /*revocation=*/2, /*clients=*/4,
+                                   /*ops=*/50);
+  std::printf("%-28s %8d %10d %10d %10.1f %12llu %12llu\n", "dedicated revocation pool",
+              with_pool.completed, with_pool.timeouts, with_pool.errors, with_pool.wall_ms,
+              (unsigned long long)with_pool.revocations,
+              (unsigned long long)with_pool.lock_checks);
+
+  StormResult no_pool = RunStorm(/*workers=*/1, /*revocation=*/0, /*clients=*/4,
+                                 /*ops=*/8);
+  std::printf("%-28s %8d %10d %10d %10.1f %12llu %12llu\n",
+              "no dedicated pool (6.4)", no_pool.completed, no_pool.timeouts, no_pool.errors,
+              no_pool.wall_ms, (unsigned long long)no_pool.revocations,
+              (unsigned long long)no_pool.lock_checks);
+
+  std::printf(
+      "\nexpected shape: with the Section-6.4 dedicated pool the storm completes with zero\n"
+      "timeouts; without it, revocation-initiated stores queue behind the very requests\n"
+      "that are waiting on them, and operations time out (the bounded form of deadlock).\n");
+  return 0;
+}

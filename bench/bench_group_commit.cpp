@@ -1,0 +1,93 @@
+// E10 — Section 2.2's group-commit design: "the file system may periodically
+// batch-commit all pending transactions ... these batch commits only require
+// writing data sequentially to the end of the log; disks are especially
+// efficient at performing these types of writes."
+//
+// The same metadata workload runs under three commit policies; we report log
+// flushes, total disk writes, the sequential fraction, and the modeled time.
+#include <cstdio>
+#include <string>
+
+#include "src/common/vclock.h"
+#include "src/episode/aggregate.h"
+#include "src/vfs/path.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr int kFiles = 300;
+
+struct Row {
+  uint64_t log_flushes;
+  uint64_t writes;
+  double seq_fraction;
+  double modeled_ms;
+};
+
+Row Run(bool force_on_commit, uint64_t interval_secs, bool fsync_every_op,
+        VirtualClock* clock) {
+  SimDisk disk(32768);
+  Aggregate::Options opts;
+  opts.log_blocks = 4096;
+  opts.cache_blocks = 4096;
+  opts.wal.force_on_commit = force_on_commit;
+  opts.wal.clock = clock;
+  opts.wal.group_commit_interval_ns = interval_secs * VirtualClock::kSecond;
+  auto agg = Aggregate::Format(disk, opts);
+  if (!agg.ok()) {
+    return {};
+  }
+  auto vid = (*agg)->CreateVolume("bench");
+  auto vfs = (*agg)->MountVolume(*vid);
+  Cred cred{100, {100}};
+
+  disk.ResetStats();
+  for (int i = 0; i < kFiles; ++i) {
+    (void)WriteFileAt(**vfs, "/f" + std::to_string(i), "grp", cred);
+    if (fsync_every_op) {
+      (void)(*vfs)->Sync();
+    }
+    if (clock != nullptr) {
+      clock->AdvanceMillis(100);  // ~10 ops/s of virtual time
+      (void)(*agg)->PollGroupCommit();
+    }
+  }
+  (void)(*vfs)->Sync();
+  DeviceStats s = disk.stats();
+  Row row;
+  row.log_flushes = (*agg)->wal().stats().log_flushes;
+  row.writes = s.writes;
+  row.seq_fraction = s.writes == 0 ? 0 : 100.0 * s.sequential_writes / s.writes;
+  row.modeled_ms = s.ModeledTimeUs() / 1000.0;
+  return row;
+}
+
+void Print(const char* name, const Row& r) {
+  std::printf("%-26s %12llu %10llu %10.1f%% %12.1f\n", name,
+              (unsigned long long)r.log_flushes, (unsigned long long)r.writes,
+              r.seq_fraction, r.modeled_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 — group-commit ablation (%d file creations)\n\n", kFiles);
+  std::printf("%-26s %12s %10s %11s %12s\n", "commit policy", "log_flushes", "writes",
+              "seq_pct", "modeled_ms");
+
+  VirtualClock clock_force;
+  Print("force per commit", Run(true, 0, false, &clock_force));
+  VirtualClock clock_fsync;
+  Print("fsync per file", Run(false, 30, true, &clock_fsync));
+  VirtualClock clock_1s;
+  Print("batch, 1 s interval", Run(false, 1, false, &clock_1s));
+  VirtualClock clock_30s;
+  Print("batch, 30 s (the paper)", Run(false, 30, false, &clock_30s));
+
+  std::printf(
+      "\nexpected shape: batching turns many tiny log forces into a few large sequential\n"
+      "appends — flushes drop by orders of magnitude, the sequential fraction stays high,\n"
+      "and modeled disk time falls, at the UNIX-sanctioned cost of a 30 s durability lag.\n");
+  return 0;
+}

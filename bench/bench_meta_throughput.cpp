@@ -1,0 +1,101 @@
+// E3 — Section 2.2's performance claim: a log-based file system beats FFS on
+// metadata-heavy operations (create / delete / truncate), because FFS forces
+// synchronous, seek-heavy metadata writes while Episode appends to the log.
+//
+// For each workload size, both file systems run the identical operation
+// sequence; we report disk writes, their sequential/random split, and the
+// modeled disk time (random I/O pays a seek; sequential pays transfer only).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/episode/aggregate.h"
+#include "src/ffs/ffs.h"
+#include "src/vfs/path.h"
+
+using namespace dfs;
+
+namespace {
+
+struct Row {
+  uint64_t writes;
+  uint64_t seq;
+  uint64_t rand;
+  uint64_t modeled_us;
+  double wall_ms;
+};
+
+template <typename WorkFn>
+Row Measure(SimDisk& disk, WorkFn&& work) {
+  disk.ResetStats();
+  auto start = std::chrono::steady_clock::now();
+  work();
+  auto wall =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  DeviceStats s = disk.stats();
+  return Row{s.writes, s.sequential_writes, s.random_writes, s.ModeledTimeUs(), wall};
+}
+
+void Workload(Vfs& vfs, int files, const Cred& cred) {
+  for (int i = 0; i < files; ++i) {
+    (void)WriteFileAt(vfs, "/f" + std::to_string(i), "metadata workload", cred);
+  }
+  for (int i = 0; i < files; ++i) {
+    auto f = ResolvePath(vfs, "/f" + std::to_string(i));
+    if (f.ok()) {
+      (void)(*f)->Truncate(4);
+    }
+  }
+  for (int i = 0; i < files; ++i) {
+    (void)UnlinkAt(vfs, "/f" + std::to_string(i));
+  }
+  (void)vfs.Sync();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3 — metadata-operation cost: Episode (logging) vs FFS (sync metadata)\n");
+  std::printf("workload: N x (create + write, truncate, delete), then sync\n\n");
+  std::printf("%8s %-9s %10s %10s %10s %12s %10s\n", "N", "fs", "writes", "seq", "random",
+              "modeled_ms", "wall_ms");
+
+  Cred cred{100, {100}};
+  for (int files : {100, 300, 1000}) {
+    {
+      SimDisk disk(32768);
+      Aggregate::Options opts;
+      opts.log_blocks = 2048;
+      opts.cache_blocks = 4096;
+      auto agg = Aggregate::Format(disk, opts);
+      if (!agg.ok()) {
+        return 1;
+      }
+      auto vid = (*agg)->CreateVolume("bench");
+      auto vfs = (*agg)->MountVolume(*vid);
+      Row r = Measure(disk, [&] { Workload(**vfs, files, cred); });
+      std::printf("%8d %-9s %10llu %10llu %10llu %12.1f %10.1f\n", files, "episode",
+                  (unsigned long long)r.writes, (unsigned long long)r.seq,
+                  (unsigned long long)r.rand, r.modeled_us / 1000.0, r.wall_ms);
+    }
+    {
+      SimDisk disk(32768);
+      FfsVfs::Options opts;
+      opts.inode_count = 8192;
+      opts.cache_blocks = 4096;
+      auto ffs = FfsVfs::Format(disk, opts);
+      if (!ffs.ok()) {
+        return 1;
+      }
+      Row r = Measure(disk, [&] { Workload(**ffs, files, cred); });
+      std::printf("%8d %-9s %10llu %10llu %10llu %12.1f %10.1f\n", files, "ffs",
+                  (unsigned long long)r.writes, (unsigned long long)r.seq,
+                  (unsigned long long)r.rand, r.modeled_us / 1000.0, r.wall_ms);
+    }
+  }
+  std::printf(
+      "\nexpected shape (Section 2.2): FFS pays several random writes per metadata op;\n"
+      "Episode turns them into sequential log appends — fewer writes, far fewer seeks.\n");
+  return 0;
+}

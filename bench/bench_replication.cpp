@@ -1,0 +1,92 @@
+// E8 — Section 3.8: lazy replication. A replica refreshed every T is out of
+// date by at most T; each refresh fetches only the files that changed since
+// the last one (compare the incremental column with a naive full re-dump).
+#include <cstdio>
+#include <string>
+
+#include "examples/example_util.h"
+
+using namespace dfs;
+
+namespace {
+constexpr int kTotalFiles = 40;
+constexpr int kPeriods = 8;
+}  // namespace
+
+int main() {
+  std::printf("E8 — lazy replication: refresh traffic vs change rate (%d files, %d periods)\n\n",
+              kTotalFiles, kPeriods);
+  std::printf("%16s | %14s %14s %14s %12s\n", "changes/period", "incr_bytes", "full_bytes",
+              "savings", "stale_reads");
+
+  for (int churn : {1, 4, 16}) {
+    auto cell = ExampleCell::Create(/*two_servers=*/true);
+    CacheManager* writer = cell->NewClient("alice");
+    auto master = writer->MountVolume("home");
+    EX_CHECK(master.status());
+    for (int i = 0; i < kTotalFiles; ++i) {
+      EX_CHECK(WriteFileAt(**master, "/f" + std::to_string(i), std::string(4096, 'a'),
+                           UserCred(100)));
+    }
+    EX_CHECK(writer->SyncAll());
+    EX_CHECK(writer->ReturnAllTokens());
+
+    ReplicationAgent agent(cell->net, *cell->server2, cell->agg2.get(), kExServer1,
+                           cell->volume_id, cell->TicketFor("admin"));
+    EX_CHECK(agent.InitialClone());
+    VldbClient registrar(cell->net, kExServer2, {kExVldb});
+    EX_CHECK(registrar.Register(agent.replica_volume_id(), "home.ro", kExServer2));
+    CacheManager* reader = cell->NewClient("bob");
+    auto replica = reader->MountVolume("home.ro");
+    EX_CHECK(replica.status());
+
+    uint64_t incr_bytes = 0;
+    uint64_t full_bytes_estimate = 0;
+    int stale_reads = 0;
+    for (int period = 0; period < kPeriods; ++period) {
+      // The master churns `churn` files this period.
+      for (int c = 0; c < churn; ++c) {
+        int idx = (period * churn + c) % kTotalFiles;
+        std::string payload = "period " + std::to_string(period);
+        payload.resize(4096, '.');  // same-size updates keep the dumps comparable
+        EX_CHECK(WriteFileAt(**master, "/f" + std::to_string(idx), payload, UserCred(100)));
+      }
+      EX_CHECK(writer->SyncAll());
+      EX_CHECK(writer->ReturnAllTokens());
+      cell->clock.AdvanceSeconds(600);  // the staleness bound elapses
+
+      uint64_t before = agent.stats().bytes_fetched;
+      EX_CHECK(agent.Refresh());
+      incr_bytes += agent.stats().bytes_fetched - before;
+
+      // What a non-incremental design would move: the whole volume.
+      auto dump = cell->agg1->DumpVolume(cell->volume_id, 0);
+      EX_CHECK(dump.status());
+      Writer w;
+      dump->Serialize(w);
+      full_bytes_estimate += w.size();
+
+      // Replica clients see the fresh period data (staleness <= T).
+      int idx = (period * churn) % kTotalFiles;
+      EX_CHECK(reader->ReturnAllTokens());
+      auto read = ReadFileAt(**replica, "/f" + std::to_string(idx));
+      EX_CHECK(read.status());
+      std::string expect = "period " + std::to_string(period);
+      if (read->substr(0, expect.size()) != expect) {
+        ++stale_reads;
+      }
+    }
+    double savings =
+        full_bytes_estimate == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(incr_bytes) / full_bytes_estimate);
+    std::printf("%16d | %14llu %14llu %11.1f%% %12d\n", churn,
+                (unsigned long long)incr_bytes, (unsigned long long)full_bytes_estimate,
+                savings, stale_reads);
+  }
+  std::printf(
+      "\nexpected shape: incremental refresh traffic scales with the churn, not with the\n"
+      "volume; after every refresh the replica is exactly up to date (stale_reads = 0),\n"
+      "so the staleness bound equals the refresh period by construction.\n");
+  return 0;
+}

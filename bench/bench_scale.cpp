@@ -1,0 +1,137 @@
+// Scale — the motivation behind the whole design (Summary: "AFS was
+// specifically designed for networks of thousands of users"): as client count
+// grows on a read-mostly workload, token-protected caching absorbs nearly all
+// load locally, so *server* RPCs per operation collapse toward zero and
+// aggregate client throughput scales with the client count.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "examples/example_util.h"
+#include "src/common/rng.h"
+
+using namespace dfs;
+
+namespace {
+
+constexpr int kSharedFiles = 16;
+constexpr int kOpsPerClient = 300;
+
+struct Row {
+  double wall_ms;
+  uint64_t total_ops;
+  uint64_t server_rpcs;
+  double rpcs_per_op;
+  double kops_per_s;
+};
+
+Row Run(int clients) {
+  auto cell = ExampleCell::Create(false);
+  CacheManager* setup = cell->NewClient("alice");
+  auto setup_vfs = setup->MountVolume("home");
+  EX_CHECK(setup_vfs.status());
+  for (int i = 0; i < kSharedFiles; ++i) {
+    EX_CHECK(CreateFileAt(**setup_vfs, "/shared" + std::to_string(i), 0666, UserCred(100))
+                 .status());
+    EX_CHECK(WriteFileAt(**setup_vfs, "/shared" + std::to_string(i),
+                         std::string(16 * 1024, 's'), UserCred(100)));
+  }
+  EX_CHECK(setup->SyncAll());
+  EX_CHECK(setup->ReturnAllTokens());
+
+  // Per-client private files exist up front (creates invalidate everyone's
+  // directory caches; they are not the phenomenon under measurement).
+  for (int i = 0; i < clients; ++i) {
+    EX_CHECK(CreateFileAt(**setup_vfs, "/client" + std::to_string(i), 0666, UserCred(100))
+                 .status());
+  }
+  EX_CHECK(setup->ReturnAllTokens());
+
+  std::vector<CacheManager*> cms;
+  std::vector<std::vector<VnodeRef>> shared(clients);
+  std::vector<VnodeRef> privates(clients);
+  for (int i = 0; i < clients; ++i) {
+    CacheManager* c = cell->NewClient("alice");
+    cms.push_back(c);
+    auto vfs = c->MountVolume("home");
+    EX_CHECK(vfs.status());
+    // Warm-up: resolve and touch everything once (the one-time per-client
+    // fetch cost); the measured phase below is the steady state.
+    std::vector<uint8_t> buf(4096);
+    for (int f = 0; f < kSharedFiles; ++f) {
+      auto v = ResolvePath(**vfs, "/shared" + std::to_string(f));
+      EX_CHECK(v.status());
+      for (int b = 0; b < 4; ++b) {
+        (void)(*v)->Read(static_cast<uint64_t>(b) * 4096, buf);
+      }
+      shared[i].push_back(*v);
+    }
+    auto mine = ResolvePath(**vfs, "/client" + std::to_string(i));
+    EX_CHECK(mine.status());
+    privates[i] = *mine;
+  }
+  cell->net.ResetStats();
+
+  std::atomic<uint64_t> ops{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) * 977 + 3);
+      std::vector<uint8_t> buf(4096);
+      std::string private_data = "private data for client " + std::to_string(c);
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        // 95% shared reads, 5% private writes: the read-mostly reality the
+        // paper's caching design targets.
+        if (rng.Chance(0.95)) {
+          (void)shared[c][rng.Below(kSharedFiles)]->Read(rng.Below(12) * 1024, buf);
+        } else {
+          (void)privates[c]->Write(0, std::span<const uint8_t>(
+                                          reinterpret_cast<const uint8_t*>(
+                                              private_data.data()),
+                                          private_data.size()));
+        }
+        ops.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t server_rpcs = 0;
+  for (CacheManager* c : cms) {
+    server_rpcs += cell->net.StatsBetween(c->node(), kExServer1).calls;
+  }
+  Row row;
+  row.wall_ms = wall_ms;
+  row.total_ops = ops.load();
+  row.server_rpcs = server_rpcs;
+  row.rpcs_per_op = static_cast<double>(server_rpcs) / static_cast<double>(ops.load());
+  row.kops_per_s = ops.load() / wall_ms;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scale — read-mostly workload, %d shared files, %d ops/client\n\n",
+              kSharedFiles, kOpsPerClient);
+  std::printf("%8s %10s %12s %12s %14s %12s\n", "clients", "ops", "server_rpcs",
+              "rpcs_per_op", "kops_per_sec", "wall_ms");
+  for (int clients : {1, 2, 4, 8, 16}) {
+    Row r = Run(clients);
+    std::printf("%8d %10llu %12llu %12.3f %14.1f %12.1f\n", clients,
+                (unsigned long long)r.total_ops, (unsigned long long)r.server_rpcs,
+                r.rpcs_per_op, r.kops_per_s, r.wall_ms);
+  }
+  std::printf(
+      "\nexpected shape: server RPCs per operation fall toward zero as caches warm (each\n"
+      "client pays a one-time fetch per file), so aggregate throughput grows with the\n"
+      "client count rather than saturating the server — the design's scaling claim.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E7 — Section 2.1's administration claims:
+//   - cloning is a snapshot, not a copy: cost is O(1) in block writes,
+//     independent of the volume's size (copy-on-write does the rest lazily);
+//   - dynamic volume motion blocks applications only briefly, and only for
+//     the volume being moved.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "examples/example_util.h"
+
+using namespace dfs;
+
+namespace {
+
+void PopulateVolume(Vfs& vfs, int files, const Cred& cred) {
+  std::string blob(20 * 1024, 'v');
+  for (int i = 0; i < files; ++i) {
+    EX_CHECK(WriteFileAt(vfs, "/file" + std::to_string(i), blob, cred));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7 — volume administration costs\n\n");
+
+  // --- Clone cost vs volume size ---
+  std::printf("--- clone (snapshot) cost vs volume size ---\n");
+  std::printf("%8s %12s | %14s %14s %12s\n", "files", "vol_blocks", "clone_writes",
+              "clone_wall_us", "cow_sharing");
+  for (int files : {10, 50, 200}) {
+    SimDisk disk(65536);
+    Aggregate::Options opts;
+    opts.cache_blocks = 8192;
+    opts.log_blocks = 2048;
+    auto agg = Aggregate::Format(disk, opts);
+    EX_CHECK(agg.status());
+    auto vid = (*agg)->CreateVolume("vol");
+    auto vfs = (*agg)->MountVolume(*vid);
+    PopulateVolume(**vfs, files, UserCred(100));
+    EX_CHECK((*agg)->Checkpoint());
+    auto info = (*agg)->GetVolume(*vid);
+    EX_CHECK(info.status());
+
+    disk.ResetStats();
+    auto start = std::chrono::steady_clock::now();
+    auto clone = (*agg)->CloneVolume(*vid, "snap");
+    EX_CHECK(clone.status());
+    EX_CHECK((*agg)->SyncLog());
+    double us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    uint64_t clone_writes = disk.stats().writes;
+    auto clone_info = (*agg)->GetVolume(*clone);
+    EX_CHECK(clone_info.status());
+    std::printf("%8d %12llu | %14llu %14.0f %12s\n", files,
+                (unsigned long long)info->blocks_used, (unsigned long long)clone_writes, us,
+                clone_info->blocks_used == info->blocks_used ? "full" : "partial");
+  }
+  std::printf("(clone_writes stays flat as the volume grows: the snapshot is O(1))\n\n");
+
+  // --- Move window ---
+  std::printf("--- volume move: client-observed unavailability ---\n");
+  std::printf("%8s | %12s %14s %14s\n", "files", "move_ms", "blocked_ms", "failed_ops");
+  for (int files : {10, 50, 200}) {
+    auto cell = ExampleCell::Create(/*two_servers=*/true);
+    CacheManager* client = cell->NewClient("alice");
+    auto vfs = client->MountVolume("home");
+    EX_CHECK(vfs.status());
+    PopulateVolume(**vfs, files, UserCred(100));
+    EX_CHECK(client->SyncAll());
+    EX_CHECK(client->ReturnAllTokens());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failed{0};
+    std::atomic<long> max_gap_us{0};
+    std::thread prober([&] {
+      auto last_ok = std::chrono::steady_clock::now();
+      while (!stop.load()) {
+        auto r = ReadFileAt(**vfs, "/file0");
+        auto now = std::chrono::steady_clock::now();
+        if (r.ok()) {
+          long gap =
+              std::chrono::duration_cast<std::chrono::microseconds>(now - last_ok).count();
+          long cur = max_gap_us.load();
+          while (gap > cur && !max_gap_us.compare_exchange_weak(cur, gap)) {
+          }
+          last_ok = now;
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+
+    VldbClient admin_vldb(cell->net, 50, {kExVldb});
+    VolumeAdmin admin(cell->net, 50, &admin_vldb);
+    EX_CHECK(admin.Connect(kExServer1, cell->TicketFor("admin")));
+    EX_CHECK(admin.Connect(kExServer2, cell->TicketFor("admin")));
+    auto start = std::chrono::steady_clock::now();
+    EX_CHECK(admin.MoveVolume(cell->volume_id, kExServer1, kExServer2));
+    double move_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stop.store(true);
+    prober.join();
+    std::printf("%8d | %12.1f %14.1f %14d\n", files, move_ms, max_gap_us.load() / 1000.0,
+                failed.load());
+  }
+  std::printf(
+      "\nexpected shape: the move takes time proportional to the volume, but client\n"
+      "operations never fail — they block (retrying through the VLDB) for roughly the\n"
+      "move window and resume against the new server.\n");
+  return 0;
+}

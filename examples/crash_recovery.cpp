@@ -1,0 +1,109 @@
+// Fast restart (Section 2.2): the same burst of metadata work on Episode and
+// on an FFS-style file system, followed by a crash on each — Episode recovers
+// by replaying its fixed-size log; FFS pays an fsck proportional to the
+// file system, and its normal operation pays synchronous metadata writes.
+//
+//   ./examples/crash_recovery
+#include <cstdio>
+#include <string>
+
+#include "src/episode/aggregate.h"
+#include "src/ffs/ffs.h"
+#include "src/vfs/path.h"
+
+using namespace dfs;
+
+#define EX_CHECK(expr)                                     \
+  do {                                                     \
+    auto s_ = (expr);                                      \
+    if (!s_.ok()) {                                        \
+      std::printf("FAILED: %s\n", s_.ToString().c_str());  \
+      return 1;                                            \
+    }                                                      \
+  } while (0)
+
+int main() {
+  constexpr uint64_t kDiskBlocks = 32768;  // 128 MiB
+  constexpr int kFiles = 100;
+  Cred user{100, {100}};
+
+  std::printf("== Crash recovery: log replay vs. fsck (disk: %llu blocks) ==\n\n",
+              (unsigned long long)kDiskBlocks);
+
+  // --- Episode ---
+  SimDisk edisk(kDiskBlocks);
+  auto agg = Aggregate::Format(edisk, {});
+  EX_CHECK(agg.status());
+  auto vid = (*agg)->CreateVolume("work");
+  EX_CHECK(vid.status());
+  auto evfs = (*agg)->MountVolume(*vid);
+  EX_CHECK(evfs.status());
+
+  edisk.ResetStats();
+  for (int i = 0; i < kFiles; ++i) {
+    EX_CHECK(WriteFileAt(**evfs, "/f" + std::to_string(i), "data", user));
+  }
+  for (int i = 0; i < kFiles / 2; ++i) {
+    EX_CHECK(UnlinkAt(**evfs, "/f" + std::to_string(i)));
+  }
+  EX_CHECK((*evfs)->Sync());
+  DeviceStats ework = edisk.stats();
+  std::printf("[episode] %d creates + %d deletes: %llu disk writes "
+              "(%llu sequential / %llu random)\n",
+              kFiles, kFiles / 2, (unsigned long long)ework.writes,
+              (unsigned long long)ework.sequential_writes,
+              (unsigned long long)ework.random_writes);
+
+  (*agg)->CrashNow();
+  evfs->reset();
+  agg->reset();
+  edisk.ResetStats();
+  auto remounted = Aggregate::Mount(edisk, {});
+  EX_CHECK(remounted.status());
+  DeviceStats erec = edisk.stats();
+  std::printf("[episode] crash recovery: %llu disk reads (the active log), "
+              "%llu writes — independent of file-system size\n",
+              (unsigned long long)erec.reads, (unsigned long long)erec.writes);
+  auto salv = (*remounted)->Salvage(false);
+  EX_CHECK(salv.status());
+  std::printf("[episode] salvager (media-failure tool, not needed here): %s\n\n",
+              salv->clean() ? "clean" : "INCONSISTENT");
+
+  // --- FFS ---
+  SimDisk fdisk(kDiskBlocks);
+  FfsVfs::Options fopts;
+  fopts.inode_count = kDiskBlocks / 8;
+  auto ffs = FfsVfs::Format(fdisk, fopts);
+  EX_CHECK(ffs.status());
+
+  fdisk.ResetStats();
+  for (int i = 0; i < kFiles; ++i) {
+    EX_CHECK(WriteFileAt(**ffs, "/f" + std::to_string(i), "data", user));
+  }
+  for (int i = 0; i < kFiles / 2; ++i) {
+    EX_CHECK(UnlinkAt(**ffs, "/f" + std::to_string(i)));
+  }
+  EX_CHECK((*ffs)->Sync());
+  DeviceStats fwork = fdisk.stats();
+  std::printf("[ffs]     same workload: %llu disk writes "
+              "(%llu sequential / %llu random) — synchronous metadata\n",
+              (unsigned long long)fwork.writes,
+              (unsigned long long)fwork.sequential_writes,
+              (unsigned long long)fwork.random_writes);
+
+  (*ffs)->CrashNow();
+  fdisk.ResetStats();
+  auto fsck_fs = FfsVfs::Mount(fdisk, fopts);
+  EX_CHECK(fsck_fs.status());
+  auto report = (*fsck_fs)->Fsck(/*repair=*/true);
+  EX_CHECK(report.status());
+  std::printf("[ffs]     fsck after crash: %llu blocks read "
+              "(inode table + dirs + bitmap — grows with the disk)\n",
+              (unsigned long long)report->blocks_read);
+
+  std::printf("\nmodeled recovery time: episode %.1f ms, ffs %.1f ms\n",
+              erec.ModeledTimeUs() / 1000.0,
+              fdisk.stats().ModeledTimeUs() / 1000.0);
+  std::printf("crash recovery demo complete.\n");
+  return 0;
+}

@@ -1,0 +1,356 @@
+// dfs_shell — a scriptable shell over a complete DEcorum cell.
+//
+// Brings up a VLDB, two Episode file servers, and a client cache manager,
+// then executes file-system and administration commands from stdin (or a
+// built-in demo script when stdin is a terminal-less pipe with no input).
+//
+//   echo "write /hi hello
+//   cat /hi
+//   stat /hi" | ./examples/dfs_shell
+//
+// Commands:
+//   ls [path]              list a directory
+//   cat <path>             print a file
+//   write <path> <text>    create/overwrite a file
+//   append <path> <text>   append to a file
+//   mkdir <path>           create a directory
+//   rm <path> | rmdir <path>
+//   mv <src> <dst>         rename (same directory level syntax: full paths)
+//   ln <target> <name>     hard link
+//   stat <path>            attributes + FID
+//   setacl <path> <uid> <rights: r w x i d l c>
+//   getacl <path>
+//   sync                   push dirty data + fsync
+//   clone <name>           snapshot the home volume under a new VLDB name
+//   move <server: 1|2>     move the home volume to the given server
+//   volumes                list volumes on both servers
+//   stats                  client cache / network statistics
+//   help, quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "examples/example_util.h"
+
+using namespace dfs;
+
+namespace {
+
+struct Shell {
+  std::unique_ptr<ExampleCell> cell;
+  CacheManager* client = nullptr;
+  VfsRef vfs;
+  std::unique_ptr<VldbClient> admin_vldb;
+  std::unique_ptr<VolumeAdmin> admin;
+  Cred cred = UserCred(100);
+  int clones = 0;
+
+  bool Init() {
+    cell = ExampleCell::Create(/*two_servers=*/true);
+    client = cell->NewClient("alice");
+    auto mounted = client->MountVolume("home");
+    if (!mounted.ok()) {
+      return false;
+    }
+    vfs = *mounted;
+    admin_vldb = std::make_unique<VldbClient>(cell->net, 50, std::vector<NodeId>{kExVldb});
+    admin = std::make_unique<VolumeAdmin>(cell->net, 50, admin_vldb.get());
+    return admin->Connect(kExServer1, cell->TicketFor("admin")).ok() &&
+           admin->Connect(kExServer2, cell->TicketFor("admin")).ok();
+  }
+
+  void Report(const Status& s) {
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+  }
+
+  void Run(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') {
+      return;
+    }
+    if (cmd == "help") {
+      std::printf("ls cat write append mkdir rm rmdir mv ln mount stat setacl getacl sync "
+                  "clone move volumes stats quit\n");
+    } else if (cmd == "ls") {
+      std::string path = "/";
+      in >> path;
+      auto dir = ResolvePath(*vfs, path);
+      if (!dir.ok()) {
+        Report(dir.status());
+        return;
+      }
+      auto entries = (*dir)->ReadDir();
+      if (!entries.ok()) {
+        Report(entries.status());
+        return;
+      }
+      for (const DirEntry& e : *entries) {
+        const char* kind = e.type == FileType::kDirectory ? "d"
+                           : e.type == FileType::kSymlink ? "l"
+                                                          : "-";
+        std::printf("%s %-30s vnode=%llu\n", kind, e.name.c_str(),
+                    (unsigned long long)e.vnode);
+      }
+    } else if (cmd == "cat") {
+      std::string path;
+      in >> path;
+      auto content = ReadFileAt(*vfs, path);
+      if (!content.ok()) {
+        Report(content.status());
+        return;
+      }
+      std::printf("%s\n", content->c_str());
+    } else if (cmd == "write" || cmd == "append") {
+      std::string path, text;
+      in >> path;
+      std::getline(in, text);
+      if (!text.empty() && text[0] == ' ') {
+        text.erase(0, 1);
+      }
+      if (cmd == "write") {
+        Report(WriteFileAt(*vfs, path, text, cred));
+      } else {
+        auto f = ResolvePath(*vfs, path);
+        if (!f.ok()) {
+          Report(f.status());
+          return;
+        }
+        auto attr = (*f)->GetAttr();
+        if (!attr.ok()) {
+          Report(attr.status());
+          return;
+        }
+        Report((*f)->Write(attr->size,
+                           std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(text.data()), text.size()))
+                   .status());
+      }
+    } else if (cmd == "mkdir") {
+      std::string path;
+      in >> path;
+      Report(MkdirAt(*vfs, path, 0755, cred).status());
+    } else if (cmd == "rm") {
+      std::string path;
+      in >> path;
+      Report(UnlinkAt(*vfs, path));
+    } else if (cmd == "rmdir") {
+      std::string path;
+      in >> path;
+      auto parent = ResolveParent(*vfs, path);
+      if (!parent.ok()) {
+        Report(parent.status());
+        return;
+      }
+      Report(parent->first->Rmdir(parent->second));
+    } else if (cmd == "mv") {
+      std::string src, dst;
+      in >> src >> dst;
+      auto sp = ResolveParent(*vfs, src);
+      auto dp = ResolveParent(*vfs, dst);
+      if (!sp.ok() || !dp.ok()) {
+        Report(sp.ok() ? dp.status() : sp.status());
+        return;
+      }
+      Report(vfs->Rename(*sp->first, sp->second, *dp->first, dp->second));
+    } else if (cmd == "ln") {
+      std::string target, name;
+      in >> target >> name;
+      auto t = ResolvePath(*vfs, target);
+      auto p = ResolveParent(*vfs, name);
+      if (!t.ok() || !p.ok()) {
+        Report(t.ok() ? p.status() : t.status());
+        return;
+      }
+      Report(p->first->Link(p->second, **t));
+    } else if (cmd == "stat") {
+      std::string path;
+      in >> path;
+      auto f = ResolvePath(*vfs, path);
+      if (!f.ok()) {
+        Report(f.status());
+        return;
+      }
+      auto attr = (*f)->GetAttr();
+      if (!attr.ok()) {
+        Report(attr.status());
+        return;
+      }
+      std::printf("fid=%s size=%llu mode=%o nlink=%u uid=%u version=%llu\n",
+                  attr->fid.ToString().c_str(), (unsigned long long)attr->size, attr->mode,
+                  attr->nlink, attr->uid, (unsigned long long)attr->data_version);
+    } else if (cmd == "setacl") {
+      std::string path, rights;
+      uint32_t uid;
+      in >> path >> uid >> rights;
+      auto f = ResolvePath(*vfs, path);
+      if (!f.ok()) {
+        Report(f.status());
+        return;
+      }
+      uint32_t mask = 0;
+      for (char c : rights) {
+        mask |= c == 'r'   ? kRightRead
+                : c == 'w' ? kRightWrite
+                : c == 'x' ? kRightExecute
+                : c == 'i' ? kRightInsert
+                : c == 'd' ? kRightDelete
+                : c == 'l' ? kRightLookup
+                : c == 'c' ? kRightControl
+                           : 0;
+      }
+      auto acl = (*f)->GetAcl();
+      if (!acl.ok()) {
+        Report(acl.status());
+        return;
+      }
+      acl->Add(AclEntry{AclEntry::Kind::kUser, uid, mask, 0});
+      Report((*f)->SetAcl(*acl));
+    } else if (cmd == "getacl") {
+      std::string path;
+      in >> path;
+      auto f = ResolvePath(*vfs, path);
+      if (!f.ok()) {
+        Report(f.status());
+        return;
+      }
+      auto acl = (*f)->GetAcl();
+      if (!acl.ok()) {
+        Report(acl.status());
+        return;
+      }
+      if (acl->empty()) {
+        std::printf("(no ACL: mode bits apply)\n");
+      }
+      for (const AclEntry& e : acl->entries()) {
+        std::printf("%s %u allow=%#x deny=%#x\n",
+                    e.kind == AclEntry::Kind::kUser    ? "user"
+                    : e.kind == AclEntry::Kind::kGroup ? "group"
+                                                       : "other",
+                    e.id, e.allow, e.deny);
+      }
+    } else if (cmd == "mount") {
+      std::string volume, path;
+      in >> volume >> path;
+      auto parent = ResolveParent(*vfs, path);
+      if (!parent.ok()) {
+        Report(parent.status());
+        return;
+      }
+      Report(parent->first
+                 ->CreateSymlink(parent->second, std::string(kMountPointPrefix) + volume,
+                                 cred)
+                 .status());
+    } else if (cmd == "sync") {
+      Report(client->SyncAll());
+    } else if (cmd == "clone") {
+      std::string name;
+      in >> name;
+      auto id = admin->CloneVolume(cell->volume_id, FindHomeServer(), name);
+      if (id.ok()) {
+        std::printf("ok: snapshot volume id %llu (mountable as \"%s\")\n",
+                    (unsigned long long)*id, name.c_str());
+      } else {
+        Report(id.status());
+      }
+    } else if (cmd == "move") {
+      int target = 0;
+      in >> target;
+      NodeId dst = target == 2 ? kExServer2 : kExServer1;
+      NodeId src = FindHomeServer();
+      if (src == dst) {
+        std::printf("already there\n");
+        return;
+      }
+      Report(admin->MoveVolume(cell->volume_id, src, dst));
+    } else if (cmd == "volumes") {
+      for (NodeId server : {kExServer1, kExServer2}) {
+        auto vols = admin->ListVolumes(server);
+        if (!vols.ok()) {
+          Report(vols.status());
+          continue;
+        }
+        for (const VolumeInfo& v : *vols) {
+          std::printf("server %u: %-20s id=%llu %s%s anodes=%llu blocks=%llu\n", server,
+                      v.name.c_str(), (unsigned long long)v.id, v.read_only ? "ro " : "rw ",
+                      v.is_clone ? "clone" : "", (unsigned long long)v.anodes_used,
+                      (unsigned long long)v.blocks_used);
+        }
+      }
+    } else if (cmd == "stats") {
+      auto s = client->stats();
+      auto net = cell->net.TotalStats();
+      std::printf("data cache: %llu hits / %llu misses; attr hits %llu; lookup hits %llu\n",
+                  (unsigned long long)s.data_cache_hits,
+                  (unsigned long long)s.data_cache_misses,
+                  (unsigned long long)s.attr_cache_hits,
+                  (unsigned long long)s.lookup_cache_hits);
+      std::printf("revocations %llu (deferred %llu); network %llu calls, %llu bytes\n",
+                  (unsigned long long)s.revocations_handled,
+                  (unsigned long long)s.revocations_deferred, (unsigned long long)net.calls,
+                  (unsigned long long)net.bytes);
+    } else {
+      std::printf("unknown command: %s (try 'help')\n", cmd.c_str());
+    }
+  }
+
+  NodeId FindHomeServer() {
+    auto loc = admin_vldb->LookupById(cell->volume_id);
+    return loc.ok() ? loc->server : kExServer1;
+  }
+};
+
+constexpr const char* kDemoScript[] = {
+    "mkdir /projects",
+    "write /projects/readme DEcorum shell demo",
+    "append /projects/readme  -- appended line",
+    "cat /projects/readme",
+    "stat /projects/readme",
+    "ln /projects/readme /alias",
+    "ls /",
+    "setacl /projects/readme 101 rl",
+    "getacl /projects/readme",
+    "sync",
+    "clone home.backup",
+    "mount home.backup /snapshot",
+    "cat /snapshot/projects/readme",
+    "volumes",
+    "move 2",
+    "cat /projects/readme",
+    "stats",
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  if (!shell.Init()) {
+    std::printf("failed to bring up the cell\n");
+    return 1;
+  }
+  std::string line;
+  bool interactive = false;
+  if (std::getline(std::cin, line)) {
+    interactive = true;
+    std::printf("dfs> %s\n", line.c_str());
+    shell.Run(line);
+    while (std::getline(std::cin, line)) {
+      if (line == "quit" || line == "exit") {
+        break;
+      }
+      std::printf("dfs> %s\n", line.c_str());
+      shell.Run(line);
+    }
+  }
+  if (!interactive) {
+    std::printf("(no input on stdin: running the built-in demo script)\n\n");
+    for (const char* cmd : kDemoScript) {
+      std::printf("dfs> %s\n", cmd);
+      shell.Run(cmd);
+    }
+  }
+  return 0;
+}

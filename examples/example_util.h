@@ -1,0 +1,108 @@
+// Shared scaffolding for the example programs: a small "cell" with a VLDB,
+// one or two Episode file servers, and helpers to make clients.
+#ifndef EXAMPLES_EXAMPLE_UTIL_H_
+#define EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/cache_manager.h"
+#include "src/episode/aggregate.h"
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "src/server/file_server.h"
+#include "src/server/local_vnode.h"
+#include "src/server/replication.h"
+#include "src/server/vldb.h"
+#include "src/server/volume_server.h"
+#include "src/vfs/path.h"
+
+#define EX_CHECK(expr)                                       \
+  do {                                                       \
+    auto s_ = (expr);                                        \
+    if (!s_.ok()) {                                          \
+      std::printf("FAILED at %s:%d: %s\n", __FILE__,         \
+                  __LINE__, s_.ToString().c_str());          \
+      std::exit(1);                                          \
+    }                                                        \
+  } while (0)
+
+namespace dfs {
+
+inline constexpr NodeId kExVldb = 1;
+inline constexpr NodeId kExServer1 = 10;
+inline constexpr NodeId kExServer2 = 11;
+inline constexpr uint64_t kExSecret = 0x5EC;
+
+struct ExampleCell {
+  VirtualClock clock;
+  Network net{&clock};
+  AuthService auth;
+  std::unique_ptr<VldbServer> vldb;
+  std::unique_ptr<SimDisk> disk1, disk2;
+  std::unique_ptr<Aggregate> agg1, agg2;
+  std::unique_ptr<FileServer> server1, server2;
+  uint64_t volume_id = 0;
+  std::vector<std::unique_ptr<CacheManager>> clients;
+  NodeId next_client = 100;
+
+  static std::unique_ptr<ExampleCell> Create(bool two_servers) {
+    auto cell = std::make_unique<ExampleCell>();
+    cell->auth.AddPrincipal("alice", 100, kExSecret);
+    cell->auth.AddPrincipal("bob", 101, kExSecret);
+    cell->auth.AddPrincipal("admin", 0, kExSecret);
+    cell->vldb = std::make_unique<VldbServer>(cell->net, kExVldb);
+
+    cell->disk1 = std::make_unique<SimDisk>(16384);
+    Aggregate::Options aopts;
+    aopts.wal.clock = &cell->clock;
+    auto agg = Aggregate::Format(*cell->disk1, aopts);
+    EX_CHECK(agg.status());
+    cell->agg1 = std::move(*agg);
+    cell->server1 = std::make_unique<FileServer>(cell->net, cell->auth, kExServer1);
+    auto vid = cell->agg1->CreateVolume("home");
+    EX_CHECK(vid.status());
+    cell->volume_id = *vid;
+    EX_CHECK(cell->server1->ExportAggregate(cell->agg1.get()));
+    VldbClient registrar(cell->net, kExServer1, {kExVldb});
+    EX_CHECK(registrar.Register(cell->volume_id, "home", kExServer1));
+
+    if (two_servers) {
+      cell->disk2 = std::make_unique<SimDisk>(16384);
+      Aggregate::Options a2 = aopts;
+      a2.volume_id_base = 1000;
+      auto agg2 = Aggregate::Format(*cell->disk2, a2);
+      EX_CHECK(agg2.status());
+      cell->agg2 = std::move(*agg2);
+      cell->server2 = std::make_unique<FileServer>(cell->net, cell->auth, kExServer2);
+      EX_CHECK(cell->server2->ExportAggregate(cell->agg2.get()));
+    }
+    return cell;
+  }
+
+  CacheManager* NewClient(const std::string& principal,
+                          CacheManager::Options options = CacheManager::Options()) {
+    if (options.node == 0) {
+      options.node = next_client++;
+    }
+    auto ticket = auth.IssueTicket(principal, kExSecret);
+    EX_CHECK(ticket.status());
+    clients.push_back(
+        std::make_unique<CacheManager>(net, std::vector<NodeId>{kExVldb}, *ticket, options));
+    return clients.back().get();
+  }
+
+  Ticket TicketFor(const std::string& principal) {
+    auto t = auth.IssueTicket(principal, kExSecret);
+    EX_CHECK(t.status());
+    return *t;
+  }
+};
+
+inline Cred UserCred(uint32_t uid) { return Cred{uid, {uid}}; }
+
+}  // namespace dfs
+
+#endif  // EXAMPLES_EXAMPLE_UTIL_H_

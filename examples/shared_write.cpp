@@ -1,0 +1,72 @@
+// The Section 5.5 worked example, live: a file written both by a local user
+// on the file server (through the Vnode glue layer) and by a remote user
+// (through a client cache manager), synchronized by typed tokens.
+//
+//   ./examples/shared_write
+#include <cstdio>
+
+#include "examples/example_util.h"
+
+using namespace dfs;
+
+int main() {
+  std::printf("== Section 5.5: local writer vs. remote writer, one file ==\n\n");
+  auto cell = ExampleCell::Create(/*two_servers=*/false);
+
+  CacheManager* remote = cell->NewClient("alice");
+  auto rvfs = remote->MountVolume("home");
+  EX_CHECK(rvfs.status());
+
+  // The remote application writes the file: the cache manager obtains a
+  // write data token and handles everything locally thereafter.
+  EX_CHECK(CreateFileAt(**rvfs, "/notes.txt", 0666, UserCred(100)).status());
+  EX_CHECK(WriteFileAt(**rvfs, "/notes.txt", "0123456789", UserCred(100)));
+  auto rf = ResolvePath(**rvfs, "/notes.txt");
+  EX_CHECK(rf.status());
+  std::printf("[remote] wrote 10 bytes; write data + status tokens held\n");
+
+  cell->net.ResetStats();
+  std::string more = "REMOTE";
+  EX_CHECK((*rf)->Write(0, std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(more.data()), more.size()))
+               .status());
+  LinkStats quiet = cell->net.StatsBetween(100, kExServer1);
+  std::printf("[remote] rewrote bytes 0-5 under the token: %llu RPCs (all local)\n",
+              (unsigned long long)quiet.calls);
+
+  // A process on the server node now writes the same file locally. Its
+  // VOP_RDWR goes through the glue layer, which asks the token manager for a
+  // write data token; the conflicting remote token is revoked first, and the
+  // remote client stores its dirty pages back as a side effect.
+  auto local = cell->server1->LocalMount(cell->volume_id, UserCred(0));
+  EX_CHECK(local.status());
+  auto lf = ResolvePath(**local, "/notes.txt");
+  EX_CHECK(lf.status());
+  std::string local_bytes = "local!";
+  EX_CHECK((*lf)->Write(4, std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(local_bytes.data()),
+                               local_bytes.size()))
+               .status());
+  auto cstats = remote->stats();
+  std::printf("[server] local write completed after revoking the remote token\n");
+  std::printf("[remote] revocation handled: %llu (dirty pages stored back: %llu)\n",
+              (unsigned long long)cstats.revocations_handled,
+              (unsigned long long)cstats.revocation_stores);
+
+  // Both observers agree on the final bytes — single-system semantics.
+  auto remote_view = ReadFileAt(**rvfs, "/notes.txt");
+  auto local_view = ReadFileAt(**local, "/notes.txt");
+  EX_CHECK(remote_view.status());
+  EX_CHECK(local_view.status());
+  std::printf("\n[remote] sees: %s\n[server] sees: %s\n", remote_view->c_str(),
+              local_view->c_str());
+  std::printf("identical: %s\n", (*remote_view == *local_view) ? "yes" : "NO (bug!)");
+
+  // Token bookkeeping, straight from the server's token manager.
+  auto tstats = cell->server1->tokens().stats();
+  std::printf("\ntoken manager: %llu grants, %llu revocations, %llu deferred, %llu refusals\n",
+              (unsigned long long)tstats.grants, (unsigned long long)tstats.revocations,
+              (unsigned long long)tstats.deferred_returns,
+              (unsigned long long)tstats.refusals);
+  return 0;
+}

@@ -1,0 +1,297 @@
+#include "src/baselines/afs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dfs {
+
+AfsServer::AfsServer(Network& network, NodeId node, VfsRef vfs)
+    : network_(network), node_(node), vfs_(std::move(vfs)) {
+  (void)network_.RegisterNode(node_, this, Network::NodeOptions{4, 2, 10'000});
+}
+
+AfsServer::~AfsServer() { network_.UnregisterNode(node_); }
+
+AfsServer::Stats AfsServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AfsServer::BreakCallbacks(const Fid& fid, NodeId except) {
+  std::set<NodeId> holders;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = callbacks_.find(fid.ToString());
+    if (it == callbacks_.end()) {
+      return;
+    }
+    holders = it->second;
+    it->second.clear();
+    if (holders.count(except) != 0) {
+      it->second.insert(except);  // the writer keeps its callback
+      holders.erase(except);
+    }
+  }
+  for (NodeId client : holders) {
+    Writer w;
+    PutFid(w, fid);
+    (void)network_.Call(node_, client, kAfsBreakCallback, w.data(), "afs-server");
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.callbacks_broken += 1;
+  }
+}
+
+Result<std::vector<uint8_t>> AfsServer::Handle(const RpcRequest& req) {
+  Reader r(req.payload);
+  auto body = [&]() -> Result<Writer> {
+    Writer w;
+    switch (req.proc) {
+      case kAfsGetRootAfs: {
+        ASSIGN_OR_RETURN(VnodeRef root, vfs_->Root());
+        ASSIGN_OR_RETURN(FileAttr attr, root->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kAfsFetch: {
+        ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
+        ASSIGN_OR_RETURN(VnodeRef vnode, vfs_->VnodeByFid(fid));
+        ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
+        // Whole file: AFS callbacks have no byte-range vocabulary.
+        std::vector<uint8_t> data(attr.size);
+        if (attr.size > 0 && attr.type == FileType::kFile) {
+          ASSIGN_OR_RETURN(size_t n, vnode->Read(0, data));
+          data.resize(n);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          callbacks_[fid.ToString()].insert(req.from);
+          stats_.fetches += 1;
+        }
+        PutAttr(w, attr);
+        w.PutBytes(data);
+        return w;
+      }
+      case kAfsStore: {
+        ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+        ASSIGN_OR_RETURN(VnodeRef vnode, vfs_->VnodeByFid(fid));
+        RETURN_IF_ERROR(vnode->Truncate(data.size()));
+        if (!data.empty()) {
+          ASSIGN_OR_RETURN(size_t n, vnode->Write(0, data));
+          (void)n;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.stores += 1;
+        }
+        BreakCallbacks(fid, req.from);
+        ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kAfsLookup: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(VnodeRef child, dir->Lookup(name));
+        ASSIGN_OR_RETURN(FileAttr attr, child->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kAfsCreate: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(VnodeRef child, dir->Create(name, FileType::kFile, 0644, Cred{}));
+        BreakCallbacks(dir_fid, req.from);
+        ASSIGN_OR_RETURN(FileAttr attr, child->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kAfsRemove: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        RETURN_IF_ERROR(dir->Unlink(name));
+        BreakCallbacks(dir_fid, req.from);
+        return w;
+      }
+      case kAfsReadDir: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(std::vector<DirEntry> entries, dir->ReadDir());
+        w.PutU32(static_cast<uint32_t>(entries.size()));
+        for (const DirEntry& e : entries) {
+          PutDirEntry(w, e);
+        }
+        return w;
+      }
+      default:
+        return Status(ErrorCode::kNotSupported, "unknown AFS procedure");
+    }
+  }();
+  if (!body.ok()) {
+    return EncodeErrorReply(body.status());
+  }
+  return EncodeOkReply(std::move(*body));
+}
+
+AfsClient::AfsClient(Network& network, NodeId node, NodeId server)
+    : network_(network), node_(node), server_(server) {
+  (void)network_.RegisterNode(node_, this, Network::NodeOptions{2, 1, 10'000});
+}
+
+AfsClient::~AfsClient() { network_.UnregisterNode(node_); }
+
+Result<std::vector<uint8_t>> AfsClient::Call(uint32_t proc, const Writer& w) {
+  return UnwrapReply(network_.Call(node_, server_, proc, w.data(), "afs"));
+}
+
+Result<std::vector<uint8_t>> AfsClient::Handle(const RpcRequest& req) {
+  if (req.proc != kAfsBreakCallback) {
+    return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown client procedure"));
+  }
+  Reader r(req.payload);
+  auto fid = ReadFid(r);
+  if (!fid.ok()) {
+    return EncodeErrorReply(fid.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(fid->ToString());
+    if (it != cache_.end()) {
+      it->second.has_callback = false;  // cached copy may no longer be used
+    }
+    stats_.callback_breaks += 1;
+  }
+  return EncodeOkReply(Writer());
+}
+
+Status AfsClient::Open(const Fid& fid) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = cache_[fid.ToString()];
+    if (e.has_callback) {
+      e.open_count += 1;
+      stats_.cache_hits += 1;
+      return Status::Ok();
+    }
+  }
+  Writer w;
+  PutFid(w, fid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.fetches += 1;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsFetch, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[fid.ToString()];
+  e.attr = attr;
+  e.data = std::move(data);
+  e.has_callback = true;
+  e.dirty = false;
+  e.open_count += 1;
+  return Status::Ok();
+}
+
+Result<size_t> AfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_t> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(fid.ToString());
+  if (it == cache_.end() || it->second.open_count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "file not open");
+  }
+  Entry& e = it->second;
+  if (offset >= e.data.size()) {
+    return size_t{0};
+  }
+  size_t n = std::min<size_t>(out.size(), e.data.size() - offset);
+  std::memcpy(out.data(), e.data.data() + offset, n);
+  return n;
+}
+
+Status AfsClient::Write(const Fid& fid, uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(fid.ToString());
+  if (it == cache_.end() || it->second.open_count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "file not open");
+  }
+  Entry& e = it->second;
+  if (offset + data.size() > e.data.size()) {
+    e.data.resize(offset + data.size(), 0);
+  }
+  std::memcpy(e.data.data() + offset, data.data(), data.size());
+  e.dirty = true;  // visible to others only after Close (store-on-close)
+  return Status::Ok();
+}
+
+Status AfsClient::Close(const Fid& fid) {
+  bool store = false;
+  std::vector<uint8_t> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(fid.ToString());
+    if (it == cache_.end()) {
+      return Status(ErrorCode::kInvalidArgument, "file not open");
+    }
+    Entry& e = it->second;
+    e.open_count = std::max(0, e.open_count - 1);
+    if (e.dirty) {
+      store = true;
+      data = e.data;  // the whole file goes back, not just what changed
+      e.dirty = false;
+    }
+  }
+  if (store) {
+    Writer w;
+    PutFid(w, fid);
+    w.PutBytes(data);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.stores += 1;
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsStore, w));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[fid.ToString()].attr = attr;
+  }
+  return Status::Ok();
+}
+
+Result<Fid> AfsClient::Root() {
+  Writer w;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsGetRootAfs, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  return attr.fid;
+}
+
+Result<Fid> AfsClient::Lookup(const Fid& dir, const std::string& name) {
+  Writer w;
+  PutFid(w, dir);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsLookup, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  return attr.fid;
+}
+
+Result<Fid> AfsClient::Create(const Fid& dir, const std::string& name) {
+  Writer w;
+  PutFid(w, dir);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsCreate, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  return attr.fid;
+}
+
+AfsClient::Stats AfsClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dfs

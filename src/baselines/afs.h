@@ -1,0 +1,110 @@
+// AFS-style baseline (Section 5.4's intermediate comparison point).
+//
+// Untyped callbacks: the server promises to notify the client when a file
+// changes, but the callback cannot distinguish status from data, reading from
+// writing, or byte ranges — so:
+//  - the client caches whole files, shipping them in their entirety even when
+//    only disjoint parts are used (the large-file ping-pong of Section 5.4);
+//  - the client cannot know when to push modified data, so it stores the
+//    whole file back on close — communication at every close, and writes by
+//    one client become visible to others only after close.
+#ifndef SRC_BASELINES_AFS_H_
+#define SRC_BASELINES_AFS_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "src/rpc/rpc.h"
+#include "src/server/procs.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+enum AfsProc : uint32_t {
+  kAfsFetch = 400,     // fid -> whole file + attr; registers a callback
+  kAfsStore = 401,     // fid + whole file; breaks other clients' callbacks
+  kAfsLookup = 402,
+  kAfsCreate = 403,
+  kAfsRemove = 404,
+  kAfsReadDir = 405,
+  kAfsGetRootAfs = 406,
+  kAfsBreakCallback = 450,  // server -> client
+};
+
+class AfsServer : public RpcHandler {
+ public:
+  AfsServer(Network& network, NodeId node, VfsRef vfs);
+  ~AfsServer() override;
+
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  NodeId node() const { return node_; }
+
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t stores = 0;
+    uint64_t callbacks_broken = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void BreakCallbacks(const Fid& fid, NodeId except);
+
+  Network& network_;
+  NodeId node_;
+  VfsRef vfs_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::set<NodeId>> callbacks_;  // fid string -> clients
+  Stats stats_;
+};
+
+class AfsClient : public RpcHandler {
+ public:
+  explicit AfsClient(Network& network, NodeId node, NodeId server);
+  ~AfsClient() override;
+
+  // Whole-file open: fetches the file unless a callback-protected copy is
+  // cached. Reads/writes act on the local copy; Close stores it back if
+  // dirty (store-on-close semantics).
+  Status Open(const Fid& fid);
+  Result<size_t> Read(const Fid& fid, uint64_t offset, std::span<uint8_t> out);
+  Status Write(const Fid& fid, uint64_t offset, std::span<const uint8_t> data);
+  Status Close(const Fid& fid);
+
+  Result<Fid> Root();
+  Result<Fid> Lookup(const Fid& dir, const std::string& name);
+  Result<Fid> Create(const Fid& dir, const std::string& name);
+
+  // RpcHandler: callback breaks from the server.
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t stores = 0;
+    uint64_t cache_hits = 0;
+    uint64_t callback_breaks = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    FileAttr attr;
+    std::vector<uint8_t> data;
+    bool has_callback = false;
+    bool dirty = false;
+    int open_count = 0;
+  };
+
+  Result<std::vector<uint8_t>> Call(uint32_t proc, const Writer& w);
+
+  Network& network_;
+  NodeId node_;
+  NodeId server_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> cache_;
+  Stats stats_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_BASELINES_AFS_H_

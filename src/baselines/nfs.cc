@@ -1,0 +1,306 @@
+#include "src/baselines/nfs.h"
+
+#include "src/blockdev/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dfs {
+
+NfsServer::NfsServer(Network& network, NodeId node, VfsRef vfs)
+    : network_(network), node_(node), vfs_(std::move(vfs)) {
+  (void)network_.RegisterNode(node_, this, Network::NodeOptions{4, 0, 10'000});
+}
+
+NfsServer::~NfsServer() { network_.UnregisterNode(node_); }
+
+Result<std::vector<uint8_t>> NfsServer::Handle(const RpcRequest& req) {
+  Reader r(req.payload);
+  auto body = [&]() -> Result<Writer> {
+    Writer w;
+    switch (req.proc) {
+      case kNfsGetRootNfs: {
+        ASSIGN_OR_RETURN(VnodeRef root, vfs_->Root());
+        ASSIGN_OR_RETURN(FileAttr attr, root->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kNfsGetAttr: {
+        ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
+        ASSIGN_OR_RETURN(VnodeRef vnode, vfs_->VnodeByFid(fid));
+        ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kNfsLookup: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(VnodeRef child, dir->Lookup(name));
+        ASSIGN_OR_RETURN(FileAttr attr, child->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kNfsRead: {
+        ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
+        ASSIGN_OR_RETURN(uint64_t offset, r.ReadU64());
+        ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+        ASSIGN_OR_RETURN(VnodeRef vnode, vfs_->VnodeByFid(fid));
+        std::vector<uint8_t> data(len);
+        ASSIGN_OR_RETURN(size_t n, vnode->Read(offset, data));
+        data.resize(n);
+        ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
+        PutAttr(w, attr);
+        w.PutBytes(data);
+        return w;
+      }
+      case kNfsWrite: {
+        ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
+        ASSIGN_OR_RETURN(uint64_t offset, r.ReadU64());
+        ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+        ASSIGN_OR_RETURN(VnodeRef vnode, vfs_->VnodeByFid(fid));
+        ASSIGN_OR_RETURN(size_t n, vnode->Write(offset, data));
+        (void)n;
+        ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kNfsCreate: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(VnodeRef child, dir->Create(name, FileType::kFile, 0644, Cred{}));
+        ASSIGN_OR_RETURN(FileAttr attr, child->GetAttr());
+        PutAttr(w, attr);
+        return w;
+      }
+      case kNfsRemove: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        RETURN_IF_ERROR(dir->Unlink(name));
+        return w;
+      }
+      case kNfsReadDir: {
+        ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
+        ASSIGN_OR_RETURN(VnodeRef dir, vfs_->VnodeByFid(dir_fid));
+        ASSIGN_OR_RETURN(std::vector<DirEntry> entries, dir->ReadDir());
+        w.PutU32(static_cast<uint32_t>(entries.size()));
+        for (const DirEntry& e : entries) {
+          PutDirEntry(w, e);
+        }
+        return w;
+      }
+      default:
+        return Status(ErrorCode::kNotSupported, "unknown NFS procedure");
+    }
+  }();
+  if (!body.ok()) {
+    return EncodeErrorReply(body.status());
+  }
+  return EncodeOkReply(std::move(*body));
+}
+
+NfsClient::NfsClient(Network& network, NodeId server, VirtualClock& clock, Options options)
+    : network_(network), server_(server), node_(options.node), clock_(clock),
+      options_(options) {}
+
+Result<std::vector<uint8_t>> NfsClient::Call(uint32_t proc, const Writer& w) {
+  return UnwrapReply(network_.Call(node_, server_, proc, w.data(), "nfs"));
+}
+
+Result<Fid> NfsClient::Root() {
+  Writer w;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetRootNfs, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[attr.fid.ToString()];
+  e.attr = attr;
+  e.attr_valid = true;
+  e.attr_time = clock_.Now();
+  return attr.fid;
+}
+
+Status NfsClient::Revalidate(const Fid& fid, bool is_dir) {
+  uint64_t ttl = is_dir ? options_.dir_ttl_ns : options_.file_ttl_ns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = cache_[fid.ToString()];
+    if (e.attr_valid && clock_.Now() - e.attr_time < ttl) {
+      ++stats_.cache_hits;
+      return Status::Ok();
+    }
+  }
+  Writer w;
+  PutFid(w, fid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.getattr_rpcs;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetAttr, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[fid.ToString()];
+  if (e.attr_valid && e.attr.data_version != attr.data_version) {
+    e.blocks.clear();  // the file changed: cached pages are stale
+    ++stats_.invalidations;
+  }
+  e.attr = attr;
+  e.attr_valid = true;
+  e.attr_time = clock_.Now();
+  return Status::Ok();
+}
+
+Result<FileAttr> NfsClient::GetAttr(const Fid& fid) {
+  RETURN_IF_ERROR(Revalidate(fid, /*is_dir=*/false));
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_[fid.ToString()].attr;
+}
+
+Result<Fid> NfsClient::Lookup(const Fid& dir, const std::string& name) {
+  RETURN_IF_ERROR(Revalidate(dir, /*is_dir=*/true));
+  Writer w;
+  PutFid(w, dir);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsLookup, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[attr.fid.ToString()];
+  e.attr = attr;
+  e.attr_valid = true;
+  e.attr_time = clock_.Now();
+  return attr.fid;
+}
+
+Result<size_t> NfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_t> out) {
+  RETURN_IF_ERROR(Revalidate(fid, /*is_dir=*/false));
+  uint64_t size;
+  bool all_cached = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = cache_[fid.ToString()];
+    size = e.attr.size;
+    if (offset >= size) {
+      return size_t{0};
+    }
+    size_t n = static_cast<size_t>(std::min<uint64_t>(out.size(), size - offset));
+    for (uint64_t b = offset / kBlockSize; b < (offset + n + kBlockSize - 1) / kBlockSize;
+         ++b) {
+      if (e.blocks.count(b) == 0) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (all_cached) {
+      ++stats_.cache_hits;
+      for (uint64_t b = offset / kBlockSize; b < (offset + n + kBlockSize - 1) / kBlockSize;
+           ++b) {
+        uint64_t bstart = b * kBlockSize;
+        uint64_t from = std::max(offset, bstart);
+        uint64_t to = std::min(offset + n, bstart + kBlockSize);
+        std::memcpy(out.data() + (from - offset), e.blocks[b].data() + (from - bstart),
+                    to - from);
+      }
+      return n;
+    }
+  }
+  // Fetch the aligned range.
+  uint64_t aligned = (offset / kBlockSize) * kBlockSize;
+  uint32_t alen = static_cast<uint32_t>(((offset + out.size() + kBlockSize - 1) / kBlockSize) *
+                                            kBlockSize - aligned);
+  Writer w;
+  PutFid(w, fid);
+  w.PutU64(aligned);
+  w.PutU32(alen);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.read_rpcs;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsRead, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[fid.ToString()];
+  e.attr = attr;
+  e.attr_valid = true;
+  e.attr_time = clock_.Now();
+  for (uint64_t i = 0; i * kBlockSize < data.size(); ++i) {
+    std::vector<uint8_t> block(kBlockSize, 0);
+    size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
+    std::memcpy(block.data(), data.data() + i * kBlockSize, n);
+    e.blocks[aligned / kBlockSize + i] = std::move(block);
+  }
+  if (offset >= attr.size) {
+    return size_t{0};
+  }
+  size_t n = static_cast<size_t>(std::min<uint64_t>(out.size(), attr.size - offset));
+  size_t off_in_data = static_cast<size_t>(offset - aligned);
+  n = std::min(n, data.size() > off_in_data ? data.size() - off_in_data : 0);
+  std::memcpy(out.data(), data.data() + off_in_data, n);
+  return n;
+}
+
+Status NfsClient::Write(const Fid& fid, uint64_t offset, std::span<const uint8_t> data) {
+  // Write-through: NFS provides no write-back guarantee to hide behind.
+  Writer w;
+  PutFid(w, fid);
+  w.PutU64(offset);
+  w.PutBytes(data);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_rpcs;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsWrite, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[fid.ToString()];
+  e.attr = attr;
+  e.attr_valid = true;
+  e.attr_time = clock_.Now();
+  e.blocks.clear();  // conservative: drop cached pages we partially overwrote
+  return Status::Ok();
+}
+
+Result<Fid> NfsClient::Create(const Fid& dir, const std::string& name) {
+  Writer w;
+  PutFid(w, dir);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsCreate, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
+  return attr.fid;
+}
+
+Status NfsClient::Remove(const Fid& dir, const std::string& name) {
+  Writer w;
+  PutFid(w, dir);
+  w.PutString(name);
+  return Call(kNfsRemove, w).status();
+}
+
+Result<std::vector<DirEntry>> NfsClient::ReadDir(const Fid& dir) {
+  RETURN_IF_ERROR(Revalidate(dir, /*is_dir=*/true));
+  Writer w;
+  PutFid(w, dir);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsReadDir, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  std::vector<DirEntry> out;
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(DirEntry e, ReadDirEntry(r));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+NfsClient::Stats NfsClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dfs

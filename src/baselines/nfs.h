@@ -1,0 +1,100 @@
+// NFS-style baseline (Section 5.4's weak-consistency comparison point).
+//
+// The client caches attributes and data with fixed time-to-live limits —
+// 3 seconds for files, 30 seconds for directories — and revalidates with
+// GETATTR when the TTL expires, whether or not anything changed. Writes are
+// write-through. This reproduces both halves of the paper's criticism: the
+// staleness window applications must program around, and the RPC traffic
+// that happens even when nothing is shared.
+#ifndef SRC_BASELINES_NFS_H_
+#define SRC_BASELINES_NFS_H_
+
+#include <map>
+#include <mutex>
+
+#include "src/common/vclock.h"
+#include "src/rpc/rpc.h"
+#include "src/server/procs.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+enum NfsProc : uint32_t {
+  kNfsGetAttr = 300,
+  kNfsLookup = 301,
+  kNfsRead = 302,
+  kNfsWrite = 303,
+  kNfsCreate = 304,
+  kNfsRemove = 305,
+  kNfsReadDir = 306,
+  kNfsGetRootNfs = 307,
+};
+
+class NfsServer : public RpcHandler {
+ public:
+  NfsServer(Network& network, NodeId node, VfsRef vfs);
+  ~NfsServer() override;
+
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  NodeId node() const { return node_; }
+
+ private:
+  Network& network_;
+  NodeId node_;
+  VfsRef vfs_;
+};
+
+class NfsClient {
+ public:
+  struct Options {
+    NodeId node = 0;
+    uint64_t file_ttl_ns = 3 * VirtualClock::kSecond;
+    uint64_t dir_ttl_ns = 30 * VirtualClock::kSecond;
+  };
+  struct Stats {
+    uint64_t getattr_rpcs = 0;
+    uint64_t read_rpcs = 0;
+    uint64_t write_rpcs = 0;
+    uint64_t cache_hits = 0;
+    uint64_t invalidations = 0;
+  };
+
+  NfsClient(Network& network, NodeId server, VirtualClock& clock, Options options);
+
+  Result<Fid> Root();
+  Result<Fid> Lookup(const Fid& dir, const std::string& name);
+  Result<FileAttr> GetAttr(const Fid& fid);
+  Result<size_t> Read(const Fid& fid, uint64_t offset, std::span<uint8_t> out);
+  Status Write(const Fid& fid, uint64_t offset, std::span<const uint8_t> data);
+  Result<Fid> Create(const Fid& dir, const std::string& name);
+  Status Remove(const Fid& dir, const std::string& name);
+  Result<std::vector<DirEntry>> ReadDir(const Fid& dir);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    FileAttr attr;
+    uint64_t attr_time = 0;
+    bool attr_valid = false;
+    std::map<uint64_t, std::vector<uint8_t>> blocks;  // block idx -> 4 KiB
+  };
+
+  // Revalidates (or fetches) the attributes per TTL; drops cached data when
+  // the file changed underneath us.
+  Status Revalidate(const Fid& fid, bool is_dir);
+  Result<std::vector<uint8_t>> Call(uint32_t proc, const Writer& w);
+
+  Network& network_;
+  NodeId server_;
+  NodeId node_;
+  VirtualClock& clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> cache_;  // key = fid string
+  Stats stats_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_BASELINES_NFS_H_

@@ -1,0 +1,90 @@
+#include "src/blockdev/block_device.h"
+
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace dfs {
+
+SimDisk::SimDisk(uint64_t block_count)
+    : block_count_(block_count), medium_(block_count * kBlockSize, 0) {}
+
+Status SimDisk::Read(uint64_t blockno, std::span<uint8_t> out) {
+  if (blockno >= block_count_ || out.size() != kBlockSize) {
+    return Status(ErrorCode::kInvalidArgument, "bad read");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::memcpy(out.data(), medium_.data() + blockno * kBlockSize, kBlockSize);
+  ++stats_.reads;
+  return Status::Ok();
+}
+
+Status SimDisk::Write(uint64_t blockno, std::span<const uint8_t> data) {
+  if (blockno >= block_count_ || data.size() != kBlockSize) {
+    return Status(ErrorCode::kInvalidArgument, "bad write");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fail_writes_ > 0) {
+    --fail_writes_;
+    return Status(ErrorCode::kIoError, "injected write failure");
+  }
+  std::memcpy(medium_.data() + blockno * kBlockSize, data.data(), kBlockSize);
+  ++stats_.writes;
+  if (last_write_block_ != UINT64_MAX &&
+      (blockno == last_write_block_ + 1 || blockno == last_write_block_)) {
+    ++stats_.sequential_writes;
+  } else {
+    ++stats_.random_writes;
+  }
+  last_write_block_ = blockno;
+  return Status::Ok();
+}
+
+Status SimDisk::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.flushes;
+  return Status::Ok();
+}
+
+DeviceStats SimDisk::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
+  last_write_block_ = UINT64_MAX;
+}
+
+void SimDisk::FailNextWrites(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_writes_ = n;
+}
+
+void SimDisk::CorruptBlock(uint64_t blockno, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blockno >= block_count_) {
+    return;
+  }
+  Rng rng(seed);
+  uint8_t* p = medium_.data() + blockno * kBlockSize;
+  for (uint32_t i = 0; i < kBlockSize; i += 8) {
+    uint64_t v = rng.Next();
+    std::memcpy(p + i, &v, 8);
+  }
+}
+
+std::vector<uint8_t> SimDisk::SnapshotMedium() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return medium_;
+}
+
+void SimDisk::RestoreMedium(const std::vector<uint8_t>& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (image.size() == medium_.size()) {
+    medium_ = image;
+  }
+}
+
+}  // namespace dfs

@@ -1,0 +1,203 @@
+#include "src/buf/buffer_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace dfs {
+
+BufferCache::BufferCache(BlockDevice& dev, size_t capacity_blocks)
+    : dev_(dev), capacity_(capacity_blocks) {}
+
+BufferCache::~BufferCache() = default;
+
+BufferCache::Ref& BufferCache::Ref::operator=(Ref&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr && slot_ != nullptr) {
+      cache_->Unpin(slot_);
+    }
+    cache_ = other.cache_;
+    slot_ = other.slot_;
+    other.cache_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  return *this;
+}
+
+BufferCache::Ref::~Ref() {
+  if (cache_ != nullptr && slot_ != nullptr) {
+    cache_->Unpin(slot_);
+  }
+}
+
+uint8_t* BufferCache::Ref::data() { return slot_->data.get(); }
+const uint8_t* BufferCache::Ref::data() const { return slot_->data.get(); }
+uint64_t BufferCache::Ref::blockno() const { return slot_->blockno; }
+
+Result<BufferCache::Ref> BufferCache::Get(uint64_t blockno) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(blockno);
+  if (it != slots_.end()) {
+    Slot* slot = it->second.get();
+    if (slot->in_lru) {
+      lru_.erase(slot->lru_it);
+      slot->in_lru = false;
+    }
+    ++slot->pins;
+    ++stats_.hits;
+    return Ref(this, slot);
+  }
+  ++stats_.misses;
+  RETURN_IF_ERROR(EvictIfNeededLocked(lock));
+  auto slot_owner = std::make_unique<Slot>();
+  Slot* slot = slot_owner.get();
+  slot->blockno = blockno;
+  slot->data = std::make_unique<uint8_t[]>(kBlockSize);
+  slot->pins = 1;
+  // Read outside the map insert would race with a concurrent Get of the same
+  // block; keep the lock held (SimDisk reads are memcpy-cheap).
+  RETURN_IF_ERROR(dev_.Read(blockno, std::span<uint8_t>(slot->data.get(), kBlockSize)));
+  slots_.emplace(blockno, std::move(slot_owner));
+  return Ref(this, slot);
+}
+
+Result<BufferCache::Ref> BufferCache::GetZeroed(uint64_t blockno) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(blockno);
+  if (it != slots_.end()) {
+    Slot* slot = it->second.get();
+    if (slot->in_lru) {
+      lru_.erase(slot->lru_it);
+      slot->in_lru = false;
+    }
+    ++slot->pins;
+    std::memset(slot->data.get(), 0, kBlockSize);
+    return Ref(this, slot);
+  }
+  RETURN_IF_ERROR(EvictIfNeededLocked(lock));
+  auto slot_owner = std::make_unique<Slot>();
+  Slot* slot = slot_owner.get();
+  slot->blockno = blockno;
+  slot->data = std::make_unique<uint8_t[]>(kBlockSize);
+  std::memset(slot->data.get(), 0, kBlockSize);
+  slot->pins = 1;
+  slots_.emplace(blockno, std::move(slot_owner));
+  return Ref(this, slot);
+}
+
+void BufferCache::MarkDirty(const Ref& ref, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(ref.blockno());
+  if (it == slots_.end()) {
+    return;
+  }
+  Slot* slot = it->second.get();
+  slot->dirty = true;
+  if (lsn > slot->last_lsn) {
+    slot->last_lsn = lsn;
+  }
+}
+
+void BufferCache::Unpin(Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot->pins == 0) {
+    return;  // defensive; should not happen
+  }
+  --slot->pins;
+  if (slot->pins == 0 && !slot->in_lru) {
+    lru_.push_back(slot);
+    slot->lru_it = std::prev(lru_.end());
+    slot->in_lru = true;
+  }
+}
+
+Status BufferCache::WriteBackLocked(Slot* slot, std::unique_lock<std::mutex>& lock) {
+  if (!slot->dirty) {
+    return Status::Ok();
+  }
+  uint64_t lsn = slot->last_lsn;
+  if (lsn > 0 && wal_ != nullptr) {
+    // Write-ahead rule. The WAL writes its region raw (never through this
+    // cache), so dropping the lock here cannot recurse into us; it can,
+    // however, let another thread touch this slot — pin it first.
+    ++slot->pins;
+    lock.unlock();
+    Status s = wal_->FlushTo(lsn);
+    lock.lock();
+    --slot->pins;
+    RETURN_IF_ERROR(s);
+  }
+  RETURN_IF_ERROR(dev_.Write(slot->blockno, std::span<const uint8_t>(slot->data.get(), kBlockSize)));
+  slot->dirty = false;
+  ++stats_.writebacks;
+  return Status::Ok();
+}
+
+Status BufferCache::EvictIfNeededLocked(std::unique_lock<std::mutex>& lock) {
+  while (slots_.size() >= capacity_ && !lru_.empty()) {
+    Slot* victim = lru_.front();
+    RETURN_IF_ERROR(WriteBackLocked(victim, lock));
+    if (victim->pins > 0) {
+      // Re-pinned while we dropped the lock for the WAL flush; skip eviction.
+      return Status::Ok();
+    }
+    lru_.pop_front();
+    victim->in_lru = false;
+    ++stats_.evictions;
+    slots_.erase(victim->blockno);
+  }
+  return Status::Ok();
+}
+
+Status BufferCache::FlushAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Collect block numbers first: WriteBackLocked may drop the lock.
+  std::vector<uint64_t> dirty_blocks;
+  dirty_blocks.reserve(slots_.size());
+  for (auto& [blockno, slot] : slots_) {
+    if (slot->dirty) {
+      dirty_blocks.push_back(blockno);
+    }
+  }
+  // Ascending order keeps the device write pattern as sequential as the
+  // dirty-set allows (elevator-style sweep).
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  for (uint64_t blockno : dirty_blocks) {
+    auto it = slots_.find(blockno);
+    if (it == slots_.end()) {
+      continue;
+    }
+    RETURN_IF_ERROR(WriteBackLocked(it->second.get(), lock));
+  }
+  return dev_.Flush();
+}
+
+void BufferCache::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  slots_.clear();
+}
+
+void BufferCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  slots_.clear();
+}
+
+BufferCache::Stats BufferCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BufferCache::dirty_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [blockno, slot] : slots_) {
+    if (slot->dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace dfs

@@ -1,0 +1,128 @@
+// Log-aware buffer cache (Section 2.2).
+//
+// Higher-level file-system code never writes buffer data directly: metadata
+// changes go through Wal::LogUpdate, which records old/new values and stamps
+// the buffer with the record's LSN. The cache enforces the write-ahead rule:
+// a dirty buffer is not written to the device until the log is durable
+// through that buffer's last LSN. A simulated crash (Crash()) drops every
+// cached block without writing — exactly the state a machine loses when it
+// goes down — so recovery tests exercise the real redo/undo paths.
+#ifndef SRC_BUF_BUFFER_CACHE_H_
+#define SRC_BUF_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "src/blockdev/block_device.h"
+#include "src/common/status.h"
+
+namespace dfs {
+
+class WalFlusher {
+ public:
+  virtual ~WalFlusher() = default;
+  // Make the log durable through `lsn` (write-ahead rule).
+  virtual Status FlushTo(uint64_t lsn) = 0;
+};
+
+class BufferCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t evictions = 0;
+  };
+
+  BufferCache(BlockDevice& dev, size_t capacity_blocks);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // The WAL is constructed after the cache (it reads its region raw); attach
+  // it before any logged updates occur.
+  void AttachWal(WalFlusher* wal) { wal_ = wal; }
+
+  struct Slot;
+
+  // RAII pin on a cached block. While a Ref exists the slot is not evicted.
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(BufferCache* cache, Slot* slot) : cache_(cache), slot_(slot) {}
+    Ref(Ref&& other) noexcept : cache_(other.cache_), slot_(other.slot_) {
+      other.cache_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    Ref& operator=(Ref&& other) noexcept;
+    ~Ref();
+
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+
+    uint8_t* data();
+    const uint8_t* data() const;
+    uint64_t blockno() const;
+    bool valid() const { return slot_ != nullptr; }
+
+   private:
+    BufferCache* cache_ = nullptr;
+    Slot* slot_ = nullptr;
+  };
+
+  // Reads the block in if absent.
+  Result<Ref> Get(uint64_t blockno);
+  // For freshly allocated blocks: installs a zeroed buffer without a disk read.
+  Result<Ref> GetZeroed(uint64_t blockno);
+
+  // Marks a pinned buffer dirty. lsn is the LSN of the log record covering the
+  // change, or 0 for unlogged user data.
+  void MarkDirty(const Ref& ref, uint64_t lsn);
+
+  // Writes every dirty buffer (after flushing the log as required).
+  Status FlushAll();
+
+  // Simulated machine crash: all cached state vanishes, nothing is written.
+  void Crash();
+
+  // Drops all cached blocks (writing nothing); used after recovery rewrote the
+  // medium underneath the cache.
+  void InvalidateAll();
+
+  Stats stats() const;
+  size_t dirty_count() const;
+
+  struct Slot {
+    uint64_t blockno = 0;
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    uint64_t last_lsn = 0;
+    uint32_t pins = 0;
+    std::list<Slot*>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+ private:
+  void Unpin(Slot* slot);
+  Status EvictIfNeededLocked(std::unique_lock<std::mutex>& lock);
+  Status WriteBackLocked(Slot* slot, std::unique_lock<std::mutex>& lock);
+
+  BlockDevice& dev_;
+  WalFlusher* wal_ = nullptr;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Slot>> slots_;
+  std::list<Slot*> lru_;  // front = least recently used, all unpinned
+  Stats stats_;
+
+  friend class Ref;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_BUF_BUFFER_CACHE_H_

@@ -1,0 +1,886 @@
+#include "src/client/cache_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/vfs/path.h"
+
+namespace dfs {
+namespace {
+
+uint64_t BlockOf(uint64_t offset) { return offset / kBlockSize; }
+uint64_t BlockEnd(uint64_t offset, size_t len) {
+  return (offset + len + kBlockSize - 1) / kBlockSize;
+}
+
+uint32_t OpenTokenFor(OpenMode mode) {
+  switch (mode) {
+    case OpenMode::kRead:
+      return kTokenOpenRead;
+    case OpenMode::kWrite:
+      return kTokenOpenWrite;
+    case OpenMode::kExecute:
+      return kTokenOpenExecute;
+    case OpenMode::kSharedRead:
+      return kTokenOpenShared;
+    case OpenMode::kExclusiveWrite:
+      return kTokenOpenExclusive;
+  }
+  return kTokenOpenRead;
+}
+
+}  // namespace
+
+// --- OpenHandle ---
+
+OpenHandle& OpenHandle::operator=(OpenHandle&& o) noexcept {
+  if (this != &o) {
+    (void)Close();
+    cm_ = o.cm_;
+    fid_ = o.fid_;
+    token_ = o.token_;
+    types_ = o.types_;
+    o.cm_ = nullptr;
+  }
+  return *this;
+}
+
+OpenHandle::~OpenHandle() { (void)Close(); }
+
+Status OpenHandle::Close() {
+  if (cm_ == nullptr) {
+    return Status::Ok();
+  }
+  CacheManager* cm = cm_;
+  cm_ = nullptr;
+  auto cv = cm->GetCVnode(fid_);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    cv->open_count -= 1;
+    for (auto it = cv->tokens.begin(); it != cv->tokens.end(); ++it) {
+      if (it->id == token_) {
+        cv->tokens.erase(it);
+        break;
+      }
+    }
+  }
+  return cm->ReturnToken(fid_, token_, types_);
+}
+
+// --- CacheManager ---
+
+CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
+                           Options options)
+    : network_(network),
+      vldb_(network, options.node, std::move(vldb_nodes)),
+      ticket_(std::move(ticket)),
+      options_(options) {
+  if (options_.diskless) {
+    store_ = std::make_unique<MemoryCacheStore>();
+  } else {
+    auto disk_store = DiskCacheStore::Create(options_.cache_disk_blocks);
+    store_ = disk_store.ok() ? std::unique_ptr<CacheStore>(std::move(*disk_store))
+                             : std::make_unique<MemoryCacheStore>();
+  }
+  (void)network_.RegisterNode(options_.node, this, options_.rpc);
+}
+
+CacheManager::~CacheManager() { network_.UnregisterNode(options_.node); }
+
+CacheManager::CVnodeRef CacheManager::GetCVnode(const Fid& fid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cvnodes_.find(fid);
+  if (it == cvnodes_.end()) {
+    it = cvnodes_.emplace(fid, std::make_shared<CVnode>(fid, next_tag_++)).first;
+  }
+  return it->second;
+}
+
+CacheManager::Stats CacheManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- Resource layer ---
+
+Result<NodeId> CacheManager::ServerForVolume(uint64_t volume_id, bool refresh) {
+  if (refresh) {
+    vldb_.InvalidateCache(volume_id);
+  }
+  ASSIGN_OR_RETURN(VolumeLocation loc, vldb_.LookupById(volume_id));
+  return loc.server;
+}
+
+Status CacheManager::EnsureConnected(NodeId server) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connected_.count(server) != 0) {
+      return Status::Ok();
+    }
+  }
+  Writer w;
+  ticket_.Serialize(w);
+  RETURN_IF_ERROR(
+      UnwrapReply(network_.Call(options_.node, server, kConnect, w.data(), ticket_.principal))
+          .status());
+  std::lock_guard<std::mutex> lock(mu_);
+  connected_.insert(server);
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32_t proc,
+                                                      const Writer& w) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto server = ServerForVolume(volume_id, /*refresh=*/attempt > 0);
+    if (!server.ok()) {
+      last = server.status();
+    } else {
+      Status conn = EnsureConnected(*server);
+      if (!conn.ok()) {
+        last = conn;
+      } else {
+        auto payload = UnwrapReply(
+            network_.Call(options_.node, *server, proc, w.data(), ticket_.principal));
+        if (payload.ok()) {
+          return payload;
+        }
+        last = payload.status();
+        ErrorCode code = last.code();
+        if (code == ErrorCode::kAuthFailed) {
+          // A restarted server forgot our kConnect registration; reconnect
+          // and retry (the host module is rebuilt on the fly).
+          std::lock_guard<std::mutex> lock(mu_);
+          connected_.erase(*server);
+        }
+        bool relocatable = code == ErrorCode::kBusy || code == ErrorCode::kUnavailable ||
+                           code == ErrorCode::kAuthFailed;
+        if (!relocatable) {
+          return last;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.location_retries += 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return last;
+}
+
+// --- Cache layer ---
+
+bool CacheManager::HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const {
+  // Status and open tokens are whole-file guarantees; only data and lock
+  // tokens carry meaningful byte ranges (Section 5.2). For the rangeful
+  // types, several adjacent tokens compose: coverage is by union.
+  constexpr uint32_t kRangeless =
+      kTokenStatusRead | kTokenStatusWrite | kTokenOpenMask | kTokenWholeVolume;
+  for (uint32_t bit = 1; bit != 0 && types != 0; bit <<= 1) {
+    if ((types & bit) == 0) {
+      continue;
+    }
+    bool covered = false;
+    if ((bit & kRangeless) != 0) {
+      for (const Token& t : cv.tokens) {
+        if ((t.types & bit) != 0) {
+          covered = true;
+          break;
+        }
+      }
+    } else {
+      // Sweep from range.start, extending through whichever token reaches
+      // furthest; O(n^2) over a handful of tokens per file.
+      uint64_t reached = range.start;
+      bool progressed = true;
+      while (reached < range.end && progressed) {
+        progressed = false;
+        for (const Token& t : cv.tokens) {
+          if ((t.types & bit) != 0 && t.range.start <= reached && t.range.end > reached) {
+            reached = t.range.end;
+            progressed = true;
+          }
+        }
+      }
+      covered = reached >= range.end;
+    }
+    if (!covered) {
+      return false;
+    }
+    types &= ~bit;
+  }
+  return true;
+}
+
+void CacheManager::AddTokenLocked(CVnode& cv, const Token& token) {
+  cv.tokens.push_back(token);
+}
+
+bool CacheManager::MergeSyncLocked(CVnode& cv, const SyncInfo& sync) {
+  // Old status never overwrites new (Sections 6.3/6.4).
+  if (sync.stamp <= cv.stamp) {
+    return false;
+  }
+  cv.stamp = sync.stamp;
+  // While we hold a status-write token with unstored local modifications, our
+  // attributes are the authoritative ones — the server's reflect a file whose
+  // dirty pages it has not seen yet.
+  if (cv.attr_dirty) {
+    return false;
+  }
+  cv.attr = sync.attr;
+  cv.attr_valid = true;
+  return true;
+}
+
+Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
+                                           bool revocation_path) {
+  // Collect contiguous dirty runs intersecting `range`.
+  std::vector<std::pair<uint64_t, uint64_t>> runs;  // [first_block, last_block]
+  for (uint64_t b : cv.dirty_blocks) {
+    uint64_t bstart = b * kBlockSize;
+    if (!range.Overlaps(ByteRange{bstart, bstart + kBlockSize})) {
+      continue;
+    }
+    if (!runs.empty() && runs.back().second + 1 == b) {
+      runs.back().second = b;
+    } else {
+      runs.push_back({b, b});
+    }
+  }
+  for (const auto& [first, last] : runs) {
+    uint64_t offset = first * kBlockSize;
+    uint64_t end = std::min<uint64_t>((last + 1) * kBlockSize, cv.attr.size);
+    if (end <= offset) {
+      for (uint64_t b = first; b <= last; ++b) {
+        cv.dirty_blocks.erase(b);
+      }
+      continue;
+    }
+    std::vector<uint8_t> data(end - offset);
+    for (uint64_t b = first; b <= last; ++b) {
+      uint64_t boff = b * kBlockSize - offset;
+      size_t n = std::min<size_t>(kBlockSize, data.size() - boff);
+      std::vector<uint8_t> block(kBlockSize, 0);
+      (void)store_->Get(cv.fid, b, block);
+      std::memcpy(data.data() + boff, block.data(), n);
+    }
+    Writer w;
+    PutFid(w, cv.fid);
+    w.PutU64(offset);
+    w.PutBytes(data);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                     CallVolume(cv.fid.volume, revocation_path ? kRevocationStore : kStoreData,
+                                w));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+    for (uint64_t b = first; b <= last; ++b) {
+      cv.dirty_blocks.erase(b);
+    }
+    if (cv.dirty_blocks.empty()) {
+      cv.attr_dirty = false;  // the server has everything; its attr rules again
+    }
+    MergeSyncLocked(cv, sync);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (revocation_path) {
+      stats_.revocation_stores += 1;
+    } else {
+      stats_.dirty_stores += 1;
+    }
+  }
+  return Status::Ok();
+}
+
+Status CacheManager::ApplyRevocationLocked(CVnode& cv, const Token& token, uint32_t types,
+                                           uint64_t stamp) {
+  (void)stamp;
+  // Write tokens: modified data and status go back to the server first, via
+  // the special store the revocation code path is entitled to (Sections 5.3,
+  // 6.4). A status-write revocation pushes everything dirty: the server's
+  // attributes (size, mtime) become authoritative again only once it has
+  // seen all of our writes.
+  if (types & kTokenDataWrite) {
+    RETURN_IF_ERROR(StoreDirtyRangeLocked(cv, token.range, /*revocation_path=*/true));
+  }
+  if ((types & kTokenStatusWrite) && cv.attr_dirty) {
+    RETURN_IF_ERROR(StoreDirtyRangeLocked(cv, ByteRange::All(), /*revocation_path=*/true));
+  }
+  if (types & (kTokenDataRead | kTokenDataWrite)) {
+    for (auto it = cv.cached_blocks.begin(); it != cv.cached_blocks.end();) {
+      uint64_t bstart = *it * kBlockSize;
+      if (token.range.Overlaps(ByteRange{bstart, bstart + kBlockSize})) {
+        store_->Erase(cv.fid, *it);
+        RemoveLru(cv.fid, *it);
+        it = cv.cached_blocks.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (types & (kTokenStatusRead | kTokenStatusWrite)) {
+    cv.attr_valid = false;
+    cv.listing_valid = false;
+    cv.lookup_cache.clear();
+  }
+  if (types & (kTokenLockRead | kTokenLockWrite)) {
+    cv.local_locks.clear();
+  }
+  for (auto it = cv.tokens.begin(); it != cv.tokens.end(); ++it) {
+    if (it->id == token.id) {
+      it->types &= ~types;
+      if (it->types == 0) {
+        cv.tokens.erase(it);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<TokenId, uint32_t>> CacheManager::DrainPendingLocked(CVnode& cv) {
+  std::vector<std::pair<TokenId, uint32_t>> to_return;
+  std::sort(cv.pending.begin(), cv.pending.end(),
+            [](const PendingRevocation& a, const PendingRevocation& b) {
+              return a.stamp < b.stamp;
+            });
+  for (auto it = cv.pending.begin(); it != cv.pending.end();) {
+    bool known = false;
+    for (const Token& t : cv.tokens) {
+      if (t.id == it->token.id) {
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      (void)ApplyRevocationLocked(cv, it->token, it->types, it->stamp);
+      to_return.push_back({it->token.id, it->types});
+      it = cv.pending.erase(it);
+    } else if (cv.rpc_in_flight == 0) {
+      // The grant-carrying reply never arrived (error path); the server still
+      // holds the token for us — return it sight unseen.
+      to_return.push_back({it->token.id, it->types});
+      it = cv.pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return to_return;
+}
+
+Status CacheManager::ReturnToken(const Fid& fid, TokenId id, uint32_t types) {
+  Writer w;
+  w.PutU64(id);
+  w.PutU32(types);
+  return CallVolume(fid.volume, kReturnToken, w).status();
+}
+
+void CacheManager::TouchLru(const Fid& fid, uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LruKey key{fid, block};
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_back(key);
+  lru_index_[key] = std::prev(lru_.end());
+}
+
+void CacheManager::RemoveLru(const Fid& fid, uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LruKey key{fid, block};
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.erase(it->second);
+    lru_index_.erase(it);
+  }
+}
+
+void CacheManager::MaybeEvict() {
+  size_t budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lru_.size() <= options_.max_cached_blocks) {
+      return;
+    }
+    budget = 2 * lru_.size() + 16;  // bound: a fully dirty cache cannot spin us
+  }
+  for (size_t step = 0; step < budget; ++step) {
+    LruKey victim;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lru_.size() <= options_.max_cached_blocks) {
+        return;
+      }
+      victim = lru_.front();
+      lru_.pop_front();
+      lru_index_.erase(victim);
+    }
+    CVnodeRef cv = GetCVnode(victim.first);
+    std::lock_guard<OrderedMutex> low(cv->low);
+    if (cv->dirty_blocks.count(victim.second) != 0) {
+      // Dirty blocks are not evictable; recycle to the back of the LRU.
+      TouchLru(victim.first, victim.second);
+      continue;
+    }
+    if (cv->cached_blocks.erase(victim.second) != 0) {
+      store_->Erase(victim.first, victim.second);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.cache_evictions += 1;
+    }
+  }
+}
+
+ByteRange CacheManager::TokenRangeFor(uint64_t offset, size_t len) const {
+  if (options_.whole_file_data_tokens) {
+    return ByteRange::All();
+  }
+  return ByteRange{BlockOf(offset) * kBlockSize, BlockEnd(offset, len) * kBlockSize};
+}
+
+Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
+                                     uint32_t want_types,
+                                     const std::function<void()>& after_install) {
+  ByteRange trange = TokenRangeFor(offset, len);
+  uint64_t aligned_off = BlockOf(offset) * kBlockSize;
+  uint64_t aligned_len = BlockEnd(offset, len) * kBlockSize - aligned_off;
+
+  {
+    std::lock_guard<OrderedMutex> low(cv.low);
+    cv.rpc_in_flight += 1;
+  }
+  Writer w;
+  PutFid(w, cv.fid);
+  w.PutU64(aligned_off);
+  w.PutU32(static_cast<uint32_t>(aligned_len));
+  w.PutU32(want_types);
+  w.PutU64(trange.start);
+  w.PutU64(trange.end);
+  auto payload = CallVolume(cv.fid.volume, kFetchData, w);
+
+  std::lock_guard<OrderedMutex> low(cv.low);
+  cv.rpc_in_flight -= 1;
+  std::vector<std::pair<TokenId, uint32_t>> to_return;
+  Status result = [&]() -> Status {
+    RETURN_IF_ERROR(payload.status());
+    Reader r(*payload);
+    ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
+    Token token;
+    if (has_token) {
+      ASSIGN_OR_RETURN(token, Token::Deserialize(r));
+    }
+    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+    ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+    MergeSyncLocked(cv, sync);
+    if (has_token) {
+      AddTokenLocked(cv, token);
+    }
+    // Install whole blocks; the tail block of the file is zero-padded. Blocks
+    // we have dirty locally are NOT overwritten: our copy is newer than what
+    // the server just sent.
+    for (uint64_t i = 0; i * kBlockSize < data.size() || (i == 0 && data.empty()); ++i) {
+      if (data.empty()) {
+        break;
+      }
+      uint64_t block = BlockOf(aligned_off) + i;
+      if (cv.dirty_blocks.count(block) != 0) {
+        continue;
+      }
+      std::vector<uint8_t> blockbuf(kBlockSize, 0);
+      size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
+      std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
+      RETURN_IF_ERROR(store_->Put(cv.fid, block, blockbuf));
+      cv.cached_blocks.insert(block);
+      TouchLru(cv.fid, block);
+    }
+    // Blocks past EOF within the fetched range are implicit zeros: cacheable.
+    for (uint64_t block = BlockOf(aligned_off) + (data.size() + kBlockSize - 1) / kBlockSize;
+         block < BlockEnd(aligned_off, aligned_len) &&
+         block * kBlockSize >= cv.attr.size && cv.attr_valid;
+         ++block) {
+      std::vector<uint8_t> zeros(kBlockSize, 0);
+      RETURN_IF_ERROR(store_->Put(cv.fid, block, zeros));
+      cv.cached_blocks.insert(block);
+      TouchLru(cv.fid, block);
+    }
+    return Status::Ok();
+  }();
+  if (result.ok() && after_install != nullptr) {
+    after_install();
+  }
+  to_return = DrainPendingLocked(cv);
+  for (const auto& [id, types] : to_return) {
+    (void)ReturnToken(cv.fid, id, types);
+  }
+  return result;
+}
+
+Status CacheManager::EnsureStatus(CVnode& cv) {
+  {
+    std::lock_guard<OrderedMutex> low(cv.low);
+    if (cv.attr_valid && HasTokenLocked(cv, kTokenStatusRead, ByteRange::All())) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.attr_cache_hits += 1;
+      return Status::Ok();
+    }
+    cv.rpc_in_flight += 1;
+  }
+  Writer w;
+  PutFid(w, cv.fid);
+  w.PutU32(kTokenStatusRead);
+  auto payload = CallVolume(cv.fid.volume, kFetchStatus, w);
+
+  std::lock_guard<OrderedMutex> low(cv.low);
+  cv.rpc_in_flight -= 1;
+  Status result = [&]() -> Status {
+    RETURN_IF_ERROR(payload.status());
+    Reader r(*payload);
+    ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
+    Token token;
+    if (has_token) {
+      ASSIGN_OR_RETURN(token, Token::Deserialize(r));
+    }
+    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+    MergeSyncLocked(cv, sync);
+    if (has_token) {
+      AddTokenLocked(cv, token);
+    }
+    cv.attr_valid = true;
+    // A freshly fetched status token only vouches for the directory from this
+    // moment on; lookup results and listings cached while we held no token
+    // may already be stale — drop them.
+    cv.lookup_cache.clear();
+    cv.listing_valid = false;
+    return Status::Ok();
+  }();
+  auto to_return = DrainPendingLocked(cv);
+  for (const auto& [id, types] : to_return) {
+    (void)ReturnToken(cv.fid, id, types);
+  }
+  return result;
+}
+
+// --- Revocation handler (server -> client RPC, dedicated pool) ---
+
+Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
+  if (req.proc != kRevokeToken) {
+    return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown client procedure"));
+  }
+  Reader r(req.payload);
+  auto parse = [&]() -> Result<std::tuple<Token, uint32_t, uint64_t>> {
+    ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+    ASSIGN_OR_RETURN(uint32_t types, r.ReadU32());
+    ASSIGN_OR_RETURN(uint64_t stamp, r.ReadU64());
+    return std::make_tuple(token, types, stamp);
+  };
+  auto parsed = parse();
+  if (!parsed.ok()) {
+    return EncodeErrorReply(parsed.status());
+  }
+  auto [token, types, stamp] = *parsed;
+
+  CVnodeRef cv = GetCVnode(token.fid);
+  uint8_t verdict;
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.revocations_handled += 1;
+    }
+    bool known = false;
+    for (const Token& t : cv->tokens) {
+      if (t.id == token.id) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (cv->rpc_in_flight > 0) {
+        // Section 6.3: the grant may be in a reply we have not processed yet.
+        cv->pending.push_back(PendingRevocation{token, types, stamp});
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.revocations_deferred += 1;
+        }
+        verdict = kRevokeDeferred;
+      } else {
+        verdict = kRevokeReturned;  // never had it / already gone
+      }
+    } else if ((types & kTokenOpenMask) != 0 && cv->open_count > 0) {
+      // Open tokens for files we actually have open are not returned
+      // (Section 5.3: "this is the normal action").
+      verdict = kRevokeRefused;
+    } else if ((types & (kTokenLockRead | kTokenLockWrite)) != 0 &&
+               !cv->local_locks.empty()) {
+      verdict = kRevokeRefused;
+    } else {
+      Status applied = ApplyRevocationLocked(*cv, token, types, stamp);
+      verdict = applied.ok() ? kRevokeReturned : kRevokeDeferred;
+    }
+  }
+  Writer w;
+  w.PutU8(verdict);
+  return EncodeOkReply(std::move(w));
+}
+
+// --- Public operations ---
+
+Result<VfsRef> CacheManager::MountVolume(const std::string& name) {
+  ASSIGN_OR_RETURN(VolumeLocation loc, vldb_.LookupByName(name));
+  return MountVolumeById(loc.volume_id);
+}
+
+Result<VfsRef> CacheManager::MountVolumeById(uint64_t volume_id) {
+  return VfsRef(std::make_shared<DfsVfs>(this, volume_id));
+}
+
+Result<OpenHandle> CacheManager::Open(Vfs& vfs, const std::string& path, OpenMode mode) {
+  ASSIGN_OR_RETURN(VnodeRef vnode, ResolvePath(vfs, path));
+  Fid fid = vnode->fid();
+  CVnodeRef cv = GetCVnode(fid);
+  std::lock_guard<OrderedMutex> high(cv->high);
+
+  uint32_t type = OpenTokenFor(mode);
+  Writer w;
+  PutFid(w, fid);
+  w.PutU32(type);
+  w.PutU64(0);
+  w.PutU64(UINT64_MAX);
+  auto payload = CallVolume(fid.volume, kGetToken, w);
+  if (!payload.ok()) {
+    if (payload.code() == ErrorCode::kConflict) {
+      return Status(ErrorCode::kTextBusy, "open mode conflicts with another client's open");
+    }
+    return payload.status();
+  }
+  Reader r(*payload);
+  ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    AddTokenLocked(*cv, token);
+    cv->open_count += 1;
+  }
+  return OpenHandle(this, fid, token.id, token.types);
+}
+
+Status CacheManager::Fsync(const Fid& fid) {
+  CVnodeRef cv = GetCVnode(fid);
+  {
+    std::lock_guard<OrderedMutex> high(cv->high);
+    RETURN_IF_ERROR(FsyncHighLocked(*cv));
+  }
+  // The data reached the server; now make the server's metadata durable too
+  // (an Episode log flush — the full fsync contract).
+  Writer w;
+  w.PutU64(fid.volume);
+  return CallVolume(fid.volume, kSyncVolume, w).status();
+}
+
+// Pushes dirty runs one at a time, releasing the low-level lock across each
+// normal store RPC (the rule of Section 6.1: the low lock is never held over
+// a client-initiated call, because the server may be holding its vnode lock
+// while revoking one of our tokens — which needs our low lock).
+Status CacheManager::FsyncHighLocked(CVnode& cv) {
+  for (;;) {
+    uint64_t offset = 0;
+    std::vector<uint8_t> data;
+    std::vector<uint64_t> blocks;
+    {
+      std::lock_guard<OrderedMutex> low(cv.low);
+      if (cv.dirty_blocks.empty()) {
+        return Status::Ok();
+      }
+      uint64_t first = *cv.dirty_blocks.begin();
+      uint64_t last = first;
+      while (cv.dirty_blocks.count(last + 1) != 0) {
+        ++last;
+      }
+      offset = first * kBlockSize;
+      uint64_t end = std::min<uint64_t>((last + 1) * kBlockSize, cv.attr.size);
+      if (end <= offset) {
+        for (uint64_t b = first; b <= last; ++b) {
+          cv.dirty_blocks.erase(b);
+        }
+        continue;
+      }
+      data.resize(end - offset);
+      for (uint64_t b = first; b <= last; ++b) {
+        std::vector<uint8_t> block(kBlockSize, 0);
+        (void)store_->Get(cv.fid, b, block);
+        uint64_t boff = b * kBlockSize - offset;
+        std::memcpy(data.data() + boff, block.data(),
+                    std::min<size_t>(kBlockSize, data.size() - boff));
+        blocks.push_back(b);
+      }
+    }
+    Writer w;
+    PutFid(w, cv.fid);
+    w.PutU64(offset);
+    w.PutBytes(data);
+    auto payload = CallVolume(cv.fid.volume, kStoreData, w);
+    if (payload.code() == ErrorCode::kConflict) {
+      // Our write token is gone (e.g. the server restarted and its token
+      // state with it). Re-acquire and retry; dirty blocks are immune to the
+      // refetch, so no local data is lost.
+      Status refetch = FetchAndInstall(
+          cv, offset, data.size(),
+          kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
+      if (refetch.ok()) {
+        payload = CallVolume(cv.fid.volume, kStoreData, w);
+      } else {
+        payload = refetch;
+      }
+    }
+    if (payload.code() == ErrorCode::kStale) {
+      // The file itself is gone (deleted remotely, or lost with an unsynced
+      // server crash): there is nothing to store into. Drop our cached state
+      // and report the staleness.
+      std::lock_guard<OrderedMutex> low(cv.low);
+      for (uint64_t b : cv.cached_blocks) {
+        store_->Erase(cv.fid, b);
+        RemoveLru(cv.fid, b);
+      }
+      cv.cached_blocks.clear();
+      cv.dirty_blocks.clear();
+      cv.attr_valid = false;
+      cv.attr_dirty = false;
+      return payload.status();
+    }
+    RETURN_IF_ERROR(payload.status());
+    Reader r(*payload);
+    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+    {
+      std::lock_guard<OrderedMutex> low(cv.low);
+      for (uint64_t b : blocks) {
+        cv.dirty_blocks.erase(b);
+      }
+      if (cv.dirty_blocks.empty()) {
+        cv.attr_dirty = false;
+      }
+      MergeSyncLocked(cv, sync);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.dirty_stores += 1;
+    }
+  }
+}
+
+Status CacheManager::SyncAll() {
+  std::vector<CVnodeRef> cvs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fid, cv] : cvnodes_) {
+      cvs.push_back(cv);
+    }
+  }
+  for (CVnodeRef& cv : cvs) {
+    bool has_dirty;
+    {
+      std::lock_guard<OrderedMutex> low(cv->low);
+      has_dirty = !cv->dirty_blocks.empty();
+    }
+    if (has_dirty) {
+      RETURN_IF_ERROR(Fsync(cv->fid));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CacheManager::ReturnAllTokens() {
+  std::vector<CVnodeRef> cvs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fid, cv] : cvnodes_) {
+      cvs.push_back(cv);
+    }
+  }
+  for (CVnodeRef& cv : cvs) {
+    std::vector<Token> tokens;
+    {
+      std::lock_guard<OrderedMutex> high(cv->high);
+      Status s = FsyncHighLocked(*cv);
+      if (!s.ok() && s.code() != ErrorCode::kStale) {
+        return s;  // stale = the file no longer exists; nothing to push
+      }
+    }
+    {
+      std::lock_guard<OrderedMutex> low(cv->low);
+      tokens = cv->tokens;
+      cv->tokens.clear();
+      cv->attr_valid = false;
+      cv->listing_valid = false;
+      cv->lookup_cache.clear();
+      for (uint64_t b : cv->cached_blocks) {
+        store_->Erase(cv->fid, b);
+        RemoveLru(cv->fid, b);
+      }
+      cv->cached_blocks.clear();
+      cv->open_count = 0;
+    }
+    for (const Token& t : tokens) {
+      (void)ReturnToken(cv->fid, t.id, t.types);
+    }
+  }
+  return Status::Ok();
+}
+
+Status CacheManager::AcquireLockToken(const Fid& fid, bool exclusive, ByteRange range) {
+  CVnodeRef cv = GetCVnode(fid);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid);
+  w.PutU32(exclusive ? kTokenLockWrite : kTokenLockRead);
+  w.PutU64(range.start);
+  w.PutU64(range.end);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallVolume(fid.volume, kGetToken, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  AddTokenLocked(*cv, token);
+  return Status::Ok();
+}
+
+Status CacheManager::SetLock(const Fid& fid, ByteRange range, bool exclusive, uint64_t owner) {
+  CVnodeRef cv = GetCVnode(fid);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    uint32_t needed = exclusive ? kTokenLockWrite : kTokenLockRead;
+    if (HasTokenLocked(*cv, needed, range)) {
+      // With a lock token the server guarantees no conflicting locks exist;
+      // record it locally with zero RPCs.
+      cv->local_locks.push_back({range, owner});
+      return Status::Ok();
+    }
+  }
+  Writer w;
+  PutFid(w, fid);
+  w.PutU64(range.start);
+  w.PutU64(range.end);
+  w.PutBool(exclusive);
+  w.PutU64(owner);
+  return CallVolume(fid.volume, kSetLock, w).status();
+}
+
+Status CacheManager::ClearLock(const Fid& fid, ByteRange range, uint64_t owner) {
+  CVnodeRef cv = GetCVnode(fid);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    auto it = std::find_if(cv->local_locks.begin(), cv->local_locks.end(),
+                           [&](const auto& l) { return l.first == range && l.second == owner; });
+    if (it != cv->local_locks.end()) {
+      cv->local_locks.erase(it);
+      return Status::Ok();
+    }
+  }
+  Writer w;
+  PutFid(w, fid);
+  w.PutU64(range.start);
+  w.PutU64(range.end);
+  w.PutU64(owner);
+  return CallVolume(fid.volume, kClearLock, w).status();
+}
+
+}  // namespace dfs

@@ -1,0 +1,320 @@
+// The DEcorum client cache manager (Section 4): resource layer, cache layer,
+// directory layer, and vnode layer.
+//
+//  - Resource layer: RPC connections (with authentication tickets) and a
+//    volume-location cache fed by the VLDB; kBusy/kUnavailable/kNotFound
+//    answers invalidate the cached location and retry, which is how clients
+//    follow a volume as it moves between servers.
+//  - Cache layer: file status and data cached under typed tokens. Data lives
+//    in a CacheStore (disk-backed, or memory for diskless clients). A write
+//    data token lets writes stay local; a status read token makes GetAttr
+//    free; revocations push dirty pages back and drop the cache.
+//  - Directory layer: results of individual lookups (and full listings) are
+//    cached while a status-read token is held on the directory — the client
+//    cannot assume it understands a remote file system's directory format
+//    (Section 4.3), so it caches lookup *results*, not directory bytes.
+//  - Vnode layer: DfsVfs/DfsVnode present the standard interface, so the
+//    shared path helpers and examples run identically against local Episode,
+//    the server glue layer, and this remote client.
+//
+// Locking (Section 6): each cached vnode has a high-level operation lock (L1,
+// held across the whole operation including RPCs) and a low-level state lock
+// (L3, never held across a client-initiated RPC; revocation handlers take
+// only L3 and may call the server's dedicated-pool procedures, which take
+// L4). Replies and revocations are serialized after the fact with per-file
+// timestamps: status is merged only if its stamp is newer than what the
+// vnode already has, so old status never overwrites new (Section 6.3/6.4).
+#ifndef SRC_CLIENT_CACHE_MANAGER_H_
+#define SRC_CLIENT_CACHE_MANAGER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/client/cache_store.h"
+#include "src/common/lock_order.h"
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "src/server/procs.h"
+#include "src/server/vldb.h"
+#include "src/tokens/token.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+enum class OpenMode : uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kExecute = 3,
+  kSharedRead = 4,
+  kExclusiveWrite = 5,
+};
+
+class CacheManager;
+
+// An open-token handle; closing returns the token to the server.
+class OpenHandle {
+ public:
+  OpenHandle() = default;
+  OpenHandle(CacheManager* cm, Fid fid, TokenId token, uint32_t types)
+      : cm_(cm), fid_(fid), token_(token), types_(types) {}
+  OpenHandle(OpenHandle&& o) noexcept { *this = std::move(o); }
+  OpenHandle& operator=(OpenHandle&& o) noexcept;
+  ~OpenHandle();
+
+  Status Close();
+  bool valid() const { return cm_ != nullptr; }
+  const Fid& fid() const { return fid_; }
+
+ private:
+  CacheManager* cm_ = nullptr;
+  Fid fid_;
+  TokenId token_ = 0;
+  uint32_t types_ = 0;
+};
+
+class CacheManager : public RpcHandler {
+ public:
+  struct Options {
+    NodeId node = 0;
+    bool diskless = false;            // memory data cache instead of disk
+    uint64_t cache_disk_blocks = 4096;
+    // Data tokens cover exactly the accessed (block-aligned) byte range when
+    // false; whole files when true (the AFS-style degradation for E6).
+    bool whole_file_data_tokens = false;
+    // Capacity of the data cache in 4 KiB blocks; clean blocks are evicted
+    // LRU when exceeded (dirty blocks are never evicted — they must be
+    // stored back first, which revocations and fsync do).
+    uint64_t max_cached_blocks = 1 << 20;
+    // On a detected sequential read, fetch this many extra blocks (and the
+    // matching token range) ahead of the requested data. 0 disables.
+    uint32_t readahead_blocks = 8;
+    Network::NodeOptions rpc;         // includes the dedicated revocation pool
+  };
+
+  struct Stats {
+    uint64_t attr_cache_hits = 0;
+    uint64_t data_cache_hits = 0;
+    uint64_t data_cache_misses = 0;
+    uint64_t lookup_cache_hits = 0;
+    uint64_t revocations_handled = 0;
+    uint64_t revocations_deferred = 0;
+    uint64_t revocation_stores = 0;
+    uint64_t dirty_stores = 0;
+    uint64_t location_retries = 0;
+    uint64_t cache_evictions = 0;
+  };
+
+  CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
+               Options options);
+  ~CacheManager() override;
+
+  // Mount a remote volume by VLDB name or id; the returned Vfs is the vnode
+  // layer (usable with all the src/vfs/path.h helpers).
+  Result<VfsRef> MountVolume(const std::string& name);
+  Result<VfsRef> MountVolumeById(uint64_t volume_id);
+
+  // Opens a file, acquiring the matching open-mode token (Section 5.2).
+  Result<OpenHandle> Open(Vfs& vfs, const std::string& path, OpenMode mode);
+
+  // Pushes all dirty data for one file (fsync) or everything (sync).
+  Status Fsync(const Fid& fid);
+  Status SyncAll();
+  // Returns every token (used by tests/benches to reset client state).
+  Status ReturnAllTokens();
+
+  // Byte-range file locks (Section 5.2's lock tokens): with a lock token the
+  // client records locks locally; without one it must call the server.
+  Status SetLock(const Fid& fid, ByteRange range, bool exclusive, uint64_t owner);
+  Status ClearLock(const Fid& fid, ByteRange range, uint64_t owner);
+  // Acquires a lock token up front so subsequent Set/ClearLock calls over the
+  // range are local: the server will not grant conflicting locks without
+  // revoking it first.
+  Status AcquireLockToken(const Fid& fid, bool exclusive, ByteRange range);
+
+  // RpcHandler: the server calls back to revoke tokens.
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  bool IsRevocationPathProc(uint32_t proc) const override { return proc == kRevokeToken; }
+
+  Stats stats() const;
+  NodeId node() const { return options_.node; }
+  VldbClient& vldb() { return vldb_; }
+
+ private:
+  friend class DfsVfs;
+  friend class DfsVnode;
+  friend class OpenHandle;
+
+  struct PendingRevocation {
+    Token token;
+    uint32_t types = 0;
+    uint64_t stamp = 0;
+  };
+
+  struct CVnode {
+    explicit CVnode(const Fid& f, uint64_t tag)
+        : fid(f),
+          high(LockLevel::kClientHigh, tag, "cvnode-high"),
+          low(LockLevel::kClientLow, tag, "cvnode-low") {}
+
+    const Fid fid;
+    OrderedMutex high;  // L1: one client operation at a time
+    OrderedMutex low;   // L3: vnode state; never held across normal RPCs
+
+    // All fields below are guarded by `low`.
+    FileAttr attr;
+    bool attr_valid = false;
+    // Local attribute changes (size/mtime) not yet reflected at the server:
+    // our attr wins over reply attrs until the dirty data is stored.
+    bool attr_dirty = false;
+    uint64_t stamp = 0;  // per-file serialization counter (Section 6.2)
+    std::vector<Token> tokens;
+    std::set<uint64_t> cached_blocks;
+    std::set<uint64_t> dirty_blocks;
+    int rpc_in_flight = 0;
+    // Sequential-read detector for read-ahead: end offset of the last read.
+    uint64_t last_read_end = 0;
+    std::vector<PendingRevocation> pending;
+    int open_count = 0;
+    // Directory layer: per-name lookup results and the full listing.
+    // nullopt records a *negative* result (the name does not exist), valid
+    // under the same status-read token as positive entries.
+    std::map<std::string, std::optional<FileAttr>> lookup_cache;
+    std::vector<DirEntry> listing;
+    bool listing_valid = false;
+    // Local file locks held under a lock token.
+    std::vector<std::pair<ByteRange, uint64_t>> local_locks;
+  };
+  using CVnodeRef = std::shared_ptr<CVnode>;
+
+  CVnodeRef GetCVnode(const Fid& fid);
+
+  // --- resource layer ---
+  Result<NodeId> ServerForVolume(uint64_t volume_id, bool refresh);
+  Status EnsureConnected(NodeId server);
+  // Calls the server owning fid.volume with retry-on-move semantics.
+  Result<std::vector<uint8_t>> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w);
+
+  // --- cache layer internals ---
+  bool HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const;
+  void AddTokenLocked(CVnode& cv, const Token& token);
+  // Merges a reply's SyncInfo under the stamp rule; returns true if applied.
+  bool MergeSyncLocked(CVnode& cv, const SyncInfo& sync);
+  // Applies any queued revocations whose tokens are now known; returns the
+  // token ids (+types) that must be sent back via kReturnToken.
+  std::vector<std::pair<TokenId, uint32_t>> DrainPendingLocked(CVnode& cv);
+  // Performs the local effects of a revocation. May issue kRevocationStore
+  // (allowed while holding `low`: the server runs it on the dedicated pool
+  // under L4 only).
+  Status ApplyRevocationLocked(CVnode& cv, const Token& token, uint32_t types, uint64_t stamp);
+  Status StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range, bool revocation_path);
+  Status FsyncHighLocked(CVnode& cv);
+
+  // Fetches data + tokens for the aligned range; installs under `low`.
+  // `after_install`, when provided, runs under `low` after the reply is
+  // merged but *before* queued revocations are honored: the reply's grant was
+  // serialized at the server ahead of those revocations (Section 6.3), so the
+  // operation that requested the token is entitled to complete under it —
+  // otherwise a storm of conflicting peers livelocks the requester.
+  Status FetchAndInstall(CVnode& cv, uint64_t offset, size_t len, uint32_t want_types,
+                         const std::function<void()>& after_install = nullptr);
+  ByteRange TokenRangeFor(uint64_t offset, size_t len) const;
+  Status EnsureStatus(CVnode& cv);
+
+  Status ReturnToken(const Fid& fid, TokenId id, uint32_t types);
+
+  // --- data-cache accounting (guarded by mu_) ---
+  // Marks a block most-recently-used (callers hold the owning cv's low lock;
+  // mu_ is a leaf below it).
+  void TouchLru(const Fid& fid, uint64_t block);
+  void RemoveLru(const Fid& fid, uint64_t block);
+  // Evicts clean LRU blocks down to the capacity. Must be called with *no*
+  // cvnode locks held: eviction locks victims' low locks one at a time.
+  void MaybeEvict();
+
+  Network& network_;
+  VldbClient vldb_;
+  Ticket ticket_;
+  Options options_;
+  std::unique_ptr<CacheStore> store_;
+
+  mutable std::mutex mu_;  // guards the maps below and stats
+  std::unordered_map<Fid, CVnodeRef, FidHash> cvnodes_;
+  std::set<NodeId> connected_;
+  uint64_t next_tag_ = 1;
+  Stats stats_;
+  // Global LRU over cached data blocks.
+  using LruKey = std::pair<Fid, uint64_t>;
+  struct LruKeyHash {
+    size_t operator()(const LruKey& k) const {
+      return FidHash()(k.first) * 1000003u ^ std::hash<uint64_t>()(k.second);
+    }
+  };
+  std::list<LruKey> lru_;  // front = least recently used
+  std::unordered_map<LruKey, std::list<LruKey>::iterator, LruKeyHash> lru_index_;
+};
+
+// --- vnode layer ---
+
+class DfsVfs : public Vfs, public std::enable_shared_from_this<DfsVfs> {
+ public:
+  DfsVfs(CacheManager* cm, uint64_t volume_id) : cm_(cm), volume_id_(volume_id) {}
+
+  Result<VnodeRef> Root() override;
+  Result<VnodeRef> VnodeByFid(const Fid& fid) override;
+  Status Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                std::string_view dst_name) override;
+  Status Sync() override;
+  // Mount points: the cache manager looks the named volume up in the VLDB and
+  // returns its root, so path resolution knits all volumes into one namespace.
+  Result<VnodeRef> ResolveMountPoint(std::string_view target) override;
+
+  CacheManager* cache_manager() { return cm_; }
+  uint64_t volume_id() const { return volume_id_; }
+
+ private:
+  CacheManager* cm_;
+  uint64_t volume_id_;
+  // The root FID is fetched once and cached: volume roots are permanent.
+  std::mutex root_mu_;
+  Fid root_fid_;
+};
+
+class DfsVnode : public Vnode {
+ public:
+  DfsVnode(CacheManager* cm, Fid fid) : cm_(cm), fid_(fid) {}
+
+  Fid fid() const override { return fid_; }
+
+  Result<FileAttr> GetAttr() override;
+  Status SetAttr(const AttrUpdate& update) override;
+  Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) override;
+  Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) override;
+  Status Truncate(uint64_t new_size) override;
+  Result<VnodeRef> Lookup(std::string_view name) override;
+  Result<VnodeRef> Create(std::string_view name, FileType type, uint32_t mode,
+                          const Cred& cred) override;
+  Result<VnodeRef> CreateSymlink(std::string_view name, std::string_view target,
+                                 const Cred& cred) override;
+  Status Link(std::string_view name, Vnode& target) override;
+  Status Unlink(std::string_view name) override;
+  Status Rmdir(std::string_view name) override;
+  Result<std::vector<DirEntry>> ReadDir() override;
+  Result<std::string> ReadSymlink() override;
+  Result<Acl> GetAcl() override;
+  Status SetAcl(const Acl& acl) override;
+
+ private:
+  friend class DfsVfs;
+  CacheManager* cm_;
+  Fid fid_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_CLIENT_CACHE_MANAGER_H_

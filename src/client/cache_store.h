@@ -1,0 +1,77 @@
+// Client data-cache backing stores (Section 4.2).
+//
+// AFS clients cache file data in files of the node's native physical file
+// system; DEcorum carries that over and adds an in-memory variant so diskless
+// clients work. DiskCacheStore dogfoods our FFS as the "native" cache file
+// system; MemoryCacheStore is the diskless option. Both store whole 4 KiB
+// file blocks keyed by (fid, block index); validity is tracked by the cache
+// manager, not the store.
+#ifndef SRC_CLIENT_CACHE_STORE_H_
+#define SRC_CLIENT_CACHE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/blockdev/block_device.h"
+#include "src/ffs/ffs.h"
+#include "src/vfs/types.h"
+
+namespace dfs {
+
+class CacheStore {
+ public:
+  virtual ~CacheStore() = default;
+  virtual Status Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) = 0;
+  virtual Status Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) = 0;
+  virtual void Erase(const Fid& fid, uint64_t block) = 0;
+  virtual void EraseFile(const Fid& fid) = 0;
+  virtual uint64_t bytes_used() const = 0;
+};
+
+class MemoryCacheStore : public CacheStore {
+ public:
+  Status Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) override;
+  Status Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) override;
+  void Erase(const Fid& fid, uint64_t block) override;
+  void EraseFile(const Fid& fid) override;
+  uint64_t bytes_used() const override;
+
+ private:
+  using Key = std::pair<Fid, uint64_t>;
+  struct KeyLess {
+    bool operator()(const Key& a, const Key& b) const {
+      return std::tie(a.first.volume, a.first.vnode, a.first.uniq, a.second) <
+             std::tie(b.first.volume, b.first.vnode, b.first.uniq, b.second);
+    }
+  };
+  mutable std::mutex mu_;
+  std::map<Key, std::vector<uint8_t>, KeyLess> blocks_;
+};
+
+// Cache files live in a local FFS: one file per remote fid.
+class DiskCacheStore : public CacheStore {
+ public:
+  // Creates a cache partition of `disk_blocks` blocks on a private SimDisk.
+  static Result<std::unique_ptr<DiskCacheStore>> Create(uint64_t disk_blocks);
+
+  Status Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) override;
+  Status Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) override;
+  void Erase(const Fid& fid, uint64_t block) override;
+  void EraseFile(const Fid& fid) override;
+  uint64_t bytes_used() const override;
+
+ private:
+  DiskCacheStore() = default;
+  Result<VnodeRef> CacheFile(const Fid& fid, bool create);
+  static std::string NameFor(const Fid& fid);
+
+  std::unique_ptr<SimDisk> disk_;
+  std::shared_ptr<FfsVfs> fs_;
+  std::mutex mu_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_CLIENT_CACHE_STORE_H_

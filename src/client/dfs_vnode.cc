@@ -1,0 +1,515 @@
+// The client's vnode layer (Section 4.4): implements the Vnode/VFS interface
+// in terms of the resource, cache, and directory layers.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/client/cache_manager.h"
+
+namespace dfs {
+namespace {
+
+uint64_t BlockOf(uint64_t offset) { return offset / kBlockSize; }
+uint64_t BlockEnd(uint64_t offset, size_t len) {
+  return (offset + len + kBlockSize - 1) / kBlockSize;
+}
+
+}  // namespace
+
+// --- DfsVfs ---
+
+Result<VnodeRef> DfsVfs::Root() {
+  {
+    std::lock_guard<std::mutex> lock(root_mu_);
+    if (root_fid_.IsValid()) {
+      return VnodeRef(std::make_shared<DfsVnode>(cm_, root_fid_));
+    }
+  }
+  Writer w;
+  w.PutU64(volume_id_);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(volume_id_, kGetRoot, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(Fid root_fid, ReadFid(r));
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  auto cv = cm_->GetCVnode(root_fid);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    cm_->MergeSyncLocked(*cv, sync);
+  }
+  {
+    std::lock_guard<std::mutex> lock(root_mu_);
+    root_fid_ = root_fid;
+  }
+  return VnodeRef(std::make_shared<DfsVnode>(cm_, root_fid));
+}
+
+Result<VnodeRef> DfsVfs::VnodeByFid(const Fid& fid) {
+  if (fid.volume != volume_id_) {
+    return Status(ErrorCode::kStale, "FID volume mismatch");
+  }
+  return VnodeRef(std::make_shared<DfsVnode>(cm_, fid));
+}
+
+Status DfsVfs::Sync() { return cm_->SyncAll(); }
+
+Result<VnodeRef> DfsVfs::ResolveMountPoint(std::string_view target) {
+  std::string name(target.substr(kMountPointPrefix.size()));
+  ASSIGN_OR_RETURN(VfsRef mounted, cm_->MountVolume(name));
+  return mounted->Root();
+}
+
+Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                      std::string_view dst_name) {
+  auto* src = dynamic_cast<DfsVnode*>(&src_dir);
+  auto* dst = dynamic_cast<DfsVnode*>(&dst_dir);
+  if (src == nullptr || dst == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "rename requires client vnodes");
+  }
+  auto cv_src = cm_->GetCVnode(src->fid_);
+  auto cv_dst = cm_->GetCVnode(dst->fid_);
+  // Same-level high locks: acquire in tag order.
+  CacheManager::CVnode* first = cv_src.get();
+  CacheManager::CVnode* second = (cv_src == cv_dst) ? nullptr : cv_dst.get();
+  if (second != nullptr && second->high.tag() < first->high.tag()) {
+    std::swap(first, second);
+  }
+  std::lock_guard<OrderedMutex> h1(first->high);
+  std::unique_ptr<std::lock_guard<OrderedMutex>> h2;
+  if (second != nullptr) {
+    h2 = std::make_unique<std::lock_guard<OrderedMutex>>(second->high);
+  }
+
+  Writer w;
+  PutFid(w, src->fid_);
+  w.PutString(src_name);
+  PutFid(w, dst->fid_);
+  w.PutString(dst_name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(volume_id_, kRename, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo src_sync, ReadSyncInfo(r));
+  ASSIGN_OR_RETURN(SyncInfo dst_sync, ReadSyncInfo(r));
+  {
+    std::lock_guard<OrderedMutex> low(cv_src->low);
+    cm_->MergeSyncLocked(*cv_src, src_sync);
+    cv_src->lookup_cache.erase(std::string(src_name));
+    cv_src->listing_valid = false;
+  }
+  if (cv_src != cv_dst) {
+    std::lock_guard<OrderedMutex> low(cv_dst->low);
+    cm_->MergeSyncLocked(*cv_dst, dst_sync);
+    cv_dst->lookup_cache.clear();
+    cv_dst->listing_valid = false;
+  } else {
+    std::lock_guard<OrderedMutex> low(cv_src->low);
+    cv_src->lookup_cache.clear();
+  }
+  return Status::Ok();
+}
+
+// --- DfsVnode ---
+
+Result<FileAttr> DfsVnode::GetAttr() {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  return cv->attr;
+}
+
+Status DfsVnode::SetAttr(const AttrUpdate& update) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  PutAttrUpdate(w, update);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kStoreStatus, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, sync);
+  return Status::Ok();
+}
+
+Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
+  auto cv = cm_->GetCVnode(fid_);
+  cm_->MaybeEvict();  // before any cvnode lock: eviction locks victims itself
+  std::lock_guard<OrderedMutex> high(cv->high);
+
+  // Requires cv->low to be held by the caller.
+  auto try_local_locked = [&]() -> Result<size_t> {
+    ByteRange want{offset, offset + out.size()};
+    if (!cv->attr_valid ||
+        !cm_->HasTokenLocked(*cv, kTokenStatusRead | kTokenDataRead, want)) {
+      return Status(ErrorCode::kNotFound, "tokens missing");
+    }
+    if (offset >= cv->attr.size) {
+      return size_t{0};
+    }
+    size_t n = static_cast<size_t>(std::min<uint64_t>(out.size(), cv->attr.size - offset));
+    for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
+      if (cv->cached_blocks.count(b) == 0) {
+        return Status(ErrorCode::kNotFound, "block missing");
+      }
+    }
+    for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
+      std::vector<uint8_t> block(kBlockSize);
+      RETURN_IF_ERROR(cm_->store_->Get(fid_, b, block));
+      uint64_t bstart = b * kBlockSize;
+      uint64_t copy_from = std::max(offset, bstart);
+      uint64_t copy_to = std::min(offset + n, bstart + kBlockSize);
+      std::memcpy(out.data() + (copy_from - offset), block.data() + (copy_from - bstart),
+                  copy_to - copy_from);
+    }
+    cv->last_read_end = offset + n;
+    return n;
+  };
+
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    auto local = try_local_locked();
+    if (local.ok()) {
+      std::lock_guard<std::mutex> lock(cm_->mu_);
+      cm_->stats_.data_cache_hits += 1;
+      return local;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(cm_->mu_);
+    cm_->stats_.data_cache_misses += 1;
+  }
+  // Sequential reads fetch ahead: the request (and its token range) extends
+  // past the asked-for bytes so the next reads are local.
+  size_t fetch_len = std::max<size_t>(out.size(), 1);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    if (cm_->options_.readahead_blocks > 0 && offset == cv->last_read_end && offset != 0) {
+      fetch_len += static_cast<size_t>(cm_->options_.readahead_blocks) * kBlockSize;
+    }
+  }
+  // Fetch and copy out *while processing the reply*: the grant is serialized
+  // before any queued revocation (Section 6.3), so the read completes under
+  // it even when conflicting writers are hammering the file.
+  Result<size_t> applied = Status(ErrorCode::kConflict, "read raced with revocations");
+  for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
+    RETURN_IF_ERROR(cm_->FetchAndInstall(*cv, offset, fetch_len,
+                                         kTokenDataRead | kTokenStatusRead,
+                                         [&] { applied = try_local_locked(); }));
+  }
+  return applied;
+}
+
+Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
+  auto cv = cm_->GetCVnode(fid_);
+  cm_->MaybeEvict();  // before any cvnode lock: eviction locks victims itself
+  std::lock_guard<OrderedMutex> high(cv->high);
+  ByteRange want{BlockOf(offset) * kBlockSize, BlockEnd(offset, data.size()) * kBlockSize};
+
+  // A write that stays inside the file needs no status-write token: the size
+  // does not change, and keeping status-write out of the request lets
+  // disjoint byte-range writers coexist without token ping-pong (Section 5.4).
+  // Validate status with a read token first so "extends" is decided against
+  // fresh attributes rather than conservatively.
+  RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
+  uint32_t write_tokens = kTokenDataRead | kTokenDataWrite | kTokenStatusRead;
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    bool extends = !cv->attr_valid || offset + data.size() > cv->attr.size;
+    if (extends) {
+      write_tokens |= kTokenStatusWrite;
+    }
+  }
+
+  // Requires cv->low to be held. Applies the write if tokens and edge blocks
+  // are in place; returns kWouldBlock when they are not.
+  auto apply_locked = [&]() -> Result<size_t> {
+    bool ready = cv->attr_valid && cm_->HasTokenLocked(*cv, write_tokens, want);
+    if (ready) {
+      // Edge blocks that exist on the server must be cached before a partial
+      // overwrite merges into them.
+      for (uint64_t b : {BlockOf(offset), BlockEnd(offset, data.size()) - 1}) {
+        uint64_t bstart = b * kBlockSize;
+        bool partial = (b == BlockOf(offset) && offset % kBlockSize != 0) ||
+                       (b == BlockEnd(offset, data.size()) - 1 &&
+                        (offset + data.size()) % kBlockSize != 0);
+        if (partial && bstart < cv->attr.size && cv->cached_blocks.count(b) == 0) {
+          ready = false;
+        }
+      }
+    }
+    if (!ready) {
+      return Status(ErrorCode::kWouldBlock, "tokens or edge blocks missing");
+    }
+    // Apply locally — no RPC, no server notification: that is exactly what
+    // the write data + status tokens entitle us to (Section 5.2).
+    for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, data.size()); ++b) {
+      std::vector<uint8_t> block(kBlockSize, 0);
+      if (cv->cached_blocks.count(b) != 0) {
+        RETURN_IF_ERROR(cm_->store_->Get(fid_, b, block));
+      }
+      uint64_t bstart = b * kBlockSize;
+      uint64_t copy_from = std::max(offset, bstart);
+      uint64_t copy_to = std::min(offset + data.size(), bstart + kBlockSize);
+      std::memcpy(block.data() + (copy_from - bstart), data.data() + (copy_from - offset),
+                  copy_to - copy_from);
+      RETURN_IF_ERROR(cm_->store_->Put(fid_, b, block));
+      cv->cached_blocks.insert(b);
+      cv->dirty_blocks.insert(b);
+    }
+    if (offset + data.size() > cv->attr.size) {
+      // Extension: we hold (and needed) the status-write token.
+      cv->attr.size = offset + data.size();
+      cv->attr.mtime += 1;
+      cv->attr_dirty = true;
+    }
+    return data.size();
+  };
+
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    auto fast = apply_locked();
+    if (fast.ok()) {
+      return fast;
+    }
+  }
+  // Fetch tokens and apply the write while processing the grant reply, ahead
+  // of any queued revocations (Section 6.3): the grant was serialized before
+  // them at the server, so the write legitimately lands in between.
+  Result<size_t> applied = Status(ErrorCode::kConflict, "write raced with revocations");
+  for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
+    RETURN_IF_ERROR(cm_->FetchAndInstall(*cv, offset, std::max<size_t>(data.size(), 1),
+                                         write_tokens, [&] { applied = apply_locked(); }));
+  }
+  return applied;
+}
+
+Status DfsVnode::Truncate(uint64_t new_size) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutU64(new_size);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kTruncate, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, sync);
+  // Even when local dirty state blocks the merge, the truncation is ours:
+  // apply the new size to the local attributes.
+  cv->attr.size = new_size;
+  // Drop cached blocks at and beyond the new end (including the boundary
+  // block, whose tail changed server-side).
+  uint64_t boundary = new_size / kBlockSize;
+  for (auto it = cv->cached_blocks.begin(); it != cv->cached_blocks.end();) {
+    if (*it >= boundary) {
+      cm_->store_->Erase(fid_, *it);
+      cm_->RemoveLru(fid_, *it);
+      cv->dirty_blocks.erase(*it);
+      it = cv->cached_blocks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<VnodeRef> DfsVnode::Lookup(std::string_view name) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  std::string key(name);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    auto it = cv->lookup_cache.find(key);
+    if (it != cv->lookup_cache.end() &&
+        cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
+      std::lock_guard<std::mutex> lock(cm_->mu_);
+      cm_->stats_.lookup_cache_hits += 1;
+      if (!it->second.has_value()) {
+        return Status(ErrorCode::kNotFound, "no such entry (cached): " + key);
+      }
+      return VnodeRef(std::make_shared<DfsVnode>(cm_, it->second->fid));
+    }
+  }
+  // Hold a status-read token on the directory so the cached result stays
+  // valid until someone changes the directory (which revokes the token).
+  RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  auto payload = cm_->CallVolume(fid_.volume, kLookup, w);
+  if (payload.code() == ErrorCode::kNotFound) {
+    // Cache the miss: repeated lookups of absent names (PATH searches, etc.)
+    // stay local while the directory's status-read token is held.
+    std::lock_guard<OrderedMutex> low(cv->low);
+    if (cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
+      cv->lookup_cache[key] = std::nullopt;
+    }
+    return payload.status();
+  }
+  RETURN_IF_ERROR(payload.status());
+  Reader r(*payload);
+  ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    cm_->MergeSyncLocked(*cv, dir_sync);
+    cv->lookup_cache[key] = child_attr;
+  }
+  return VnodeRef(std::make_shared<DfsVnode>(cm_, child_attr.fid));
+}
+
+Result<VnodeRef> DfsVnode::Create(std::string_view name, FileType type, uint32_t mode,
+                                  const Cred& cred) {
+  (void)cred;  // the server derives credentials from the connection principal
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(mode);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kCreate, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    cm_->MergeSyncLocked(*cv, dir_sync);
+    cv->lookup_cache[std::string(name)] = child_attr;
+    cv->listing_valid = false;
+  }
+  return VnodeRef(std::make_shared<DfsVnode>(cm_, child_attr.fid));
+}
+
+Result<VnodeRef> DfsVnode::CreateSymlink(std::string_view name, std::string_view target,
+                                         const Cred& cred) {
+  (void)cred;
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  w.PutString(target);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kSymlink, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    cm_->MergeSyncLocked(*cv, dir_sync);
+    cv->lookup_cache[std::string(name)] = child_attr;
+    cv->listing_valid = false;
+  }
+  return VnodeRef(std::make_shared<DfsVnode>(cm_, child_attr.fid));
+}
+
+Status DfsVnode::Link(std::string_view name, Vnode& target) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  PutFid(w, target.fid());
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kLink, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, dir_sync);
+  cv->listing_valid = false;
+  cv->lookup_cache.clear();
+  return Status::Ok();
+}
+
+Status DfsVnode::Unlink(std::string_view name) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemove, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, dir_sync);
+  cv->lookup_cache.erase(std::string(name));
+  cv->listing_valid = false;
+  return Status::Ok();
+}
+
+Status DfsVnode::Rmdir(std::string_view name) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  w.PutString(name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemoveDir, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, dir_sync);
+  cv->lookup_cache.erase(std::string(name));
+  cv->listing_valid = false;
+  return Status::Ok();
+}
+
+Result<std::vector<DirEntry>> DfsVnode::ReadDir() {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  {
+    std::lock_guard<OrderedMutex> low(cv->low);
+    if (cv->listing_valid && cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
+      std::lock_guard<std::mutex> lock(cm_->mu_);
+      cm_->stats_.lookup_cache_hits += 1;
+      return cv->listing;
+    }
+  }
+  RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
+  Writer w;
+  PutFid(w, fid_);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kReadDir, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  std::vector<DirEntry> entries;
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(DirEntry e, ReadDirEntry(r));
+    entries.push_back(std::move(e));
+  }
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, sync);
+  cv->listing = entries;
+  cv->listing_valid = true;
+  return entries;
+}
+
+Result<std::string> DfsVnode::ReadSymlink() {
+  Writer w;
+  PutFid(w, fid_);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kReadlink, w));
+  Reader r(payload);
+  return r.ReadString();
+}
+
+Result<Acl> DfsVnode::GetAcl() {
+  Writer w;
+  PutFid(w, fid_);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kGetAcl, w));
+  Reader r(payload);
+  return Acl::Deserialize(r);
+}
+
+Status DfsVnode::SetAcl(const Acl& acl) {
+  auto cv = cm_->GetCVnode(fid_);
+  std::lock_guard<OrderedMutex> high(cv->high);
+  Writer w;
+  PutFid(w, fid_);
+  acl.Serialize(w);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kSetAcl, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  std::lock_guard<OrderedMutex> low(cv->low);
+  cm_->MergeSyncLocked(*cv, sync);
+  return Status::Ok();
+}
+
+}  // namespace dfs

@@ -1,0 +1,123 @@
+// Wire serialization for RPC messages and on-disk records.
+//
+// Fixed-width little-endian primitives plus length-prefixed byte strings.
+// Writer appends to a growable buffer; Reader consumes a span and reports
+// truncation as kCorrupt so malformed on-disk state and short RPC payloads
+// surface as errors instead of undefined behaviour.
+#ifndef SRC_COMMON_CODEC_H_
+#define SRC_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dfs {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLe(v); }
+  void PutU32(uint32_t v) { PutLe(v); }
+  void PutU64(uint64_t v) { PutLe(v); }
+  void PutI64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutBytes(std::span<const uint8_t> bytes) {
+    PutU32(static_cast<uint32_t>(bytes.size()));
+    PutRaw(bytes);
+  }
+  void PutString(std::string_view s) {
+    PutBytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+  // Appends bytes with no length prefix (for fixed-size fields).
+  void PutRaw(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() { return ReadLe<uint8_t>(); }
+  Result<uint16_t> ReadU16() { return ReadLe<uint16_t>(); }
+  Result<uint32_t> ReadU32() { return ReadLe<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadLe<uint64_t>(); }
+  Result<int64_t> ReadI64() {
+    ASSIGN_OR_RETURN(uint64_t v, ReadLe<uint64_t>());
+    return static_cast<int64_t>(v);
+  }
+  Result<bool> ReadBool() {
+    ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+    return v != 0;
+  }
+
+  Result<std::vector<uint8_t>> ReadBytes() {
+    ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > Remaining()) {
+      return Status(ErrorCode::kCorrupt, "byte string truncated");
+    }
+    std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  Result<std::string> ReadString() {
+    ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBytes());
+    return std::string(bytes.begin(), bytes.end());
+  }
+  Status ReadRaw(std::span<uint8_t> out) {
+    if (out.size() > Remaining()) {
+      return Status(ErrorCode::kCorrupt, "raw field truncated");
+    }
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return Status::Ok();
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return Remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> ReadLe() {
+    if (sizeof(T) > Remaining()) {
+      return Status(ErrorCode::kCorrupt, "integer field truncated");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_CODEC_H_

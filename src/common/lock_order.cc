@@ -1,0 +1,65 @@
+#include "src/common/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfs {
+namespace {
+
+struct HeldLock {
+  LockLevel level;
+  uint64_t tag;
+  const char* name;
+};
+
+thread_local std::vector<HeldLock> g_held;
+
+}  // namespace
+
+std::atomic<bool> LockOrderChecker::enabled_{true};
+std::atomic<uint64_t> LockOrderChecker::checked_{0};
+
+void LockOrderChecker::Enable(bool on) { enabled_.store(on, std::memory_order_release); }
+
+bool LockOrderChecker::enabled() { return enabled_.load(std::memory_order_acquire); }
+
+uint64_t LockOrderChecker::checked_count() { return checked_.load(std::memory_order_relaxed); }
+
+void LockOrderChecker::NoteAcquire(LockLevel level, uint64_t tag, const char* name) {
+  if (!enabled()) {
+    return;
+  }
+  checked_.fetch_add(1, std::memory_order_relaxed);
+  if (!g_held.empty()) {
+    const HeldLock& top = g_held.back();
+    bool ok = (static_cast<uint32_t>(level) > static_cast<uint32_t>(top.level)) ||
+              (level == top.level && tag > top.tag);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "LOCK ORDER VIOLATION: acquiring %s (level %u, tag %llu) while holding %s "
+                   "(level %u, tag %llu)\n",
+                   name, static_cast<uint32_t>(level), static_cast<unsigned long long>(tag),
+                   top.name, static_cast<uint32_t>(top.level),
+                   static_cast<unsigned long long>(top.tag));
+      std::abort();
+    }
+  }
+  g_held.push_back(HeldLock{level, tag, name});
+}
+
+void LockOrderChecker::NoteRelease(LockLevel level, uint64_t tag) {
+  if (!enabled()) {
+    return;
+  }
+  // Locks are normally released LIFO, but std::unique_lock allows out-of-order
+  // release; erase the matching entry searching from the top.
+  for (auto it = g_held.rbegin(); it != g_held.rend(); ++it) {
+    if (it->level == level && it->tag == tag) {
+      g_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock acquired while the checker was disabled: ignore.
+}
+
+}  // namespace dfs

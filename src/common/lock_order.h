@@ -1,0 +1,94 @@
+// Runtime enforcement of the Section-6 locking hierarchy.
+//
+// The paper avoids deadlock by a partial order on locked resources:
+//
+//   L1  client high-level cvnode operation lock   (held across the whole op, incl. RPCs)
+//   L2  server vnode/token-state lock             (the serialization point)
+//   L3  client low-level cvnode state lock        (never held across client-initiated RPCs)
+//   L4  server file-I/O lock                      (taken by both normal stores and the
+//                                                  special revocation-initiated stores, so a
+//                                                  revocation handler holding L3 may call
+//                                                  back into the server, Section 6.4)
+//
+// Every distributed-layer mutex in this codebase is an OrderedMutex carrying one of these
+// levels. A thread-local stack records the levels currently held; acquiring a lock whose
+// (level, tag) is not strictly greater than the top of the stack aborts the process with a
+// diagnostic. Within one level, multiple locks may be taken in increasing `tag` order (the
+// paper orders multi-vnode operations, e.g. rename, by FID). Leaf mutexes that never call
+// out (buffer-cache internals, statistics) are ordinary std::mutex and are exempt.
+#ifndef SRC_COMMON_LOCK_ORDER_H_
+#define SRC_COMMON_LOCK_ORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfs {
+
+enum class LockLevel : uint32_t {
+  kClientHigh = 100,   // L1
+  kServerVnode = 200,  // L2
+  kClientLow = 300,    // L3
+  kServerIo = 400,     // L4
+};
+
+// Process-global switch; tests arm it (fatal on violation), benches may disable
+// to measure the checker's own overhead.
+class LockOrderChecker {
+ public:
+  static void Enable(bool on);
+  static bool enabled();
+
+  // Called by OrderedMutex around lock/unlock. Aborts on violation when enabled.
+  static void NoteAcquire(LockLevel level, uint64_t tag, const char* name);
+  static void NoteRelease(LockLevel level, uint64_t tag);
+
+  // Total acquisitions checked (for the E9 stress bench's sanity output).
+  static uint64_t checked_count();
+
+ private:
+  static std::atomic<bool> enabled_;
+  static std::atomic<uint64_t> checked_;
+};
+
+// A mutex with a hierarchy level and per-object tag. Same-level locks must be
+// acquired in increasing tag order.
+class OrderedMutex {
+ public:
+  OrderedMutex(LockLevel level, uint64_t tag, const char* name)
+      : level_(level), tag_(tag), name_(name) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() {
+    LockOrderChecker::NoteAcquire(level_, tag_, name_);
+    mu_.lock();
+  }
+  void unlock() {
+    mu_.unlock();
+    LockOrderChecker::NoteRelease(level_, tag_);
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    LockOrderChecker::NoteAcquire(level_, tag_, name_);
+    return true;
+  }
+
+  LockLevel level() const { return level_; }
+  uint64_t tag() const { return tag_; }
+
+ private:
+  LockLevel level_;
+  uint64_t tag_;
+  const char* name_;
+  std::mutex mu_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_LOCK_ORDER_H_

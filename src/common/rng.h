@@ -1,0 +1,50 @@
+// Deterministic pseudo-random source for workload generators and property tests.
+//
+// SplitMix64: tiny, fast, and fully reproducible from a seed — every benchmark
+// run and fuzz-style property test derives its workload from an explicit seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  std::string Name(size_t len) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(kAlphabet[Below(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,77 @@
+#include "src/common/status.h"
+
+namespace dfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kExists:
+      return "EXISTS";
+    case ErrorCode::kNotDirectory:
+      return "NOT_DIRECTORY";
+    case ErrorCode::kIsDirectory:
+      return "IS_DIRECTORY";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kNoAnodes:
+      return "NO_ANODES";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kTextBusy:
+      return "TEXT_BUSY";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
+    case ErrorCode::kStale:
+      return "STALE";
+    case ErrorCode::kBusy:
+      return "BUSY";
+    case ErrorCode::kWouldBlock:
+      return "WOULD_BLOCK";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kTimedOut:
+      return "TIMED_OUT";
+    case ErrorCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kCrashed:
+      return "CRASHED";
+    case ErrorCode::kAuthFailed:
+      return "AUTH_FAILED";
+    case ErrorCode::kNameTooLong:
+      return "NAME_TOO_LONG";
+    case ErrorCode::kCrossVolume:
+      return "CROSS_VOLUME";
+    case ErrorCode::kQuota:
+      return "QUOTA";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (message_ && !message_->empty()) {
+    out += ": ";
+    out += *message_;
+  }
+  return out;
+}
+
+}  // namespace dfs

@@ -1,0 +1,129 @@
+// Error model for the DEcorum file system reproduction.
+//
+// Status carries an error code plus a human-readable message; Result<T> is a
+// Status-or-value. Modeled on absl::Status / zx_status_t idioms: cheap to copy
+// in the OK case, explicit propagation via RETURN_IF_ERROR / ASSIGN_OR_RETURN.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dfs {
+
+// Error codes cover the union of local-file-system errors (ENOENT-style), the
+// distributed layer (stale FIDs, busy volumes), and the logging layer.
+enum class ErrorCode : uint16_t {
+  kOk = 0,
+  kNotFound,           // ENOENT
+  kExists,             // EEXIST
+  kNotDirectory,       // ENOTDIR
+  kIsDirectory,        // EISDIR
+  kNotEmpty,           // ENOTEMPTY
+  kNoSpace,            // ENOSPC
+  kNoAnodes,           // out of anode-table slots (EFBIG-ish)
+  kInvalidArgument,    // EINVAL
+  kPermissionDenied,   // EACCES (ACL check failed)
+  kTextBusy,           // ETXTBSY (open-token execute/write conflict)
+  kIoError,            // EIO
+  kCorrupt,            // on-disk structure failed validation
+  kStale,              // FID no longer valid (ESTALE)
+  kBusy,               // volume busy (being moved/cloned); retry via VLDB
+  kWouldBlock,         // lock not available
+  kConflict,           // token conflict that cannot be resolved by revocation
+  kTimedOut,
+  kNotSupported,       // VFS+ extension missing on this physical file system
+  kUnavailable,        // server/node down
+  kAborted,            // transaction aborted
+  kCrashed,            // simulated crash interrupted the operation
+  kAuthFailed,         // bad ticket
+  kNameTooLong,        // ENAMETOOLONG
+  kCrossVolume,        // EXDEV (rename across volumes)
+  kQuota,              // volume quota exceeded
+  kInternal,
+};
+
+// Short upper-case name for an error code ("NOT_FOUND"), for logs and tests.
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code),
+        message_(code == ErrorCode::kOk ? nullptr
+                                        : std::make_shared<std::string>(std::move(message))) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  std::string_view message() const {
+    return message_ ? std::string_view(*message_) : std::string_view();
+  }
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::shared_ptr<std::string> message_;  // shared so copies stay cheap
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {}
+  Result(ErrorCode code, std::string message) : rep_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const { return ok() ? Status::Ok() : std::get<Status>(rep_); }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : std::get<Status>(rep_).code(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Evaluates `expr` (a Status); returns it from the enclosing function on error.
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::dfs::Status status_macro_tmp_ = (expr);  \
+    if (!status_macro_tmp_.ok()) {             \
+      return status_macro_tmp_;                \
+    }                                          \
+  } while (0)
+
+#define DFS_CONCAT_INNER_(a, b) a##b
+#define DFS_CONCAT_(a, b) DFS_CONCAT_INNER_(a, b)
+
+// ASSIGN_OR_RETURN(auto x, SomeResultExpr()): binds the value or propagates.
+#define ASSIGN_OR_RETURN(decl, expr)                                  \
+  auto DFS_CONCAT_(result_macro_tmp_, __LINE__) = (expr);             \
+  if (!DFS_CONCAT_(result_macro_tmp_, __LINE__).ok()) {               \
+    return DFS_CONCAT_(result_macro_tmp_, __LINE__).status();         \
+  }                                                                   \
+  decl = std::move(DFS_CONCAT_(result_macro_tmp_, __LINE__)).value()
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_STATUS_H_

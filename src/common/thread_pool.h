@@ -1,0 +1,54 @@
+// Fixed-size worker pool used by RPC endpoints.
+//
+// The protocol exporter runs two pools: the regular request pool and a small
+// dedicated pool for revocation-initiated callbacks (Section 6.4: if only one
+// pool existed, all threads could be busy when a token-revocation handler
+// needs to call back to the server, deadlocking the system).
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, const char* name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Drain();
+
+  size_t size() const { return workers_.size(); }
+  // Number of workers currently executing a task (approximate; for the
+  // pool-exhaustion demonstration in E9).
+  size_t busy() const;
+
+ private:
+  void WorkerLoop();
+
+  const char* name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t busy_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,271 @@
+// An Episode aggregate: a unit of disk storage holding volumes (Section 2.1).
+//
+// The aggregate owns the buffer cache and the write-ahead log for its device,
+// implements the container machinery (block maps with copy-on-write tree
+// reference counts), the volume registry, and the VFS+ volume operations:
+// create, delete, clone (COW snapshot), dump/restore (volume move and lazy
+// replication), mount.
+//
+// Concurrency: one aggregate-wide operation mutex serializes mutations, which
+// also makes every WAL transaction trivially serializable (see wal.h). This
+// mutex is a leaf in the global Section-6 locking hierarchy: nothing called
+// under it ever blocks on an RPC or a distributed-layer lock.
+#ifndef SRC_EPISODE_AGGREGATE_H_
+#define SRC_EPISODE_AGGREGATE_H_
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/buf/buffer_cache.h"
+#include "src/common/status.h"
+#include "src/common/vclock.h"
+#include "src/episode/layout.h"
+#include "src/vfs/vnode.h"
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+class EpisodeVfs;
+
+class Aggregate : public VolumeOps {
+ public:
+  struct Options {
+    size_t cache_blocks = 1024;
+    uint64_t log_blocks = 512;  // 2 MiB log area
+    // Volume ids handed out by this aggregate start here; give each aggregate
+    // in a multi-server deployment a distinct base so FIDs are globally unique.
+    uint64_t volume_id_base = 1;
+    uint64_t default_anode_count = 4096;
+    Wal::Options wal;  // log_start_block/log_blocks filled in by Format/Mount
+  };
+
+  // Initializes a fresh aggregate on the device and mounts it.
+  static Result<std::unique_ptr<Aggregate>> Format(BlockDevice& dev, Options options);
+  // Mounts an existing aggregate; always runs log recovery first (a clean log
+  // replays as a no-op, so restart after crash and clean restart share code).
+  static Result<std::unique_ptr<Aggregate>> Mount(BlockDevice& dev, Options options);
+
+  ~Aggregate() override;
+
+  // Flushes the log (metadata durability — the sync/fsync path).
+  Status SyncLog();
+  // Full checkpoint: log + all dirty buffers reach the disk.
+  Status Checkpoint();
+  // Simulated machine crash: every cached and in-memory state is dropped;
+  // the device keeps exactly what was written. Mount() again to recover.
+  void CrashNow();
+
+  // Group-commit poll: flushes the log if the 30 s-equivalent interval
+  // elapsed on the virtual clock (benchmarks call this between bursts).
+  Status PollGroupCommit();
+
+  // --- VolumeOps (VFS+ volume interface, Sections 2.1 / 3.3) ---
+  Result<std::vector<VolumeInfo>> ListVolumes() override;
+  Result<VolumeInfo> GetVolume(uint64_t volume_id) override;
+  Result<uint64_t> CreateVolume(std::string_view name) override;
+  Status DeleteVolume(uint64_t volume_id) override;
+  Result<uint64_t> CloneVolume(uint64_t volume_id, std::string_view clone_name) override;
+  Result<VfsRef> MountVolume(uint64_t volume_id) override;
+  Result<VolumeDump> DumpVolume(uint64_t volume_id, uint64_t since_version) override;
+  Result<uint64_t> RestoreVolume(const VolumeDump& dump) override;
+  Status ApplyDelta(uint64_t volume_id, const VolumeDump& delta) override;
+
+  Status SetVolumeBusy(uint64_t volume_id, bool busy) override;
+
+  Wal& wal() { return *wal_; }
+  BufferCache& cache() { return *cache_; }
+  BlockDevice& device() { return dev_; }
+  const Options& options() const { return options_; }
+
+  // ==== Internal API used by EpisodeVfs/EpisodeVnode and the salvager ====
+  // (public because the vnode layer lives in a separate translation unit; not
+  // part of the supported user-facing surface).
+
+  // What a container's leaf blocks hold; determines logging and the logical-
+  // children rules for COW/free of leaf blocks.
+  enum class Kind : uint8_t {
+    kData,       // file contents: leaves unlogged
+    kMeta,       // directories, symlinks, ACLs, registry: leaves logged
+    kAnodeTable, // leaves logged; leaf "children" are the anodes' block trees
+  };
+  static Kind KindForAnode(AnodeType type);
+
+  std::mutex& op_mu() { return op_mu_; }
+
+  Result<Superblock> ReadSuper();
+  Status WriteSuper(TxnId txn, const Superblock& sb);
+
+  // Registry access. slot_index is the position in the registry container.
+  Result<std::pair<VolumeSlot, uint32_t>> FindVolumeSlot(uint64_t volume_id);
+  Result<VolumeSlot> ReadSlot(uint32_t slot_index);
+  Status WriteSlot(TxnId txn, uint32_t slot_index, const VolumeSlot& slot);
+
+  // Anode access within a volume. WriteAnode performs table-block COW as
+  // needed and persists any resulting change to the volume's table descriptor.
+  Result<AnodeRecord> ReadAnode(const VolumeSlot& vol, uint64_t vnode);
+  Status WriteAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
+                    const AnodeRecord& rec);
+  // Allocates a free anode slot (scans the table); returns its vnode index.
+  Result<uint64_t> AllocAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, AnodeType type,
+                              const AnodeRecord& init);
+  // Allocates the anode at a *specific* index (volume restore path).
+  Status AllocAnodeAt(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
+                      const AnodeRecord& init);
+  // Frees the anode and its entire block tree.
+  Status FreeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode);
+
+  // Container byte-level I/O (COW-aware; desc mutated in memory, caller
+  // persists it). Reads of holes return zeros.
+  Status ReadContainer(const AnodeRecord& desc, uint64_t offset, std::span<uint8_t> out);
+  Status WriteContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t offset,
+                        std::span<const uint8_t> data, bool* desc_changed);
+  Status TruncateContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t new_size,
+                           bool* desc_changed);
+  // Increments the refcount of every top-level block the descriptor references
+  // (the clone primitive).
+  Status ShareTopLevel(TxnId txn, const AnodeRecord& desc);
+
+  // Directory-entry helpers over a directory anode's container. The caller
+  // persists dir_an afterwards via WriteAnode. DirAddEntry fails with kExists
+  // on duplicates; DirRemoveEntry with kNotFound.
+  Status DirAddEntry(TxnId txn, AnodeRecord& dir_an, const DirSlot& entry, bool* desc_changed);
+  Result<DirSlot> DirFind(const AnodeRecord& dir_an, std::string_view name);
+  Status DirRemoveEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name,
+                        bool* desc_changed);
+  // Replaces the target of an existing entry (rename ".." fixups etc.).
+  Status DirUpdateEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name, uint64_t vnode,
+                        uint64_t uniq, uint8_t type, bool* desc_changed);
+  Result<std::vector<DirSlot>> DirList(const AnodeRecord& dir_an);
+  // True when the directory holds only "." and "..".
+  Result<bool> DirIsEmpty(const AnodeRecord& dir_an);
+
+  // Takes the volume's next mutation stamp (persisting the counter). Mutating
+  // vnode operations record it as the touched file's data_version, giving a
+  // volume-global "changed since V" order for replication and caching.
+  Result<uint64_t> BumpVersion(TxnId txn, uint32_t slot_index, VolumeSlot& vol);
+
+  // Ensures the table block holding `vnode` is privately owned by this volume
+  // (COW away from any clone) so subsequent refcount arithmetic on the
+  // anode's block tree is correct. Every mutating vnode operation calls this
+  // before touching the anode's map.
+  Status PrivatizeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode);
+
+  // Block accounting.
+  Result<uint16_t> GetRefcount(uint64_t blockno);
+  uint64_t FreeBlockCount();
+  // Blocks referenced (transitively, following the refcount-tree rules) by a
+  // container — used for VolumeInfo reporting and by tests.
+  Result<uint64_t> CountTreeBlocks(const AnodeRecord& desc, Kind kind);
+
+  // --- Salvager (Section 2.2: logging does not remove the need for a
+  // salvager after media failure; it is also this repo's invariant checker).
+  struct SalvageReport {
+    uint64_t volumes = 0;
+    uint64_t anodes = 0;
+    uint64_t blocks_reachable = 0;
+    uint64_t refcount_fixes = 0;
+    uint64_t bad_pointers = 0;    // out-of-range block pointers cleared
+    uint64_t orphan_entries = 0;  // directory entries to free/stale anodes removed
+    uint64_t nlink_fixes = 0;
+    uint64_t leaked_blocks = 0;   // allocated on disk but unreachable
+
+    bool clean() const {
+      return refcount_fixes == 0 && bad_pointers == 0 && orphan_entries == 0 &&
+             nlink_fixes == 0 && leaked_blocks == 0;
+    }
+  };
+  // Scans every volume, recomputes block reference counts and link counts,
+  // validates directory structure. With repair=true, fixes what it finds.
+  Result<SalvageReport> Salvage(bool repair);
+
+  // Runs a mutation as a WAL transaction under the aggregate op lock:
+  // commits on OK, aborts on error. fn: Status(TxnId).
+  template <typename Fn>
+  Status RunTxn(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(op_mu_);
+    return RunTxnLocked(std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  Status RunTxnLocked(Fn&& fn) {
+    TxnId txn = wal_->Begin();
+    Status s = fn(txn);
+    if (s.ok()) {
+      return wal_->Commit(txn);
+    }
+    (void)wal_->Abort(txn);
+    return s;
+  }
+
+ private:
+  Aggregate(BlockDevice& dev, Options options);
+
+  Status InitWal();
+
+  // Refcount table primitives (logged).
+  Status SetRefcount(TxnId txn, uint64_t blockno, uint16_t value);
+  Status IncRef(TxnId txn, uint64_t blockno);
+  // Decrements; sets *now_free when the count reaches zero.
+  Status DecRef(TxnId txn, uint64_t blockno, bool* now_free);
+  Status AdjustFreeBlocks(TxnId txn, int64_t delta);
+
+  // Allocates a block (refcount 0 -> 1). Content is whatever was there.
+  Result<uint64_t> AllocBlock(TxnId txn);
+  // Allocates a block and durably zeroes it (fresh metadata block).
+  Result<uint64_t> AllocMetaBlockZeroed(TxnId txn);
+
+  // Copy-on-write primitives. Each returns the private replacement block.
+  Result<uint64_t> CowInterior(TxnId txn, uint64_t blockno);          // children: 512 ptrs
+  Result<uint64_t> CowLeaf(TxnId txn, uint64_t blockno, Kind kind);   // leaf (per kind)
+
+  // Logical-children hooks for anode-table leaf blocks.
+  Status IncAnodeTableLeafChildren(TxnId txn, uint64_t blockno);
+  Status FreeAnodeTreesInLeaf(TxnId txn, uint64_t blockno);
+
+  // Block-map navigation. Returns 0 for holes.
+  Result<uint64_t> MapBlockForRead(const AnodeRecord& desc, uint64_t fblock);
+  // Ensures a privately-owned leaf block exists for fblock (allocating and
+  // COWing along the path); logs interior-pointer updates.
+  Result<uint64_t> MapBlockForWrite(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t fblock,
+                                    bool* desc_changed);
+
+  // Frees the subtree rooted at ptr (level 0 = leaf), honoring shared nodes.
+  Status FreeSubtree(TxnId txn, uint64_t ptr, int level, Kind kind);
+  // Truncation helper over one top-level slot.
+  Status TruncSubtree(TxnId txn, uint64_t* slot, int level, uint64_t base_fblock,
+                      uint64_t keep_blocks, Kind kind, bool* changed);
+  Status CountSubtree(uint64_t ptr, int level, Kind kind, uint64_t* count);
+
+  // Writes a full-block logged update (old value read from disk/cache).
+  Status LogWholeBlock(TxnId txn, uint64_t blockno, std::span<const uint8_t> content);
+
+  // Logged partial update helper.
+  Status LogBlockBytes(TxnId txn, uint64_t blockno, uint32_t offset,
+                       std::span<const uint8_t> bytes);
+
+  Result<VolumeDumpFile> DumpOneFile(const VolumeSlot& vol, uint64_t vnode,
+                                     const AnodeRecord& an);
+  Status RestoreOneFile(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
+                        const VolumeDumpFile& f, bool overwrite);
+
+  Result<uint64_t> CreateVolumeLocked(std::string_view name, uint64_t forced_id);
+  Status DeleteVolumeLocked(uint64_t volume_id);
+
+  BlockDevice& dev_;
+  Options options_;
+  std::unique_ptr<BufferCache> cache_;
+  std::unique_ptr<Wal> wal_;
+  std::mutex op_mu_;
+  uint64_t alloc_hint_ = 0;
+  std::unordered_map<uint64_t, uint64_t> anode_hint_;  // volume_id -> next free anode index
+
+  friend class EpisodeVfs;
+  friend class EpisodeVnode;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_EPISODE_AGGREGATE_H_

@@ -1,0 +1,183 @@
+#include "src/episode/layout.h"
+
+#include <algorithm>
+
+namespace dfs {
+namespace {
+
+void PutLe64(std::span<uint8_t> out, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[off + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint64_t GetLe64(std::span<const uint8_t> in, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+void PutLe32(std::span<uint8_t> out, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[off + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetLe32(std::span<const uint8_t> in, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+void PutLe16(std::span<uint8_t> out, size_t off, uint16_t v) {
+  out[off] = static_cast<uint8_t>(v);
+  out[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t GetLe16(std::span<const uint8_t> in, size_t off) {
+  return static_cast<uint16_t>(in[off] | (in[off + 1] << 8));
+}
+
+}  // namespace
+
+void AnodeRecord::Encode(std::span<uint8_t> out) const {
+  std::fill(out.begin(), out.begin() + kAnodeSize, uint8_t{0});
+  out[0] = static_cast<uint8_t>(type);
+  out[1] = flags;
+  PutLe16(out, 2, nlink);
+  PutLe32(out, 4, mode);
+  PutLe32(out, 8, uid);
+  PutLe32(out, 12, gid);
+  PutLe64(out, 16, size);
+  PutLe64(out, 24, mtime);
+  PutLe64(out, 32, ctime);
+  PutLe64(out, 40, atime);
+  PutLe64(out, 48, data_version);
+  PutLe64(out, 56, acl_vnode);
+  PutLe64(out, 64, uniq);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    PutLe64(out, 72 + 8 * i, direct[i]);
+  }
+  PutLe64(out, 120, indirect);
+  PutLe64(out, 128, dindirect);
+}
+
+AnodeRecord AnodeRecord::Decode(std::span<const uint8_t> in) {
+  AnodeRecord a;
+  a.type = static_cast<AnodeType>(in[0]);
+  a.flags = in[1];
+  a.nlink = GetLe16(in, 2);
+  a.mode = GetLe32(in, 4);
+  a.uid = GetLe32(in, 8);
+  a.gid = GetLe32(in, 12);
+  a.size = GetLe64(in, 16);
+  a.mtime = GetLe64(in, 24);
+  a.ctime = GetLe64(in, 32);
+  a.atime = GetLe64(in, 40);
+  a.data_version = GetLe64(in, 48);
+  a.acl_vnode = GetLe64(in, 56);
+  a.uniq = GetLe64(in, 64);
+  for (uint32_t i = 0; i < kDirectBlocks; ++i) {
+    a.direct[i] = GetLe64(in, 72 + 8 * i);
+  }
+  a.indirect = GetLe64(in, 120);
+  a.dindirect = GetLe64(in, 128);
+  return a;
+}
+
+void VolumeSlot::Encode(std::span<uint8_t> out) const {
+  std::fill(out.begin(), out.begin() + kVolumeSlotSize, uint8_t{0});
+  PutLe64(out, 0, volume_id);
+  out[8] = flags;
+  size_t namelen = std::min<size_t>(name.size(), kMaxVolumeName);
+  out[9] = static_cast<uint8_t>(namelen);
+  std::memcpy(out.data() + 10, name.data(), namelen);
+  PutLe64(out, 80, root_vnode);
+  PutLe64(out, 88, next_uniq);
+  PutLe64(out, 96, backing_volume);
+  PutLe64(out, 104, anode_count);
+  table.Encode(out.subspan(112, kAnodeSize));
+  PutLe64(out, 112 + kAnodeSize, version_counter);
+}
+
+VolumeSlot VolumeSlot::Decode(std::span<const uint8_t> in) {
+  VolumeSlot s;
+  s.volume_id = GetLe64(in, 0);
+  s.flags = in[8];
+  uint8_t namelen = in[9];
+  s.name.assign(reinterpret_cast<const char*>(in.data() + 10),
+                std::min<size_t>(namelen, kMaxVolumeName));
+  s.root_vnode = GetLe64(in, 80);
+  s.next_uniq = GetLe64(in, 88);
+  s.backing_volume = GetLe64(in, 96);
+  s.anode_count = GetLe64(in, 104);
+  s.table = AnodeRecord::Decode(in.subspan(112, kAnodeSize));
+  s.version_counter = GetLe64(in, 112 + kAnodeSize);
+  return s;
+}
+
+void Superblock::Encode(std::span<uint8_t> out) const {
+  std::fill(out.begin(), out.begin() + kEncodedSize, uint8_t{0});
+  PutLe64(out, 0, magic);
+  PutLe32(out, 8, version);
+  PutLe32(out, 12, clean);
+  PutLe64(out, 16, block_count);
+  PutLe64(out, 24, next_volume_id);
+  PutLe64(out, 32, free_blocks);
+  PutLe64(out, 40, rc_start);
+  PutLe64(out, 48, rc_blocks);
+  PutLe64(out, 56, log_start);
+  PutLe64(out, 64, log_blocks);
+  registry.Encode(out.subspan(72, kAnodeSize));
+}
+
+Result<Superblock> Superblock::Decode(std::span<const uint8_t> in) {
+  if (in.size() < kEncodedSize) {
+    return Status(ErrorCode::kCorrupt, "superblock too small");
+  }
+  Superblock sb;
+  sb.magic = GetLe64(in, 0);
+  if (sb.magic != kAggregateMagic) {
+    return Status(ErrorCode::kCorrupt, "bad aggregate magic");
+  }
+  sb.version = GetLe32(in, 8);
+  sb.clean = GetLe32(in, 12);
+  sb.block_count = GetLe64(in, 16);
+  sb.next_volume_id = GetLe64(in, 24);
+  sb.free_blocks = GetLe64(in, 32);
+  sb.rc_start = GetLe64(in, 40);
+  sb.rc_blocks = GetLe64(in, 48);
+  sb.log_start = GetLe64(in, 56);
+  sb.log_blocks = GetLe64(in, 64);
+  sb.registry = AnodeRecord::Decode(in.subspan(72, kAnodeSize));
+  return sb;
+}
+
+void DirSlot::Encode(std::span<uint8_t> out) const {
+  std::fill(out.begin(), out.begin() + kDirEntrySize, uint8_t{0});
+  PutLe64(out, 0, vnode);
+  PutLe64(out, 8, uniq);
+  out[16] = in_use;
+  out[17] = type;
+  size_t namelen = std::min<size_t>(name.size(), kMaxNameLen);
+  out[18] = static_cast<uint8_t>(namelen);
+  std::memcpy(out.data() + 19, name.data(), namelen);
+}
+
+DirSlot DirSlot::Decode(std::span<const uint8_t> in) {
+  DirSlot d;
+  d.vnode = GetLe64(in, 0);
+  d.uniq = GetLe64(in, 8);
+  d.in_use = in[16];
+  d.type = in[17];
+  uint8_t namelen = in[18];
+  d.name.assign(reinterpret_cast<const char*>(in.data() + 19),
+                std::min<size_t>(namelen, kMaxNameLen));
+  return d;
+}
+
+}  // namespace dfs

@@ -1,0 +1,148 @@
+// On-disk layout of an Episode aggregate.
+//
+// Everything that uses disk storage is described by an *anode* — a small
+// descriptor for an open-ended container of disk blocks (Section 2.4): files,
+// directories, symlinks, ACLs, and each volume's anode table. Two structures
+// use fixed extents recorded in the superblock rather than anodes — the block
+// reference-count table (the allocation structure; refcount 0 = free) and the
+// log area — because they bootstrap everything else.
+//
+// Aggregate block layout (established by Format):
+//
+//   block 0                      superblock
+//   blocks 1 .. rc_blocks        block reference-count table (u16 per block)
+//   next log_blocks blocks       WAL area (1 header + data)
+//   next block                   first registry block
+//   remainder                    allocatable
+//
+// Copy-on-write uses *tree reference counts*: a block's refcount equals the
+// number of physical parent blocks (or descriptors) referencing it. Cloning a
+// volume therefore only increments the counts of the table container's top
+// pointers — O(1) block touches — and sharing propagates lazily as parents
+// are copied on write.
+#ifndef SRC_EPISODE_LAYOUT_H_
+#define SRC_EPISODE_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "src/blockdev/block_device.h"
+#include "src/common/status.h"
+#include "src/vfs/types.h"
+
+namespace dfs {
+
+inline constexpr uint64_t kAggregateMagic = 0xE215'0DE0'A66Eull;
+inline constexpr uint32_t kAggregateVersion = 1;
+
+inline constexpr uint32_t kAnodeSize = 256;
+inline constexpr uint32_t kAnodesPerBlock = kBlockSize / kAnodeSize;  // 16
+inline constexpr uint32_t kDirectBlocks = 6;
+inline constexpr uint32_t kPtrsPerBlock = kBlockSize / 8;  // 512
+// Max container size: 6 + 512 + 512*512 blocks (~1 GiB at 4 KiB blocks).
+inline constexpr uint64_t kMaxContainerBlocks =
+    kDirectBlocks + kPtrsPerBlock + uint64_t{kPtrsPerBlock} * kPtrsPerBlock;
+
+enum class AnodeType : uint8_t {
+  kFree = 0,
+  kFile = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+  kAcl = 4,
+  kAnodeTable = 5,  // a volume's anode table (leaf blocks hold anodes)
+};
+
+// In-memory mirror of the 256-byte on-disk anode. Also used as the container
+// descriptor embedded in volume-registry slots and the superblock.
+struct AnodeRecord {
+  AnodeType type = AnodeType::kFree;
+  uint8_t flags = 0;
+  uint16_t nlink = 0;
+  uint32_t mode = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;  // container size in bytes
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+  uint64_t atime = 0;
+  uint64_t data_version = 0;
+  uint64_t acl_vnode = 0;  // vnode of the ACL anode, 0 = none
+  uint64_t uniq = 0;
+  uint64_t direct[kDirectBlocks] = {};
+  uint64_t indirect = 0;
+  uint64_t dindirect = 0;
+
+  void Encode(std::span<uint8_t> out) const;  // out.size() >= kAnodeSize
+  static AnodeRecord Decode(std::span<const uint8_t> in);
+
+  uint64_t BlockCount() const { return (size + kBlockSize - 1) / kBlockSize; }
+};
+
+// Volume registry slot, 512 bytes, 8 per block.
+inline constexpr uint32_t kVolumeSlotSize = 512;
+inline constexpr uint32_t kSlotsPerBlock = kBlockSize / kVolumeSlotSize;
+inline constexpr uint32_t kMaxVolumeName = 64;
+
+inline constexpr uint8_t kVolFlagReadOnly = 1u << 0;
+inline constexpr uint8_t kVolFlagClone = 1u << 1;
+inline constexpr uint8_t kVolFlagBusy = 1u << 2;  // move/clone in progress
+
+struct VolumeSlot {
+  uint64_t volume_id = 0;  // 0 = free slot
+  uint8_t flags = 0;
+  std::string name;
+  uint64_t root_vnode = 0;
+  uint64_t next_uniq = 1;
+  uint64_t backing_volume = 0;
+  uint64_t anode_count = 0;  // capacity of the anode table, in anodes
+  // Per-volume mutation stamp. Every mutating operation takes the next value
+  // and records it as the touched file's data_version, so "changed since V"
+  // queries (incremental replication, cache validation) are globally ordered
+  // within the volume — including newly created files.
+  uint64_t version_counter = 0;
+  AnodeRecord table;  // the anode-table container descriptor
+
+  void Encode(std::span<uint8_t> out) const;  // out.size() >= kVolumeSlotSize
+  static VolumeSlot Decode(std::span<const uint8_t> in);
+};
+
+// Superblock, serialized into block 0.
+struct Superblock {
+  uint64_t magic = kAggregateMagic;
+  uint32_t version = kAggregateVersion;
+  uint32_t clean = 0;
+  uint64_t block_count = 0;
+  uint64_t next_volume_id = 1;
+  uint64_t free_blocks = 0;
+  uint64_t rc_start = 0;
+  uint64_t rc_blocks = 0;
+  uint64_t log_start = 0;
+  uint64_t log_blocks = 0;
+  AnodeRecord registry;  // volume registry container descriptor
+
+  static constexpr uint32_t kEncodedSize = 72 + kAnodeSize;
+
+  void Encode(std::span<uint8_t> out) const;  // out.size() >= kEncodedSize
+  static Result<Superblock> Decode(std::span<const uint8_t> in);
+};
+
+// Directory entry, 80 bytes, 51 per block.
+inline constexpr uint32_t kDirEntrySize = 80;
+inline constexpr uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntrySize;
+
+struct DirSlot {
+  uint64_t vnode = 0;
+  uint64_t uniq = 0;
+  uint8_t in_use = 0;
+  uint8_t type = 0;
+  std::string name;
+
+  void Encode(std::span<uint8_t> out) const;  // out.size() >= kDirEntrySize
+  static DirSlot Decode(std::span<const uint8_t> in);
+};
+
+}  // namespace dfs
+
+#endif  // SRC_EPISODE_LAYOUT_H_

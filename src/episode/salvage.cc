@@ -1,0 +1,224 @@
+// The Episode salvager.
+//
+// Logging obviates the routine fsck, but media failure still requires a
+// salvage pass (Section 2.2). Because all data and meta-data live in anodes,
+// the salvager walks one uniform structure: superblock -> registry ->
+// per-volume anode tables -> block trees. It recomputes the expected
+// reference count of every block (1 per physical parent, the invariant the
+// COW machinery maintains), validates directory entries and link counts, and
+// optionally repairs.
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/episode/aggregate.h"
+
+namespace dfs {
+
+namespace {
+
+struct Walker {
+  Aggregate& agg;
+  BufferCache& cache;
+  uint64_t block_count;
+  std::vector<uint32_t> expected;          // expected refcount per block
+  std::unordered_set<uint64_t> expanded;   // blocks whose children were counted
+  Aggregate::SalvageReport* report;
+
+  bool ValidBlock(uint64_t b) const { return b > 0 && b < block_count; }
+
+  // Adds one parent reference to `b`; expands its children on first visit.
+  Status Visit(uint64_t b, int level, Aggregate::Kind kind) {
+    if (!ValidBlock(b)) {
+      report->bad_pointers += 1;
+      return Status::Ok();
+    }
+    expected[b] += 1;
+    if (!expanded.insert(b).second) {
+      return Status::Ok();  // children already counted (shared block)
+    }
+    report->blocks_reachable += 1;
+    if (level > 0) {
+      std::vector<uint8_t> content(kBlockSize);
+      {
+        ASSIGN_OR_RETURN(BufferCache::Ref buf, cache.Get(b));
+        std::memcpy(content.data(), buf.data(), kBlockSize);
+      }
+      for (uint32_t i = 0; i < kPtrsPerBlock; ++i) {
+        uint64_t child;
+        std::memcpy(&child, content.data() + i * 8, 8);
+        if (child != 0) {
+          RETURN_IF_ERROR(Visit(child, level - 1, kind));
+        }
+      }
+    } else if (kind == Aggregate::Kind::kAnodeTable) {
+      std::vector<uint8_t> content(kBlockSize);
+      {
+        ASSIGN_OR_RETURN(BufferCache::Ref buf, cache.Get(b));
+        std::memcpy(content.data(), buf.data(), kBlockSize);
+      }
+      for (uint32_t i = 0; i < kAnodesPerBlock; ++i) {
+        AnodeRecord a = AnodeRecord::Decode(
+            std::span<const uint8_t>(content.data() + i * kAnodeSize, kAnodeSize));
+        if (a.type == AnodeType::kFree) {
+          continue;
+        }
+        report->anodes += 1;
+        RETURN_IF_ERROR(VisitDesc(a, Aggregate::KindForAnode(a.type)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status VisitDesc(const AnodeRecord& desc, Aggregate::Kind kind) {
+    for (uint32_t d = 0; d < kDirectBlocks; ++d) {
+      if (desc.direct[d] != 0) {
+        RETURN_IF_ERROR(Visit(desc.direct[d], 0, kind));
+      }
+    }
+    if (desc.indirect != 0) {
+      RETURN_IF_ERROR(Visit(desc.indirect, 1, kind));
+    }
+    if (desc.dindirect != 0) {
+      RETURN_IF_ERROR(Visit(desc.dindirect, 2, kind));
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Result<Aggregate::SalvageReport> Aggregate::Salvage(bool repair) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  SalvageReport report;
+  ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
+
+  Walker walker{*this, *cache_, sb.block_count, {}, {}, &report};
+  walker.expected.assign(sb.block_count, 0);
+
+  // Fixed extents established at format time.
+  uint64_t data_start = sb.log_start + sb.log_blocks;  // first registry block comes next
+  for (uint64_t b = 0; b < data_start && b < sb.block_count; ++b) {
+    walker.expected[b] = 1;
+  }
+  // The registry container (its blocks are ordinary allocations except the
+  // first, which Format pre-reserved — the walk counts them uniformly, so
+  // clear the pre-reservation and let the walk account for it).
+  if (sb.registry.direct[0] < sb.block_count) {
+    walker.expected[sb.registry.direct[0]] = 0;
+  }
+  RETURN_IF_ERROR(walker.VisitDesc(sb.registry, Kind::kMeta));
+
+  // Walk every volume's anode table.
+  uint32_t nslots = static_cast<uint32_t>(sb.registry.size / kVolumeSlotSize);
+  std::vector<VolumeSlot> volumes;
+  std::vector<uint32_t> slot_indices;
+  {
+    std::vector<uint8_t> bytes(kVolumeSlotSize);
+    for (uint32_t i = 0; i < nslots; ++i) {
+      RETURN_IF_ERROR(ReadContainer(sb.registry, uint64_t{i} * kVolumeSlotSize, bytes));
+      VolumeSlot s = VolumeSlot::Decode(bytes);
+      if (s.volume_id == 0) {
+        continue;
+      }
+      report.volumes += 1;
+      RETURN_IF_ERROR(walker.VisitDesc(s.table, Kind::kAnodeTable));
+      volumes.push_back(std::move(s));
+      slot_indices.push_back(i);
+    }
+  }
+
+  // Compare expected vs. stored reference counts.
+  for (uint64_t b = 0; b < sb.block_count; ++b) {
+    ASSIGN_OR_RETURN(uint16_t stored, GetRefcount(b));
+    uint32_t want = walker.expected[b];
+    if (stored == want) {
+      continue;
+    }
+    if (want == 0 && stored > 0) {
+      report.leaked_blocks += 1;
+    } else {
+      report.refcount_fixes += 1;
+    }
+    if (repair) {
+      RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+        return SetRefcount(txn, b, static_cast<uint16_t>(want));
+      }));
+    }
+  }
+
+  // Directory structure and link counts, per volume.
+  for (size_t vi = 0; vi < volumes.size(); ++vi) {
+    VolumeSlot& vol = volumes[vi];
+    uint32_t slot_index = slot_indices[vi];
+    std::unordered_map<uint64_t, uint32_t> link_count;  // vnode -> entries referencing it
+    std::unordered_map<uint64_t, uint32_t> subdir_count;
+
+    for (uint64_t v = 1; v < vol.anode_count; ++v) {
+      ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, v));
+      if (rec.type != AnodeType::kDirectory) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(std::vector<DirSlot> entries, DirList(rec));
+      for (const DirSlot& e : entries) {
+        bool bad = false;
+        if (e.vnode == 0 || e.vnode >= vol.anode_count) {
+          bad = true;
+        } else {
+          ASSIGN_OR_RETURN(AnodeRecord child, ReadAnode(vol, e.vnode));
+          if (child.type == AnodeType::kFree || child.type == AnodeType::kAcl ||
+              child.uniq != e.uniq) {
+            bad = true;
+          }
+        }
+        if (bad) {
+          report.orphan_entries += 1;
+          if (repair) {
+            RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+              RETURN_IF_ERROR(PrivatizeAnode(txn, slot_index, vol, v));
+              ASSIGN_OR_RETURN(AnodeRecord dir, ReadAnode(vol, v));
+              bool ch = false;
+              RETURN_IF_ERROR(DirRemoveEntry(txn, dir, e.name, &ch));
+              return WriteAnode(txn, slot_index, vol, v, dir);
+            }));
+          }
+          continue;
+        }
+        if (e.name == ".") {
+          link_count[v] += 1;
+        } else if (e.name == "..") {
+          // counts toward the parent's nlink
+          link_count[e.vnode] += 1;
+          subdir_count[e.vnode] += 1;
+          (void)subdir_count;
+        } else {
+          link_count[e.vnode] += 1;
+        }
+      }
+    }
+
+    for (uint64_t v = 1; v < vol.anode_count; ++v) {
+      ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, v));
+      if (rec.type == AnodeType::kFree || rec.type == AnodeType::kAcl) {
+        continue;
+      }
+      uint32_t want = link_count.count(v) != 0 ? link_count[v] : 0;
+      if (rec.nlink != want) {
+        report.nlink_fixes += 1;
+        if (repair) {
+          RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+            ASSIGN_OR_RETURN(AnodeRecord fresh, ReadAnode(vol, v));
+            fresh.nlink = static_cast<uint16_t>(want);
+            return WriteAnode(txn, slot_index, vol, v, fresh);
+          }));
+        }
+      }
+    }
+  }
+
+  RETURN_IF_ERROR(wal_->Sync());
+  return report;
+}
+
+}  // namespace dfs

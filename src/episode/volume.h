@@ -1,0 +1,72 @@
+// Mounted-volume view of an Episode aggregate: EpisodeVfs (a VFS, i.e. a
+// mounted volume) and EpisodeVnode (the Vnode implementation).
+//
+// A VFS is a mounted volume, but the volume interface (create, clone, move,
+// dump) is separate — it lives on the Aggregate and works on unmounted
+// volumes (Section 2.1).
+#ifndef SRC_EPISODE_VOLUME_H_
+#define SRC_EPISODE_VOLUME_H_
+
+#include <memory>
+
+#include "src/episode/aggregate.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+class EpisodeVfs : public Vfs, public std::enable_shared_from_this<EpisodeVfs> {
+ public:
+  EpisodeVfs(Aggregate* agg, uint64_t volume_id) : agg_(agg), volume_id_(volume_id) {}
+
+  Result<VnodeRef> Root() override;
+  Result<VnodeRef> VnodeByFid(const Fid& fid) override;
+  Status Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                std::string_view dst_name) override;
+  Status Sync() override;
+  bool ReadOnly() const override;
+
+  Aggregate* aggregate() { return agg_; }
+  uint64_t volume_id() const { return volume_id_; }
+
+ private:
+  Aggregate* agg_;
+  uint64_t volume_id_;
+};
+
+class EpisodeVnode : public Vnode {
+ public:
+  EpisodeVnode(Aggregate* agg, uint64_t volume_id, uint64_t vnode, uint64_t uniq)
+      : agg_(agg), volume_id_(volume_id), vnode_(vnode), uniq_(uniq) {}
+
+  Fid fid() const override { return Fid{volume_id_, vnode_, uniq_}; }
+
+  Result<FileAttr> GetAttr() override;
+  Status SetAttr(const AttrUpdate& update) override;
+  Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) override;
+  Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) override;
+  Status Truncate(uint64_t new_size) override;
+  Result<VnodeRef> Lookup(std::string_view name) override;
+  Result<VnodeRef> Create(std::string_view name, FileType type, uint32_t mode,
+                          const Cred& cred) override;
+  Result<VnodeRef> CreateSymlink(std::string_view name, std::string_view target,
+                                 const Cred& cred) override;
+  Status Link(std::string_view name, Vnode& target) override;
+  Status Unlink(std::string_view name) override;
+  Status Rmdir(std::string_view name) override;
+  Result<std::vector<DirEntry>> ReadDir() override;
+  Result<std::string> ReadSymlink() override;
+  Result<Acl> GetAcl() override;
+  Status SetAcl(const Acl& acl) override;
+
+ private:
+  Aggregate* agg_;
+  uint64_t volume_id_;
+  uint64_t vnode_;
+  uint64_t uniq_;
+
+  friend class EpisodeVfs;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_EPISODE_VOLUME_H_

@@ -1,0 +1,422 @@
+// VFS+ volume operations on an Episode aggregate (Sections 2.1, 3.6, 3.8):
+// create, delete, clone (O(1) copy-on-write snapshot), mount, dump/restore
+// (the transport for volume moves and lazy replication), delta application.
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/episode/aggregate.h"
+#include "src/episode/volume.h"
+
+namespace dfs {
+
+namespace {
+
+AnodeType AnodeTypeFor(FileType t) {
+  switch (t) {
+    case FileType::kDirectory:
+      return AnodeType::kDirectory;
+    case FileType::kSymlink:
+      return AnodeType::kSymlink;
+    default:
+      return AnodeType::kFile;
+  }
+}
+
+FileType FileTypeFor(AnodeType t) {
+  switch (t) {
+    case AnodeType::kDirectory:
+      return FileType::kDirectory;
+    case AnodeType::kSymlink:
+      return FileType::kSymlink;
+    default:
+      return FileType::kFile;
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> Aggregate::CreateVolumeLocked(std::string_view name, uint64_t forced_id) {
+  uint64_t new_id = 0;
+  Status s = RunTxnLocked([&](TxnId txn) -> Status {
+    ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
+    if (forced_id != 0) {
+      new_id = forced_id;
+      if (forced_id >= sb.next_volume_id) {
+        sb.next_volume_id = forced_id + 1;
+        RETURN_IF_ERROR(WriteSuper(txn, sb));
+      }
+    } else {
+      new_id = sb.next_volume_id;
+      sb.next_volume_id += 1;
+      RETURN_IF_ERROR(WriteSuper(txn, sb));
+    }
+
+    // Find a free registry slot (or extend the registry).
+    uint32_t nslots = static_cast<uint32_t>(sb.registry.size / kVolumeSlotSize);
+    uint32_t slot_index = nslots;
+    std::vector<uint8_t> bytes(kVolumeSlotSize);
+    for (uint32_t i = 0; i < nslots; ++i) {
+      RETURN_IF_ERROR(ReadContainer(sb.registry, uint64_t{i} * kVolumeSlotSize, bytes));
+      if (VolumeSlot::Decode(bytes).volume_id == 0) {
+        slot_index = i;
+        break;
+      }
+    }
+
+    VolumeSlot vol;
+    vol.volume_id = new_id;
+    vol.name = std::string(name);
+    vol.root_vnode = 1;
+    vol.next_uniq = 1;
+    vol.anode_count = options_.default_anode_count;
+    vol.version_counter = 1;  // the root's creation stamp
+    vol.table.type = AnodeType::kAnodeTable;
+    vol.table.size = vol.anode_count * kAnodeSize;  // sparse: blocks allocate on demand
+    RETURN_IF_ERROR(WriteSlot(txn, slot_index, vol));
+
+    AnodeRecord root;
+    root.type = AnodeType::kDirectory;
+    root.nlink = 2;
+    // Fresh volume roots are world-writable; administrators restrict access
+    // with ACLs (the DFS convention for newly created home volumes).
+    root.mode = 0777;
+    root.data_version = 1;
+    root.uniq = 1;
+    RETURN_IF_ERROR(AllocAnodeAt(txn, slot_index, vol, 1, root));
+    ASSIGN_OR_RETURN(root, ReadAnode(vol, 1));
+    bool ch = false;
+    RETURN_IF_ERROR(DirAddEntry(
+        txn, root, DirSlot{1, root.uniq, 1, static_cast<uint8_t>(FileType::kDirectory), "."},
+        &ch));
+    RETURN_IF_ERROR(DirAddEntry(
+        txn, root, DirSlot{1, root.uniq, 1, static_cast<uint8_t>(FileType::kDirectory), ".."},
+        &ch));
+    return WriteAnode(txn, slot_index, vol, 1, root);
+  });
+  RETURN_IF_ERROR(s);
+  return new_id;
+}
+
+Result<uint64_t> Aggregate::CreateVolume(std::string_view name) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return CreateVolumeLocked(name, 0);
+}
+
+Status Aggregate::DeleteVolumeLocked(uint64_t volume_id) {
+  ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
+  VolumeSlot vol = std::move(pair.first);
+  uint32_t slot_index = pair.second;
+  // Free every anode, one short transaction each (Section 2.2: long operations
+  // are chains of short transactions).
+  for (uint64_t v = 1; v < vol.anode_count; ++v) {
+    ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, v));
+    if (rec.type == AnodeType::kFree) {
+      continue;
+    }
+    RETURN_IF_ERROR(RunTxnLocked(
+        [&](TxnId txn) -> Status { return FreeAnode(txn, slot_index, vol, v); }));
+  }
+  // Release the (now empty of live anodes) table's blocks and clear the slot.
+  RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+    for (uint32_t d = 0; d < kDirectBlocks; ++d) {
+      RETURN_IF_ERROR(FreeSubtree(txn, vol.table.direct[d], 0, Kind::kAnodeTable));
+    }
+    RETURN_IF_ERROR(FreeSubtree(txn, vol.table.indirect, 1, Kind::kAnodeTable));
+    RETURN_IF_ERROR(FreeSubtree(txn, vol.table.dindirect, 2, Kind::kAnodeTable));
+    return WriteSlot(txn, slot_index, VolumeSlot{});
+  }));
+  anode_hint_.erase(volume_id);
+  return Status::Ok();
+}
+
+Status Aggregate::DeleteVolume(uint64_t volume_id) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return DeleteVolumeLocked(volume_id);
+}
+
+Result<uint64_t> Aggregate::CloneVolume(uint64_t volume_id, std::string_view clone_name) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  uint64_t clone_id = 0;
+  Status s = RunTxnLocked([&](TxnId txn) -> Status {
+    ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
+    VolumeSlot src = std::move(pair.first);
+    if (src.flags & kVolFlagBusy) {
+      return Status(ErrorCode::kBusy, "volume busy");
+    }
+    ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
+    clone_id = sb.next_volume_id;
+    sb.next_volume_id += 1;
+    RETURN_IF_ERROR(WriteSuper(txn, sb));
+
+    uint32_t nslots = static_cast<uint32_t>(sb.registry.size / kVolumeSlotSize);
+    uint32_t slot_index = nslots;
+    std::vector<uint8_t> bytes(kVolumeSlotSize);
+    for (uint32_t i = 0; i < nslots; ++i) {
+      RETURN_IF_ERROR(ReadContainer(sb.registry, uint64_t{i} * kVolumeSlotSize, bytes));
+      if (VolumeSlot::Decode(bytes).volume_id == 0) {
+        slot_index = i;
+        break;
+      }
+    }
+
+    // The whole clone: share the anode table's top-level blocks (a handful of
+    // refcount increments) and write one registry slot. Everything below the
+    // shared blocks is copied lazily, on first write, by either volume.
+    VolumeSlot clone = src;
+    clone.volume_id = clone_id;
+    clone.name = std::string(clone_name);
+    clone.flags = kVolFlagReadOnly | kVolFlagClone;
+    clone.backing_volume = volume_id;
+    RETURN_IF_ERROR(ShareTopLevel(txn, clone.table));
+    return WriteSlot(txn, slot_index, clone);
+  });
+  RETURN_IF_ERROR(s);
+  return clone_id;
+}
+
+Result<std::vector<VolumeInfo>> Aggregate::ListVolumes() {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
+  uint32_t nslots = static_cast<uint32_t>(sb.registry.size / kVolumeSlotSize);
+  std::vector<uint8_t> bytes(kVolumeSlotSize);
+  std::vector<VolumeInfo> out;
+  for (uint32_t i = 0; i < nslots; ++i) {
+    RETURN_IF_ERROR(ReadContainer(sb.registry, uint64_t{i} * kVolumeSlotSize, bytes));
+    VolumeSlot s = VolumeSlot::Decode(bytes);
+    if (s.volume_id == 0) {
+      continue;
+    }
+    VolumeInfo info;
+    info.id = s.volume_id;
+    info.name = s.name;
+    info.read_only = (s.flags & kVolFlagReadOnly) != 0;
+    info.is_clone = (s.flags & kVolFlagClone) != 0;
+    info.backing_volume = s.backing_volume;
+    info.root_vnode = s.root_vnode;
+    for (uint64_t v = 1; v < s.anode_count; ++v) {
+      ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(s, v));
+      if (rec.type != AnodeType::kFree) {
+        info.anodes_used += 1;
+        info.max_data_version = std::max(info.max_data_version, rec.data_version);
+      }
+    }
+    ASSIGN_OR_RETURN(info.blocks_used, CountTreeBlocks(s.table, Kind::kAnodeTable));
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<VolumeInfo> Aggregate::GetVolume(uint64_t volume_id) {
+  ASSIGN_OR_RETURN(std::vector<VolumeInfo> all, ListVolumes());
+  for (VolumeInfo& info : all) {
+    if (info.id == volume_id) {
+      return std::move(info);
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such volume");
+}
+
+Result<VfsRef> Aggregate::MountVolume(uint64_t volume_id) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  RETURN_IF_ERROR(FindVolumeSlot(volume_id).status());
+  return VfsRef(std::make_shared<EpisodeVfs>(this, volume_id));
+}
+
+Status Aggregate::SetVolumeBusy(uint64_t volume_id, bool busy) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  return RunTxnLocked([&](TxnId txn) -> Status {
+    ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
+    VolumeSlot vol = std::move(pair.first);
+    if (busy) {
+      vol.flags |= kVolFlagBusy;
+    } else {
+      vol.flags &= static_cast<uint8_t>(~kVolFlagBusy);
+    }
+    return WriteSlot(txn, pair.second, vol);
+  });
+}
+
+Result<VolumeDumpFile> Aggregate::DumpOneFile(const VolumeSlot& vol, uint64_t vnode,
+                                              const AnodeRecord& an) {
+  VolumeDumpFile f;
+  f.vnode = vnode;
+  f.attr.fid = Fid{vol.volume_id, vnode, an.uniq};
+  f.attr.type = FileTypeFor(an.type);
+  f.attr.size = an.size;
+  f.attr.mode = an.mode;
+  f.attr.uid = an.uid;
+  f.attr.gid = an.gid;
+  f.attr.nlink = an.nlink;
+  f.attr.mtime = an.mtime;
+  f.attr.ctime = an.ctime;
+  f.attr.atime = an.atime;
+  f.attr.data_version = an.data_version;
+  if (an.acl_vnode != 0) {
+    ASSIGN_OR_RETURN(AnodeRecord acl_an, ReadAnode(vol, an.acl_vnode));
+    std::vector<uint8_t> bytes(acl_an.size);
+    RETURN_IF_ERROR(ReadContainer(acl_an, 0, bytes));
+    Reader r(bytes);
+    ASSIGN_OR_RETURN(f.acl, Acl::Deserialize(r));
+  }
+  if (an.type == AnodeType::kDirectory) {
+    ASSIGN_OR_RETURN(std::vector<DirSlot> slots, DirList(an));
+    for (const DirSlot& s : slots) {
+      f.dir_entries.push_back(DirEntry{s.name, s.vnode, s.uniq, static_cast<FileType>(s.type)});
+    }
+  } else {
+    f.data.resize(an.size);
+    RETURN_IF_ERROR(ReadContainer(an, 0, f.data));
+  }
+  return f;
+}
+
+Result<VolumeDump> Aggregate::DumpVolume(uint64_t volume_id, uint64_t since_version) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
+  const VolumeSlot& vol = pair.first;
+
+  VolumeDump dump;
+  dump.info.id = vol.volume_id;
+  dump.info.name = vol.name;
+  dump.info.read_only = (vol.flags & kVolFlagReadOnly) != 0;
+  dump.info.is_clone = (vol.flags & kVolFlagClone) != 0;
+  dump.info.backing_volume = vol.backing_volume;
+  dump.info.root_vnode = vol.root_vnode;
+  dump.is_delta = since_version > 0;
+  dump.since_version = since_version;
+
+  for (uint64_t v = 1; v < vol.anode_count; ++v) {
+    ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, v));
+    if (rec.type == AnodeType::kFree || rec.type == AnodeType::kAcl) {
+      continue;  // ACLs travel with their owning file
+    }
+    dump.live_vnodes.push_back(v);
+    dump.info.anodes_used += 1;
+    dump.info.max_data_version = std::max(dump.info.max_data_version, rec.data_version);
+    if (rec.data_version > since_version) {
+      ASSIGN_OR_RETURN(VolumeDumpFile f, DumpOneFile(vol, v, rec));
+      dump.files.push_back(std::move(f));
+    }
+  }
+  return dump;
+}
+
+Status Aggregate::RestoreOneFile(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
+                                 const VolumeDumpFile& f, bool overwrite) {
+  ASSIGN_OR_RETURN(AnodeRecord cur, ReadAnode(vol, f.vnode));
+  if (cur.type != AnodeType::kFree) {
+    if (!overwrite) {
+      return Status(ErrorCode::kExists, "vnode slot occupied during restore");
+    }
+    RETURN_IF_ERROR(FreeAnode(txn, slot_index, vol, f.vnode));
+  }
+  AnodeRecord rec;
+  rec.type = AnodeTypeFor(f.attr.type);
+  rec.nlink = static_cast<uint16_t>(f.attr.nlink);
+  rec.mode = f.attr.mode;
+  rec.uid = f.attr.uid;
+  rec.gid = f.attr.gid;
+  rec.mtime = f.attr.mtime;
+  rec.ctime = f.attr.ctime;
+  rec.atime = f.attr.atime;
+  rec.data_version = f.attr.data_version;
+  rec.uniq = f.attr.fid.uniq;
+  RETURN_IF_ERROR(AllocAnodeAt(txn, slot_index, vol, f.vnode, rec));
+  ASSIGN_OR_RETURN(rec, ReadAnode(vol, f.vnode));
+
+  bool ch = false;
+  if (f.attr.type == FileType::kDirectory) {
+    for (const DirEntry& e : f.dir_entries) {
+      RETURN_IF_ERROR(DirAddEntry(
+          txn, rec, DirSlot{e.vnode, e.uniq, 1, static_cast<uint8_t>(e.type), e.name}, &ch));
+    }
+  } else {
+    Kind kind = (f.attr.type == FileType::kFile) ? Kind::kData : Kind::kMeta;
+    RETURN_IF_ERROR(WriteContainer(txn, rec, kind, 0, f.data, &ch));
+  }
+  // Persist the block map built above before anything else can move the
+  // table blocks underneath us.
+  RETURN_IF_ERROR(WriteAnode(txn, slot_index, vol, f.vnode, rec));
+  if (!f.acl.empty()) {
+    AnodeRecord init;
+    init.nlink = 1;
+    init.data_version = 1;
+    ASSIGN_OR_RETURN(uint64_t acl_vnode,
+                     AllocAnode(txn, slot_index, vol, AnodeType::kAcl, init));
+    ASSIGN_OR_RETURN(AnodeRecord acl_an, ReadAnode(vol, acl_vnode));
+    Writer w;
+    f.acl.Serialize(w);
+    bool ach = false;
+    RETURN_IF_ERROR(WriteContainer(txn, acl_an, Kind::kMeta, 0, w.data(), &ach));
+    RETURN_IF_ERROR(WriteAnode(txn, slot_index, vol, acl_vnode, acl_an));
+    ASSIGN_OR_RETURN(AnodeRecord fresh, ReadAnode(vol, f.vnode));
+    fresh.acl_vnode = acl_vnode;
+    RETURN_IF_ERROR(WriteAnode(txn, slot_index, vol, f.vnode, fresh));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> Aggregate::RestoreVolume(const VolumeDump& dump) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  uint64_t forced = dump.info.id;
+  if (FindVolumeSlot(forced).ok()) {
+    forced = 0;  // id collision on this aggregate: allocate a fresh one
+  }
+  ASSIGN_OR_RETURN(uint64_t new_id, CreateVolumeLocked(dump.info.name, forced));
+  ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(new_id));
+  VolumeSlot vol = std::move(pair.first);
+  uint32_t slot_index = pair.second;
+  for (const VolumeDumpFile& f : dump.files) {
+    RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+      return RestoreOneFile(txn, slot_index, vol, f, /*overwrite=*/true);
+    }));
+  }
+  // Restore volume-level flags last (a read-only flag would block the loads).
+  RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+    vol.flags = 0;
+    if (dump.info.read_only) {
+      vol.flags |= kVolFlagReadOnly;
+    }
+    if (dump.info.is_clone) {
+      vol.flags |= kVolFlagClone;
+    }
+    vol.backing_volume = dump.info.backing_volume;
+    vol.version_counter = std::max(vol.version_counter, dump.info.max_data_version);
+    return WriteSlot(txn, slot_index, vol);
+  }));
+  return new_id;
+}
+
+Status Aggregate::ApplyDelta(uint64_t volume_id, const VolumeDump& delta) {
+  std::lock_guard<std::mutex> lock(op_mu_);
+  ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
+  VolumeSlot vol = std::move(pair.first);
+  uint32_t slot_index = pair.second;
+
+  for (const VolumeDumpFile& f : delta.files) {
+    RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+      return RestoreOneFile(txn, slot_index, vol, f, /*overwrite=*/true);
+    }));
+  }
+  // Prune vnodes deleted at the source.
+  if (!delta.live_vnodes.empty()) {
+    std::unordered_set<uint64_t> live(delta.live_vnodes.begin(), delta.live_vnodes.end());
+    for (uint64_t v = 1; v < vol.anode_count; ++v) {
+      ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, v));
+      if (rec.type == AnodeType::kFree || rec.type == AnodeType::kAcl) {
+        continue;
+      }
+      if (live.count(v) == 0) {
+        RETURN_IF_ERROR(RunTxnLocked(
+            [&](TxnId txn) -> Status { return FreeAnode(txn, slot_index, vol, v); }));
+      }
+    }
+  }
+  return RunTxnLocked([&](TxnId txn) -> Status {
+    vol.version_counter = std::max(vol.version_counter, delta.info.max_data_version);
+    return WriteSlot(txn, slot_index, vol);
+  });
+}
+
+}  // namespace dfs

@@ -1,0 +1,863 @@
+#include "src/ffs/ffs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/episode/layout.h"  // reuses DirSlot's 80-byte entry format
+
+namespace dfs {
+namespace {
+
+constexpr uint64_t kFfsMagic = 0xFF5'0BEEFull;
+
+void PutLe64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint64_t GetLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void EncodeInode(const FfsVfs::Inode& in, uint8_t* p) {
+  std::memset(p, 0, FfsVfs::kInodeSize);
+  p[0] = in.type;
+  std::memcpy(p + 2, &in.nlink, 2);
+  std::memcpy(p + 4, &in.mode, 4);
+  std::memcpy(p + 8, &in.uid, 4);
+  std::memcpy(p + 12, &in.gid, 4);
+  PutLe64(p + 16, in.size);
+  PutLe64(p + 24, in.mtime);
+  PutLe64(p + 32, in.data_version);
+  PutLe64(p + 40, in.uniq);
+  for (uint32_t i = 0; i < FfsVfs::Inode::kDirect; ++i) {
+    PutLe64(p + 48 + 8 * i, in.direct[i]);
+  }
+  PutLe64(p + 48 + 8 * FfsVfs::Inode::kDirect, in.indirect);
+}
+
+FfsVfs::Inode DecodeInode(const uint8_t* p) {
+  FfsVfs::Inode in;
+  in.type = p[0];
+  std::memcpy(&in.nlink, p + 2, 2);
+  std::memcpy(&in.mode, p + 4, 4);
+  std::memcpy(&in.uid, p + 8, 4);
+  std::memcpy(&in.gid, p + 12, 4);
+  in.size = GetLe64(p + 16);
+  in.mtime = GetLe64(p + 24);
+  in.data_version = GetLe64(p + 32);
+  in.uniq = GetLe64(p + 40);
+  for (uint32_t i = 0; i < FfsVfs::Inode::kDirect; ++i) {
+    in.direct[i] = GetLe64(p + 48 + 8 * i);
+  }
+  in.indirect = GetLe64(p + 48 + 8 * FfsVfs::Inode::kDirect);
+  return in;
+}
+
+}  // namespace
+
+FfsVfs::FfsVfs(BlockDevice& dev, Options options) : dev_(dev), options_(options) {
+  cache_ = std::make_unique<BufferCache>(dev_, options_.cache_blocks);
+}
+
+Result<std::shared_ptr<FfsVfs>> FfsVfs::Format(BlockDevice& dev, Options options) {
+  uint64_t block_count = dev.BlockCount();
+  uint64_t inode_blocks = (options.inode_count + kInodesPerBlock - 1) / kInodesPerBlock;
+  uint64_t bitmap_blocks = (block_count / 8 + kBlockSize - 1) / kBlockSize;
+  uint64_t inode_start = 1;
+  uint64_t bitmap_start = inode_start + inode_blocks;
+  uint64_t data_start = bitmap_start + bitmap_blocks;
+  if (data_start + 8 >= block_count) {
+    return Status(ErrorCode::kInvalidArgument, "device too small for FFS");
+  }
+
+  std::vector<uint8_t> block(kBlockSize, 0);
+  PutLe64(block.data(), kFfsMagic);
+  PutLe64(block.data() + 8, block_count);
+  PutLe64(block.data() + 16, options.inode_count);
+  PutLe64(block.data() + 24, inode_start);
+  PutLe64(block.data() + 32, inode_blocks);
+  PutLe64(block.data() + 40, bitmap_start);
+  PutLe64(block.data() + 48, bitmap_blocks);
+  PutLe64(block.data() + 56, data_start);
+  RETURN_IF_ERROR(dev.Write(0, block));
+
+  std::fill(block.begin(), block.end(), uint8_t{0});
+  for (uint64_t b = 0; b < inode_blocks; ++b) {
+    RETURN_IF_ERROR(dev.Write(inode_start + b, block));
+  }
+  for (uint64_t b = 0; b < bitmap_blocks; ++b) {
+    std::fill(block.begin(), block.end(), uint8_t{0});
+    uint64_t first_bit = b * kBlockSize * 8;
+    for (uint64_t i = 0; i < kBlockSize * 8; ++i) {
+      uint64_t blk = first_bit + i;
+      if (blk < data_start && blk < block_count) {
+        block[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+      }
+    }
+    RETURN_IF_ERROR(dev.Write(bitmap_start + b, block));
+  }
+  RETURN_IF_ERROR(dev.Flush());
+
+  auto fs = std::shared_ptr<FfsVfs>(new FfsVfs(dev, options));
+  fs->inode_start_ = inode_start;
+  fs->inode_blocks_ = inode_blocks;
+  fs->bitmap_start_ = bitmap_start;
+  fs->bitmap_blocks_ = bitmap_blocks;
+  fs->data_start_ = data_start;
+  fs->alloc_hint_ = data_start;
+
+  // Root directory: inode 1 with "." and "..".
+  Inode root;
+  root.type = static_cast<uint8_t>(FileType::kDirectory);
+  root.nlink = 2;
+  root.mode = 0777;  // fresh roots are open; administrators restrict afterwards
+  root.uniq = fs->next_uniq_++;
+  root.data_version = 1;
+  RETURN_IF_ERROR(fs->WriteInodeSync(1, root));
+  RETURN_IF_ERROR(fs->DirAdd(1, root, ".", 1, root.uniq,
+                             static_cast<uint8_t>(FileType::kDirectory)));
+  RETURN_IF_ERROR(fs->DirAdd(1, root, "..", 1, root.uniq,
+                             static_cast<uint8_t>(FileType::kDirectory)));
+  RETURN_IF_ERROR(fs->WriteInodeSync(1, root));
+  return fs;
+}
+
+Result<std::shared_ptr<FfsVfs>> FfsVfs::Mount(BlockDevice& dev, Options options) {
+  std::vector<uint8_t> block(kBlockSize);
+  RETURN_IF_ERROR(dev.Read(0, block));
+  if (GetLe64(block.data()) != kFfsMagic) {
+    return Status(ErrorCode::kCorrupt, "bad FFS magic");
+  }
+  auto fs = std::shared_ptr<FfsVfs>(new FfsVfs(dev, options));
+  fs->options_.inode_count = GetLe64(block.data() + 16);
+  fs->inode_start_ = GetLe64(block.data() + 24);
+  fs->inode_blocks_ = GetLe64(block.data() + 32);
+  fs->bitmap_start_ = GetLe64(block.data() + 40);
+  fs->bitmap_blocks_ = GetLe64(block.data() + 48);
+  fs->data_start_ = GetLe64(block.data() + 56);
+  fs->alloc_hint_ = fs->data_start_;
+  // Recover the uniquifier high-water mark.
+  for (uint64_t ino = 1; ino < fs->options_.inode_count; ++ino) {
+    auto in = fs->ReadInode(ino);
+    if (in.ok() && in->type != 0 && in->uniq >= fs->next_uniq_) {
+      fs->next_uniq_ = in->uniq + 1;
+    }
+  }
+  return fs;
+}
+
+void FfsVfs::CrashNow() { cache_->Crash(); }
+
+Status FfsVfs::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_->FlushAll();
+}
+
+uint64_t FfsVfs::NowTime() { return time_++; }
+
+Result<FfsVfs::Inode> FfsVfs::ReadInode(uint64_t ino) {
+  if (ino == 0 || ino >= options_.inode_count) {
+    return Status(ErrorCode::kStale, "inode out of range");
+  }
+  uint64_t blk = inode_start_ + ino / kInodesPerBlock;
+  uint32_t off = static_cast<uint32_t>((ino % kInodesPerBlock) * kInodeSize);
+  ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blk));
+  return DecodeInode(buf.data() + off);
+}
+
+Status FfsVfs::WriteInodeSync(uint64_t ino, const Inode& inode) {
+  if (ino == 0 || ino >= options_.inode_count) {
+    return Status(ErrorCode::kStale, "inode out of range");
+  }
+  uint64_t blk = inode_start_ + ino / kInodesPerBlock;
+  uint32_t off = static_cast<uint32_t>((ino % kInodesPerBlock) * kInodeSize);
+  std::vector<uint8_t> img(kBlockSize);
+  {
+    ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blk));
+    EncodeInode(inode, buf.data() + off);
+    cache_->MarkDirty(buf, 0);
+    std::memcpy(img.data(), buf.data(), kBlockSize);
+  }
+  // The FFS discipline: the inode reaches the disk now, not at sync time.
+  return dev_.Write(blk, img);
+}
+
+Result<uint64_t> FfsVfs::AllocInode(uint8_t type) {
+  for (uint64_t ino = 1; ino < options_.inode_count; ++ino) {
+    ASSIGN_OR_RETURN(Inode in, ReadInode(ino));
+    if (in.type == 0) {
+      Inode fresh;
+      fresh.type = type;
+      fresh.uniq = next_uniq_++;
+      RETURN_IF_ERROR(WriteInodeSync(ino, fresh));
+      return ino;
+    }
+  }
+  return Status(ErrorCode::kNoAnodes, "FFS inode table full");
+}
+
+Status FfsVfs::FreeInodeSync(uint64_t ino) {
+  ASSIGN_OR_RETURN(Inode in, ReadInode(ino));
+  RETURN_IF_ERROR(TruncateBlocks(in, 0));
+  Inode zero;
+  return WriteInodeSync(ino, zero);
+}
+
+Result<uint64_t> FfsVfs::AllocBlockSync() {
+  std::vector<uint8_t> block(kBlockSize);
+  uint64_t block_count = dev_.BlockCount();
+  for (uint64_t b = std::max(alloc_hint_, data_start_); b < block_count; ++b) {
+    uint64_t bmblk = bitmap_start_ + b / (kBlockSize * 8);
+    uint32_t bit = static_cast<uint32_t>(b % (kBlockSize * 8));
+    ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(bmblk));
+    if ((buf.data()[bit / 8] & (1u << (bit % 8))) == 0) {
+      buf.data()[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+      cache_->MarkDirty(buf, 0);
+      std::memcpy(block.data(), buf.data(), kBlockSize);
+      // Bitmap write is synchronous (ordered before the data it describes).
+      RETURN_IF_ERROR(dev_.Write(bmblk, block));
+      alloc_hint_ = b + 1;
+      return b;
+    }
+  }
+  return Status(ErrorCode::kNoSpace, "FFS full");
+}
+
+Status FfsVfs::FreeBlockSync(uint64_t blockno) {
+  uint64_t bmblk = bitmap_start_ + blockno / (kBlockSize * 8);
+  uint32_t bit = static_cast<uint32_t>(blockno % (kBlockSize * 8));
+  std::vector<uint8_t> img(kBlockSize);
+  {
+    ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(bmblk));
+    buf.data()[bit / 8] &= static_cast<uint8_t>(~(1u << (bit % 8)));
+    cache_->MarkDirty(buf, 0);
+    std::memcpy(img.data(), buf.data(), kBlockSize);
+  }
+  if (blockno < alloc_hint_) {
+    alloc_hint_ = blockno;
+  }
+  return dev_.Write(bmblk, img);
+}
+
+Result<uint64_t> FfsVfs::MapRead(const Inode& inode, uint64_t fblock) {
+  if (fblock < Inode::kDirect) {
+    return inode.direct[fblock];
+  }
+  fblock -= Inode::kDirect;
+  if (fblock >= kBlockSize / 8) {
+    return Status(ErrorCode::kInvalidArgument, "file too large for FFS");
+  }
+  if (inode.indirect == 0) {
+    return uint64_t{0};
+  }
+  ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(inode.indirect));
+  return GetLe64(buf.data() + fblock * 8);
+}
+
+Result<uint64_t> FfsVfs::MapWrite(Inode& inode, uint64_t fblock, bool* inode_changed) {
+  auto alloc_data_block = [&]() -> Result<uint64_t> {
+    ASSIGN_OR_RETURN(uint64_t b, AllocBlockSync());
+    // Zero the fresh block in the cache: its medium content is whatever a
+    // previous owner left there.
+    ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->GetZeroed(b));
+    cache_->MarkDirty(buf, 0);
+    return b;
+  };
+  if (fblock < Inode::kDirect) {
+    if (inode.direct[fblock] == 0) {
+      ASSIGN_OR_RETURN(inode.direct[fblock], alloc_data_block());
+      *inode_changed = true;
+    }
+    return inode.direct[fblock];
+  }
+  fblock -= Inode::kDirect;
+  if (fblock >= kBlockSize / 8) {
+    return Status(ErrorCode::kInvalidArgument, "file too large for FFS");
+  }
+  if (inode.indirect == 0) {
+    ASSIGN_OR_RETURN(inode.indirect, AllocBlockSync());
+    {
+      // Zero through the cache (the block may be cached from a prior owner),
+      // then initialize it on the medium synchronously.
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->GetZeroed(inode.indirect));
+      cache_->MarkDirty(buf, 0);
+    }
+    std::vector<uint8_t> zero(kBlockSize, 0);
+    RETURN_IF_ERROR(dev_.Write(inode.indirect, zero));  // synchronous init
+    *inode_changed = true;
+  }
+  std::vector<uint8_t> img(kBlockSize);
+  uint64_t cur;
+  {
+    ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(inode.indirect));
+    cur = GetLe64(buf.data() + fblock * 8);
+    if (cur == 0) {
+      ASSIGN_OR_RETURN(cur, alloc_data_block());
+      PutLe64(buf.data() + fblock * 8, cur);
+      cache_->MarkDirty(buf, 0);
+      std::memcpy(img.data(), buf.data(), kBlockSize);
+    } else {
+      return cur;
+    }
+  }
+  // Indirect-block update is metadata: synchronous.
+  RETURN_IF_ERROR(dev_.Write(inode.indirect, img));
+  return cur;
+}
+
+Status FfsVfs::ReadRange(const Inode& inode, uint64_t off, std::span<uint8_t> out) {
+  size_t done = 0;
+  while (done < out.size()) {
+    uint64_t pos = off + done;
+    uint64_t fblock = pos / kBlockSize;
+    uint32_t boff = static_cast<uint32_t>(pos % kBlockSize);
+    size_t chunk = std::min<size_t>(kBlockSize - boff, out.size() - done);
+    ASSIGN_OR_RETURN(uint64_t blockno, MapRead(inode, fblock));
+    if (blockno == 0) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
+      std::memcpy(out.data() + done, buf.data() + boff, chunk);
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status FfsVfs::WriteRange(Inode& inode, uint64_t off, std::span<const uint8_t> data,
+                          bool* inode_changed) {
+  size_t done = 0;
+  while (done < data.size()) {
+    uint64_t pos = off + done;
+    uint64_t fblock = pos / kBlockSize;
+    uint32_t boff = static_cast<uint32_t>(pos % kBlockSize);
+    size_t chunk = std::min<size_t>(kBlockSize - boff, data.size() - done);
+    ASSIGN_OR_RETURN(uint64_t blockno, MapWrite(inode, fblock, inode_changed));
+    ASSIGN_OR_RETURN(BufferCache::Ref buf,
+                     (boff == 0 && chunk == kBlockSize) ? cache_->GetZeroed(blockno)
+                                                        : cache_->Get(blockno));
+    std::memcpy(buf.data() + boff, data.data() + done, chunk);
+    cache_->MarkDirty(buf, 0);
+    done += chunk;
+  }
+  if (off + data.size() > inode.size) {
+    inode.size = off + data.size();
+    *inode_changed = true;
+  }
+  return Status::Ok();
+}
+
+Status FfsVfs::TruncateBlocks(Inode& inode, uint64_t new_size) {
+  // When shrinking, zero the tail of the last kept block so a later extension
+  // reads zeros instead of stale bytes.
+  if (new_size < inode.size && new_size % kBlockSize != 0) {
+    ASSIGN_OR_RETURN(uint64_t last, MapRead(inode, new_size / kBlockSize));
+    if (last != 0) {
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(last));
+      uint32_t tail = static_cast<uint32_t>(new_size % kBlockSize);
+      std::memset(buf.data() + tail, 0, kBlockSize - tail);
+      cache_->MarkDirty(buf, 0);
+    }
+  }
+  uint64_t keep = (new_size + kBlockSize - 1) / kBlockSize;
+  for (uint32_t i = 0; i < Inode::kDirect; ++i) {
+    if (inode.direct[i] != 0 && keep <= i) {
+      RETURN_IF_ERROR(FreeBlockSync(inode.direct[i]));
+      inode.direct[i] = 0;
+    }
+  }
+  if (inode.indirect != 0) {
+    std::vector<uint8_t> img(kBlockSize);
+    {
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(inode.indirect));
+      std::memcpy(img.data(), buf.data(), kBlockSize);
+    }
+    bool any_kept = false;
+    for (uint32_t i = 0; i < kBlockSize / 8; ++i) {
+      uint64_t ptr = GetLe64(img.data() + i * 8);
+      if (ptr == 0) {
+        continue;
+      }
+      if (keep <= Inode::kDirect + i) {
+        RETURN_IF_ERROR(FreeBlockSync(ptr));
+        PutLe64(img.data() + i * 8, 0);
+      } else {
+        any_kept = true;
+      }
+    }
+    if (any_kept) {
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(inode.indirect));
+      std::memcpy(buf.data(), img.data(), kBlockSize);
+      cache_->MarkDirty(buf, 0);
+      RETURN_IF_ERROR(dev_.Write(inode.indirect, img));
+    } else {
+      RETURN_IF_ERROR(FreeBlockSync(inode.indirect));
+      inode.indirect = 0;
+    }
+  }
+  inode.size = new_size;
+  return Status::Ok();
+}
+
+// --- Directories (80-byte DirSlot entries, as in Episode) ---
+
+Status FfsVfs::DirAdd(uint64_t dir_ino, Inode& dir, std::string_view name, uint64_t ino,
+                      uint64_t uniq, uint8_t type) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return Status(ErrorCode::kNameTooLong, "bad entry name");
+  }
+  uint64_t nslots = dir.size / kDirEntrySize;
+  std::vector<uint8_t> bytes(kDirEntrySize);
+  uint64_t free_slot = nslots;
+  for (uint64_t i = 0; i < nslots; ++i) {
+    RETURN_IF_ERROR(ReadRange(dir, i * kDirEntrySize, bytes));
+    DirSlot d = DirSlot::Decode(bytes);
+    if (d.in_use != 0 && d.name == name) {
+      return Status(ErrorCode::kExists, "entry exists");
+    }
+    if (d.in_use == 0 && free_slot == nslots) {
+      free_slot = i;
+    }
+  }
+  DirSlot d{ino, uniq, 1, type, std::string(name)};
+  d.Encode(bytes);
+  bool changed = false;
+  RETURN_IF_ERROR(WriteRange(dir, free_slot * kDirEntrySize, bytes, &changed));
+  // Directory contents are metadata in FFS: force the block out synchronously.
+  ASSIGN_OR_RETURN(uint64_t blockno, MapRead(dir, free_slot * kDirEntrySize / kBlockSize));
+  if (blockno != 0) {
+    std::vector<uint8_t> img(kBlockSize);
+    {
+      ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
+      std::memcpy(img.data(), buf.data(), kBlockSize);
+    }
+    RETURN_IF_ERROR(dev_.Write(blockno, img));
+  }
+  RETURN_IF_ERROR(WriteInodeSync(dir_ino, dir));
+  return Status::Ok();
+}
+
+Result<std::pair<uint64_t, uint64_t>> FfsVfs::DirFind(const Inode& dir, std::string_view name,
+                                                      uint8_t* type_out) {
+  uint64_t nslots = dir.size / kDirEntrySize;
+  std::vector<uint8_t> bytes(kDirEntrySize);
+  for (uint64_t i = 0; i < nslots; ++i) {
+    RETURN_IF_ERROR(ReadRange(dir, i * kDirEntrySize, bytes));
+    DirSlot d = DirSlot::Decode(bytes);
+    if (d.in_use != 0 && d.name == name) {
+      if (type_out != nullptr) {
+        *type_out = d.type;
+      }
+      return std::make_pair(d.vnode, d.uniq);
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such entry");
+}
+
+Status FfsVfs::DirRemove(uint64_t dir_ino, Inode& dir, std::string_view name) {
+  uint64_t nslots = dir.size / kDirEntrySize;
+  std::vector<uint8_t> bytes(kDirEntrySize);
+  for (uint64_t i = 0; i < nslots; ++i) {
+    RETURN_IF_ERROR(ReadRange(dir, i * kDirEntrySize, bytes));
+    DirSlot d = DirSlot::Decode(bytes);
+    if (d.in_use != 0 && d.name == name) {
+      std::fill(bytes.begin(), bytes.end(), uint8_t{0});
+      bool changed = false;
+      RETURN_IF_ERROR(WriteRange(dir, i * kDirEntrySize, bytes, &changed));
+      ASSIGN_OR_RETURN(uint64_t blockno, MapRead(dir, i * kDirEntrySize / kBlockSize));
+      if (blockno != 0) {
+        std::vector<uint8_t> img(kBlockSize);
+        {
+          ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
+          std::memcpy(img.data(), buf.data(), kBlockSize);
+        }
+        RETURN_IF_ERROR(dev_.Write(blockno, img));
+      }
+      return WriteInodeSync(dir_ino, dir);
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such entry");
+}
+
+Result<std::vector<DirEntry>> FfsVfs::DirList(const Inode& dir) {
+  uint64_t nslots = dir.size / kDirEntrySize;
+  std::vector<uint8_t> bytes(kDirEntrySize);
+  std::vector<DirEntry> out;
+  for (uint64_t i = 0; i < nslots; ++i) {
+    RETURN_IF_ERROR(ReadRange(dir, i * kDirEntrySize, bytes));
+    DirSlot d = DirSlot::Decode(bytes);
+    if (d.in_use != 0) {
+      out.push_back(DirEntry{d.name, d.vnode, d.uniq, static_cast<FileType>(d.type)});
+    }
+  }
+  return out;
+}
+
+Result<bool> FfsVfs::DirEmpty(const Inode& dir) {
+  ASSIGN_OR_RETURN(std::vector<DirEntry> entries, DirList(dir));
+  for (const DirEntry& e : entries) {
+    if (e.name != "." && e.name != "..") {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Vfs interface ---
+
+Result<VnodeRef> FfsVfs::Root() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Inode root, ReadInode(1));
+  return VnodeRef(std::make_shared<FfsVnode>(shared_from_this(), 1, root.uniq));
+}
+
+Result<VnodeRef> FfsVfs::VnodeByFid(const Fid& fid) {
+  if (fid.volume != options_.volume_id) {
+    return Status(ErrorCode::kStale, "FID volume mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Inode in, ReadInode(fid.vnode));
+  if (in.type == 0 || in.uniq != fid.uniq) {
+    return Status(ErrorCode::kStale, "stale FID");
+  }
+  return VnodeRef(std::make_shared<FfsVnode>(shared_from_this(), fid.vnode, fid.uniq));
+}
+
+Status FfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                      std::string_view dst_name) {
+  auto* src = dynamic_cast<FfsVnode*>(&src_dir);
+  auto* dst = dynamic_cast<FfsVnode*>(&dst_dir);
+  if (src == nullptr || dst == nullptr) {
+    return Status(ErrorCode::kCrossVolume, "rename across file systems");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Inode sdir, ReadInode(src->ino_));
+  uint8_t type = 0;
+  ASSIGN_OR_RETURN(auto moving, DirFind(sdir, src_name, &type));
+  ASSIGN_OR_RETURN(Inode ddir, ReadInode(dst->ino_));
+  uint8_t etype = 0;
+  auto existing = DirFind(ddir, dst_name, &etype);
+  if (existing.ok()) {
+    if (existing->first == moving.first) {
+      return Status::Ok();
+    }
+    ASSIGN_OR_RETURN(Inode victim, ReadInode(existing->first));
+    if (victim.type == static_cast<uint8_t>(FileType::kDirectory)) {
+      ASSIGN_OR_RETURN(bool empty, DirEmpty(victim));
+      if (!empty) {
+        return Status(ErrorCode::kNotEmpty, "target directory not empty");
+      }
+    }
+    RETURN_IF_ERROR(DirRemove(dst->ino_, ddir, dst_name));
+    victim.nlink = static_cast<uint16_t>(victim.nlink > 0 ? victim.nlink - 1 : 0);
+    if (victim.nlink == 0 || victim.type == static_cast<uint8_t>(FileType::kDirectory)) {
+      RETURN_IF_ERROR(FreeInodeSync(existing->first));
+    } else {
+      RETURN_IF_ERROR(WriteInodeSync(existing->first, victim));
+    }
+    ASSIGN_OR_RETURN(ddir, ReadInode(dst->ino_));
+  }
+  RETURN_IF_ERROR(DirAdd(dst->ino_, ddir, dst_name, moving.first, moving.second, type));
+  ASSIGN_OR_RETURN(sdir, ReadInode(src->ino_));
+  RETURN_IF_ERROR(DirRemove(src->ino_, sdir, src_name));
+  return Status::Ok();
+}
+
+Result<FfsVfs::FsckReport> FfsVfs::Fsck(bool repair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FsckReport report;
+  uint64_t block_count = dev_.BlockCount();
+  std::vector<bool> used(block_count, false);
+  for (uint64_t b = 0; b < data_start_; ++b) {
+    used[b] = true;
+  }
+  std::vector<uint8_t> block(kBlockSize);
+
+  // Pass 1: the whole inode table; mark every referenced block.
+  std::unordered_map<uint64_t, uint32_t> link_count;
+  for (uint64_t ib = 0; ib < inode_blocks_; ++ib) {
+    RETURN_IF_ERROR(dev_.Read(inode_start_ + ib, block));
+    ++report.blocks_read;
+    for (uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      uint64_t ino = ib * kInodesPerBlock + i;
+      if (ino == 0 || ino >= options_.inode_count) {
+        continue;
+      }
+      Inode in = DecodeInode(block.data() + i * kInodeSize);
+      if (in.type == 0) {
+        continue;
+      }
+      ++report.inodes_checked;
+      for (uint32_t d = 0; d < Inode::kDirect; ++d) {
+        if (in.direct[d] != 0 && in.direct[d] < block_count) {
+          used[in.direct[d]] = true;
+        }
+      }
+      if (in.indirect != 0 && in.indirect < block_count) {
+        used[in.indirect] = true;
+        std::vector<uint8_t> ind(kBlockSize);
+        RETURN_IF_ERROR(dev_.Read(in.indirect, ind));
+        ++report.blocks_read;
+        for (uint32_t p = 0; p < kBlockSize / 8; ++p) {
+          uint64_t ptr = GetLe64(ind.data() + p * 8);
+          if (ptr != 0 && ptr < block_count) {
+            used[ptr] = true;
+          }
+        }
+      }
+      // Pass 2 folded in: walk directory contents (reads every dir block).
+      if (in.type == static_cast<uint8_t>(FileType::kDirectory)) {
+        uint64_t nslots = in.size / kDirEntrySize;
+        std::vector<uint8_t> ebytes(kDirEntrySize);
+        for (uint64_t s = 0; s < nslots; ++s) {
+          RETURN_IF_ERROR(ReadRange(in, s * kDirEntrySize, ebytes));
+          DirSlot d = DirSlot::Decode(ebytes);
+          if (d.in_use != 0) {
+            link_count[d.vnode] += 1;
+          }
+        }
+        report.blocks_read += (nslots * kDirEntrySize + kBlockSize - 1) / kBlockSize;
+      }
+    }
+  }
+
+  // Pass 3: the bitmap, compared against reachability.
+  for (uint64_t bb = 0; bb < bitmap_blocks_; ++bb) {
+    RETURN_IF_ERROR(dev_.Read(bitmap_start_ + bb, block));
+    ++report.blocks_read;
+    bool dirty = false;
+    for (uint64_t i = 0; i < kBlockSize * 8; ++i) {
+      uint64_t blk = bb * kBlockSize * 8 + i;
+      if (blk >= block_count) {
+        break;
+      }
+      bool marked = (block[i / 8] & (1u << (i % 8))) != 0;
+      if (marked != used[blk]) {
+        ++report.bitmap_fixes;
+        if (repair) {
+          if (used[blk]) {
+            block[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+          } else {
+            block[i / 8] &= static_cast<uint8_t>(~(1u << (i % 8)));
+          }
+          dirty = true;
+        }
+      }
+    }
+    if (dirty) {
+      RETURN_IF_ERROR(dev_.Write(bitmap_start_ + bb, block));
+    }
+  }
+  if (repair) {
+    cache_->InvalidateAll();
+  }
+  return report;
+}
+
+// --- FfsVnode ---
+
+Result<FfsVfs::Inode> FfsVnode::LoadChecked(bool want_dir) {
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, fs_->ReadInode(ino_));
+  if (in.type == 0 || in.uniq != uniq_) {
+    return Status(ErrorCode::kStale, "stale FID");
+  }
+  if (want_dir && in.type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDirectory, "not a directory");
+  }
+  return in;
+}
+
+Result<FileAttr> FfsVnode::GetAttr() {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  FileAttr attr;
+  attr.fid = fid();
+  attr.type = static_cast<FileType>(in.type);
+  attr.size = in.size;
+  attr.mode = in.mode;
+  attr.uid = in.uid;
+  attr.gid = in.gid;
+  attr.nlink = in.nlink;
+  attr.mtime = in.mtime;
+  attr.ctime = in.mtime;
+  attr.atime = in.mtime;
+  attr.data_version = in.data_version;
+  return attr;
+}
+
+Status FfsVnode::SetAttr(const AttrUpdate& update) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  if (update.mode) {
+    in.mode = *update.mode;
+  }
+  if (update.uid) {
+    in.uid = *update.uid;
+  }
+  if (update.gid) {
+    in.gid = *update.gid;
+  }
+  if (update.mtime) {
+    in.mtime = *update.mtime;
+  }
+  in.data_version += 1;
+  return fs_->WriteInodeSync(ino_, in);
+}
+
+Result<size_t> FfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  if (offset >= in.size) {
+    return size_t{0};
+  }
+  size_t n = static_cast<size_t>(std::min<uint64_t>(out.size(), in.size - offset));
+  RETURN_IF_ERROR(fs_->ReadRange(in, offset, out.subspan(0, n)));
+  return n;
+}
+
+Result<size_t> FfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  bool changed = false;
+  RETURN_IF_ERROR(fs_->WriteRange(in, offset, data, &changed));
+  in.mtime = fs_->NowTime();
+  in.data_version += 1;
+  RETURN_IF_ERROR(fs_->WriteInodeSync(ino_, in));
+  return data.size();
+}
+
+Status FfsVnode::Truncate(uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  RETURN_IF_ERROR(fs_->TruncateBlocks(in, new_size));
+  in.mtime = fs_->NowTime();
+  in.data_version += 1;
+  return fs_->WriteInodeSync(ino_, in);
+}
+
+Result<VnodeRef> FfsVnode::Lookup(std::string_view name) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(true));
+  ASSIGN_OR_RETURN(auto found, fs_->DirFind(in, name, nullptr));
+  return VnodeRef(std::make_shared<FfsVnode>(fs_, found.first, found.second));
+}
+
+Result<VnodeRef> FfsVnode::Create(std::string_view name, FileType type, uint32_t mode,
+                                  const Cred& cred) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
+  if (fs_->DirFind(dir, name, nullptr).ok()) {
+    return Status(ErrorCode::kExists, "entry exists");
+  }
+  ASSIGN_OR_RETURN(uint64_t ino, fs_->AllocInode(static_cast<uint8_t>(type)));
+  ASSIGN_OR_RETURN(FfsVfs::Inode child, fs_->ReadInode(ino));
+  child.mode = mode;
+  child.uid = cred.uid;
+  child.gid = cred.gids.empty() ? 0 : cred.gids[0];
+  child.nlink = (type == FileType::kDirectory) ? 2 : 1;
+  child.mtime = fs_->NowTime();
+  child.data_version = 1;
+  RETURN_IF_ERROR(fs_->WriteInodeSync(ino, child));
+  if (type == FileType::kDirectory) {
+    RETURN_IF_ERROR(fs_->DirAdd(ino, child, ".", ino, child.uniq,
+                                static_cast<uint8_t>(FileType::kDirectory)));
+    RETURN_IF_ERROR(fs_->DirAdd(ino, child, "..", ino_, uniq_,
+                                static_cast<uint8_t>(FileType::kDirectory)));
+  }
+  RETURN_IF_ERROR(
+      fs_->DirAdd(ino_, dir, name, ino, child.uniq, static_cast<uint8_t>(type)));
+  if (type == FileType::kDirectory) {
+    ASSIGN_OR_RETURN(dir, fs_->ReadInode(ino_));
+    dir.nlink += 1;
+    RETURN_IF_ERROR(fs_->WriteInodeSync(ino_, dir));
+  }
+  return VnodeRef(std::make_shared<FfsVnode>(fs_, ino, child.uniq));
+}
+
+Result<VnodeRef> FfsVnode::CreateSymlink(std::string_view name, std::string_view target,
+                                         const Cred& cred) {
+  ASSIGN_OR_RETURN(VnodeRef link, Create(name, FileType::kSymlink, 0777, cred));
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  auto* lv = static_cast<FfsVnode*>(link.get());
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, fs_->ReadInode(lv->ino_));
+  bool changed = false;
+  std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(target.data()),
+                                 target.size());
+  RETURN_IF_ERROR(fs_->WriteRange(in, 0, bytes, &changed));
+  RETURN_IF_ERROR(fs_->WriteInodeSync(lv->ino_, in));
+  return link;
+}
+
+Status FfsVnode::Link(std::string_view name, Vnode& target) {
+  auto* other = dynamic_cast<FfsVnode*>(&target);
+  if (other == nullptr) {
+    return Status(ErrorCode::kCrossVolume, "link across file systems");
+  }
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
+  ASSIGN_OR_RETURN(FfsVfs::Inode tin, fs_->ReadInode(other->ino_));
+  if (tin.type != static_cast<uint8_t>(FileType::kFile)) {
+    return Status(ErrorCode::kInvalidArgument, "hard link target must be a file");
+  }
+  RETURN_IF_ERROR(fs_->DirAdd(ino_, dir, name, other->ino_, other->uniq_, tin.type));
+  tin.nlink += 1;
+  return fs_->WriteInodeSync(other->ino_, tin);
+}
+
+Status FfsVnode::Unlink(std::string_view name) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
+  uint8_t type = 0;
+  ASSIGN_OR_RETURN(auto found, fs_->DirFind(dir, name, &type));
+  if (type == static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kIsDirectory, "use Rmdir");
+  }
+  RETURN_IF_ERROR(fs_->DirRemove(ino_, dir, name));
+  ASSIGN_OR_RETURN(FfsVfs::Inode child, fs_->ReadInode(found.first));
+  if (child.nlink <= 1) {
+    return fs_->FreeInodeSync(found.first);
+  }
+  child.nlink -= 1;
+  return fs_->WriteInodeSync(found.first, child);
+}
+
+Status FfsVnode::Rmdir(std::string_view name) {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
+  uint8_t type = 0;
+  ASSIGN_OR_RETURN(auto found, fs_->DirFind(dir, name, &type));
+  if (type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDirectory, "not a directory");
+  }
+  ASSIGN_OR_RETURN(FfsVfs::Inode child, fs_->ReadInode(found.first));
+  ASSIGN_OR_RETURN(bool empty, fs_->DirEmpty(child));
+  if (!empty) {
+    return Status(ErrorCode::kNotEmpty, "directory not empty");
+  }
+  RETURN_IF_ERROR(fs_->DirRemove(ino_, dir, name));
+  RETURN_IF_ERROR(fs_->FreeInodeSync(found.first));
+  ASSIGN_OR_RETURN(dir, fs_->ReadInode(ino_));
+  dir.nlink -= 1;
+  return fs_->WriteInodeSync(ino_, dir);
+}
+
+Result<std::vector<DirEntry>> FfsVnode::ReadDir() {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
+  return fs_->DirList(dir);
+}
+
+Result<std::string> FfsVnode::ReadSymlink() {
+  std::lock_guard<std::mutex> lock(fs_->mu_);
+  ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
+  if (in.type != static_cast<uint8_t>(FileType::kSymlink)) {
+    return Status(ErrorCode::kInvalidArgument, "not a symlink");
+  }
+  std::string out(in.size, '\0');
+  RETURN_IF_ERROR(fs_->ReadRange(
+      in, 0, std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()), out.size())));
+  return out;
+}
+
+}  // namespace dfs

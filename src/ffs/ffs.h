@@ -1,0 +1,175 @@
+// A Berkeley-FFS-style physical file system: the paper's interoperability
+// target and performance baseline.
+//
+// Two properties matter for the reproduction:
+//  - Metadata updates (inodes, directories, the allocation bitmap) are written
+//    *synchronously*, in a careful order, exactly the behaviour Section 2.2
+//    blames for FFS's metadata-operation cost. Every create/delete/truncate
+//    issues several random single-block writes.
+//  - Recovery is fsck: a scan whose cost is proportional to the size of the
+//    file system (the whole inode table, every directory, every indirect
+//    block, the bitmap), not to recent activity.
+//
+// FfsVfs implements the same Vnode/Vfs interface as Episode, so the protocol
+// exporter can export it unchanged; VFS+ extensions it lacks (ACLs, volume
+// operations) return kNotSupported, the Section 3.3 situation.
+#ifndef SRC_FFS_FFS_H_
+#define SRC_FFS_FFS_H_
+
+#include <memory>
+#include <mutex>
+
+#include "src/blockdev/block_device.h"
+#include "src/buf/buffer_cache.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+class FfsVfs : public Vfs, public std::enable_shared_from_this<FfsVfs> {
+ public:
+  struct Options {
+    size_t cache_blocks = 1024;
+    uint64_t inode_count = 4096;
+    // FID volume id reported for files in this file system (one FFS = one
+    // "volume" from the exporter's point of view).
+    uint64_t volume_id = 1;
+  };
+
+  static Result<std::shared_ptr<FfsVfs>> Format(BlockDevice& dev, Options options);
+  static Result<std::shared_ptr<FfsVfs>> Mount(BlockDevice& dev, Options options);
+
+  // --- Vfs ---
+  Result<VnodeRef> Root() override;
+  Result<VnodeRef> VnodeByFid(const Fid& fid) override;
+  Status Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                std::string_view dst_name) override;
+  Status Sync() override;
+
+  // Simulated crash: the data cache is lost; synchronously-written metadata
+  // survives on the device.
+  void CrashNow();
+
+  struct FsckReport {
+    uint64_t blocks_read = 0;
+    uint64_t inodes_checked = 0;
+    uint64_t bitmap_fixes = 0;
+    uint64_t nlink_fixes = 0;
+    uint64_t orphan_entries = 0;
+  };
+  // The salvage pass. Reads the entire metadata footprint of the file system.
+  Result<FsckReport> Fsck(bool repair);
+
+  // --- internal, used by FfsVnode ---
+  struct Inode {
+    uint8_t type = 0;  // 0 free, else FileType
+    uint16_t nlink = 0;
+    uint32_t mode = 0;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    uint64_t size = 0;
+    uint64_t mtime = 0;
+    uint64_t data_version = 0;
+    uint64_t uniq = 0;
+    static constexpr uint32_t kDirect = 10;
+    uint64_t direct[kDirect] = {};
+    uint64_t indirect = 0;
+  };
+  static constexpr uint32_t kInodeSize = 160;
+  static constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+
+  Options options() const { return options_; }
+  // Layout accessors (used by tests and fault-injection tooling).
+  uint64_t inode_start() const { return inode_start_; }
+  uint64_t bitmap_start() const { return bitmap_start_; }
+  uint64_t data_start() const { return data_start_; }
+
+ private:
+  friend class FfsVnode;
+
+  FfsVfs(BlockDevice& dev, Options options);
+
+  Result<Inode> ReadInode(uint64_t ino);
+  // Synchronous: the inode block goes to the device before this returns.
+  Status WriteInodeSync(uint64_t ino, const Inode& inode);
+  Result<uint64_t> AllocInode(uint8_t type);
+  Status FreeInodeSync(uint64_t ino);
+
+  Result<uint64_t> AllocBlockSync();
+  Status FreeBlockSync(uint64_t blockno);
+
+  Result<uint64_t> MapRead(const Inode& inode, uint64_t fblock);
+  Result<uint64_t> MapWrite(Inode& inode, uint64_t fblock, bool* inode_changed);
+
+  Status ReadRange(const Inode& inode, uint64_t off, std::span<uint8_t> out);
+  // Data goes to the cache; metadata consequences (bitmap, indirect blocks,
+  // inode) are written synchronously.
+  Status WriteRange(Inode& inode, uint64_t off, std::span<const uint8_t> data,
+                    bool* inode_changed);
+  Status TruncateBlocks(Inode& inode, uint64_t new_size);
+
+  // Directory helpers (same 80-byte entry format as Episode's DirSlot).
+  Status DirAdd(uint64_t dir_ino, Inode& dir, std::string_view name, uint64_t ino,
+                uint64_t uniq, uint8_t type);
+  Result<std::pair<uint64_t, uint64_t>> DirFind(const Inode& dir, std::string_view name,
+                                                uint8_t* type_out);
+  Status DirRemove(uint64_t dir_ino, Inode& dir, std::string_view name);
+  Result<std::vector<DirEntry>> DirList(const Inode& dir);
+  Result<bool> DirEmpty(const Inode& dir);
+
+  uint64_t NowTime();
+
+  BlockDevice& dev_;
+  Options options_;
+  std::unique_ptr<BufferCache> cache_;
+  std::mutex mu_;
+  uint64_t inode_start_ = 0;
+  uint64_t inode_blocks_ = 0;
+  uint64_t bitmap_start_ = 0;
+  uint64_t bitmap_blocks_ = 0;
+  uint64_t data_start_ = 0;
+  uint64_t next_uniq_ = 1;
+  uint64_t alloc_hint_ = 0;
+  uint64_t time_ = 1;
+};
+
+class FfsVnode : public Vnode {
+ public:
+  FfsVnode(std::shared_ptr<FfsVfs> fs, uint64_t ino, uint64_t uniq)
+      : fs_(std::move(fs)), ino_(ino), uniq_(uniq) {}
+
+  Fid fid() const override { return Fid{fs_->options().volume_id, ino_, uniq_}; }
+
+  Result<FileAttr> GetAttr() override;
+  Status SetAttr(const AttrUpdate& update) override;
+  Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) override;
+  Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) override;
+  Status Truncate(uint64_t new_size) override;
+  Result<VnodeRef> Lookup(std::string_view name) override;
+  Result<VnodeRef> Create(std::string_view name, FileType type, uint32_t mode,
+                          const Cred& cred) override;
+  Result<VnodeRef> CreateSymlink(std::string_view name, std::string_view target,
+                                 const Cred& cred) override;
+  Status Link(std::string_view name, Vnode& target) override;
+  Status Unlink(std::string_view name) override;
+  Status Rmdir(std::string_view name) override;
+  Result<std::vector<DirEntry>> ReadDir() override;
+  Result<std::string> ReadSymlink() override;
+  // FFS has no ACLs: GetAcl reports empty (mode bits rule), SetAcl is the
+  // kNotSupported case of Section 3.3.
+  Result<Acl> GetAcl() override { return Acl(); }
+  Status SetAcl(const Acl&) override {
+    return Status(ErrorCode::kNotSupported, "FFS does not support ACLs");
+  }
+
+ private:
+  friend class FfsVfs;
+  Result<FfsVfs::Inode> LoadChecked(bool want_dir);
+
+  std::shared_ptr<FfsVfs> fs_;
+  uint64_t ino_;
+  uint64_t uniq_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_FFS_FFS_H_

@@ -1,0 +1,87 @@
+#include "src/rpc/auth.h"
+
+namespace dfs {
+
+void Ticket::Serialize(Writer& w) const {
+  w.PutString(principal);
+  w.PutU32(uid);
+  w.PutU64(nonce);
+  w.PutU64(mac);
+}
+
+Result<Ticket> Ticket::Deserialize(Reader& r) {
+  Ticket t;
+  ASSIGN_OR_RETURN(t.principal, r.ReadString());
+  ASSIGN_OR_RETURN(t.uid, r.ReadU32());
+  ASSIGN_OR_RETURN(t.nonce, r.ReadU64());
+  ASSIGN_OR_RETURN(t.mac, r.ReadU64());
+  return t;
+}
+
+uint64_t AuthService::Mac(const std::string& principal, uint32_t uid, uint64_t nonce,
+                          uint64_t secret) {
+  // FNV-1a over the fields mixed with the secret; stands in for a real MAC.
+  uint64_t h = 14695981039346656037ull ^ secret;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (char c : principal) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  mix(uid);
+  mix(nonce);
+  mix(secret);
+  return h;
+}
+
+void AuthService::AddPrincipal(const std::string& principal, uint32_t uid, uint64_t secret) {
+  std::lock_guard<std::mutex> lock(mu_);
+  principals_[principal] = Entry{uid, secret, {uid}};  // every user's private group
+}
+
+void AuthService::AddToGroup(const std::string& principal, uint32_t gid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = principals_.find(principal);
+  if (it != principals_.end()) {
+    it->second.groups.push_back(gid);
+  }
+}
+
+std::vector<uint32_t> AuthService::GroupsOf(const std::string& principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = principals_.find(principal);
+  return it != principals_.end() ? it->second.groups : std::vector<uint32_t>{};
+}
+
+Result<Ticket> AuthService::IssueTicket(const std::string& principal, uint64_t secret) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = principals_.find(principal);
+  if (it == principals_.end() || it->second.secret != secret) {
+    return Status(ErrorCode::kAuthFailed, "unknown principal or bad secret");
+  }
+  Ticket t;
+  t.principal = principal;
+  t.uid = it->second.uid;
+  t.nonce = next_nonce_++;
+  t.mac = Mac(t.principal, t.uid, t.nonce, it->second.secret);
+  return t;
+}
+
+Result<std::string> AuthService::ValidateTicket(const Ticket& ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = principals_.find(ticket.principal);
+  if (it == principals_.end()) {
+    return Status(ErrorCode::kAuthFailed, "unknown principal");
+  }
+  if (ticket.uid != it->second.uid ||
+      Mac(ticket.principal, ticket.uid, ticket.nonce, it->second.secret) != ticket.mac) {
+    return Status(ErrorCode::kAuthFailed, "ticket validation failed");
+  }
+  return ticket.principal;
+}
+
+}  // namespace dfs

@@ -1,0 +1,66 @@
+// Minimal Kerberos-style authentication (Section 3.7 treats the real thing as
+// out of scope; the file system only needs authenticated principals on RPC
+// connections).
+//
+// A principal registered with the AuthService shares a secret key with it.
+// IssueTicket proves knowledge of the secret and yields a ticket whose MAC
+// the service (and any server trusting it) can verify. The protocol exporter
+// validates the ticket at kConnect time and associates the principal with the
+// client host; all subsequent calls from that host carry the principal.
+#ifndef SRC_RPC_AUTH_H_
+#define SRC_RPC_AUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/status.h"
+
+namespace dfs {
+
+struct Ticket {
+  std::string principal;
+  uint32_t uid = 0;
+  uint64_t nonce = 0;
+  uint64_t mac = 0;
+
+  void Serialize(Writer& w) const;
+  static Result<Ticket> Deserialize(Reader& r);
+};
+
+class AuthService {
+ public:
+  // Registers `principal` (a user) with a shared secret and numeric uid.
+  void AddPrincipal(const std::string& principal, uint32_t uid, uint64_t secret);
+
+  // Group membership (PasswdEtc's role): servers consult this when building
+  // credentials for ACL evaluation.
+  void AddToGroup(const std::string& principal, uint32_t gid);
+  std::vector<uint32_t> GroupsOf(const std::string& principal) const;
+
+  // Client side: obtain a ticket by presenting the shared secret.
+  Result<Ticket> IssueTicket(const std::string& principal, uint64_t secret);
+
+  // Server side: verify the ticket's MAC; returns the principal name.
+  Result<std::string> ValidateTicket(const Ticket& ticket) const;
+
+ private:
+  static uint64_t Mac(const std::string& principal, uint32_t uid, uint64_t nonce,
+                      uint64_t secret);
+
+  mutable std::mutex mu_;
+  struct Entry {
+    uint32_t uid;
+    uint64_t secret;
+    std::vector<uint32_t> groups;
+  };
+  std::map<std::string, Entry> principals_;
+  uint64_t next_nonce_ = 1;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_RPC_AUTH_H_

@@ -1,0 +1,128 @@
+#include "src/rpc/rpc.h"
+
+#include <chrono>
+#include <future>
+
+namespace dfs {
+
+Network::~Network() = default;
+
+Status Network::RegisterNode(NodeId id, RpcHandler* handler, NodeOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(id) != 0) {
+    return Status(ErrorCode::kExists, "node id already registered");
+  }
+  auto node = std::make_unique<Node>();
+  node->handler = handler;
+  node->options = options;
+  node->workers = std::make_unique<ThreadPool>(options.worker_threads, "rpc-workers");
+  if (options.revocation_threads > 0) {
+    node->revocation_workers =
+        std::make_unique<ThreadPool>(options.revocation_threads, "rpc-revocation");
+  }
+  nodes_.emplace(id, std::move(node));
+  return Status::Ok();
+}
+
+void Network::UnregisterNode(NodeId id) {
+  std::unique_ptr<Node> node;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+      return;
+    }
+    node = std::move(it->second);
+    nodes_.erase(it);
+  }
+  // Pools drain and join outside the lock.
+}
+
+Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc,
+                                           std::span<const uint8_t> payload,
+                                           const Principal& principal) {
+  RpcHandler* handler = nullptr;
+  ThreadPool* pool = nullptr;
+  uint64_t timeout_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(to);
+    if (it == nodes_.end() || it->second->down) {
+      return Status(ErrorCode::kUnavailable, "destination node down");
+    }
+    auto pit = partitions_.find({std::min(from, to), std::max(from, to)});
+    if (pit != partitions_.end() && pit->second) {
+      return Status(ErrorCode::kUnavailable, "network partition");
+    }
+    Node& node = *it->second;
+    handler = node.handler;
+    bool revocation_path =
+        node.revocation_workers != nullptr && handler->IsRevocationPathProc(proc);
+    pool = revocation_path ? node.revocation_workers.get() : node.workers.get();
+    timeout_ms = node.options.call_timeout_ms;
+    stats_[{from, to}].calls += 1;
+    stats_[{from, to}].bytes += payload.size() + kMessageOverheadBytes;
+  }
+
+  auto request = std::make_shared<RpcRequest>();
+  request->from = from;
+  request->proc = proc;
+  request->principal = principal;
+  request->payload.assign(payload.begin(), payload.end());
+
+  auto promise = std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
+  auto future = promise->get_future();
+  bool submitted = pool->Submit([handler, request, promise] {
+    promise->set_value(handler->Handle(*request));
+  });
+  if (!submitted) {
+    return Status(ErrorCode::kUnavailable, "destination shutting down");
+  }
+  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) != std::future_status::ready) {
+    // The worker may still complete later; the shared_ptr promise keeps the
+    // state alive. From the caller's view the call timed out — exactly the
+    // observable behaviour of a wedged server.
+    return Status(ErrorCode::kTimedOut, "rpc timed out (proc " + std::to_string(proc) + ")");
+  }
+  Result<std::vector<uint8_t>> reply = future.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_[{from, to}].bytes += (reply.ok() ? reply->size() : 0) + kMessageOverheadBytes;
+  }
+  return reply;
+}
+
+void Network::Partition(NodeId a, NodeId b, bool blocked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_[{std::min(a, b), std::max(a, b)}] = blocked;
+}
+
+void Network::SetNodeDown(NodeId id, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    it->second->down = down;
+  }
+}
+
+LinkStats Network::StatsBetween(NodeId a, NodeId b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find({a, b});
+  return it != stats_.end() ? it->second : LinkStats{};
+}
+
+LinkStats Network::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkStats total;
+  for (const auto& [key, s] : stats_) {
+    total += s;
+  }
+  return total;
+}
+
+void Network::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+}  // namespace dfs

@@ -1,0 +1,191 @@
+#include "src/server/local_vnode.h"
+
+namespace dfs {
+
+Result<VnodeRef> LocalVfs::Root() {
+  ASSIGN_OR_RETURN(VnodeRef root, underlying_->Root());
+  return VnodeRef(std::make_shared<LocalVnode>(shared_from_this(), std::move(root)));
+}
+
+Result<VnodeRef> LocalVfs::VnodeByFid(const Fid& fid) {
+  ASSIGN_OR_RETURN(VnodeRef vnode, underlying_->VnodeByFid(fid));
+  return VnodeRef(std::make_shared<LocalVnode>(shared_from_this(), std::move(vnode)));
+}
+
+template <typename Fn>
+auto LocalVnode::RunWithTokens(uint32_t types, Fn&& fn) -> decltype(fn()) {
+  FileServer* server = vfs_->server();
+  Fid f = fid();
+  std::lock_guard<OrderedMutex> l2(server->vnode_locks().Get(f));
+  {
+    std::lock_guard<std::mutex> lock(server->mu_);
+    server->stats_.local_ops += 1;
+  }
+  auto token = server->tokens().Grant(server->local_host(), f, types, ByteRange::All());
+  if (!token.ok()) {
+    return token.status();
+  }
+  auto result = fn();
+  (void)server->tokens().Return(token->id, token->types);
+  (void)server->NextStamp(f);
+  return result;
+}
+
+Result<FileAttr> LocalVnode::GetAttr() {
+  return RunWithTokens(kTokenStatusRead,
+                       [&]() -> Result<FileAttr> { return underlying_->GetAttr(); });
+}
+
+Status LocalVnode::SetAttr(const AttrUpdate& update) {
+  return RunWithTokens(kTokenStatusWrite,
+                       [&]() -> Status { return underlying_->SetAttr(update); });
+}
+
+Result<size_t> LocalVnode::Read(uint64_t offset, std::span<uint8_t> out) {
+  return RunWithTokens(kTokenDataRead | kTokenStatusRead, [&]() -> Result<size_t> {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightRead));
+    return underlying_->Read(offset, out);
+  });
+}
+
+Result<size_t> LocalVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
+  // The Section-5.5 path: the local write pulls a write-data token, which
+  // revokes the remote client's token; the client stores its dirty pages back
+  // (through the dedicated-pool special store) before we proceed.
+  return RunWithTokens(kTokenDataWrite | kTokenStatusWrite, [&]() -> Result<size_t> {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightWrite));
+    return underlying_->Write(offset, data);
+  });
+}
+
+Status LocalVnode::Truncate(uint64_t new_size) {
+  return RunWithTokens(kTokenDataWrite | kTokenStatusWrite, [&]() -> Status {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightWrite));
+    return underlying_->Truncate(new_size);
+  });
+}
+
+Result<VnodeRef> LocalVnode::Lookup(std::string_view name) {
+  return RunWithTokens(kTokenStatusRead, [&]() -> Result<VnodeRef> {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightLookup));
+    ASSIGN_OR_RETURN(VnodeRef child, underlying_->Lookup(name));
+    return VnodeRef(std::make_shared<LocalVnode>(vfs_, std::move(child)));
+  });
+}
+
+Result<VnodeRef> LocalVnode::Create(std::string_view name, FileType type, uint32_t mode,
+                                    const Cred& cred) {
+  return RunWithTokens(kTokenStatusWrite | kTokenDataWrite, [&]() -> Result<VnodeRef> {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightInsert));
+    ASSIGN_OR_RETURN(VnodeRef child, underlying_->Create(name, type, mode, cred));
+    return VnodeRef(std::make_shared<LocalVnode>(vfs_, std::move(child)));
+  });
+}
+
+Result<VnodeRef> LocalVnode::CreateSymlink(std::string_view name, std::string_view target,
+                                           const Cred& cred) {
+  return RunWithTokens(kTokenStatusWrite | kTokenDataWrite, [&]() -> Result<VnodeRef> {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightInsert));
+    ASSIGN_OR_RETURN(VnodeRef child, underlying_->CreateSymlink(name, target, cred));
+    return VnodeRef(std::make_shared<LocalVnode>(vfs_, std::move(child)));
+  });
+}
+
+Status LocalVnode::Link(std::string_view name, Vnode& target) {
+  auto* local_target = dynamic_cast<LocalVnode*>(&target);
+  Vnode& raw_target = local_target != nullptr ? *local_target->underlying_ : target;
+  return RunWithTokens(kTokenStatusWrite | kTokenDataWrite, [&]() -> Status {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightInsert));
+    return underlying_->Link(name, raw_target);
+  });
+}
+
+Status LocalVnode::Unlink(std::string_view name) {
+  return RunWithTokens(kTokenStatusWrite | kTokenDataWrite, [&]() -> Status {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightDelete));
+    return underlying_->Unlink(name);
+  });
+}
+
+Status LocalVnode::Rmdir(std::string_view name) {
+  return RunWithTokens(kTokenStatusWrite | kTokenDataWrite, [&]() -> Status {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightDelete));
+    return underlying_->Rmdir(name);
+  });
+}
+
+Result<std::vector<DirEntry>> LocalVnode::ReadDir() {
+  return RunWithTokens(kTokenStatusRead | kTokenDataRead,
+                       [&]() -> Result<std::vector<DirEntry>> {
+                         RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(),
+                                                                   kRightLookup));
+                         return underlying_->ReadDir();
+                       });
+}
+
+Result<std::string> LocalVnode::ReadSymlink() {
+  return RunWithTokens(kTokenStatusRead | kTokenDataRead,
+                       [&]() -> Result<std::string> { return underlying_->ReadSymlink(); });
+}
+
+Result<Acl> LocalVnode::GetAcl() {
+  return RunWithTokens(kTokenStatusRead,
+                       [&]() -> Result<Acl> { return underlying_->GetAcl(); });
+}
+
+Status LocalVnode::SetAcl(const Acl& acl) {
+  return RunWithTokens(kTokenStatusWrite, [&]() -> Status {
+    RETURN_IF_ERROR(vfs_->server()->Authorize(*underlying_, vfs_->cred(), kRightControl));
+    return underlying_->SetAcl(acl);
+  });
+}
+
+Status LocalVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                        std::string_view dst_name) {
+  auto* src = dynamic_cast<LocalVnode*>(&src_dir);
+  auto* dst = dynamic_cast<LocalVnode*>(&dst_dir);
+  if (src == nullptr || dst == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "rename requires glue-layer vnodes");
+  }
+  Fid src_fid = src->fid();
+  Fid dst_fid = dst->fid();
+  OrderedMutex& a = server_->vnode_locks().Get(src_fid);
+  OrderedMutex& b = server_->vnode_locks().Get(dst_fid);
+  OrderedMutex* first = &a;
+  OrderedMutex* second = (&a == &b) ? nullptr : &b;
+  if (second != nullptr && second->tag() < first->tag()) {
+    std::swap(first, second);
+  }
+  std::lock_guard<OrderedMutex> l2a(*first);
+  std::unique_ptr<std::lock_guard<OrderedMutex>> l2b;
+  if (second != nullptr) {
+    l2b = std::make_unique<std::lock_guard<OrderedMutex>>(*second);
+  }
+  ASSIGN_OR_RETURN(Token g1, server_->tokens().Grant(server_->local_host(), src_fid,
+                                                     kTokenStatusWrite | kTokenDataWrite,
+                                                     ByteRange::All()));
+  Result<Token> g2 = (src_fid == dst_fid)
+                         ? Result<Token>(Token{})
+                         : server_->tokens().Grant(server_->local_host(), dst_fid,
+                                                   kTokenStatusWrite | kTokenDataWrite,
+                                                   ByteRange::All());
+  if (!g2.ok()) {
+    (void)server_->tokens().Return(g1.id, g1.types);
+    return g2.status();
+  }
+  Status op = underlying_->Rename(*src->underlying_, src_name, *dst->underlying_, dst_name);
+  (void)server_->tokens().Return(g1.id, g1.types);
+  if (!(src_fid == dst_fid)) {
+    (void)server_->tokens().Return(g2->id, g2->types);
+  }
+  (void)server_->NextStamp(src_fid);
+  (void)server_->NextStamp(dst_fid);
+  return op;
+}
+
+Result<VfsRef> FileServer::LocalMount(uint64_t volume_id, const Cred& cred) {
+  ASSIGN_OR_RETURN(VfsRef vfs, ExportedVolume(volume_id));
+  return VfsRef(std::make_shared<LocalVfs>(this, std::move(vfs), cred));
+}
+
+}  // namespace dfs

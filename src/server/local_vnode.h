@@ -1,0 +1,78 @@
+// The Vnode glue layer (Sections 1, 3.3, 5.1): wrapper vnode operations for
+// *local* users of a file server node.
+//
+// Each operation first obtains the appropriate tokens from the node's token
+// manager, then calls the original physical-file-system operation, then lets
+// the tokens go. This is what makes a locally executed system call revoke a
+// remote client's cached guarantees (the Section 5.5 worked example), and it
+// is transparent: LocalVnode presents the same Vnode interface it wraps.
+#ifndef SRC_SERVER_LOCAL_VNODE_H_
+#define SRC_SERVER_LOCAL_VNODE_H_
+
+#include <memory>
+
+#include "src/server/file_server.h"
+
+namespace dfs {
+
+class LocalVfs : public Vfs, public std::enable_shared_from_this<LocalVfs> {
+ public:
+  LocalVfs(FileServer* server, VfsRef underlying, Cred cred)
+      : server_(server), underlying_(std::move(underlying)), cred_(std::move(cred)) {}
+
+  Result<VnodeRef> Root() override;
+  Result<VnodeRef> VnodeByFid(const Fid& fid) override;
+  Status Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                std::string_view dst_name) override;
+  Status Sync() override { return underlying_->Sync(); }
+
+  FileServer* server() { return server_; }
+  const Cred& cred() const { return cred_; }
+
+ private:
+  friend class LocalVnode;
+  FileServer* server_;
+  VfsRef underlying_;
+  Cred cred_;
+};
+
+class LocalVnode : public Vnode {
+ public:
+  LocalVnode(std::shared_ptr<LocalVfs> vfs, VnodeRef underlying)
+      : vfs_(std::move(vfs)), underlying_(std::move(underlying)) {}
+
+  Fid fid() const override { return underlying_->fid(); }
+
+  Result<FileAttr> GetAttr() override;
+  Status SetAttr(const AttrUpdate& update) override;
+  Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) override;
+  Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) override;
+  Status Truncate(uint64_t new_size) override;
+  Result<VnodeRef> Lookup(std::string_view name) override;
+  Result<VnodeRef> Create(std::string_view name, FileType type, uint32_t mode,
+                          const Cred& cred) override;
+  Result<VnodeRef> CreateSymlink(std::string_view name, std::string_view target,
+                                 const Cred& cred) override;
+  Status Link(std::string_view name, Vnode& target) override;
+  Status Unlink(std::string_view name) override;
+  Status Rmdir(std::string_view name) override;
+  Result<std::vector<DirEntry>> ReadDir() override;
+  Result<std::string> ReadSymlink() override;
+  Result<Acl> GetAcl() override;
+  Status SetAcl(const Acl& acl) override;
+
+ private:
+  friend class LocalVfs;
+
+  // Runs `fn` holding the server vnode lock and a freshly granted local token
+  // of `types` (which revokes any conflicting client guarantees first).
+  template <typename Fn>
+  auto RunWithTokens(uint32_t types, Fn&& fn) -> decltype(fn());
+
+  std::shared_ptr<LocalVfs> vfs_;
+  VnodeRef underlying_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_SERVER_LOCAL_VNODE_H_

@@ -1,0 +1,92 @@
+#include "src/server/replication.h"
+
+#include "src/tokens/token.h"
+
+namespace dfs {
+
+Result<std::vector<uint8_t>> ReplicationAgent::CallMaster(uint32_t proc, const Writer& w) {
+  return UnwrapReply(
+      network_.Call(local_server_.node(), master_, proc, w.data(), "replication"));
+}
+
+Status ReplicationAgent::EnsureConnected() {
+  if (connected_) {
+    return Status::Ok();
+  }
+  Writer w;
+  ticket_.Serialize(w);
+  RETURN_IF_ERROR(CallMaster(kConnect, w).status());
+  connected_ = true;
+  return Status::Ok();
+}
+
+Status ReplicationAgent::InitialClone() {
+  RETURN_IF_ERROR(EnsureConnected());
+  Writer w;
+  w.PutU64(volume_id_);
+  w.PutU64(0);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kVolDump, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(VolumeDump dump, VolumeDump::Deserialize(r));
+  dump.info.read_only = true;  // replicas are read-only snapshots
+  dump.info.is_clone = true;
+  dump.info.backing_volume = volume_id_;
+  ASSIGN_OR_RETURN(replica_volume_id_, replica_ops_->RestoreVolume(dump));
+  last_version_ = dump.info.max_data_version;
+  stats_.refreshes += 1;
+  stats_.files_fetched += dump.files.size();
+  stats_.bytes_fetched += payload.size();
+  RETURN_IF_ERROR(local_server_.RefreshExports());
+  return Status::Ok();
+}
+
+Status ReplicationAgent::Refresh() {
+  RETURN_IF_ERROR(EnsureConnected());
+  // Whole-volume token: blocks writers for the duration of the dump, so the
+  // snapshot is consistent (Section 3.8's guarantee to replica clients).
+  Token token;
+  {
+    Writer w;
+    PutFid(w, Fid{volume_id_, 0, 0});
+    w.PutU32(kTokenWholeVolume);
+    w.PutU64(0);
+    w.PutU64(UINT64_MAX);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kGetToken, w));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(token, Token::Deserialize(r));
+  }
+
+  Status result = [&]() -> Status {
+    Writer w;
+    w.PutU64(volume_id_);
+    w.PutU64(last_version_);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kVolDump, w));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(VolumeDump delta, VolumeDump::Deserialize(r));
+    stats_.refreshes += 1;
+    if (delta.files.empty()) {
+      stats_.empty_refreshes += 1;
+    } else {
+      stats_.files_fetched += delta.files.size();
+      stats_.bytes_fetched += payload.size();
+      RETURN_IF_ERROR(replica_ops_->ApplyDelta(replica_volume_id_, delta));
+    }
+    // Monotonic: the version floor never regresses, so replica clients never
+    // see newer data replaced by older data.
+    last_version_ = std::max(last_version_, delta.info.max_data_version);
+    return Status::Ok();
+  }();
+
+  {
+    Writer w;
+    w.PutU64(token.id);
+    w.PutU32(token.types);
+    Status returned = CallMaster(kReturnToken, w).status();
+    if (result.ok()) {
+      result = returned;
+    }
+  }
+  return result;
+}
+
+}  // namespace dfs

@@ -1,0 +1,74 @@
+// Lazy replication of volumes (Section 3.8).
+//
+// A replica is maintained permanently on another server and is guaranteed to
+// be out of date by no more than a configured amount of time. Each refresh:
+//
+//   1. acquires a whole-volume token on the master — which conflicts with any
+//     outstanding write-class token, so the dump below is a consistent
+//     snapshot no writer is mutating;
+//   2. fetches only the files whose data_version advanced since the previous
+//     refresh (an incremental dump);
+//   3. applies the delta to the local replica atomically with respect to
+//     replica readers, who therefore always see a consistent snapshot and
+//     never see data replaced by older data;
+//   4. returns the token.
+#ifndef SRC_SERVER_REPLICATION_H_
+#define SRC_SERVER_REPLICATION_H_
+
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "src/server/file_server.h"
+#include "src/server/vldb.h"
+
+namespace dfs {
+
+class ReplicationAgent {
+ public:
+  struct Stats {
+    uint64_t refreshes = 0;
+    uint64_t files_fetched = 0;
+    uint64_t bytes_fetched = 0;
+    uint64_t empty_refreshes = 0;  // nothing had changed
+  };
+
+  // The agent runs on the replica's server node, applying deltas into
+  // `replica_ops` (the local aggregate). It authenticates to the master with
+  // `ticket`.
+  ReplicationAgent(Network& network, FileServer& local_server, VolumeOps* replica_ops,
+                   NodeId master_server, uint64_t volume_id, Ticket ticket)
+      : network_(network),
+        local_server_(local_server),
+        replica_ops_(replica_ops),
+        master_(master_server),
+        volume_id_(volume_id),
+        ticket_(std::move(ticket)) {}
+
+  // Creates the replica from a full dump and exports it read-only.
+  Status InitialClone();
+
+  // One lazy-replication round; call at least once per staleness bound.
+  Status Refresh();
+
+  uint64_t replica_volume_id() const { return replica_volume_id_; }
+  uint64_t last_version() const { return last_version_; }
+  Stats stats() const { return stats_; }
+
+ private:
+  Result<std::vector<uint8_t>> CallMaster(uint32_t proc, const Writer& w);
+  Status EnsureConnected();
+
+  Network& network_;
+  FileServer& local_server_;
+  VolumeOps* replica_ops_;
+  NodeId master_;
+  uint64_t volume_id_;
+  Ticket ticket_;
+  bool connected_ = false;
+  uint64_t replica_volume_id_ = 0;
+  uint64_t last_version_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_SERVER_REPLICATION_H_

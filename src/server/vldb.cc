@@ -1,0 +1,199 @@
+#include "src/server/vldb.h"
+
+#include <algorithm>
+
+namespace dfs {
+namespace {
+
+void PutLocation(Writer& w, const VolumeLocation& loc) {
+  w.PutU64(loc.volume_id);
+  w.PutString(loc.name);
+  w.PutU32(loc.server);
+}
+
+Result<VolumeLocation> ReadLocation(Reader& r) {
+  VolumeLocation loc;
+  ASSIGN_OR_RETURN(loc.volume_id, r.ReadU64());
+  ASSIGN_OR_RETURN(loc.name, r.ReadString());
+  ASSIGN_OR_RETURN(loc.server, r.ReadU32());
+  return loc;
+}
+
+}  // namespace
+
+VldbServer::VldbServer(Network& network, NodeId node) : network_(network), node_(node) {
+  (void)network_.RegisterNode(node_, this, Network::NodeOptions{2, 0, 10'000});
+}
+
+VldbServer::~VldbServer() { network_.UnregisterNode(node_); }
+
+void VldbServer::AddPeer(VldbServer* peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_.push_back(peer);
+}
+
+void VldbServer::ApplyLocal(const VolumeLocation& loc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_id_[loc.volume_id] = loc;
+}
+
+void VldbServer::RemoveLocal(uint64_t volume_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_id_.erase(volume_id);
+}
+
+size_t VldbServer::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.size();
+}
+
+Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
+  Reader r(req.payload);
+  Writer w;
+  switch (req.proc) {
+    case kVldbRegister: {
+      auto loc = ReadLocation(r);
+      if (!loc.ok()) {
+        return EncodeErrorReply(loc.status());
+      }
+      ApplyLocal(*loc);
+      std::vector<VldbServer*> peers;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        peers = peers_;
+      }
+      for (VldbServer* peer : peers) {
+        peer->ApplyLocal(*loc);
+      }
+      return EncodeOkReply(std::move(w));
+    }
+    case kVldbRemove: {
+      auto id = r.ReadU64();
+      if (!id.ok()) {
+        return EncodeErrorReply(id.status());
+      }
+      RemoveLocal(*id);
+      std::vector<VldbServer*> peers;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        peers = peers_;
+      }
+      for (VldbServer* peer : peers) {
+        peer->RemoveLocal(*id);
+      }
+      return EncodeOkReply(std::move(w));
+    }
+    case kVldbLookupById: {
+      auto id = r.ReadU64();
+      if (!id.ok()) {
+        return EncodeErrorReply(id.status());
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = by_id_.find(*id);
+      if (it == by_id_.end()) {
+        return EncodeErrorReply(Status(ErrorCode::kNotFound, "volume not in VLDB"));
+      }
+      PutLocation(w, it->second);
+      return EncodeOkReply(std::move(w));
+    }
+    case kVldbLookupByName: {
+      auto name = r.ReadString();
+      if (!name.ok()) {
+        return EncodeErrorReply(name.status());
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, loc] : by_id_) {
+        if (loc.name == *name) {
+          PutLocation(w, loc);
+          return EncodeOkReply(std::move(w));
+        }
+      }
+      return EncodeErrorReply(Status(ErrorCode::kNotFound, "volume name not in VLDB"));
+    }
+    default:
+      return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown VLDB procedure"));
+  }
+}
+
+Result<std::vector<uint8_t>> VldbClient::CallAny(uint32_t proc, const Writer& w) {
+  Status last(ErrorCode::kUnavailable, "no VLDB replicas configured");
+  for (NodeId node : vldb_nodes_) {
+    auto raw = network_.Call(self_, node, proc, w.data(), "vldb-client");
+    auto payload = UnwrapReply(std::move(raw));
+    if (payload.ok() || payload.code() == ErrorCode::kNotFound) {
+      return payload;
+    }
+    last = payload.status();
+  }
+  return last;
+}
+
+Result<VolumeLocation> VldbClient::LookupById(uint64_t volume_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(volume_id);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+  }
+  Writer w;
+  w.PutU64(volume_id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++lookup_rpcs_;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupById, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[volume_id] = loc;
+  return loc;
+}
+
+Result<VolumeLocation> VldbClient::LookupByName(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, loc] : cache_) {
+      if (loc.name == name) {
+        return loc;
+      }
+    }
+  }
+  Writer w;
+  w.PutString(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++lookup_rpcs_;
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupByName, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[loc.volume_id] = loc;
+  return loc;
+}
+
+Status VldbClient::Register(uint64_t volume_id, const std::string& name, NodeId server) {
+  Writer w;
+  PutLocation(w, VolumeLocation{volume_id, name, server});
+  RETURN_IF_ERROR(CallAny(kVldbRegister, w).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[volume_id] = VolumeLocation{volume_id, name, server};
+  return Status::Ok();
+}
+
+Status VldbClient::Remove(uint64_t volume_id) {
+  Writer w;
+  w.PutU64(volume_id);
+  RETURN_IF_ERROR(CallAny(kVldbRemove, w).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(volume_id);
+  return Status::Ok();
+}
+
+void VldbClient::InvalidateCache(uint64_t volume_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(volume_id);
+}
+
+}  // namespace dfs

@@ -1,0 +1,77 @@
+// Volume location database (Section 3.4): a global, replicated database
+// mapping volumes to the servers that hold them. File servers register their
+// volumes; client cache managers look volumes up (and cache the results in
+// their resource layer, invalidating on kBusy/kUnavailable/kNotFound).
+#ifndef SRC_SERVER_VLDB_H_
+#define SRC_SERVER_VLDB_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/rpc/rpc.h"
+#include "src/server/procs.h"
+
+namespace dfs {
+
+struct VolumeLocation {
+  uint64_t volume_id = 0;
+  std::string name;
+  NodeId server = 0;
+};
+
+class VldbServer : public RpcHandler {
+ public:
+  VldbServer(Network& network, NodeId node);
+  ~VldbServer() override;
+
+  NodeId node() const { return node_; }
+  // Replication: updates applied here propagate to every peer.
+  void AddPeer(VldbServer* peer);
+
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+
+  size_t entry_count() const;
+
+ private:
+  void ApplyLocal(const VolumeLocation& loc);
+  void RemoveLocal(uint64_t volume_id);
+
+  Network& network_;
+  const NodeId node_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, VolumeLocation> by_id_;
+  std::vector<VldbServer*> peers_;
+};
+
+// Client-side access with caching (the resource layer's location cache).
+class VldbClient {
+ public:
+  VldbClient(Network& network, NodeId self, std::vector<NodeId> vldb_nodes)
+      : network_(network), self_(self), vldb_nodes_(std::move(vldb_nodes)) {}
+
+  Result<VolumeLocation> LookupById(uint64_t volume_id);
+  Result<VolumeLocation> LookupByName(const std::string& name);
+  Status Register(uint64_t volume_id, const std::string& name, NodeId server);
+  Status Remove(uint64_t volume_id);
+
+  void InvalidateCache(uint64_t volume_id);
+  uint64_t lookup_rpcs() const { return lookup_rpcs_; }
+
+ private:
+  // Tries each VLDB replica until one answers (availability through
+  // replication).
+  Result<std::vector<uint8_t>> CallAny(uint32_t proc, const Writer& w);
+
+  Network& network_;
+  NodeId self_;
+  std::vector<NodeId> vldb_nodes_;
+  std::mutex mu_;
+  std::map<uint64_t, VolumeLocation> cache_;
+  uint64_t lookup_rpcs_ = 0;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_SERVER_VLDB_H_

@@ -1,0 +1,86 @@
+#include "src/server/volume_server.h"
+
+namespace dfs {
+
+Result<std::vector<uint8_t>> VolumeAdmin::Call(NodeId server, uint32_t proc, const Writer& w) {
+  return UnwrapReply(network_.Call(node_, server, proc, w.data(), "admin"));
+}
+
+Status VolumeAdmin::Connect(NodeId server, const Ticket& ticket) {
+  Writer w;
+  ticket.Serialize(w);
+  return Call(server, kConnect, w).status();
+}
+
+Status VolumeAdmin::MoveVolume(uint64_t volume_id, NodeId src_server, NodeId dst_server) {
+  // 1. Block new operations on the volume; in-flight clients see kBusy and
+  //    will retry through the VLDB.
+  {
+    Writer w;
+    w.PutU64(volume_id);
+    w.PutBool(true);
+    RETURN_IF_ERROR(Call(src_server, kVolSetBusy, w).status());
+  }
+  // 2. Dump at the source.
+  std::vector<uint8_t> dump_bytes;
+  {
+    Writer w;
+    w.PutU64(volume_id);
+    w.PutU64(0);  // full dump
+    ASSIGN_OR_RETURN(dump_bytes, Call(src_server, kVolDump, w));
+  }
+  // 3. Restore at the destination (which re-exports automatically).
+  uint64_t new_id = 0;
+  {
+    Writer w;
+    w.PutRaw(dump_bytes);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(dst_server, kVolRestore, w));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(new_id, r.ReadU64());
+  }
+  if (new_id != volume_id) {
+    return Status(ErrorCode::kInternal, "volume id changed during move");
+  }
+  // 4. Repoint the VLDB, then drop the source copy. Clients chasing the
+  //    stale location get kBusy/kNotFound and re-resolve.
+  Reader dump_reader(dump_bytes);
+  ASSIGN_OR_RETURN(VolumeDump dump, VolumeDump::Deserialize(dump_reader));
+  if (vldb_ != nullptr) {
+    RETURN_IF_ERROR(vldb_->Register(volume_id, dump.info.name, dst_server));
+  }
+  {
+    Writer w;
+    w.PutU64(volume_id);
+    RETURN_IF_ERROR(Call(src_server, kVolDelete, w).status());
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> VolumeAdmin::CloneVolume(uint64_t volume_id, NodeId server,
+                                          const std::string& clone_name) {
+  Writer w;
+  w.PutU64(volume_id);
+  w.PutString(clone_name);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(server, kVolClone, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(uint64_t clone_id, r.ReadU64());
+  if (vldb_ != nullptr) {
+    RETURN_IF_ERROR(vldb_->Register(clone_id, clone_name, server));
+  }
+  return clone_id;
+}
+
+Result<std::vector<VolumeInfo>> VolumeAdmin::ListVolumes(NodeId server) {
+  Writer w;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(server, kVolList, w));
+  Reader r(payload);
+  ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  std::vector<VolumeInfo> out;
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(VolumeInfo info, ReadVolumeInfo(r));
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace dfs

@@ -1,0 +1,45 @@
+// Volume server (Section 3.6): administrative per-volume operations, most
+// importantly moving a volume from one file server to another while the rest
+// of the system keeps running. During the move the volume is marked busy —
+// applications touching it block briefly (retried by the cache manager after
+// re-consulting the VLDB); nothing else becomes unavailable.
+#ifndef SRC_SERVER_VOLUME_SERVER_H_
+#define SRC_SERVER_VOLUME_SERVER_H_
+
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "src/server/vldb.h"
+
+namespace dfs {
+
+// An administrator's handle for volume operations, issued from any node.
+class VolumeAdmin {
+ public:
+  VolumeAdmin(Network& network, NodeId admin_node, VldbClient* vldb)
+      : network_(network), node_(admin_node), vldb_(vldb) {}
+
+  // The admin must connect (authenticate) to a server before operating on it.
+  Status Connect(NodeId server, const Ticket& ticket);
+
+  // Moves `volume_id` from src_server to dst_server: mark busy, dump,
+  // restore at the destination, update the VLDB, delete the source copy.
+  Status MoveVolume(uint64_t volume_id, NodeId src_server, NodeId dst_server);
+
+  // Clones (snapshots) a volume in place; returns the read-only clone's id
+  // and registers it in the VLDB.
+  Result<uint64_t> CloneVolume(uint64_t volume_id, NodeId server,
+                               const std::string& clone_name);
+
+  Result<std::vector<VolumeInfo>> ListVolumes(NodeId server);
+
+ private:
+  Result<std::vector<uint8_t>> Call(NodeId server, uint32_t proc, const Writer& w);
+
+  Network& network_;
+  NodeId node_;
+  VldbClient* vldb_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_SERVER_VOLUME_SERVER_H_

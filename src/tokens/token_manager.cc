@@ -1,0 +1,189 @@
+#include "src/tokens/token_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dfs {
+
+namespace {
+// How long a grant waits for a deferred token return before giving up. Long
+// enough for a client to finish an in-flight RPC, short enough that a dead
+// client cannot wedge the server forever.
+constexpr auto kDeferredReturnTimeout = std::chrono::seconds(10);
+}  // namespace
+
+void TokenManager::RegisterHost(HostId host, TokenHost* handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hosts_[host] = handler;
+}
+
+void TokenManager::UnregisterHost(HostId host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hosts_.erase(host);
+  for (auto it = tokens_.begin(); it != tokens_.end();) {
+    if (it->second.host == host) {
+      auto& vec = by_volume_[it->second.fid.volume];
+      vec.erase(std::remove(vec.begin(), vec.end(), it->first), vec.end());
+      it = tokens_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  returned_cv_.notify_all();
+}
+
+std::vector<std::pair<Token, uint32_t>> TokenManager::ConflictsLocked(
+    HostId host, const Fid& fid, uint32_t types, const ByteRange& range) const {
+  std::vector<std::pair<Token, uint32_t>> conflicts;
+  auto vit = by_volume_.find(fid.volume);
+  if (vit == by_volume_.end()) {
+    return conflicts;
+  }
+  for (TokenId id : vit->second) {
+    auto tit = tokens_.find(id);
+    if (tit == tokens_.end()) {
+      continue;
+    }
+    const Token& t = tit->second;
+    if (t.host == host) {
+      continue;  // a host never conflicts with itself
+    }
+    bool same_file = (t.fid == fid);
+    bool volume_scope = (t.types & kTokenWholeVolume) || (types & kTokenWholeVolume);
+    if (!same_file && !volume_scope) {
+      continue;
+    }
+    // Only the conflicting *types* of the token need revoking; the holder
+    // keeps the rest (e.g. byte-range data tokens survive a status handoff).
+    uint32_t conflicting = ConflictingTypes(t.types, t.range, types, range);
+    if (conflicting != 0) {
+      conflicts.push_back({t, conflicting});
+    }
+  }
+  return conflicts;
+}
+
+Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
+                                  ByteRange range) {
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::pair<Token, uint32_t>> conflicts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conflicts = ConflictsLocked(host, fid, types, range);
+      if (conflicts.empty()) {
+        Token token;
+        token.id = next_id_++;
+        token.fid = fid;
+        token.types = types;
+        token.range = range;
+        token.host = host;
+        tokens_.emplace(token.id, token);
+        by_volume_[fid.volume].push_back(token.id);
+        stats_.grants += 1;
+        return token;
+      }
+    }
+    // Revoke conflicts without holding the manager lock: Revoke may be a
+    // blocking RPC whose handler calls back into this manager.
+    for (const auto& [conflict, conflicting_types] : conflicts) {
+      TokenHost* handler = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto tit = tokens_.find(conflict.id);
+        if (tit == tokens_.end() || (tit->second.types & conflicting_types) == 0) {
+          continue;  // already relinquished by someone else's revocation
+        }
+        auto hit = hosts_.find(conflict.host);
+        handler = (hit != hosts_.end()) ? hit->second : nullptr;
+      }
+      Status s = handler != nullptr
+                     ? handler->Revoke(conflict, conflicting_types)
+                     : Status::Ok();  // host gone: drop its token
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        stats_.revocations += 1;
+        auto relinquished = [&] {
+          auto tit = tokens_.find(conflict.id);
+          return tit == tokens_.end() || (tit->second.types & conflicting_types) == 0;
+        };
+        if (s.ok()) {
+          auto tit = tokens_.find(conflict.id);
+          if (tit != tokens_.end()) {
+            tit->second.types &= ~conflicting_types;
+            if (tit->second.types == 0) {
+              auto& vec = by_volume_[tit->second.fid.volume];
+              vec.erase(std::remove(vec.begin(), vec.end(), conflict.id), vec.end());
+              tokens_.erase(tit);
+            }
+            returned_cv_.notify_all();
+          }
+        } else if (s.code() == ErrorCode::kWouldBlock) {
+          // Deferred: the holder will call Return() once its in-flight RPC
+          // completes (Section 6.3's queued-revocation case).
+          stats_.deferred_returns += 1;
+          bool returned = returned_cv_.wait_for(lock, kDeferredReturnTimeout, relinquished);
+          if (!returned) {
+            return Status(ErrorCode::kTimedOut, "deferred token return never arrived");
+          }
+        } else {
+          stats_.refusals += 1;
+          return Status(ErrorCode::kConflict,
+                        "token held by " + (handler ? handler->name() : "unknown") +
+                            " was not relinquished: " + TokenTypesToString(conflicting_types));
+        }
+      }
+    }
+    // Loop: re-scan. New conflicting grants may have slipped in.
+  }
+  return Status(ErrorCode::kTimedOut, "grant retry limit exceeded (revocation livelock)");
+}
+
+Status TokenManager::Return(TokenId id, uint32_t types) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tokens_.find(id);
+  if (it == tokens_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown token");
+  }
+  it->second.types &= ~types;
+  if (it->second.types == 0) {
+    auto& vec = by_volume_[it->second.fid.volume];
+    vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+    tokens_.erase(it);
+  }
+  returned_cv_.notify_all();
+  return Status::Ok();
+}
+
+bool TokenManager::HasToken(TokenId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_.count(id) != 0;
+}
+
+std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Token> out;
+  for (const auto& [id, t] : tokens_) {
+    if (t.fid == fid) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Token> TokenManager::TokensForHost(HostId host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Token> out;
+  for (const auto& [id, t] : tokens_) {
+    if (t.host == host) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+TokenManager::Stats TokenManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dfs

@@ -1,0 +1,90 @@
+// The token manager (Section 3.1, 5): per-file grant bookkeeping and the
+// revoke-before-grant protocol.
+//
+// Clients of the token manager — remote protocol-exporter hosts and the local
+// glue layer alike — register a TokenHost with a virtual Revoke procedure
+// (the paper's afs_host object). Granting a token first revokes every
+// incompatible token held by *other* hosts:
+//
+//   - Revoke returning OK means the holder relinquished the token (writing
+//     back dirty state first); the manager erases it and proceeds.
+//   - kWouldBlock ("deferred", Section 6.3) means the holder will return the
+//     token itself shortly via Return(); the manager waits on that.
+//   - kBusy ("refused") means the holder elects to keep it (a lock or open
+//     token in active use); the grant fails with kConflict.
+//
+// The manager's internal mutex is never held across a Revoke call (which may
+// be a blocking RPC); grants re-scan for conflicts after each revocation
+// round until none remain.
+#ifndef SRC_TOKENS_TOKEN_MANAGER_H_
+#define SRC_TOKENS_TOKEN_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tokens/token.h"
+
+namespace dfs {
+
+class TokenHost {
+ public:
+  virtual ~TokenHost() = default;
+  // Asks the holder to relinquish `types` of `token`. OK = relinquished now;
+  // kWouldBlock = will be returned via TokenManager::Return shortly;
+  // kBusy = refused (holder keeps it).
+  virtual Status Revoke(const Token& token, uint32_t types) = 0;
+  virtual std::string name() const = 0;
+};
+
+class TokenManager {
+ public:
+  struct Stats {
+    uint64_t grants = 0;
+    uint64_t revocations = 0;
+    uint64_t deferred_returns = 0;
+    uint64_t refusals = 0;
+  };
+
+  void RegisterHost(HostId host, TokenHost* handler);
+  // Drops the host and every token it holds (client crash / disconnect).
+  void UnregisterHost(HostId host);
+
+  // Grants `types` over `range` of `fid` to `host`, revoking conflicting
+  // grants first. For a whole-volume token pass fid = {volume, 0, 0}.
+  Result<Token> Grant(HostId host, const Fid& fid, uint32_t types, ByteRange range);
+
+  // Returns (releases) the given types of a granted token; the token is
+  // erased when no types remain. Wakes grant waiters.
+  Status Return(TokenId id, uint32_t types);
+
+  bool HasToken(TokenId id) const;
+  std::vector<Token> TokensForFid(const Fid& fid) const;
+  std::vector<Token> TokensForHost(HostId host) const;
+  Stats stats() const;
+
+ private:
+  // Finds tokens (and which of their types) conflicting with the proposed
+  // grant. Caller holds mu_.
+  std::vector<std::pair<Token, uint32_t>> ConflictsLocked(HostId host, const Fid& fid,
+                                                          uint32_t types,
+                                                          const ByteRange& range) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable returned_cv_;
+  TokenId next_id_ = 1;
+  std::unordered_map<HostId, TokenHost*> hosts_;
+  std::map<TokenId, Token> tokens_;
+  // Secondary index: volume -> token ids (for whole-volume conflict scans).
+  std::unordered_map<uint64_t, std::vector<TokenId>> by_volume_;
+  Stats stats_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_TOKENS_TOKEN_MANAGER_H_

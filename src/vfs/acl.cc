@@ -1,0 +1,94 @@
+#include "src/vfs/acl.h"
+
+#include <algorithm>
+
+namespace dfs {
+
+uint32_t Acl::Evaluate(const Cred& cred) const {
+  uint32_t allow = 0;
+  uint32_t deny = 0;
+  for (const AclEntry& e : entries_) {
+    bool match = false;
+    switch (e.kind) {
+      case AclEntry::Kind::kUser:
+        match = (e.id == cred.uid);
+        break;
+      case AclEntry::Kind::kGroup:
+        match = std::find(cred.gids.begin(), cred.gids.end(), e.id) != cred.gids.end();
+        break;
+      case AclEntry::Kind::kOther:
+        match = true;
+        break;
+    }
+    if (match) {
+      allow |= e.allow;
+      deny |= e.deny;
+    }
+  }
+  return allow & ~deny;
+}
+
+void Acl::Serialize(Writer& w) const {
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const AclEntry& e : entries_) {
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    w.PutU32(e.id);
+    w.PutU32(e.allow);
+    w.PutU32(e.deny);
+  }
+}
+
+Result<Acl> Acl::Deserialize(Reader& r) {
+  ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  if (n > 4096) {
+    return Status(ErrorCode::kCorrupt, "ACL implausibly large");
+  }
+  Acl acl;
+  for (uint32_t i = 0; i < n; ++i) {
+    AclEntry e;
+    ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    if (kind < 1 || kind > 3) {
+      return Status(ErrorCode::kCorrupt, "bad ACL entry kind");
+    }
+    e.kind = static_cast<AclEntry::Kind>(kind);
+    ASSIGN_OR_RETURN(e.id, r.ReadU32());
+    ASSIGN_OR_RETURN(e.allow, r.ReadU32());
+    ASSIGN_OR_RETURN(e.deny, r.ReadU32());
+    acl.Add(e);
+  }
+  return acl;
+}
+
+uint32_t RightsFromMode(uint32_t mode, uint32_t owner_uid, uint32_t owner_gid, const Cred& cred,
+                        bool is_directory) {
+  uint32_t bits;
+  if (cred.uid == owner_uid) {
+    bits = (mode >> 6) & 7;
+  } else if (std::find(cred.gids.begin(), cred.gids.end(), owner_gid) != cred.gids.end()) {
+    bits = (mode >> 3) & 7;
+  } else {
+    bits = mode & 7;
+  }
+  uint32_t rights = 0;
+  if (bits & 4) {
+    rights |= kRightRead | kRightLookup;
+  }
+  if (bits & 2) {
+    rights |= kRightWrite;
+    if (is_directory) {
+      rights |= kRightInsert | kRightDelete;
+    }
+  }
+  if (bits & 1) {
+    rights |= kRightExecute | kRightLookup;
+  }
+  if (cred.uid == owner_uid) {
+    rights |= kRightControl;  // owner may always change the ACL
+  }
+  if (cred.IsSuperuser()) {
+    rights = kAllRights;
+  }
+  return rights;
+}
+
+}  // namespace dfs

@@ -1,0 +1,69 @@
+// POSIX-compliant access control lists (Section 2.3).
+//
+// DEcorum improves on AFS by allowing an ACL on any file or directory, not
+// only directories. Rights follow the AFS/DFS vocabulary; an empty ACL falls
+// back to UNIX mode-bit evaluation (done by the caller).
+#ifndef SRC_VFS_ACL_H_
+#define SRC_VFS_ACL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/status.h"
+#include "src/vfs/types.h"
+
+namespace dfs {
+
+// Rights bits.
+inline constexpr uint32_t kRightRead = 1u << 0;     // read data
+inline constexpr uint32_t kRightWrite = 1u << 1;    // write data
+inline constexpr uint32_t kRightExecute = 1u << 2;  // execute / search
+inline constexpr uint32_t kRightInsert = 1u << 3;   // create entries in a directory
+inline constexpr uint32_t kRightDelete = 1u << 4;   // remove entries from a directory
+inline constexpr uint32_t kRightLookup = 1u << 5;   // list / look up names
+inline constexpr uint32_t kRightControl = 1u << 6;  // change the ACL itself
+
+inline constexpr uint32_t kAllRights = kRightRead | kRightWrite | kRightExecute | kRightInsert |
+                                       kRightDelete | kRightLookup | kRightControl;
+
+struct AclEntry {
+  enum class Kind : uint8_t { kUser = 1, kGroup = 2, kOther = 3 };
+  Kind kind = Kind::kUser;
+  uint32_t id = 0;        // uid or gid; ignored for kOther
+  uint32_t allow = 0;     // rights granted
+  uint32_t deny = 0;      // rights explicitly denied (wins over allow)
+
+  bool operator==(const AclEntry&) const = default;
+};
+
+class Acl {
+ public:
+  Acl() = default;
+
+  void Add(AclEntry entry) { entries_.push_back(entry); }
+  const std::vector<AclEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  // Effective rights for `cred`: union of matching allow bits minus the union
+  // of matching deny bits. kOther entries match every principal.
+  uint32_t Evaluate(const Cred& cred) const;
+
+  void Serialize(Writer& w) const;
+  static Result<Acl> Deserialize(Reader& r);
+
+  bool operator==(const Acl&) const = default;
+
+ private:
+  std::vector<AclEntry> entries_;
+};
+
+// Fallback when a file has no ACL: derive rights from UNIX mode bits.
+uint32_t RightsFromMode(uint32_t mode, uint32_t owner_uid, uint32_t owner_gid, const Cred& cred,
+                        bool is_directory);
+
+}  // namespace dfs
+
+#endif  // SRC_VFS_ACL_H_

@@ -1,0 +1,127 @@
+#include "src/vfs/path.h"
+
+#include <vector>
+
+namespace dfs {
+namespace {
+
+constexpr int kMaxSymlinkDepth = 8;
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.push_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+Result<VnodeRef> ResolveFrom(Vfs& vfs, VnodeRef base, std::string_view path, int depth);
+
+Result<VnodeRef> WalkComponent(Vfs& vfs, VnodeRef dir, std::string_view name, int depth) {
+  ASSIGN_OR_RETURN(VnodeRef child, dir->Lookup(name));
+  ASSIGN_OR_RETURN(FileAttr attr, child->GetAttr());
+  if (attr.type == FileType::kSymlink) {
+    if (depth >= kMaxSymlinkDepth) {
+      return Status(ErrorCode::kInvalidArgument, "too many levels of symbolic links");
+    }
+    ASSIGN_OR_RETURN(std::string target, child->ReadSymlink());
+    if (target.rfind(kMountPointPrefix, 0) == 0) {
+      // A mount point: cross into the named volume's root.
+      return vfs.ResolveMountPoint(target);
+    }
+    if (!target.empty() && target[0] == '/') {
+      ASSIGN_OR_RETURN(VnodeRef root, vfs.Root());
+      return ResolveFrom(vfs, root, target, depth + 1);
+    }
+    return ResolveFrom(vfs, dir, target, depth + 1);
+  }
+  return child;
+}
+
+Result<VnodeRef> ResolveFrom(Vfs& vfs, VnodeRef base, std::string_view path, int depth) {
+  VnodeRef cur = std::move(base);
+  for (std::string_view part : SplitPath(path)) {
+    ASSIGN_OR_RETURN(cur, WalkComponent(vfs, cur, part, depth));
+  }
+  return cur;
+}
+
+}  // namespace
+
+Result<VnodeRef> ResolvePath(Vfs& vfs, std::string_view path) {
+  ASSIGN_OR_RETURN(VnodeRef root, vfs.Root());
+  return ResolveFrom(vfs, root, path, 0);
+}
+
+Result<std::pair<VnodeRef, std::string>> ResolveParent(Vfs& vfs, std::string_view path) {
+  std::vector<std::string_view> parts = SplitPath(path);
+  if (parts.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "path has no leaf component");
+  }
+  std::string_view leaf = parts.back();
+  ASSIGN_OR_RETURN(VnodeRef root, vfs.Root());
+  VnodeRef cur = root;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(cur, WalkComponent(vfs, cur, parts[i], 0));
+  }
+  return std::make_pair(cur, std::string(leaf));
+}
+
+Result<VnodeRef> CreateFileAt(Vfs& vfs, std::string_view path, uint32_t mode, const Cred& cred) {
+  ASSIGN_OR_RETURN(auto parent, ResolveParent(vfs, path));
+  return parent.first->Create(parent.second, FileType::kFile, mode, cred);
+}
+
+Result<VnodeRef> MkdirAt(Vfs& vfs, std::string_view path, uint32_t mode, const Cred& cred) {
+  ASSIGN_OR_RETURN(auto parent, ResolveParent(vfs, path));
+  return parent.first->Create(parent.second, FileType::kDirectory, mode, cred);
+}
+
+Status UnlinkAt(Vfs& vfs, std::string_view path) {
+  ASSIGN_OR_RETURN(auto parent, ResolveParent(vfs, path));
+  return parent.first->Unlink(parent.second);
+}
+
+Status WriteFileAt(Vfs& vfs, std::string_view path, std::string_view contents, const Cred& cred) {
+  auto existing = ResolvePath(vfs, path);
+  VnodeRef file;
+  if (existing.ok()) {
+    file = *existing;
+    RETURN_IF_ERROR(file->Truncate(0));
+  } else {
+    ASSIGN_OR_RETURN(file, CreateFileAt(vfs, path, 0644, cred));
+  }
+  std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(contents.data()),
+                                 contents.size());
+  ASSIGN_OR_RETURN(size_t n, file->Write(0, bytes));
+  if (n != contents.size()) {
+    return Status(ErrorCode::kIoError, "short write");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileAt(Vfs& vfs, std::string_view path) {
+  ASSIGN_OR_RETURN(VnodeRef file, ResolvePath(vfs, path));
+  ASSIGN_OR_RETURN(FileAttr attr, file->GetAttr());
+  std::string out(attr.size, '\0');
+  if (attr.size == 0) {
+    return out;
+  }
+  ASSIGN_OR_RETURN(size_t n,
+                   file->Read(0, std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()),
+                                                    out.size())));
+  out.resize(n);
+  return out;
+}
+
+}  // namespace dfs

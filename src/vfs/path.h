@@ -1,0 +1,33 @@
+// Generic system-call-style path resolution over any Vfs.
+//
+// This stands in for the "generic system calls" box of Figure 1: local users
+// of a file server node (and the examples/tests) reach physical file systems
+// through these helpers rather than through the RPC protocol.
+#ifndef SRC_VFS_PATH_H_
+#define SRC_VFS_PATH_H_
+
+#include <string_view>
+#include <utility>
+
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+// Resolves an absolute slash-separated path to a vnode. "." and ".." are
+// handled by the underlying directories (both are real entries in Episode).
+// Symlinks in interior components are followed (bounded depth).
+Result<VnodeRef> ResolvePath(Vfs& vfs, std::string_view path);
+
+// Resolves the parent directory of `path` and returns (parent, leaf name).
+Result<std::pair<VnodeRef, std::string>> ResolveParent(Vfs& vfs, std::string_view path);
+
+// Convenience wrappers used heavily by examples and tests.
+Result<VnodeRef> CreateFileAt(Vfs& vfs, std::string_view path, uint32_t mode, const Cred& cred);
+Result<VnodeRef> MkdirAt(Vfs& vfs, std::string_view path, uint32_t mode, const Cred& cred);
+Status UnlinkAt(Vfs& vfs, std::string_view path);
+Status WriteFileAt(Vfs& vfs, std::string_view path, std::string_view contents, const Cred& cred);
+Result<std::string> ReadFileAt(Vfs& vfs, std::string_view path);
+
+}  // namespace dfs
+
+#endif  // SRC_VFS_PATH_H_

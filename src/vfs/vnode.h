@@ -1,0 +1,151 @@
+// The Vnode/VFS interface (Kleiman-style) plus the VFS+ extensions the paper
+// adds: volume-level operations and ACL operations (Sections 1, 3.3).
+//
+// A *physical file system* is a module implementing these interfaces that
+// stores data on a disk. Episode implements everything; the FFS baseline
+// implements the core Vnode/Vfs set and returns kNotSupported for the
+// extensions it lacks, exactly the situation Section 3.3 describes for
+// exporting conventional UNIX file systems.
+//
+// Authorization is *not* performed here: physical file systems store ACLs and
+// mode bits, and the protocol exporter / glue layer evaluates them.
+#ifndef SRC_VFS_VNODE_H_
+#define SRC_VFS_VNODE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/vfs/acl.h"
+#include "src/vfs/types.h"
+
+namespace dfs {
+
+class Vnode;
+using VnodeRef = std::shared_ptr<Vnode>;
+
+class Vnode {
+ public:
+  virtual ~Vnode() = default;
+
+  virtual Fid fid() const = 0;
+
+  virtual Result<FileAttr> GetAttr() = 0;
+  virtual Status SetAttr(const AttrUpdate& update) = 0;
+
+  virtual Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) = 0;
+  virtual Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) = 0;
+  virtual Status Truncate(uint64_t new_size) = 0;
+
+  // Directory operations (kNotDirectory on non-directories).
+  virtual Result<VnodeRef> Lookup(std::string_view name) = 0;
+  virtual Result<VnodeRef> Create(std::string_view name, FileType type, uint32_t mode,
+                                  const Cred& cred) = 0;
+  virtual Result<VnodeRef> CreateSymlink(std::string_view name, std::string_view target,
+                                         const Cred& cred) = 0;
+  virtual Status Link(std::string_view name, Vnode& target) = 0;
+  virtual Status Unlink(std::string_view name) = 0;
+  virtual Status Rmdir(std::string_view name) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir() = 0;
+
+  virtual Result<std::string> ReadSymlink() = 0;
+
+  // VFS+ ACL extension: any file or directory may carry an ACL (Section 2.3).
+  virtual Result<Acl> GetAcl() = 0;
+  virtual Status SetAcl(const Acl& acl) = 0;
+};
+
+// Symlink targets with this prefix are *mount points*: they name another
+// volume, and path resolution crosses into that volume's root. This is how
+// "the community of server file systems appears as a single file system" on
+// the client (Section 1) — volumes knit into one namespace.
+inline constexpr std::string_view kMountPointPrefix = "%vol:";
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual Result<VnodeRef> Root() = 0;
+  // FID-addressed access (the protocol exporter addresses files by FID).
+  virtual Result<VnodeRef> VnodeByFid(const Fid& fid) = 0;
+  virtual Status Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
+                        std::string_view dst_name) = 0;
+  virtual Status Sync() = 0;
+  virtual bool ReadOnly() const { return false; }
+  // Resolves a mount-point target ("%vol:<name>") to the named volume's root.
+  // File systems that cannot cross volumes (a bare physical FS) decline.
+  virtual Result<VnodeRef> ResolveMountPoint(std::string_view target) {
+    (void)target;
+    return Status(ErrorCode::kNotSupported, "mount points not supported by this VFS");
+  }
+};
+
+using VfsRef = std::shared_ptr<Vfs>;
+
+// --- VFS+ volume-level extension (Sections 2.1, 3.3) ---
+
+struct VolumeInfo {
+  uint64_t id = 0;
+  std::string name;
+  bool read_only = false;
+  bool is_clone = false;
+  uint64_t backing_volume = 0;  // for clones: the source volume
+  uint64_t root_vnode = 0;
+  uint64_t anodes_used = 0;
+  uint64_t blocks_used = 0;
+  uint64_t max_data_version = 0;  // max over files; drives incremental replication
+};
+
+// Serializable whole-volume (or delta) image used for volume move and lazy
+// replication. Files with data_version <= the requested floor are omitted
+// from delta dumps.
+struct VolumeDumpFile {
+  uint64_t vnode = 0;
+  FileAttr attr;
+  Acl acl;
+  std::vector<uint8_t> data;           // file contents or serialized symlink target
+  std::vector<DirEntry> dir_entries;   // for directories
+};
+
+struct VolumeDump {
+  VolumeInfo info;
+  bool is_delta = false;
+  uint64_t since_version = 0;
+  std::vector<VolumeDumpFile> files;
+  // Every vnode currently allocated in the source volume (files, directories,
+  // symlinks). A delta receiver deletes local vnodes absent from this list.
+  std::vector<uint64_t> live_vnodes;
+
+  void Serialize(Writer& w) const;
+  static Result<VolumeDump> Deserialize(Reader& r);
+};
+
+// Implemented by a physical file system *host* (an Episode aggregate). The
+// volume interface is deliberately separate from Vfs: moving and cloning act
+// on volumes that are not mounted (Section 2.1).
+class VolumeOps {
+ public:
+  virtual ~VolumeOps() = default;
+
+  virtual Result<std::vector<VolumeInfo>> ListVolumes() = 0;
+  virtual Result<VolumeInfo> GetVolume(uint64_t volume_id) = 0;
+  virtual Result<uint64_t> CreateVolume(std::string_view name) = 0;
+  virtual Status DeleteVolume(uint64_t volume_id) = 0;
+  // Copy-on-write snapshot; returns the read-only clone's volume id.
+  virtual Result<uint64_t> CloneVolume(uint64_t volume_id, std::string_view clone_name) = 0;
+  virtual Result<VfsRef> MountVolume(uint64_t volume_id) = 0;
+  virtual Result<VolumeDump> DumpVolume(uint64_t volume_id, uint64_t since_version) = 0;
+  virtual Result<uint64_t> RestoreVolume(const VolumeDump& dump) = 0;
+  // Applies a delta dump on top of an existing restored volume (replication).
+  virtual Status ApplyDelta(uint64_t volume_id, const VolumeDump& delta) = 0;
+  // Marks a volume busy during moves: operations fail with kBusy so clients
+  // re-consult the volume location database.
+  virtual Status SetVolumeBusy(uint64_t volume_id, bool busy) = 0;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_VFS_VNODE_H_

@@ -1,0 +1,145 @@
+#include "src/vfs/wire.h"
+
+namespace dfs {
+
+std::string Fid::ToString() const {
+  return std::to_string(volume) + "." + std::to_string(vnode) + "." + std::to_string(uniq);
+}
+
+void PutFid(Writer& w, const Fid& fid) {
+  w.PutU64(fid.volume);
+  w.PutU64(fid.vnode);
+  w.PutU64(fid.uniq);
+}
+
+Result<Fid> ReadFid(Reader& r) {
+  Fid fid;
+  ASSIGN_OR_RETURN(fid.volume, r.ReadU64());
+  ASSIGN_OR_RETURN(fid.vnode, r.ReadU64());
+  ASSIGN_OR_RETURN(fid.uniq, r.ReadU64());
+  return fid;
+}
+
+void PutAttr(Writer& w, const FileAttr& attr) {
+  PutFid(w, attr.fid);
+  w.PutU8(static_cast<uint8_t>(attr.type));
+  w.PutU64(attr.size);
+  w.PutU32(attr.mode);
+  w.PutU32(attr.uid);
+  w.PutU32(attr.gid);
+  w.PutU32(attr.nlink);
+  w.PutU64(attr.mtime);
+  w.PutU64(attr.ctime);
+  w.PutU64(attr.atime);
+  w.PutU64(attr.data_version);
+}
+
+Result<FileAttr> ReadAttr(Reader& r) {
+  FileAttr attr;
+  ASSIGN_OR_RETURN(attr.fid, ReadFid(r));
+  ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  attr.type = static_cast<FileType>(type);
+  ASSIGN_OR_RETURN(attr.size, r.ReadU64());
+  ASSIGN_OR_RETURN(attr.mode, r.ReadU32());
+  ASSIGN_OR_RETURN(attr.uid, r.ReadU32());
+  ASSIGN_OR_RETURN(attr.gid, r.ReadU32());
+  ASSIGN_OR_RETURN(attr.nlink, r.ReadU32());
+  ASSIGN_OR_RETURN(attr.mtime, r.ReadU64());
+  ASSIGN_OR_RETURN(attr.ctime, r.ReadU64());
+  ASSIGN_OR_RETURN(attr.atime, r.ReadU64());
+  ASSIGN_OR_RETURN(attr.data_version, r.ReadU64());
+  return attr;
+}
+
+void PutDirEntry(Writer& w, const DirEntry& e) {
+  w.PutString(e.name);
+  w.PutU64(e.vnode);
+  w.PutU64(e.uniq);
+  w.PutU8(static_cast<uint8_t>(e.type));
+}
+
+Result<DirEntry> ReadDirEntry(Reader& r) {
+  DirEntry e;
+  ASSIGN_OR_RETURN(e.name, r.ReadString());
+  ASSIGN_OR_RETURN(e.vnode, r.ReadU64());
+  ASSIGN_OR_RETURN(e.uniq, r.ReadU64());
+  ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  e.type = static_cast<FileType>(type);
+  return e;
+}
+
+void PutVolumeInfo(Writer& w, const VolumeInfo& info) {
+  w.PutU64(info.id);
+  w.PutString(info.name);
+  w.PutBool(info.read_only);
+  w.PutBool(info.is_clone);
+  w.PutU64(info.backing_volume);
+  w.PutU64(info.root_vnode);
+  w.PutU64(info.anodes_used);
+  w.PutU64(info.blocks_used);
+  w.PutU64(info.max_data_version);
+}
+
+Result<VolumeInfo> ReadVolumeInfo(Reader& r) {
+  VolumeInfo info;
+  ASSIGN_OR_RETURN(info.id, r.ReadU64());
+  ASSIGN_OR_RETURN(info.name, r.ReadString());
+  ASSIGN_OR_RETURN(info.read_only, r.ReadBool());
+  ASSIGN_OR_RETURN(info.is_clone, r.ReadBool());
+  ASSIGN_OR_RETURN(info.backing_volume, r.ReadU64());
+  ASSIGN_OR_RETURN(info.root_vnode, r.ReadU64());
+  ASSIGN_OR_RETURN(info.anodes_used, r.ReadU64());
+  ASSIGN_OR_RETURN(info.blocks_used, r.ReadU64());
+  ASSIGN_OR_RETURN(info.max_data_version, r.ReadU64());
+  return info;
+}
+
+void VolumeDump::Serialize(Writer& w) const {
+  PutVolumeInfo(w, info);
+  w.PutBool(is_delta);
+  w.PutU64(since_version);
+  w.PutU32(static_cast<uint32_t>(files.size()));
+  for (const VolumeDumpFile& f : files) {
+    w.PutU64(f.vnode);
+    PutAttr(w, f.attr);
+    f.acl.Serialize(w);
+    w.PutBytes(f.data);
+    w.PutU32(static_cast<uint32_t>(f.dir_entries.size()));
+    for (const DirEntry& e : f.dir_entries) {
+      PutDirEntry(w, e);
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(live_vnodes.size()));
+  for (uint64_t v : live_vnodes) {
+    w.PutU64(v);
+  }
+}
+
+Result<VolumeDump> VolumeDump::Deserialize(Reader& r) {
+  VolumeDump dump;
+  ASSIGN_OR_RETURN(dump.info, ReadVolumeInfo(r));
+  ASSIGN_OR_RETURN(dump.is_delta, r.ReadBool());
+  ASSIGN_OR_RETURN(dump.since_version, r.ReadU64());
+  ASSIGN_OR_RETURN(uint32_t nfiles, r.ReadU32());
+  for (uint32_t i = 0; i < nfiles; ++i) {
+    VolumeDumpFile f;
+    ASSIGN_OR_RETURN(f.vnode, r.ReadU64());
+    ASSIGN_OR_RETURN(f.attr, ReadAttr(r));
+    ASSIGN_OR_RETURN(f.acl, Acl::Deserialize(r));
+    ASSIGN_OR_RETURN(f.data, r.ReadBytes());
+    ASSIGN_OR_RETURN(uint32_t nentries, r.ReadU32());
+    for (uint32_t j = 0; j < nentries; ++j) {
+      ASSIGN_OR_RETURN(DirEntry e, ReadDirEntry(r));
+      f.dir_entries.push_back(std::move(e));
+    }
+    dump.files.push_back(std::move(f));
+  }
+  ASSIGN_OR_RETURN(uint32_t nlive, r.ReadU32());
+  for (uint32_t i = 0; i < nlive; ++i) {
+    ASSIGN_OR_RETURN(uint64_t v, r.ReadU64());
+    dump.live_vnodes.push_back(v);
+  }
+  return dump;
+}
+
+}  // namespace dfs

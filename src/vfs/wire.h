@@ -1,0 +1,26 @@
+// Serialization of VFS types for RPC payloads and volume dumps.
+#ifndef SRC_VFS_WIRE_H_
+#define SRC_VFS_WIRE_H_
+
+#include "src/common/codec.h"
+#include "src/vfs/acl.h"
+#include "src/vfs/types.h"
+#include "src/vfs/vnode.h"
+
+namespace dfs {
+
+void PutFid(Writer& w, const Fid& fid);
+Result<Fid> ReadFid(Reader& r);
+
+void PutAttr(Writer& w, const FileAttr& attr);
+Result<FileAttr> ReadAttr(Reader& r);
+
+void PutDirEntry(Writer& w, const DirEntry& e);
+Result<DirEntry> ReadDirEntry(Reader& r);
+
+void PutVolumeInfo(Writer& w, const VolumeInfo& info);
+Result<VolumeInfo> ReadVolumeInfo(Reader& r);
+
+}  // namespace dfs
+
+#endif  // SRC_VFS_WIRE_H_

@@ -1,0 +1,187 @@
+// Tests for the NFS and AFS baseline protocols: they must faithfully exhibit
+// the weaknesses Section 5.4 attributes to them (that is the point of having
+// them), while still being correct file services.
+#include <gtest/gtest.h>
+
+#include "src/baselines/afs.h"
+#include "src/baselines/nfs.h"
+#include "src/episode/aggregate.h"
+#include "src/vfs/path.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+struct BaselineRig {
+  VirtualClock clock;
+  Network net{&clock};
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<Aggregate> agg;
+  VfsRef vfs;
+  uint64_t volume_id = 0;
+
+  static std::unique_ptr<BaselineRig> Create() {
+    auto rig = std::make_unique<BaselineRig>();
+    rig->disk = std::make_unique<SimDisk>(8192);
+    auto agg = Aggregate::Format(*rig->disk, {});
+    EXPECT_TRUE(agg.ok());
+    rig->agg = std::move(*agg);
+    auto vid = rig->agg->CreateVolume("vol");
+    EXPECT_TRUE(vid.ok());
+    rig->volume_id = *vid;
+    auto vfs = rig->agg->MountVolume(*vid);
+    EXPECT_TRUE(vfs.ok());
+    rig->vfs = *vfs;
+    return rig;
+  }
+};
+
+std::span<const uint8_t> Bytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(NfsBaselineTest, BasicReadWrite) {
+  auto rig = BaselineRig::Create();
+  NfsServer server(rig->net, 10, rig->vfs);
+  NfsClient client(rig->net, 10, rig->clock, {20});
+  ASSERT_OK_AND_ASSIGN(Fid root, client.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, client.Create(root, "file"));
+  ASSERT_OK(client.Write(f, 0, Bytes("nfs data")));
+  std::vector<uint8_t> buf(8);
+  ASSERT_OK_AND_ASSIGN(size_t n, client.Read(f, 0, buf));
+  EXPECT_EQ(n, 8u);
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "nfs data");
+}
+
+TEST(NfsBaselineTest, StalenessWindowIsTheTtl) {
+  // Section 5.4: a page of cached file data is assumed valid for 3 seconds —
+  // within the window a second client reads stale data, after it fresh data.
+  auto rig = BaselineRig::Create();
+  NfsServer server(rig->net, 10, rig->vfs);
+  NfsClient writer(rig->net, 10, rig->clock, {20});
+  NfsClient reader(rig->net, 10, rig->clock, {21});
+
+  ASSERT_OK_AND_ASSIGN(Fid root, writer.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, writer.Create(root, "shared"));
+  ASSERT_OK(writer.Write(f, 0, Bytes("v1")));
+  std::vector<uint8_t> buf(2);
+  ASSERT_OK(reader.Read(f, 0, buf).status());  // caches v1
+
+  ASSERT_OK(writer.Write(f, 0, Bytes("v2")));
+  // Within the TTL: stale.
+  rig->clock.AdvanceSeconds(1);
+  ASSERT_OK(reader.Read(f, 0, buf).status());
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "v1") << "must be stale inside the TTL";
+  // Past the TTL: revalidated.
+  rig->clock.AdvanceSeconds(3);
+  ASSERT_OK(reader.Read(f, 0, buf).status());
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "v2");
+  EXPECT_GT(reader.stats().invalidations, 0u);
+}
+
+TEST(NfsBaselineTest, RevalidationTrafficWithoutSharing) {
+  // The paper's complaint: clients talk to the server every 3 seconds whether
+  // or not anything changed.
+  auto rig = BaselineRig::Create();
+  NfsServer server(rig->net, 10, rig->vfs);
+  NfsClient client(rig->net, 10, rig->clock, {20});
+  ASSERT_OK_AND_ASSIGN(Fid root, client.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, client.Create(root, "idle"));
+  ASSERT_OK(client.Write(f, 0, Bytes("unchanging")));
+  std::vector<uint8_t> buf(10);
+  ASSERT_OK(client.Read(f, 0, buf).status());
+  uint64_t getattrs_before = client.stats().getattr_rpcs;
+  for (int i = 0; i < 10; ++i) {
+    rig->clock.AdvanceSeconds(4);  // past the TTL every time
+    ASSERT_OK(client.Read(f, 0, buf).status());
+  }
+  EXPECT_GE(client.stats().getattr_rpcs - getattrs_before, 10u)
+      << "every TTL expiry revalidates, even though nothing changed";
+}
+
+TEST(AfsBaselineTest, StoreOnCloseVisibility) {
+  // AFS semantics: a writer's changes become visible only after close.
+  auto rig = BaselineRig::Create();
+  AfsServer server(rig->net, 10, rig->vfs);
+  AfsClient writer(rig->net, 20, 10);
+  AfsClient reader(rig->net, 21, 10);
+
+  ASSERT_OK_AND_ASSIGN(Fid root, writer.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, writer.Create(root, "shared"));
+  ASSERT_OK(writer.Open(f));
+  ASSERT_OK(writer.Write(f, 0, Bytes("written but open")));
+
+  ASSERT_OK(reader.Open(f));
+  std::vector<uint8_t> buf(16);
+  ASSERT_OK_AND_ASSIGN(size_t n, reader.Read(f, 0, buf));
+  EXPECT_EQ(n, 0u) << "writes invisible until the writer closes";
+  ASSERT_OK(reader.Close(f));
+
+  ASSERT_OK(writer.Close(f));  // store-on-close
+  ASSERT_OK(reader.Open(f));   // callback was broken: re-fetch
+  ASSERT_OK_AND_ASSIGN(size_t n2, reader.Read(f, 0, buf));
+  EXPECT_EQ(n2, 16u);
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "written but open");
+}
+
+TEST(AfsBaselineTest, CallbackMakesRereadsFree) {
+  auto rig = BaselineRig::Create();
+  AfsServer server(rig->net, 10, rig->vfs);
+  AfsClient client(rig->net, 20, 10);
+  ASSERT_OK_AND_ASSIGN(Fid root, client.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, client.Create(root, "cached"));
+  ASSERT_OK(client.Open(f));
+  ASSERT_OK(client.Write(f, 0, Bytes("data")));
+  ASSERT_OK(client.Close(f));
+
+  ASSERT_OK(client.Open(f));
+  ASSERT_OK(client.Close(f));
+  uint64_t fetches = client.stats().fetches;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(client.Open(f));  // callback held: no fetch
+    ASSERT_OK(client.Close(f));
+  }
+  EXPECT_EQ(client.stats().fetches, fetches);
+}
+
+TEST(AfsBaselineTest, WholeFileShippedForPartialWrites) {
+  // Section 5.4: even a one-byte change ships the entire file back.
+  auto rig = BaselineRig::Create();
+  AfsServer server(rig->net, 10, rig->vfs);
+  AfsClient client(rig->net, 20, 10);
+  ASSERT_OK_AND_ASSIGN(Fid root, client.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, client.Create(root, "big"));
+  std::vector<uint8_t> big(256 * 1024, 0x42);
+  ASSERT_OK(client.Open(f));
+  ASSERT_OK(client.Write(f, 0, big));
+  ASSERT_OK(client.Close(f));
+
+  rig->net.ResetStats();
+  ASSERT_OK(client.Open(f));
+  ASSERT_OK(client.Write(f, 0, Bytes("x")));  // one byte
+  ASSERT_OK(client.Close(f));
+  LinkStats s = rig->net.StatsBetween(20, 10);
+  EXPECT_GT(s.bytes, big.size()) << "the whole file travels for a 1-byte change";
+}
+
+TEST(AfsBaselineTest, CallbackBreakReachesOtherClients) {
+  auto rig = BaselineRig::Create();
+  AfsServer server(rig->net, 10, rig->vfs);
+  AfsClient a(rig->net, 20, 10);
+  AfsClient b(rig->net, 21, 10);
+  ASSERT_OK_AND_ASSIGN(Fid root, a.Root());
+  ASSERT_OK_AND_ASSIGN(Fid f, a.Create(root, "f"));
+  ASSERT_OK(a.Open(f));
+  ASSERT_OK(a.Close(f));
+  ASSERT_OK(b.Open(f));
+  ASSERT_OK(b.Close(f));
+
+  ASSERT_OK(a.Open(f));
+  ASSERT_OK(a.Write(f, 0, Bytes("new")));
+  ASSERT_OK(a.Close(f));
+  EXPECT_GT(b.stats().callback_breaks, 0u);
+  EXPECT_GT(server.stats().callbacks_broken, 0u);
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,106 @@
+// Unit tests for the simulated block device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+
+namespace dfs {
+namespace {
+
+std::vector<uint8_t> Pattern(uint8_t seed) {
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint32_t i = 0; i < kBlockSize; ++i) {
+    block[i] = static_cast<uint8_t>(seed + i);
+  }
+  return block;
+}
+
+TEST(SimDiskTest, ReadsBackWrites) {
+  SimDisk disk(64);
+  auto data = Pattern(7);
+  ASSERT_TRUE(disk.Write(3, data).ok());
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(disk.Read(3, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SimDiskTest, FreshDiskIsZeroed) {
+  SimDisk disk(8);
+  std::vector<uint8_t> out(kBlockSize, 0xFF);
+  ASSERT_TRUE(disk.Read(0, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlockSize, 0));
+}
+
+TEST(SimDiskTest, RejectsOutOfRange) {
+  SimDisk disk(8);
+  std::vector<uint8_t> buf(kBlockSize);
+  EXPECT_EQ(disk.Read(8, buf).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(disk.Write(100, buf).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SimDiskTest, RejectsWrongSizeSpan) {
+  SimDisk disk(8);
+  std::vector<uint8_t> small(100);
+  EXPECT_EQ(disk.Read(0, small).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SimDiskTest, SequentialVsRandomClassification) {
+  SimDisk disk(64);
+  auto data = Pattern(1);
+  ASSERT_TRUE(disk.Write(10, data).ok());  // first write: random
+  ASSERT_TRUE(disk.Write(11, data).ok());  // +1: sequential
+  ASSERT_TRUE(disk.Write(11, data).ok());  // same block: sequential (no seek)
+  ASSERT_TRUE(disk.Write(40, data).ok());  // jump: random
+  DeviceStats s = disk.stats();
+  EXPECT_EQ(s.writes, 4u);
+  EXPECT_EQ(s.sequential_writes, 2u);
+  EXPECT_EQ(s.random_writes, 2u);
+  EXPECT_GT(s.ModeledTimeUs(), 0u);
+}
+
+TEST(SimDiskTest, StatsResetKeepsMedium) {
+  SimDisk disk(8);
+  auto data = Pattern(9);
+  ASSERT_TRUE(disk.Write(2, data).ok());
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().writes, 0u);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(disk.Read(2, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SimDiskTest, InjectedWriteFailures) {
+  SimDisk disk(8);
+  disk.FailNextWrites(2);
+  auto data = Pattern(3);
+  EXPECT_EQ(disk.Write(1, data).code(), ErrorCode::kIoError);
+  EXPECT_EQ(disk.Write(1, data).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(disk.Write(1, data).ok());
+}
+
+TEST(SimDiskTest, CorruptBlockChangesContents) {
+  SimDisk disk(8);
+  auto data = Pattern(5);
+  ASSERT_TRUE(disk.Write(4, data).ok());
+  disk.CorruptBlock(4, /*seed=*/42);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(disk.Read(4, out).ok());
+  EXPECT_NE(out, data);
+}
+
+TEST(SimDiskTest, SnapshotRestoreRoundTrip) {
+  SimDisk disk(8);
+  auto a = Pattern(1);
+  ASSERT_TRUE(disk.Write(1, a).ok());
+  auto snap = disk.SnapshotMedium();
+  auto b = Pattern(2);
+  ASSERT_TRUE(disk.Write(1, b).ok());
+  disk.RestoreMedium(snap);
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_TRUE(disk.Read(1, out).ok());
+  EXPECT_EQ(out, a);
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,296 @@
+// Unit-level tests of the client cache layer: cache stores, token-coverage
+// logic as observed through traffic, whole-file token mode, open handles,
+// ReturnAllTokens, and directory-listing caching.
+#include <gtest/gtest.h>
+
+#include "src/client/cache_store.h"
+#include "src/vfs/path.h"
+#include "tests/dfs_rig.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+// --- CacheStore implementations ---
+
+template <typename T>
+std::unique_ptr<CacheStore> MakeStore();
+
+template <>
+std::unique_ptr<CacheStore> MakeStore<MemoryCacheStore>() {
+  return std::make_unique<MemoryCacheStore>();
+}
+
+struct DiskTag {};
+template <>
+std::unique_ptr<CacheStore> MakeStore<DiskTag>() {
+  auto r = DiskCacheStore::Create(4096);
+  EXPECT_TRUE(r.ok());
+  return std::move(*r);
+}
+
+template <typename T>
+class CacheStoreTest : public ::testing::Test {};
+
+using StoreTypes = ::testing::Types<MemoryCacheStore, DiskTag>;
+TYPED_TEST_SUITE(CacheStoreTest, StoreTypes);
+
+TYPED_TEST(CacheStoreTest, PutGetRoundTrip) {
+  auto store = MakeStore<TypeParam>();
+  Fid fid{1, 2, 3};
+  std::vector<uint8_t> block(kBlockSize, 0x5C);
+  ASSERT_OK(store->Put(fid, 7, block));
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_OK(store->Get(fid, 7, out));
+  EXPECT_EQ(out, block);
+}
+
+TYPED_TEST(CacheStoreTest, DistinctFidsAndBlocksAreIsolated) {
+  auto store = MakeStore<TypeParam>();
+  Fid a{1, 2, 3};
+  Fid b{1, 2, 4};
+  std::vector<uint8_t> block_a(kBlockSize, 0xAA);
+  std::vector<uint8_t> block_b(kBlockSize, 0xBB);
+  ASSERT_OK(store->Put(a, 0, block_a));
+  ASSERT_OK(store->Put(b, 0, block_b));
+  ASSERT_OK(store->Put(a, 1, block_b));
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_OK(store->Get(a, 0, out));
+  EXPECT_EQ(out[0], 0xAA);
+  ASSERT_OK(store->Get(b, 0, out));
+  EXPECT_EQ(out[0], 0xBB);
+  ASSERT_OK(store->Get(a, 1, out));
+  EXPECT_EQ(out[0], 0xBB);
+}
+
+TYPED_TEST(CacheStoreTest, OverwriteReplaces) {
+  auto store = MakeStore<TypeParam>();
+  Fid fid{1, 2, 3};
+  std::vector<uint8_t> v1(kBlockSize, 1);
+  std::vector<uint8_t> v2(kBlockSize, 2);
+  ASSERT_OK(store->Put(fid, 0, v1));
+  ASSERT_OK(store->Put(fid, 0, v2));
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_OK(store->Get(fid, 0, out));
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST(MemoryCacheStoreTest, EraseAndEraseFile) {
+  MemoryCacheStore store;
+  Fid fid{1, 2, 3};
+  std::vector<uint8_t> block(kBlockSize, 9);
+  ASSERT_OK(store.Put(fid, 0, block));
+  ASSERT_OK(store.Put(fid, 1, block));
+  store.Erase(fid, 0);
+  std::vector<uint8_t> out(kBlockSize);
+  EXPECT_EQ(store.Get(fid, 0, out).code(), ErrorCode::kNotFound);
+  ASSERT_OK(store.Get(fid, 1, out));
+  store.EraseFile(fid);
+  EXPECT_EQ(store.Get(fid, 1, out).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.bytes_used(), 0u);
+}
+
+// --- Cache-manager behaviour through traffic ---
+
+TEST(ClientCacheTest, WholeFileTokenModeFetchesOnceThenPingPongs) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager::Options opts;
+  opts.whole_file_data_tokens = true;
+  CacheManager* a = rig->NewClient("alice", opts);
+  CacheManager::Options opts_b = opts;
+  CacheManager* b = rig->NewClient("bob", opts_b);
+  ASSERT_OK_AND_ASSIGN(VfsRef av, a->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef bv, b->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*av, "/big", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*av, "/big", std::string(4 * kBlockSize, '.'), TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef af, ResolvePath(*av, "/big"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef bf, ResolvePath(*bv, "/big"));
+
+  // Disjoint single-block writes: whole-file tokens force mutual revocation
+  // every round (the E6 ablation at unit scale).
+  std::vector<uint8_t> one(kBlockSize, 'x');
+  uint64_t before = a->stats().revocations_handled + b->stats().revocations_handled;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(af->Write(0, one).status());
+    ASSERT_OK(bf->Write(3 * kBlockSize, one).status());
+  }
+  uint64_t after = a->stats().revocations_handled + b->stats().revocations_handled;
+  EXPECT_GE(after - before, 4u) << "whole-file tokens must ping-pong";
+}
+
+TEST(ClientCacheTest, ReturnAllTokensDropsCachesAndServerState) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "tokenized", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/f"));
+  std::vector<uint8_t> buf(9);
+  ASSERT_OK(f->Read(0, buf).status());
+  EXPECT_GT(rig->server->tokens().TokensForHost(client->node()).size(), 0u);
+
+  ASSERT_OK(client->ReturnAllTokens());
+  EXPECT_EQ(rig->server->tokens().TokensForHost(client->node()).size(), 0u);
+  // The dirty data was stored first: the content survives the cache drop.
+  LinkStats before = rig->net.StatsBetween(client->node(), kServerNode);
+  ASSERT_OK(f->Read(0, buf).status());
+  EXPECT_GT(rig->net.StatsBetween(client->node(), kServerNode).calls, before.calls)
+      << "after returning tokens, the next read must refetch";
+  EXPECT_EQ(std::string(buf.begin(), buf.end()), "tokenized");
+}
+
+TEST(ClientCacheTest, ListingCachedUnderStatusToken) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(WriteFileAt(*vfs, "/f" + std::to_string(i), "x", TestCred()));
+  }
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, vfs->Root());
+  ASSERT_OK(root->ReadDir().status());  // fills the listing cache
+  LinkStats before = rig->net.StatsBetween(client->node(), kServerNode);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto entries, root->ReadDir());
+    EXPECT_EQ(entries.size(), 7u);
+  }
+  EXPECT_EQ(rig->net.StatsBetween(client->node(), kServerNode).calls, before.calls);
+  // Our own create invalidates the cached listing.
+  ASSERT_OK(WriteFileAt(*vfs, "/f5", "x", TestCred()));
+  ASSERT_OK_AND_ASSIGN(auto entries, root->ReadDir());
+  EXPECT_EQ(entries.size(), 8u);
+}
+
+TEST(ClientCacheTest, OpenHandleMoveSemantics) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "x", TestCred()));
+  ASSERT_OK_AND_ASSIGN(OpenHandle h1, client->Open(*vfs, "/f", OpenMode::kRead));
+  EXPECT_TRUE(h1.valid());
+  OpenHandle h2 = std::move(h1);
+  EXPECT_TRUE(h2.valid());
+  EXPECT_FALSE(h1.valid());  // NOLINT(bugprone-use-after-move): testing the moved-from state
+  ASSERT_OK(h2.Close());
+  EXPECT_FALSE(h2.valid());
+  ASSERT_OK(h2.Close());  // double close is a no-op
+}
+
+TEST(ClientCacheTest, TruncateDropsTailBlocks) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*vfs, "/t", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*vfs, "/t", std::string(3 * kBlockSize, 'z'), TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/t"));
+  ASSERT_OK(f->Truncate(kBlockSize / 2));
+  ASSERT_OK_AND_ASSIGN(FileAttr attr, f->GetAttr());
+  EXPECT_EQ(attr.size, kBlockSize / 2);
+  std::vector<uint8_t> buf(3 * kBlockSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, f->Read(0, buf));
+  EXPECT_EQ(n, kBlockSize / 2);
+  // Re-extension reads zeros in the gap.
+  std::string tail = "end";
+  ASSERT_OK(f->Write(kBlockSize, std::span<const uint8_t>(
+                                     reinterpret_cast<const uint8_t*>(tail.data()),
+                                     tail.size()))
+                .status());
+  ASSERT_OK_AND_ASSIGN(n, f->Read(0, buf));
+  ASSERT_EQ(n, kBlockSize + 3);
+  EXPECT_EQ(buf[kBlockSize / 2], 0);
+  EXPECT_EQ(buf[kBlockSize - 1], 0);
+  EXPECT_EQ(buf[kBlockSize], 'e');
+}
+
+TEST(ClientCacheTest, AttrCacheHitsCountedAndUsed) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "attrs", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/f"));
+  ASSERT_OK(f->GetAttr().status());
+  uint64_t hits = client->stats().attr_cache_hits;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(f->GetAttr().status());
+  }
+  EXPECT_GE(client->stats().attr_cache_hits, hits + 20);
+}
+
+TEST(ClientCacheTest, NegativeLookupsAreCached) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/exists", "x", TestCred()));
+
+  // First miss goes to the server; repeats are answered from the negative
+  // cache under the directory's status-read token.
+  EXPECT_EQ(ResolvePath(*vfs, "/missing").code(), ErrorCode::kNotFound);
+  LinkStats before = rig->net.StatsBetween(client->node(), kServerNode);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ResolvePath(*vfs, "/missing").code(), ErrorCode::kNotFound);
+  }
+  EXPECT_EQ(rig->net.StatsBetween(client->node(), kServerNode).calls, before.calls)
+      << "repeated misses must be RPC-free";
+
+  // Another client creating the name invalidates the negative entry.
+  CacheManager* other = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef ov, other->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*ov, "/missing", "now it exists", TestCred(101)));
+  ASSERT_OK_AND_ASSIGN(std::string found, ReadFileAt(*vfs, "/missing"));
+  EXPECT_EQ(found, "now it exists");
+}
+
+TEST(ClientCacheTest, OwnCreateOverridesNegativeEntry) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  EXPECT_EQ(ResolvePath(*vfs, "/soon").code(), ErrorCode::kNotFound);  // cached miss
+  ASSERT_OK(WriteFileAt(*vfs, "/soon", "created after the miss", TestCred()));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*vfs, "/soon"));
+  EXPECT_EQ(back, "created after the miss");
+}
+
+TEST(ClientCacheTest, SequentialReadAheadCutsRpcs) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager::Options with;
+  with.readahead_blocks = 8;
+  CacheManager* ra = rig->NewClient("alice", with);
+  CacheManager::Options without;
+  without.readahead_blocks = 0;
+  CacheManager* no_ra = rig->NewClient("bob", without);
+  ASSERT_OK_AND_ASSIGN(VfsRef setup, ra->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*setup, "/seq", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*setup, "/seq", std::string(64 * kBlockSize, 'q'), TestCred()));
+  ASSERT_OK(ra->SyncAll());
+  ASSERT_OK(ra->ReturnAllTokens());
+
+  auto sequential_read = [&](CacheManager* cm) -> uint64_t {
+    auto vfs = cm->MountVolume("home");
+    EXPECT_TRUE(vfs.ok());
+    auto f = ResolvePath(**vfs, "/seq");
+    EXPECT_TRUE(f.ok());
+    LinkStats before = rig->net.StatsBetween(cm->node(), kServerNode);
+    std::vector<uint8_t> buf(kBlockSize);
+    for (uint64_t b = 0; b < 64; ++b) {
+      auto n = (*f)->Read(b * kBlockSize, buf);
+      EXPECT_TRUE(n.ok());
+      EXPECT_EQ(buf[0], 'q');
+    }
+    return rig->net.StatsBetween(cm->node(), kServerNode).calls - before.calls;
+  };
+  uint64_t rpcs_without = sequential_read(no_ra);
+  uint64_t rpcs_with = sequential_read(ra);
+  EXPECT_LT(rpcs_with * 3, rpcs_without)
+      << "read-ahead must cut sequential-read RPCs by several x (with=" << rpcs_with
+      << " without=" << rpcs_without << ")";
+}
+
+}  // namespace
+}  // namespace dfs

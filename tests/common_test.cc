@@ -1,0 +1,273 @@
+// Unit tests for the common substrate: Status/Result, codec, vclock, RNG,
+// lock-order checker, thread pool, ACL evaluation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/codec.h"
+#include "src/common/lock_order.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/common/vclock.h"
+#include "src/vfs/acl.h"
+#include "src/vfs/wire.h"
+
+namespace dfs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (uint16_t c = 0; c <= static_cast<uint16_t>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status(ErrorCode::kBusy, "later");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kBusy);
+}
+
+Result<int> Doubler(Result<int> in) {
+  ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status(ErrorCode::kIoError, "x")).code(), ErrorCode::kIoError);
+}
+
+TEST(CodecTest, RoundTripsPrimitives) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutBool(true);
+  w.PutString("hello");
+  Reader r(w.data());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*r.ReadBool(), true);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, TruncationIsCorruptNotUb) {
+  Writer w;
+  w.PutU32(12);  // length prefix promising 12 bytes that are not there
+  Reader r(w.data());
+  EXPECT_EQ(r.ReadBytes().code(), ErrorCode::kCorrupt);
+
+  Reader r2(std::span<const uint8_t>{});
+  EXPECT_EQ(r2.ReadU64().code(), ErrorCode::kCorrupt);
+}
+
+TEST(CodecTest, FidAndAttrRoundTrip) {
+  FileAttr attr;
+  attr.fid = Fid{7, 42, 99};
+  attr.type = FileType::kDirectory;
+  attr.size = 8080;
+  attr.mode = 0755;
+  attr.nlink = 3;
+  attr.data_version = 17;
+  Writer w;
+  PutAttr(w, attr);
+  Reader r(w.data());
+  auto back = ReadAttr(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->fid, attr.fid);
+  EXPECT_EQ(back->type, FileType::kDirectory);
+  EXPECT_EQ(back->size, 8080u);
+  EXPECT_EQ(back->data_version, 17u);
+}
+
+TEST(VClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.AdvanceSeconds(3);
+  EXPECT_EQ(clock.Now(), 3 * VirtualClock::kSecond);
+  clock.AdvanceMillis(5);
+  EXPECT_EQ(clock.Now(), 3 * VirtualClock::kSecond + 5 * VirtualClock::kMillisecond);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(LockOrderTest, InOrderAcquisitionPasses) {
+  OrderedMutex high(LockLevel::kClientHigh, 1, "high");
+  OrderedMutex server(LockLevel::kServerVnode, 1, "server");
+  OrderedMutex low(LockLevel::kClientLow, 1, "low");
+  std::lock_guard<OrderedMutex> l1(high);
+  std::lock_guard<OrderedMutex> l2(server);
+  std::lock_guard<OrderedMutex> l3(low);
+  SUCCEED();
+}
+
+TEST(LockOrderTest, SameLevelIncreasingTagPasses) {
+  OrderedMutex a(LockLevel::kClientHigh, 1, "a");
+  OrderedMutex b(LockLevel::kClientHigh, 2, "b");
+  std::lock_guard<OrderedMutex> l1(a);
+  std::lock_guard<OrderedMutex> l2(b);
+  SUCCEED();
+}
+
+TEST(LockOrderTest, ViolationAborts) {
+  EXPECT_DEATH(
+      {
+        OrderedMutex low(LockLevel::kClientLow, 1, "low");
+        OrderedMutex server(LockLevel::kServerVnode, 1, "server");
+        std::lock_guard<OrderedMutex> l1(low);
+        std::lock_guard<OrderedMutex> l2(server);  // 200 after 300: violation
+      },
+      "LOCK ORDER VIOLATION");
+}
+
+TEST(LockOrderTest, SameLevelDecreasingTagAborts) {
+  EXPECT_DEATH(
+      {
+        OrderedMutex b(LockLevel::kClientHigh, 2, "b");
+        OrderedMutex a(LockLevel::kClientHigh, 1, "a");
+        std::lock_guard<OrderedMutex> l1(b);
+        std::lock_guard<OrderedMutex> l2(a);
+      },
+      "LOCK ORDER VIOLATION");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&] { count.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlight) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    done.store(true);
+  });
+  pool.Drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(AclTest, AllowAndDeny) {
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 100, kRightRead | kRightWrite, 0});
+  acl.Add(AclEntry{AclEntry::Kind::kGroup, 5, kRightRead, 0});
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 100, 0, kRightWrite});  // deny wins
+
+  Cred alice{100, {5}};
+  EXPECT_EQ(acl.Evaluate(alice), kRightRead);
+
+  Cred bob{200, {5}};
+  EXPECT_EQ(acl.Evaluate(bob), kRightRead);  // via group
+
+  Cred carol{300, {9}};
+  EXPECT_EQ(acl.Evaluate(carol), 0u);
+}
+
+TEST(AclTest, OtherMatchesEveryone) {
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kOther, 0, kRightLookup, 0});
+  Cred anyone{12345, {}};
+  EXPECT_EQ(acl.Evaluate(anyone), kRightLookup);
+}
+
+TEST(AclTest, SerializationRoundTrip) {
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 1, kAllRights, 0});
+  acl.Add(AclEntry{AclEntry::Kind::kGroup, 2, kRightRead, kRightWrite});
+  Writer w;
+  acl.Serialize(w);
+  Reader r(w.data());
+  auto back = Acl::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, acl);
+}
+
+TEST(AclTest, DeserializeRejectsGarbage) {
+  Writer w;
+  w.PutU32(1);
+  w.PutU8(77);  // invalid entry kind
+  w.PutU32(0);
+  w.PutU32(0);
+  w.PutU32(0);
+  Reader r(w.data());
+  EXPECT_EQ(Acl::Deserialize(r).code(), ErrorCode::kCorrupt);
+}
+
+TEST(ModeBitsTest, OwnerGroupOther) {
+  Cred owner{10, {20}};
+  Cred groupmate{11, {20}};
+  Cred other{12, {21}};
+  uint32_t mode = 0754;
+  uint32_t o = RightsFromMode(mode, 10, 20, owner, false);
+  EXPECT_TRUE(o & kRightRead);
+  EXPECT_TRUE(o & kRightWrite);
+  EXPECT_TRUE(o & kRightExecute);
+  EXPECT_TRUE(o & kRightControl);
+  uint32_t g = RightsFromMode(mode, 10, 20, groupmate, false);
+  EXPECT_TRUE(g & kRightRead);
+  EXPECT_FALSE(g & kRightWrite);
+  EXPECT_TRUE(g & kRightExecute);
+  uint32_t t = RightsFromMode(mode, 10, 20, other, false);
+  EXPECT_TRUE(t & kRightRead);
+  EXPECT_FALSE(t & kRightWrite);
+  EXPECT_FALSE(t & kRightExecute);
+}
+
+TEST(ModeBitsTest, SuperuserGetsEverything) {
+  Cred root{0, {}};
+  EXPECT_EQ(RightsFromMode(0000, 10, 20, root, true), kAllRights);
+}
+
+TEST(ModeBitsTest, DirectoryWriteImpliesInsertDelete) {
+  Cred owner{10, {20}};
+  uint32_t r = RightsFromMode(0700, 10, 20, owner, true);
+  EXPECT_TRUE(r & kRightInsert);
+  EXPECT_TRUE(r & kRightDelete);
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,117 @@
+// Shared fixture for distributed-stack tests and benchmarks: a virtual-clock
+// network with a VLDB, one or two Episode-backed file servers, and client
+// cache managers.
+#ifndef TESTS_DFS_RIG_H_
+#define TESTS_DFS_RIG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/cache_manager.h"
+#include "src/episode/aggregate.h"
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "src/server/file_server.h"
+#include "src/server/local_vnode.h"
+#include "src/server/replication.h"
+#include "src/server/vldb.h"
+#include "src/server/volume_server.h"
+
+namespace dfs {
+
+inline constexpr NodeId kVldbNode = 1;
+inline constexpr NodeId kServerNode = 10;
+inline constexpr NodeId kServer2Node = 11;
+inline constexpr NodeId kFirstClientNode = 100;
+inline constexpr uint64_t kUserSecret = 0xBEEF;
+
+struct DfsRig {
+  VirtualClock clock;
+  Network net{&clock};
+  AuthService auth;
+  std::unique_ptr<VldbServer> vldb;
+
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<Aggregate> agg;
+  std::unique_ptr<FileServer> server;
+
+  std::unique_ptr<SimDisk> disk2;
+  std::unique_ptr<Aggregate> agg2;
+  std::unique_ptr<FileServer> server2;
+
+  uint64_t volume_id = 0;
+  std::vector<std::unique_ptr<CacheManager>> clients;
+
+  struct Options {
+    bool second_server = false;
+    uint64_t disk_blocks = 16384;
+    Aggregate::Options agg;
+  };
+
+  static std::unique_ptr<DfsRig> Create() { return Create(Options()); }
+
+  static std::unique_ptr<DfsRig> Create(Options options) {
+    auto rig = std::make_unique<DfsRig>();
+    rig->auth.AddPrincipal("alice", 100, kUserSecret);
+    rig->auth.AddPrincipal("bob", 101, kUserSecret);
+    rig->auth.AddPrincipal("root", 0, kUserSecret);
+    rig->vldb = std::make_unique<VldbServer>(rig->net, kVldbNode);
+
+    rig->disk = std::make_unique<SimDisk>(options.disk_blocks);
+    Aggregate::Options aopts = options.agg;
+    aopts.wal.clock = &rig->clock;
+    auto agg = Aggregate::Format(*rig->disk, aopts);
+    if (!agg.ok()) {
+      return nullptr;
+    }
+    rig->agg = std::move(*agg);
+    rig->server = std::make_unique<FileServer>(rig->net, rig->auth, kServerNode);
+    auto vid = rig->agg->CreateVolume("home");
+    if (!vid.ok()) {
+      return nullptr;
+    }
+    rig->volume_id = *vid;
+    (void)rig->server->ExportAggregate(rig->agg.get());
+    VldbClient registrar(rig->net, kServerNode, {kVldbNode});
+    (void)registrar.Register(rig->volume_id, "home", kServerNode);
+
+    if (options.second_server) {
+      rig->disk2 = std::make_unique<SimDisk>(options.disk_blocks);
+      Aggregate::Options a2 = options.agg;
+      a2.wal.clock = &rig->clock;
+      a2.volume_id_base = 1000;
+      auto agg2 = Aggregate::Format(*rig->disk2, a2);
+      if (!agg2.ok()) {
+        return nullptr;
+      }
+      rig->agg2 = std::move(*agg2);
+      rig->server2 = std::make_unique<FileServer>(rig->net, rig->auth, kServer2Node);
+      (void)rig->server2->ExportAggregate(rig->agg2.get());
+    }
+    return rig;
+  }
+
+  CacheManager* NewClient(const std::string& principal = "alice",
+                          CacheManager::Options options = {}) {
+    if (options.node == 0) {
+      options.node = kFirstClientNode + static_cast<NodeId>(clients.size());
+    }
+    auto ticket = auth.IssueTicket(principal, kUserSecret);
+    if (!ticket.ok()) {
+      return nullptr;
+    }
+    clients.push_back(std::make_unique<CacheManager>(net, std::vector<NodeId>{kVldbNode},
+                                                     *ticket, options));
+    return clients.back().get();
+  }
+
+  Ticket TicketFor(const std::string& principal) {
+    auto t = auth.IssueTicket(principal, kUserSecret);
+    return t.ok() ? *t : Ticket{};
+  }
+};
+
+}  // namespace dfs
+
+#endif  // TESTS_DFS_RIG_H_

@@ -1,0 +1,285 @@
+// Copy-on-write volume cloning (Section 2.1): snapshots are cheap, isolated
+// from subsequent writes, dumpable, movable, and refcount-correct.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(EpisodeCloneTest, CloneSeesSnapshotNotLaterWrites) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "original", TestCred()));
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "modified after clone", TestCred()));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/new-file", "post-snapshot", TestCred()));
+
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*snap, "/f"));
+  EXPECT_EQ(back, "original");
+  EXPECT_EQ(ResolvePath(*snap, "/new-file").code(), ErrorCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(std::string live, ReadFileAt(*fs.vfs, "/f"));
+  EXPECT_EQ(live, "modified after clone");
+}
+
+TEST(EpisodeCloneTest, CloneIsReadOnly) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "x", TestCred()));
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  EXPECT_EQ(WriteFileAt(*snap, "/f", "nope", TestCred()).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(UnlinkAt(*snap, "/f").code(), ErrorCode::kPermissionDenied);
+  ASSERT_OK_AND_ASSIGN(VolumeInfo info, fs.agg->GetVolume(clone_id));
+  EXPECT_TRUE(info.read_only);
+  EXPECT_TRUE(info.is_clone);
+  EXPECT_EQ(info.backing_volume, fs.volume_id);
+}
+
+TEST(EpisodeCloneTest, CloneIsCheapInBlockTouches) {
+  TestFs fs = TestFs::Create(32768, [] {
+    Aggregate::Options o;
+    o.cache_blocks = 4096;
+    o.log_blocks = 1024;
+    return o;
+  }());
+  // A volume with real content.
+  std::vector<uint8_t> blob(64 * 1024, 0xCD);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(VnodeRef f,
+                         CreateFileAt(*fs.vfs, "/f" + std::to_string(i), 0644, TestCred()));
+    ASSERT_OK(f->Write(0, blob).status());
+  }
+  ASSERT_OK(fs.agg->Checkpoint());
+  fs.disk->ResetStats();
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  (void)clone_id;
+  // The clone touches the registry, superblock, a handful of refcounts, and
+  // the log — not the ~320 data blocks of the volume.
+  DeviceStats s = fs.disk->stats();
+  EXPECT_LT(s.writes, 40u) << "clone should be O(1) in block writes";
+}
+
+TEST(EpisodeCloneTest, CowCopiesExactlyTouchedBlocks) {
+  TestFs fs = TestFs::Create(32768, [] {
+    Aggregate::Options o;
+    o.cache_blocks = 4096;
+    o.log_blocks = 1024;
+    return o;
+  }());
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, CreateFileAt(*fs.vfs, "/big", 0644, TestCred()));
+  std::vector<uint8_t> blob(40 * kBlockSize, 0xEE);
+  ASSERT_OK(f->Write(0, blob).status());
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+
+  uint64_t free_before = fs.agg->FreeBlockCount();
+  // Overwrite one block of the original: COW should copy ~1 data block plus a
+  // bounded number of metadata blocks (table block, indirect block).
+  std::vector<uint8_t> one(kBlockSize, 0x11);
+  ASSERT_OK(f->Write(10 * kBlockSize, one).status());
+  uint64_t free_after = fs.agg->FreeBlockCount();
+  EXPECT_LE(free_before - free_after, 6u);
+
+  // The clone still reads the old bytes.
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  ASSERT_OK_AND_ASSIGN(VnodeRef snap_f, ResolvePath(*snap, "/big"));
+  std::vector<uint8_t> out(kBlockSize);
+  ASSERT_OK_AND_ASSIGN(size_t n, snap_f->Read(10 * kBlockSize, out));
+  ASSERT_EQ(n, kBlockSize);
+  EXPECT_EQ(out[0], 0xEE);
+}
+
+TEST(EpisodeCloneTest, RefcountsStayConsistentAfterCowAndDeletes) {
+  TestFs fs = TestFs::Create(16384);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(WriteFileAt(*fs.vfs, "/f" + std::to_string(i), std::string(5000, 'a'),
+                          TestCred()));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  // Mutate the original heavily.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(UnlinkAt(*fs.vfs, "/f" + std::to_string(i)));
+  }
+  for (int i = 10; i < 15; ++i) {
+    ASSERT_OK(WriteFileAt(*fs.vfs, "/f" + std::to_string(i), "fresh", TestCred()));
+  }
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "refcount=" << report.refcount_fixes
+                              << " leaked=" << report.leaked_blocks
+                              << " nlink=" << report.nlink_fixes;
+  // The clone still has all ten original files.
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_OK(ResolvePath(*snap, "/f" + std::to_string(i)).status());
+  }
+}
+
+TEST(EpisodeCloneTest, DeletingCloneFreesOnlyUnsharedBlocks) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", std::string(30000, 'z'), TestCred()));
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  ASSERT_OK(fs.agg->DeleteVolume(clone_id));
+  // Original intact and consistent.
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*fs.vfs, "/f"));
+  EXPECT_EQ(back.size(), 30000u);
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeCloneTest, DeletingOriginalKeepsCloneAlive) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "survivor", TestCred()));
+  ASSERT_OK(fs.agg->Checkpoint());  // data durable for the clone to share
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  ASSERT_OK(fs.agg->DeleteVolume(fs.volume_id));
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*snap, "/f"));
+  EXPECT_EQ(back, "survivor");
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeCloneTest, CloneOfClone) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "gen0", TestCred()));
+  ASSERT_OK_AND_ASSIGN(uint64_t c1, fs.agg->CloneVolume(fs.volume_id, "snap1"));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "gen1", TestCred()));
+  ASSERT_OK_AND_ASSIGN(uint64_t c2, fs.agg->CloneVolume(fs.volume_id, "snap2"));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/f", "gen2", TestCred()));
+
+  ASSERT_OK_AND_ASSIGN(VfsRef s1, fs.agg->MountVolume(c1));
+  ASSERT_OK_AND_ASSIGN(VfsRef s2, fs.agg->MountVolume(c2));
+  ASSERT_OK_AND_ASSIGN(std::string v1, ReadFileAt(*s1, "/f"));
+  ASSERT_OK_AND_ASSIGN(std::string v2, ReadFileAt(*s2, "/f"));
+  ASSERT_OK_AND_ASSIGN(std::string v3, ReadFileAt(*fs.vfs, "/f"));
+  EXPECT_EQ(v1, "gen0");
+  EXPECT_EQ(v2, "gen1");
+  EXPECT_EQ(v3, "gen2");
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeCloneTest, DumpAndRestoreRoundTrip) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(MkdirAt(*fs.vfs, "/dir", 0755, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/dir/a", "alpha", TestCred()));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/b", "beta", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef b, ResolvePath(*fs.vfs, "/b"));
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 9, kRightRead, 0});
+  ASSERT_OK(b->SetAcl(acl));
+
+  ASSERT_OK_AND_ASSIGN(VolumeDump dump, fs.agg->DumpVolume(fs.volume_id, 0));
+  EXPECT_FALSE(dump.is_delta);
+  EXPECT_GE(dump.files.size(), 4u);  // root, dir, a, b
+
+  // Restore onto a second aggregate ("the volume move").
+  SimDisk disk2(16384);
+  Aggregate::Options opts2;
+  opts2.volume_id_base = 1000;
+  ASSERT_OK_AND_ASSIGN(auto agg2, Aggregate::Format(disk2, opts2));
+  ASSERT_OK_AND_ASSIGN(uint64_t new_id, agg2->RestoreVolume(dump));
+  EXPECT_EQ(new_id, fs.volume_id);  // id preserved across aggregates
+  ASSERT_OK_AND_ASSIGN(VfsRef moved, agg2->MountVolume(new_id));
+  ASSERT_OK_AND_ASSIGN(std::string a, ReadFileAt(*moved, "/dir/a"));
+  EXPECT_EQ(a, "alpha");
+  ASSERT_OK_AND_ASSIGN(VnodeRef moved_b, ResolvePath(*moved, "/b"));
+  ASSERT_OK_AND_ASSIGN(Acl moved_acl, moved_b->GetAcl());
+  EXPECT_EQ(moved_acl, acl);
+  // FIDs survive the move (same volume id, vnode, uniquifier).
+  ASSERT_OK_AND_ASSIGN(VnodeRef orig_b, ResolvePath(*fs.vfs, "/b"));
+  EXPECT_EQ(moved_b->fid(), orig_b->fid());
+  ASSERT_OK_AND_ASSIGN(auto report, agg2->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeCloneTest, DeltaDumpContainsOnlyChanges) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/stable", "unchanged", TestCred()));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/hot", "v1", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VolumeInfo info, fs.agg->GetVolume(fs.volume_id));
+  uint64_t floor = info.max_data_version;
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/hot", "v2", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VolumeDump delta, fs.agg->DumpVolume(fs.volume_id, floor));
+  EXPECT_TRUE(delta.is_delta);
+  // Only /hot (and the root dir, whose mtime/version moved with the second
+  // write? no — overwriting does not touch the root) should appear.
+  bool has_hot = false;
+  for (const auto& f : delta.files) {
+    if (!f.data.empty()) {
+      has_hot = has_hot || std::string(f.data.begin(), f.data.end()) == "v2";
+    }
+    EXPECT_NE(std::string(f.data.begin(), f.data.end()), "unchanged");
+  }
+  EXPECT_TRUE(has_hot);
+  EXPECT_LT(delta.files.size(), 3u);
+  EXPECT_EQ(delta.live_vnodes.size(), 3u);  // root + 2 files still live
+}
+
+TEST(EpisodeCloneTest, ApplyDeltaUpdatesAndPrunes) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/keep", "k1", TestCred()));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/drop", "d1", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VolumeDump full, fs.agg->DumpVolume(fs.volume_id, 0));
+
+  SimDisk disk2(16384);
+  Aggregate::Options opts2;
+  opts2.volume_id_base = 1000;
+  ASSERT_OK_AND_ASSIGN(auto agg2, Aggregate::Format(disk2, opts2));
+  ASSERT_OK_AND_ASSIGN(uint64_t replica_id, agg2->RestoreVolume(full));
+
+  // Source evolves: keep changes, drop disappears, fresh is born.
+  ASSERT_OK_AND_ASSIGN(VolumeInfo info, fs.agg->GetVolume(fs.volume_id));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/keep", "k2", TestCred()));
+  ASSERT_OK(UnlinkAt(*fs.vfs, "/drop"));
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/fresh", "f1", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VolumeDump delta,
+                       fs.agg->DumpVolume(fs.volume_id, info.max_data_version));
+  ASSERT_OK(agg2->ApplyDelta(replica_id, delta));
+
+  ASSERT_OK_AND_ASSIGN(VfsRef replica, agg2->MountVolume(replica_id));
+  ASSERT_OK_AND_ASSIGN(std::string keep, ReadFileAt(*replica, "/keep"));
+  EXPECT_EQ(keep, "k2");
+  EXPECT_EQ(ResolvePath(*replica, "/drop").code(), ErrorCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(std::string fresh, ReadFileAt(*replica, "/fresh"));
+  EXPECT_EQ(fresh, "f1");
+  ASSERT_OK_AND_ASSIGN(auto report, agg2->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeCloneTest, DumpRestorePreservesSymlinksAndHardLinks) {
+  TestFs fs = TestFs::Create(16384);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/target", "linked-to", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, fs.vfs->Root());
+  ASSERT_OK(root->CreateSymlink("sym", "/target", TestCred()).status());
+  ASSERT_OK_AND_ASSIGN(VnodeRef target, ResolvePath(*fs.vfs, "/target"));
+  ASSERT_OK(root->Link("hard", *target));
+
+  ASSERT_OK_AND_ASSIGN(VolumeDump dump, fs.agg->DumpVolume(fs.volume_id, 0));
+  SimDisk disk2(16384);
+  Aggregate::Options o2;
+  o2.volume_id_base = 900;
+  ASSERT_OK_AND_ASSIGN(auto agg2, Aggregate::Format(disk2, o2));
+  ASSERT_OK_AND_ASSIGN(uint64_t rid, agg2->RestoreVolume(dump));
+  ASSERT_OK_AND_ASSIGN(VfsRef moved, agg2->MountVolume(rid));
+
+  // The symlink still points and resolves.
+  ASSERT_OK_AND_ASSIGN(VnodeRef sym, (*moved->Root())->Lookup("sym"));
+  ASSERT_OK_AND_ASSIGN(std::string symtarget, sym->ReadSymlink());
+  EXPECT_EQ(symtarget, "/target");
+  ASSERT_OK_AND_ASSIGN(std::string via_sym, ReadFileAt(*moved, "/sym"));
+  EXPECT_EQ(via_sym, "linked-to");
+  // The hard link still aliases the same anode (one file, nlink 2).
+  ASSERT_OK_AND_ASSIGN(VnodeRef m_target, ResolvePath(*moved, "/target"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef m_hard, ResolvePath(*moved, "/hard"));
+  EXPECT_EQ(m_target->fid(), m_hard->fid());
+  ASSERT_OK_AND_ASSIGN(FileAttr attr, m_target->GetAttr());
+  EXPECT_EQ(attr.nlink, 2u);
+  ASSERT_OK_AND_ASSIGN(auto report, agg2->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace dfs

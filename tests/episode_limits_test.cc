@@ -1,0 +1,222 @@
+// Resource-exhaustion and structural-limit tests for Episode: disk full,
+// anode-table full, registry growth past its first block, deep hierarchies,
+// failed-operation atomicity, and crash-during-recovery idempotency.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(EpisodeLimitsTest, DiskFullSurfacesAsNoSpaceAndStaysConsistent) {
+  // A deliberately tiny aggregate: fill it, watch kNoSpace, verify the failed
+  // write aborted cleanly (transaction undo) and the rest still works.
+  Aggregate::Options opts;
+  opts.log_blocks = 64;
+  TestFs fs = TestFs::Create(/*disk_blocks=*/640, opts);
+  Status last = Status::Ok();
+  int created = 0;
+  for (int i = 0; i < 10000 && last.ok(); ++i) {
+    last = WriteFileAt(*fs.vfs, "/f" + std::to_string(i), std::string(8192, 'x'), TestCred());
+    if (last.ok()) {
+      ++created;
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  EXPECT_GT(created, 3);
+  // Already-written files still read back.
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*fs.vfs, "/f0"));
+  EXPECT_EQ(back.size(), 8192u);
+  // Structures consistent despite the mid-operation failure.
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "refcount=" << report.refcount_fixes
+                              << " leaked=" << report.leaked_blocks
+                              << " nlink=" << report.nlink_fixes;
+  // Deleting makes room again.
+  ASSERT_OK(UnlinkAt(*fs.vfs, "/f0"));
+  ASSERT_OK(UnlinkAt(*fs.vfs, "/f1"));
+  EXPECT_OK(WriteFileAt(*fs.vfs, "/after-cleanup", "fits now", TestCred()));
+}
+
+TEST(EpisodeLimitsTest, AnodeTableExhaustion) {
+  Aggregate::Options opts;
+  opts.default_anode_count = 16;  // room for ~14 files after root
+  TestFs fs = TestFs::Create(8192, opts);
+  Status last = Status::Ok();
+  int created = 0;
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    last = CreateFileAt(*fs.vfs, "/f" + std::to_string(i), 0644, TestCred()).status();
+    if (last.ok()) {
+      ++created;
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoAnodes);
+  EXPECT_GE(created, 10);
+  // Freeing an anode slot lets creation resume (slot reuse + fresh uniq).
+  ASSERT_OK(UnlinkAt(*fs.vfs, "/f0"));
+  EXPECT_OK(CreateFileAt(*fs.vfs, "/reused", 0644, TestCred()).status());
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeLimitsTest, RegistryGrowsPastItsFirstBlock) {
+  // 8 slots fit in the initial registry block; create more volumes than that.
+  Aggregate::Options opts;
+  opts.default_anode_count = 64;
+  TestFs fs = TestFs::Create(32768, opts);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t id, fs.agg->CreateVolume("vol" + std::to_string(i)));
+    ids.push_back(id);
+  }
+  ASSERT_OK_AND_ASSIGN(auto vols, fs.agg->ListVolumes());
+  EXPECT_EQ(vols.size(), 21u);  // + the fixture's volume
+  // Every volume independently usable.
+  for (uint64_t id : ids) {
+    ASSERT_OK_AND_ASSIGN(VfsRef v, fs.agg->MountVolume(id));
+    ASSERT_OK(WriteFileAt(*v, "/probe", std::to_string(id), TestCred()));
+  }
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+  // Deleting one from the middle frees its slot for reuse.
+  ASSERT_OK(fs.agg->DeleteVolume(ids[7]));
+  ASSERT_OK_AND_ASSIGN(uint64_t reused, fs.agg->CreateVolume("replacement"));
+  ASSERT_OK(fs.agg->MountVolume(reused).status());
+}
+
+TEST(EpisodeLimitsTest, DeepDirectoryHierarchy) {
+  TestFs fs = TestFs::Create(16384);
+  std::string path;
+  for (int depth = 0; depth < 40; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_OK(MkdirAt(*fs.vfs, path, 0755, TestCred()).status());
+  }
+  ASSERT_OK(WriteFileAt(*fs.vfs, path + "/leaf", "deep", TestCred()));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*fs.vfs, path + "/leaf"));
+  EXPECT_EQ(back, "deep");
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeLimitsTest, CrashDuringRecoveryIsIdempotent) {
+  // Capture the medium at the crash point; run recovery twice from the same
+  // image ("the machine crashed again mid-recovery") — both converge to the
+  // same consistent state.
+  Aggregate::Options opts;
+  opts.wal.force_on_commit = true;
+  TestFs fs = TestFs::Create(8192, opts);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(WriteFileAt(*fs.vfs, "/f" + std::to_string(i), "crashy", TestCred()));
+  }
+  fs.agg->CrashNow();
+  fs.vfs.reset();
+  fs.agg.reset();
+  std::vector<uint8_t> crash_image = fs.disk->SnapshotMedium();
+
+  // First recovery attempt "crashes" partway: we simply restore the image, as
+  // if none of its writes had survived, then recover for real.
+  {
+    auto once = Aggregate::Mount(*fs.disk, opts);
+    ASSERT_OK(once.status());
+  }
+  fs.disk->RestoreMedium(crash_image);
+  {
+    ASSERT_OK_AND_ASSIGN(auto agg, Aggregate::Mount(*fs.disk, opts));
+    ASSERT_OK_AND_ASSIGN(VfsRef vfs, agg->MountVolume(fs.volume_id));
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_OK(ResolvePath(*vfs, "/f" + std::to_string(i)).status());
+    }
+    ASSERT_OK_AND_ASSIGN(auto report, agg->Salvage(false));
+    EXPECT_TRUE(report.clean());
+  }
+}
+
+TEST(EpisodeLimitsTest, WriteFailureInjectionAborts) {
+  TestFs fs = TestFs::Create(8192);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/pre", "before the fault", TestCred()));
+  ASSERT_OK(fs.agg->Checkpoint());
+  // Every write to the device fails for a while. The buffered file write may
+  // succeed in memory, but forcing it out (checkpoint = log + buffers) must
+  // report the I/O error — and nothing already durable is damaged.
+  fs.disk->FailNextWrites(1000000);
+  (void)WriteFileAt(*fs.vfs, "/doomed", std::string(100000, 'x'), TestCred());
+  Status s = fs.agg->Checkpoint();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kIoError);
+  fs.disk->FailNextWrites(0);
+  // Durable state intact; after remount (recovery) everything validates.
+  fs.CrashAndRemount();
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*fs.vfs, "/pre"));
+  EXPECT_EQ(back, "before the fault");
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EpisodeLimitsTest, SalvagerRemovesOrphanDirectoryEntries) {
+  Aggregate::Options opts;
+  opts.wal.force_on_commit = true;
+  TestFs fs = TestFs::Create(8192, opts);
+  ASSERT_OK(WriteFileAt(*fs.vfs, "/victim", "about to be orphaned", TestCred()));
+  ASSERT_OK(MkdirAt(*fs.vfs, "/dir", 0755, TestCred()).status());
+  ASSERT_OK(fs.agg->Checkpoint());
+
+  // Media failure: zero the victim's anode directly (simulate a lost sector
+  // by corrupting the anode table block that holds it, then repairing).
+  ASSERT_OK_AND_ASSIGN(VnodeRef victim, ResolvePath(*fs.vfs, "/victim"));
+  Fid fid = victim->fid();
+  victim.reset();
+  // Find the physical table block via a fresh dump... simpler: unlink through
+  // a lower-level hole: corrupt by unlinking the anode while keeping the
+  // directory entry. We emulate media damage by zeroing the anode through the
+  // internal API (this is exactly the inconsistency a torn sector produces).
+  {
+    ASSERT_OK_AND_ASSIGN(auto pair, fs.agg->FindVolumeSlot(fs.volume_id));
+    VolumeSlot vol = pair.first;
+    ASSERT_OK(fs.agg->RunTxn([&](TxnId txn) -> Status {
+      return fs.agg->WriteAnode(txn, pair.second, vol, fid.vnode, AnodeRecord{});
+    }));
+  }
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(/*repair=*/true));
+  EXPECT_GT(report.orphan_entries, 0u);
+  // The dangling name is gone; the volume is clean again.
+  EXPECT_EQ(ResolvePath(*fs.vfs, "/victim").code(), ErrorCode::kNotFound);
+  ASSERT_OK_AND_ASSIGN(auto report2, fs.agg->Salvage(false));
+  EXPECT_TRUE(report2.clean());
+}
+
+TEST(EpisodeLimitsTest, BlockAccountingInvariant) {
+  // total blocks = free + fixed reserved extents + reachable-from-structures.
+  // Holds through creates, clones, COW, deletes — the refcount algebra closes.
+  TestFs fs = TestFs::Create(8192);
+  auto check = [&](const char* when) {
+    ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+    ASSERT_TRUE(report.clean()) << when;
+    ASSERT_OK_AND_ASSIGN(Superblock sb, fs.agg->ReadSuper());
+    uint64_t reserved = sb.log_start + sb.log_blocks;  // sb + rc table + log
+    uint64_t free = fs.agg->FreeBlockCount();
+    EXPECT_EQ(free + reserved + report.blocks_reachable, sb.block_count) << when;
+  };
+  check("empty volume");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(WriteFileAt(*fs.vfs, "/f" + std::to_string(i), std::string(9000, 'b'),
+                          TestCred()));
+  }
+  check("after creates");
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  check("after clone");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(WriteFileAt(*fs.vfs, "/f" + std::to_string(i), "rewritten", TestCred()));
+  }
+  check("after COW rewrites");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(UnlinkAt(*fs.vfs, "/f" + std::to_string(i)));
+  }
+  check("after deletes");
+  ASSERT_OK(fs.agg->DeleteVolume(clone_id));
+  check("after clone delete");
+}
+
+}  // namespace
+}  // namespace dfs

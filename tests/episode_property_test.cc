@@ -1,0 +1,199 @@
+// Property-based tests: random operation sequences against Episode, checked
+// against an in-memory model file system, with salvager invariants and
+// crash-recovery consistency along the way. Parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/ffs/ffs.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+// A trivial model: path -> contents. Directories are implicit.
+class ModelFs {
+ public:
+  bool Exists(const std::string& p) const { return files_.count(p) != 0; }
+  void Write(const std::string& p, std::string data) { files_[p] = std::move(data); }
+  void Remove(const std::string& p) { files_.erase(p); }
+  const std::map<std::string, std::string>& files() const { return files_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+struct OpStats {
+  int writes = 0, removes = 0, truncates = 0, renames = 0;
+};
+
+// Drives `ops` random operations against both the real FS and the model.
+void RunWorkload(Vfs& vfs, ModelFs& model, Rng& rng, int ops, OpStats* stats) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("/file" + std::to_string(i));
+  }
+  for (int op = 0; op < ops; ++op) {
+    const std::string& name = names[rng.Below(names.size())];
+    switch (rng.Below(4)) {
+      case 0: {  // write
+        std::string data = rng.Name(rng.Below(6000));
+        ASSERT_OK(WriteFileAt(vfs, name, data, TestCred()));
+        model.Write(name, data);
+        ++stats->writes;
+        break;
+      }
+      case 1: {  // remove
+        Status s = UnlinkAt(vfs, name);
+        if (model.Exists(name)) {
+          ASSERT_OK(s);
+          model.Remove(name);
+          ++stats->removes;
+        } else {
+          EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+        }
+        break;
+      }
+      case 2: {  // truncate to random size
+        auto f = ResolvePath(vfs, name);
+        if (model.Exists(name)) {
+          ASSERT_OK(f.status());
+          uint64_t new_size = rng.Below(8000);
+          ASSERT_OK((*f)->Truncate(new_size));
+          std::string cur = model.files().at(name);
+          cur.resize(new_size, '\0');
+          model.Write(name, cur);
+          ++stats->truncates;
+        } else {
+          EXPECT_EQ(f.code(), ErrorCode::kNotFound);
+        }
+        break;
+      }
+      case 3: {  // rename
+        const std::string& dst = names[rng.Below(names.size())];
+        if (!model.Exists(name) || dst == name) {
+          break;
+        }
+        auto root = vfs.Root();
+        ASSERT_OK(root.status());
+        ASSERT_OK(vfs.Rename(**root, name.substr(1), **root, dst.substr(1)));
+        std::string data = model.files().at(name);
+        model.Remove(name);
+        model.Write(dst, data);
+        ++stats->renames;
+        break;
+      }
+    }
+  }
+}
+
+void CheckAgainstModel(Vfs& vfs, const ModelFs& model) {
+  for (const auto& [path, contents] : model.files()) {
+    auto back = ReadFileAt(vfs, path);
+    ASSERT_OK(back.status());
+    ASSERT_EQ(back->size(), contents.size()) << path;
+    ASSERT_EQ(*back, contents) << path;
+  }
+  // And nothing extra.
+  auto root = vfs.Root();
+  ASSERT_OK(root.status());
+  auto entries = (*root)->ReadDir();
+  ASSERT_OK(entries.status());
+  size_t real_files = 0;
+  for (const DirEntry& e : *entries) {
+    if (e.name != "." && e.name != "..") {
+      ++real_files;
+    }
+  }
+  EXPECT_EQ(real_files, model.files().size());
+}
+
+class EpisodePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpisodePropertyTest, RandomOpsMatchModelAndSalvageClean) {
+  Rng rng(GetParam());
+  TestFs fs = TestFs::Create(16384);
+  ModelFs model;
+  OpStats stats;
+  RunWorkload(*fs.vfs, model, rng, 120, &stats);
+  CheckAgainstModel(*fs.vfs, model);
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "seed " << GetParam()
+                              << ": refcount=" << report.refcount_fixes
+                              << " orphan=" << report.orphan_entries
+                              << " nlink=" << report.nlink_fixes
+                              << " leaked=" << report.leaked_blocks;
+}
+
+TEST_P(EpisodePropertyTest, RandomOpsWithCloneStaySnapshotted) {
+  Rng rng(GetParam() * 7919);
+  TestFs fs = TestFs::Create(16384);
+  ModelFs model;
+  OpStats stats;
+  RunWorkload(*fs.vfs, model, rng, 60, &stats);
+  ModelFs at_snapshot = model;
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, fs.agg->CloneVolume(fs.volume_id, "snap"));
+  RunWorkload(*fs.vfs, model, rng, 60, &stats);
+
+  CheckAgainstModel(*fs.vfs, model);
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, fs.agg->MountVolume(clone_id));
+  CheckAgainstModel(*snap, at_snapshot);
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "seed " << GetParam();
+}
+
+TEST_P(EpisodePropertyTest, CrashAfterSyncPreservesSyncedState) {
+  Rng rng(GetParam() * 104729);
+  Aggregate::Options opts;
+  opts.wal.force_on_commit = true;
+  TestFs fs = TestFs::Create(16384, opts);
+  ModelFs model;
+  OpStats stats;
+  RunWorkload(*fs.vfs, model, rng, 60, &stats);
+  ASSERT_OK(fs.agg->Checkpoint());  // metadata + data durable
+  fs.CrashAndRemount(opts);
+  CheckAgainstModel(*fs.vfs, model);
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "seed " << GetParam();
+}
+
+TEST_P(EpisodePropertyTest, CrashMidWorkloadAlwaysSalvagesClean) {
+  Rng rng(GetParam() * 31337);
+  TestFs fs = TestFs::Create(16384);
+  ModelFs model;
+  OpStats stats;
+  RunWorkload(*fs.vfs, model, rng, 40, &stats);
+  fs.CrashAndRemount();
+  ASSERT_OK_AND_ASSIGN(auto report, fs.agg->Salvage(false));
+  EXPECT_TRUE(report.clean()) << "seed " << GetParam()
+                              << ": refcount=" << report.refcount_fixes
+                              << " orphan=" << report.orphan_entries
+                              << " nlink=" << report.nlink_fixes
+                              << " leaked=" << report.leaked_blocks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpisodePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// The same model workload also validates the FFS baseline implementation.
+class FfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FfsPropertyTest, RandomOpsMatchModel) {
+  Rng rng(GetParam() * 271828);
+  SimDisk disk(16384);
+  ASSERT_OK_AND_ASSIGN(auto ffs, FfsVfs::Format(disk, {}));
+  ModelFs model;
+  OpStats stats;
+  RunWorkload(*ffs, model, rng, 100, &stats);
+  CheckAgainstModel(*ffs, model);
+  ASSERT_OK_AND_ASSIGN(auto report, ffs->Fsck(false));
+  EXPECT_EQ(report.bitmap_fixes, 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FfsPropertyTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,161 @@
+// Failure injection across the distributed stack: dead clients must not wedge
+// live ones, dead servers surface cleanly, partitions heal, and on-disk state
+// stays consistent through all of it.
+#include <gtest/gtest.h>
+
+#include "src/vfs/path.h"
+#include "tests/dfs_rig.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(FailureTest, DeadClientsTokensAreDroppedNotWaitedOn) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* doomed = rig->NewClient("alice");
+  CacheManager* survivor = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef dv, doomed->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef sv, survivor->MountVolume("home"));
+
+  ASSERT_OK(CreateFileAt(*dv, "/shared", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*dv, "/shared", "held by the doomed client", TestCred()));
+  ASSERT_OK(doomed->SyncAll());
+  // The doomed client holds write tokens; now its machine dies.
+  rig->net.SetNodeDown(doomed->node(), true);
+
+  // The survivor's read triggers a revocation to a dead host; the server
+  // drops the dead host's tokens instead of failing the survivor.
+  ASSERT_OK_AND_ASSIGN(std::string seen, ReadFileAt(*sv, "/shared"));
+  EXPECT_EQ(seen, "held by the doomed client");
+  EXPECT_OK(WriteFileAt(*sv, "/shared", "the survivor can write too", TestCred(101)));
+  EXPECT_EQ(rig->server->tokens().TokensForHost(doomed->node()).size(), 0u);
+}
+
+TEST(FailureTest, DirtyDataOfDeadClientIsLost) {
+  // The crash contract: a dead client's never-stored writes vanish — exactly
+  // what a machine crash means under write-back caching.
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* doomed = rig->NewClient("alice");
+  CacheManager* survivor = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef dv, doomed->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef sv, survivor->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*dv, "/f", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*dv, "/f", "durable", TestCred()));
+  ASSERT_OK(doomed->Fsync(ResolvePath(*dv, "/f").value()->fid()));
+
+  // Overwrite in place (no truncate RPC): the new bytes stay dirty, client-side.
+  ASSERT_OK_AND_ASSIGN(VnodeRef df, ResolvePath(*dv, "/f"));
+  std::string dirty = "dirty and doomed";
+  ASSERT_OK(df->Write(0, std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(dirty.data()), dirty.size()))
+                .status());
+  rig->net.SetNodeDown(doomed->node(), true);
+  ASSERT_OK_AND_ASSIGN(std::string seen, ReadFileAt(*sv, "/f"));
+  EXPECT_EQ(seen.substr(0, 7), "durable");
+}
+
+TEST(FailureTest, ServerDownSurfacesAsUnavailable) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "x", TestCred()));
+  ASSERT_OK(client->ReturnAllTokens());
+  rig->net.SetNodeDown(kServerNode, true);
+  auto r = ReadFileAt(*vfs, "/f");
+  EXPECT_EQ(r.code(), ErrorCode::kUnavailable);
+  // The server comes back; the client recovers without remounting.
+  rig->net.SetNodeDown(kServerNode, false);
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*vfs, "/f"));
+  EXPECT_EQ(back, "x");
+}
+
+TEST(FailureTest, PartitionHealsTransparently) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "pre-partition", TestCred()));
+  ASSERT_OK(client->SyncAll());
+  // Warm the caches (the create itself revoked our directory tokens).
+  ASSERT_OK(ReadFileAt(*vfs, "/f").status());
+
+  // Reads under tokens keep working during the partition (the whole point of
+  // caching): no server round trip is needed.
+  rig->net.Partition(client->node(), kServerNode, true);
+  ASSERT_OK_AND_ASSIGN(std::string cached, ReadFileAt(*vfs, "/f"));
+  EXPECT_EQ(cached, "pre-partition");
+
+  rig->net.Partition(client->node(), kServerNode, false);
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "post-heal", TestCred()));
+  ASSERT_OK(client->SyncAll());
+  ASSERT_OK_AND_ASSIGN(std::string after, ReadFileAt(*vfs, "/f"));
+  EXPECT_EQ(after, "post-heal");
+}
+
+TEST(FailureTest, ReconnectedClientStartsClean) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient("alice");
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*vfs, "/f", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*vfs, "/f", "v1", TestCred()));
+  ASSERT_OK(client->SyncAll());
+
+  // Die with tokens outstanding; the server notices at the next conflict.
+  rig->net.SetNodeDown(client->node(), true);
+  CacheManager* other = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef ov, other->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*ov, "/f", "v2", TestCred(101)));
+  ASSERT_OK(other->SyncAll());
+
+  // "Reboot" the dead node (same NodeId, fresh cache manager) and reconnect:
+  // kConnect re-registers the host and it sees the current data.
+  rig->net.SetNodeDown(client->node(), false);
+  CacheManager::Options opts;
+  opts.node = client->node();
+  rig->clients.erase(rig->clients.begin());  // destroy the old instance first
+  CacheManager* reborn = rig->NewClient("alice", opts);
+  ASSERT_OK_AND_ASSIGN(VfsRef rv, reborn->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string seen, ReadFileAt(*rv, "/f"));
+  EXPECT_EQ(seen, "v2");
+}
+
+TEST(FailureTest, SalvageCleanAfterClientCarnage) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  for (int round = 0; round < 3; ++round) {
+    CacheManager* c = rig->NewClient(round % 2 == 0 ? "alice" : "bob");
+    auto vfs = c->MountVolume("home");
+    ASSERT_TRUE(vfs.ok());
+    for (int i = 0; i < 5; ++i) {
+      std::string name = "/r" + std::to_string(round) + "f" + std::to_string(i);
+      ASSERT_OK(CreateFileAt(**vfs, name, 0666, TestCred()).status());
+      ASSERT_OK(WriteFileAt(**vfs, name, "carnage", TestCred(round % 2 == 0 ? 100 : 101)));
+    }
+    // Half the clients die dirty.
+    if (round % 2 == 0) {
+      rig->net.SetNodeDown(c->node(), true);
+    } else {
+      ASSERT_OK(c->SyncAll());
+    }
+  }
+  // A fresh client forces revocations against the dead ones.
+  CacheManager* prober = rig->NewClient("root");
+  ASSERT_OK_AND_ASSIGN(VfsRef pv, prober->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, pv->Root());
+  ASSERT_OK(root->ReadDir().status());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      std::string name = "/r" + std::to_string(round) + "f" + std::to_string(i);
+      (void)ReadFileAt(*pv, name);  // may be empty for dead-dirty clients; must not error out hard
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(auto report, rig->agg->Salvage(false));
+  EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace dfs

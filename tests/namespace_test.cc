@@ -1,0 +1,181 @@
+// The single-namespace property (Section 1): mount points knit volumes —
+// possibly on different servers — into one file tree on the client; plus
+// tests for lock tokens, ACL deny entries, and hard links across dumps.
+#include <gtest/gtest.h>
+
+#include "src/vfs/path.h"
+#include "tests/dfs_rig.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(NamespaceTest, MountPointCrossesVolumes) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  // A second volume on the same server, registered in the VLDB.
+  ASSERT_OK_AND_ASSIGN(uint64_t projects_id, rig->agg->CreateVolume("projects"));
+  ASSERT_OK(rig->server->RefreshExports());
+  VldbClient registrar(rig->net, kServerNode, {kVldbNode});
+  ASSERT_OK(registrar.Register(projects_id, "projects", kServerNode));
+
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef home, client->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef projects, client->MountVolumeById(projects_id));
+  ASSERT_OK(WriteFileAt(*projects, "/plan.txt", "cross-volume content", TestCred()));
+
+  // Plant the mount point in /home and traverse through it.
+  ASSERT_OK_AND_ASSIGN(VnodeRef home_root, home->Root());
+  ASSERT_OK(home_root->CreateSymlink("projects", "%vol:projects", TestCred()).status());
+  ASSERT_OK_AND_ASSIGN(std::string via_mount, ReadFileAt(*home, "/projects/plan.txt"));
+  EXPECT_EQ(via_mount, "cross-volume content");
+  // The resolved file's FID belongs to the other volume.
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*home, "/projects/plan.txt"));
+  EXPECT_EQ(f->fid().volume, projects_id);
+}
+
+TEST(NamespaceTest, MountPointCrossesServers) {
+  DfsRig::Options opts;
+  opts.second_server = true;
+  auto rig = DfsRig::Create(opts);
+  ASSERT_NE(rig, nullptr);
+  ASSERT_OK_AND_ASSIGN(uint64_t remote_id, rig->agg2->CreateVolume("remote"));
+  ASSERT_OK(rig->server2->RefreshExports());
+  VldbClient registrar(rig->net, kServer2Node, {kVldbNode});
+  ASSERT_OK(registrar.Register(remote_id, "remote", kServer2Node));
+
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef home, client->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef remote, client->MountVolumeById(remote_id));
+  ASSERT_OK(WriteFileAt(*remote, "/hosted-elsewhere", "served by server 2", TestCred()));
+
+  ASSERT_OK_AND_ASSIGN(VnodeRef home_root, home->Root());
+  ASSERT_OK(home_root->CreateSymlink("elsewhere", "%vol:remote", TestCred()).status());
+  // One path, two servers: the community of file systems as a single tree.
+  ASSERT_OK_AND_ASSIGN(std::string via_mount,
+                       ReadFileAt(*home, "/elsewhere/hosted-elsewhere"));
+  EXPECT_EQ(via_mount, "served by server 2");
+}
+
+TEST(NamespaceTest, MountPointToMissingVolumeFailsCleanly) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef home, client->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, home->Root());
+  ASSERT_OK(root->CreateSymlink("dangling", "%vol:no-such-volume", TestCred()).status());
+  EXPECT_EQ(ReadFileAt(*home, "/dangling/x").code(), ErrorCode::kNotFound);
+}
+
+TEST(NamespaceTest, PhysicalFsDeclinesMountPoints) {
+  // A bare Episode mount has no volume-location service: the mount-point
+  // symlink resolves as kNotSupported rather than something misleading.
+  TestFs fs = TestFs::Create();
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, fs.vfs->Root());
+  ASSERT_OK(root->CreateSymlink("mp", "%vol:other", TestCred()).status());
+  EXPECT_EQ(ReadFileAt(*fs.vfs, "/mp/x").code(), ErrorCode::kNotSupported);
+}
+
+TEST(NamespaceTest, LockTokenMakesLocalLocksFree) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/locked", "data", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/locked"));
+  Fid fid = f->fid();
+
+  // Acquire a write lock token explicitly, then set/clear locks with no RPCs.
+  ASSERT_OK(client->AcquireLockToken(fid, /*exclusive=*/true, ByteRange::All()));
+
+  LinkStats before = rig->net.StatsBetween(client->node(), kServerNode);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(client->SetLock(fid, ByteRange{0, 100}, true, 1));
+    ASSERT_OK(client->ClearLock(fid, ByteRange{0, 100}, 1));
+  }
+  EXPECT_EQ(rig->net.StatsBetween(client->node(), kServerNode).calls, before.calls)
+      << "locking under a lock token requires no server calls";
+}
+
+TEST(NamespaceTest, AclDenyOverridesAllow) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* alice = rig->NewClient("alice");
+  CacheManager* bob = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef av, alice->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef bv, bob->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*av, "/mixed", "allow then deny", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*av, "/mixed"));
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kOther, 0, kRightRead | kRightLookup, 0});  // everyone reads
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 101, 0, kRightRead});                // except bob
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 100, kAllRights, 0});
+  ASSERT_OK(f->SetAcl(acl));
+
+  CacheManager* carol = rig->NewClient("root");  // uid 0: superuser bypass
+  ASSERT_OK_AND_ASSIGN(VfsRef cv, carol->MountVolume("home"));
+  EXPECT_OK(ReadFileAt(*cv, "/mixed").status());
+  EXPECT_EQ(ReadFileAt(*bv, "/mixed").code(), ErrorCode::kPermissionDenied);
+  EXPECT_OK(ReadFileAt(*av, "/mixed").status());
+}
+
+TEST(NamespaceTest, HardLinksSurviveVolumeMove) {
+  DfsRig::Options opts;
+  opts.second_server = true;
+  auto rig = DfsRig::Create(opts);
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/orig", "linked data", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef orig, ResolvePath(*vfs, "/orig"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef root, vfs->Root());
+  ASSERT_OK(root->Link("alias", *orig));
+  ASSERT_OK(client->SyncAll());
+  ASSERT_OK(client->ReturnAllTokens());
+
+  VldbClient admin_vldb(rig->net, 50, {kVldbNode});
+  VolumeAdmin admin(rig->net, 50, &admin_vldb);
+  ASSERT_OK(admin.Connect(kServerNode, rig->TicketFor("root")));
+  ASSERT_OK(admin.Connect(kServer2Node, rig->TicketFor("root")));
+  ASSERT_OK(admin.MoveVolume(rig->volume_id, kServerNode, kServer2Node));
+
+  // Both names still point at ONE file after the move.
+  ASSERT_OK_AND_ASSIGN(VnodeRef moved_orig, ResolvePath(*vfs, "/orig"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef moved_alias, ResolvePath(*vfs, "/alias"));
+  EXPECT_EQ(moved_orig->fid(), moved_alias->fid());
+  ASSERT_OK_AND_ASSIGN(FileAttr attr, moved_orig->GetAttr());
+  EXPECT_EQ(attr.nlink, 2u);
+  // Writing through one name is visible through the other.
+  ASSERT_OK(WriteFileAt(*vfs, "/orig", "updated after move", TestCred()));
+  ASSERT_OK(client->SyncAll());
+  ASSERT_OK_AND_ASSIGN(std::string via_alias, ReadFileAt(*vfs, "/alias"));
+  EXPECT_EQ(via_alias, "updated after move");
+}
+
+TEST(NamespaceTest, GroupAclsMatchViaAuthService) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  // bob joins group 500; carol (root principal) does not.
+  rig->auth.AddToGroup("bob", 500);
+  CacheManager* alice = rig->NewClient("alice");
+  CacheManager* bob = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef av, alice->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef bv, bob->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*av, "/team-doc", "for group 500 only", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*av, "/team-doc"));
+  Acl acl;
+  acl.Add(AclEntry{AclEntry::Kind::kUser, 100, kAllRights, 0});
+  acl.Add(AclEntry{AclEntry::Kind::kGroup, 500, kRightRead | kRightLookup, 0});
+  ASSERT_OK(f->SetAcl(acl));
+
+  // Group member reads; a non-member (distinct uid, no group) is denied.
+  ASSERT_OK_AND_ASSIGN(std::string via_group, ReadFileAt(*bv, "/team-doc"));
+  EXPECT_EQ(via_group, "for group 500 only");
+  rig->auth.AddPrincipal("eve", 102, kUserSecret);
+  CacheManager* eve = rig->NewClient("eve");
+  ASSERT_OK_AND_ASSIGN(VfsRef ev, eve->MountVolume("home"));
+  EXPECT_EQ(ReadFileAt(*ev, "/team-doc").code(), ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,179 @@
+// Unit tests for the RPC substrate and the authentication service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/rpc/auth.h"
+#include "src/rpc/rpc.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+class EchoHandler : public RpcHandler {
+ public:
+  Result<std::vector<uint8_t>> Handle(const RpcRequest& req) override {
+    ++calls;
+    if (req.proc == 99) {  // sleeper proc
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::vector<uint8_t> reply(req.payload.begin(), req.payload.end());
+    reply.push_back(static_cast<uint8_t>(req.proc));
+    return reply;
+  }
+  bool IsRevocationPathProc(uint32_t proc) const override { return proc == 50; }
+  std::atomic<int> calls{0};
+};
+
+TEST(NetworkTest, CallRoundTrips) {
+  Network net;
+  EchoHandler handler;
+  ASSERT_OK(net.RegisterNode(2, &handler));
+  std::vector<uint8_t> payload = {1, 2, 3};
+  ASSERT_OK_AND_ASSIGN(auto reply, net.Call(1, 2, 7, payload, "tester"));
+  ASSERT_EQ(reply.size(), 4u);
+  EXPECT_EQ(reply[3], 7);
+  EXPECT_EQ(handler.calls.load(), 1);
+}
+
+TEST(NetworkTest, UnknownNodeIsUnavailable) {
+  Network net;
+  EXPECT_EQ(net.Call(1, 42, 0, {}, "x").code(), ErrorCode::kUnavailable);
+}
+
+TEST(NetworkTest, NodeDownIsUnavailable) {
+  Network net;
+  EchoHandler handler;
+  ASSERT_OK(net.RegisterNode(2, &handler));
+  net.SetNodeDown(2, true);
+  EXPECT_EQ(net.Call(1, 2, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  net.SetNodeDown(2, false);
+  EXPECT_OK(net.Call(1, 2, 0, {}, "x").status());
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirections) {
+  Network net;
+  EchoHandler h2, h3;
+  ASSERT_OK(net.RegisterNode(2, &h2));
+  ASSERT_OK(net.RegisterNode(3, &h3));
+  net.Partition(2, 3, true);
+  EXPECT_EQ(net.Call(2, 3, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net.Call(3, 2, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  net.Partition(2, 3, false);
+  EXPECT_OK(net.Call(2, 3, 0, {}, "x").status());
+}
+
+TEST(NetworkTest, StatsCountCallsAndBytes) {
+  Network net;
+  EchoHandler handler;
+  ASSERT_OK(net.RegisterNode(2, &handler));
+  std::vector<uint8_t> payload(100, 0xAA);
+  ASSERT_OK(net.Call(1, 2, 0, payload, "x").status());
+  LinkStats s = net.StatsBetween(1, 2);
+  EXPECT_EQ(s.calls, 1u);
+  // request 100 + reply 101 + 2x overhead
+  EXPECT_EQ(s.bytes, 100 + 101 + 2 * Network::kMessageOverheadBytes);
+  net.ResetStats();
+  EXPECT_EQ(net.TotalStats().calls, 0u);
+}
+
+TEST(NetworkTest, TimeoutSurfacesAsTimedOut) {
+  Network net;
+  EchoHandler handler;
+  Network::NodeOptions opts;
+  opts.worker_threads = 1;
+  opts.call_timeout_ms = 50;
+  ASSERT_OK(net.RegisterNode(2, &handler, opts));
+  EXPECT_EQ(net.Call(1, 2, 99, {}, "x").code(), ErrorCode::kTimedOut);  // 200 ms sleeper
+}
+
+TEST(NetworkTest, DedicatedPoolServesRevocationProcsUnderLoad) {
+  Network net;
+  EchoHandler handler;
+  Network::NodeOptions opts;
+  opts.worker_threads = 2;
+  opts.revocation_threads = 1;
+  opts.call_timeout_ms = 2000;
+  ASSERT_OK(net.RegisterNode(2, &handler, opts));
+  // Saturate the regular pool with sleepers.
+  std::vector<std::thread> stuck;
+  for (int i = 0; i < 2; ++i) {
+    stuck.emplace_back([&net] { (void)net.Call(1, 2, 99, {}, "x"); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Revocation-path proc 50 still completes promptly on the dedicated pool.
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_OK(net.Call(1, 2, 50, {}, "x").status());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 150);
+  for (auto& t : stuck) {
+    t.join();
+  }
+}
+
+TEST(NetworkTest, ConcurrentCallsAllComplete) {
+  Network net;
+  EchoHandler handler;
+  ASSERT_OK(net.RegisterNode(2, &handler));
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&net, &ok, i] {
+      std::vector<uint8_t> p = {static_cast<uint8_t>(i)};
+      if (net.Call(1, 2, 1, p, "x").ok()) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ok.load(), 16);
+  EXPECT_EQ(handler.calls.load(), 16);
+}
+
+// --- AuthService ---
+
+TEST(AuthTest, IssueAndValidate) {
+  AuthService auth;
+  auth.AddPrincipal("alice", 100, 1234);
+  ASSERT_OK_AND_ASSIGN(Ticket t, auth.IssueTicket("alice", 1234));
+  EXPECT_EQ(t.uid, 100u);
+  ASSERT_OK_AND_ASSIGN(std::string who, auth.ValidateTicket(t));
+  EXPECT_EQ(who, "alice");
+}
+
+TEST(AuthTest, WrongSecretRejected) {
+  AuthService auth;
+  auth.AddPrincipal("alice", 100, 1234);
+  EXPECT_EQ(auth.IssueTicket("alice", 9999).code(), ErrorCode::kAuthFailed);
+  EXPECT_EQ(auth.IssueTicket("mallory", 1234).code(), ErrorCode::kAuthFailed);
+}
+
+TEST(AuthTest, TamperedTicketRejected) {
+  AuthService auth;
+  auth.AddPrincipal("alice", 100, 1234);
+  ASSERT_OK_AND_ASSIGN(Ticket t, auth.IssueTicket("alice", 1234));
+  Ticket forged = t;
+  forged.uid = 0;  // privilege escalation attempt
+  EXPECT_EQ(auth.ValidateTicket(forged).code(), ErrorCode::kAuthFailed);
+  Ticket bad_mac = t;
+  bad_mac.mac ^= 1;
+  EXPECT_EQ(auth.ValidateTicket(bad_mac).code(), ErrorCode::kAuthFailed);
+}
+
+TEST(AuthTest, TicketSerializationRoundTrip) {
+  AuthService auth;
+  auth.AddPrincipal("bob", 101, 77);
+  ASSERT_OK_AND_ASSIGN(Ticket t, auth.IssueTicket("bob", 77));
+  Writer w;
+  t.Serialize(w);
+  Reader r(w.data());
+  ASSERT_OK_AND_ASSIGN(Ticket back, Ticket::Deserialize(r));
+  ASSERT_OK(auth.ValidateTicket(back).status());
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,83 @@
+// Shared helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/blockdev/block_device.h"
+#include "src/episode/aggregate.h"
+#include "src/episode/volume.h"
+#include "src/vfs/path.h"
+
+// gtest-friendly status assertions.
+#define ASSERT_OK(expr)                                             \
+  do {                                                              \
+    auto assert_ok_s_ = (expr);                                     \
+    ASSERT_TRUE(assert_ok_s_.ok()) << assert_ok_s_.ToString();      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                             \
+  do {                                                              \
+    auto expect_ok_s_ = (expr);                                     \
+    EXPECT_TRUE(expect_ok_s_.ok()) << expect_ok_s_.ToString();      \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(decl, expr)                            \
+  auto DFS_CONCAT_(aoaa_, __LINE__) = (expr);                       \
+  ASSERT_TRUE(DFS_CONCAT_(aoaa_, __LINE__).ok())                    \
+      << DFS_CONCAT_(aoaa_, __LINE__).status().ToString();          \
+  decl = std::move(DFS_CONCAT_(aoaa_, __LINE__)).value()
+
+namespace dfs {
+
+// A formatted aggregate on a fresh SimDisk with one volume, mounted.
+struct TestFs {
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<Aggregate> agg;
+  uint64_t volume_id = 0;
+  VfsRef vfs;
+
+  static TestFs Create(uint64_t disk_blocks = 8192, Aggregate::Options options = {}) {
+    TestFs t;
+    t.disk = std::make_unique<SimDisk>(disk_blocks);
+    auto agg = Aggregate::Format(*t.disk, options);
+    EXPECT_TRUE(agg.ok()) << agg.status().ToString();
+    t.agg = std::move(*agg);
+    auto vid = t.agg->CreateVolume("test");
+    EXPECT_TRUE(vid.ok()) << vid.status().ToString();
+    t.volume_id = *vid;
+    // Make the volume's creation durable so crash tests can rely on it.
+    EXPECT_TRUE(t.agg->SyncLog().ok());
+    auto vfs = t.agg->MountVolume(t.volume_id);
+    EXPECT_TRUE(vfs.ok()) << vfs.status().ToString();
+    t.vfs = *vfs;
+    return t;
+  }
+
+  // Crash the machine and remount (recovering from the log).
+  void CrashAndRemount(Aggregate::Options options = {}) {
+    agg->CrashNow();
+    vfs.reset();
+    agg.reset();
+    auto remounted = Aggregate::Mount(*disk, options);
+    ASSERT_TRUE(remounted.ok()) << remounted.status().ToString();
+    agg = std::move(*remounted);
+    auto v = agg->MountVolume(volume_id);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    vfs = *v;
+  }
+};
+
+inline Cred TestCred(uint32_t uid = 100) {
+  Cred c;
+  c.uid = uid;
+  c.gids = {100};
+  return c;
+}
+
+}  // namespace dfs
+
+#endif  // TESTS_TEST_UTIL_H_

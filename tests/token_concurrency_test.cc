@@ -1,0 +1,142 @@
+// Concurrency tests for the token manager itself: many hosts granting,
+// returning, and being revoked in parallel; invariants checked afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/tokens/token_manager.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+// A host whose revocations succeed after a tiny delay (models the RPC).
+class SlowHost : public TokenHost {
+ public:
+  explicit SlowHost(std::string name) : name_(std::move(name)) {}
+  Status Revoke(const Token&, uint32_t) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    ++revocations;
+    return Status::Ok();
+  }
+  std::string name() const override { return name_; }
+  std::atomic<int> revocations{0};
+
+ private:
+  std::string name_;
+};
+
+TEST(TokenConcurrencyTest, ParallelConflictingGrantsNeverLoseTokens) {
+  TokenManager mgr;
+  constexpr int kHosts = 6;
+  std::vector<std::unique_ptr<SlowHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(std::make_unique<SlowHost>("h" + std::to_string(i)));
+    mgr.RegisterHost(static_cast<HostId>(i + 1), hosts.back().get());
+  }
+  Fid fid{1, 2, 3};
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] {
+      Rng rng(static_cast<uint64_t>(h) + 1);
+      for (int round = 0; round < 40; ++round) {
+        uint32_t types = rng.Chance(0.5) ? kTokenDataWrite : kTokenDataRead;
+        uint64_t start = rng.Below(4) * 1000;
+        auto token = mgr.Grant(static_cast<HostId>(h + 1), fid, types,
+                               ByteRange{start, start + 1000});
+        if (!token.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (rng.Chance(0.7)) {
+          (void)mgr.Return(token->id, token->types);
+        }
+        // else: keep it; a future conflicting grant revokes it.
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Invariant: every surviving token is pairwise compatible with the others.
+  auto tokens = mgr.TokensForFid(fid);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      if (tokens[i].host == tokens[j].host) {
+        continue;
+      }
+      EXPECT_TRUE(TokensCompatible(tokens[i].types, tokens[i].range, tokens[j].types,
+                                   tokens[j].range))
+          << TokenTypesToString(tokens[i].types) << " vs "
+          << TokenTypesToString(tokens[j].types);
+    }
+  }
+}
+
+TEST(TokenConcurrencyTest, UnregisterDuringGrantsIsSafe) {
+  TokenManager mgr;
+  SlowHost stable("stable");
+  mgr.RegisterHost(1, &stable);
+  Fid fid{1, 2, 3};
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    SlowHost ephemeral("ephemeral");
+    while (!stop.load()) {
+      mgr.RegisterHost(2, &ephemeral);
+      (void)mgr.Grant(2, fid, kTokenDataRead, ByteRange::All());
+      mgr.UnregisterHost(2);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto t = mgr.Grant(1, fid, kTokenDataWrite, ByteRange::All());
+    ASSERT_OK(t.status());
+    ASSERT_OK(mgr.Return(t->id, t->types));
+  }
+  stop.store(true);
+  churner.join();
+  mgr.UnregisterHost(2);
+  EXPECT_LE(mgr.TokensForFid(fid).size(), 1u);
+}
+
+TEST(TokenConcurrencyTest, ManyFilesManyHostsThroughput) {
+  TokenManager mgr;
+  constexpr int kHosts = 4;
+  std::vector<std::unique_ptr<SlowHost>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(std::make_unique<SlowHost>("h" + std::to_string(i)));
+    mgr.RegisterHost(static_cast<HostId>(i + 1), hosts.back().get());
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int h = 0; h < kHosts; ++h) {
+    threads.emplace_back([&, h] {
+      Rng rng(static_cast<uint64_t>(h) * 33 + 1);
+      for (int i = 0; i < 300; ++i) {
+        Fid fid{1, 1 + rng.Below(16), 1};
+        auto t = mgr.Grant(static_cast<HostId>(h + 1), fid,
+                           rng.Chance(0.3) ? kTokenStatusWrite : kTokenStatusRead,
+                           ByteRange::All());
+        if (!t.ok()) {
+          errors.fetch_add(1);
+        } else if (rng.Chance(0.9)) {
+          (void)mgr.Return(t->id, t->types);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(mgr.stats().grants, 1000u);
+}
+
+}  // namespace
+}  // namespace dfs

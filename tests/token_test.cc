@@ -1,0 +1,291 @@
+// Unit tests for typed tokens and the token manager: the Figure-3 open-mode
+// matrix, byte-range conflicts, grant/revoke/return, whole-volume tokens,
+// deferred returns, refusals, host teardown.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/tokens/token_manager.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+constexpr Fid kFileA{1, 2, 3};
+constexpr Fid kFileB{1, 4, 5};
+constexpr Fid kVolume{1, 0, 0};
+
+// A host that answers revocations with a scripted status and records them.
+class ScriptedHost : public TokenHost {
+ public:
+  explicit ScriptedHost(std::string name, Status answer = Status::Ok())
+      : name_(std::move(name)), answer_(answer) {}
+
+  Status Revoke(const Token& token, uint32_t types) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    revoked_.push_back({token, types});
+    return answer_;
+  }
+  std::string name() const override { return name_; }
+
+  size_t revocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return revoked_.size();
+  }
+  void set_answer(Status s) { answer_ = s; }
+
+ private:
+  std::string name_;
+  Status answer_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<Token, uint32_t>> revoked_;
+};
+
+// --- Compatibility relation (Section 5.2 + Figure 3) ---
+
+TEST(TokenCompatTest, DifferentTypesNeverConflict) {
+  EXPECT_TRUE(TokensCompatible(kTokenDataRead, ByteRange::All(), kTokenStatusWrite,
+                               ByteRange::All()));
+  EXPECT_TRUE(TokensCompatible(kTokenLockWrite, ByteRange::All(), kTokenDataWrite,
+                               ByteRange::All()));
+  EXPECT_TRUE(TokensCompatible(kTokenOpenRead, ByteRange::All(), kTokenDataWrite,
+                               ByteRange::All()));
+}
+
+TEST(TokenCompatTest, DataTokensConflictOnlyOnOverlap) {
+  ByteRange lo{0, 100};
+  ByteRange hi{100, 200};
+  ByteRange mid{50, 150};
+  EXPECT_TRUE(TokensCompatible(kTokenDataWrite, lo, kTokenDataWrite, hi));  // disjoint
+  EXPECT_FALSE(TokensCompatible(kTokenDataWrite, lo, kTokenDataWrite, mid));
+  EXPECT_FALSE(TokensCompatible(kTokenDataRead, lo, kTokenDataWrite, mid));
+  EXPECT_TRUE(TokensCompatible(kTokenDataRead, lo, kTokenDataRead, lo));  // read/read
+}
+
+TEST(TokenCompatTest, StatusTokensIgnoreRanges) {
+  ByteRange lo{0, 10};
+  ByteRange hi{100, 200};
+  EXPECT_FALSE(TokensCompatible(kTokenStatusWrite, lo, kTokenStatusRead, hi));
+  EXPECT_FALSE(TokensCompatible(kTokenStatusWrite, lo, kTokenStatusWrite, hi));
+  EXPECT_TRUE(TokensCompatible(kTokenStatusRead, lo, kTokenStatusRead, hi));
+}
+
+TEST(TokenCompatTest, LockTokensConflictOnOverlap) {
+  ByteRange lo{0, 100};
+  ByteRange hi{200, 300};
+  EXPECT_TRUE(TokensCompatible(kTokenLockWrite, lo, kTokenLockWrite, hi));
+  EXPECT_FALSE(TokensCompatible(kTokenLockWrite, lo, kTokenLockRead, lo));
+}
+
+// The reconstructed Figure 3, row by row.
+TEST(TokenCompatTest, Figure3OpenMatrix) {
+  struct Case {
+    uint32_t a;
+    uint32_t b;
+    bool compatible;
+  };
+  const Case cases[] = {
+      {kTokenOpenRead, kTokenOpenRead, true},
+      {kTokenOpenRead, kTokenOpenWrite, true},  // UNIX allows read + write opens
+      {kTokenOpenRead, kTokenOpenExecute, true},
+      {kTokenOpenRead, kTokenOpenShared, true},
+      {kTokenOpenRead, kTokenOpenExclusive, false},
+      {kTokenOpenWrite, kTokenOpenWrite, true},
+      {kTokenOpenWrite, kTokenOpenExecute, false},  // ETXTBSY both directions
+      {kTokenOpenWrite, kTokenOpenShared, false},
+      {kTokenOpenWrite, kTokenOpenExclusive, false},
+      {kTokenOpenExecute, kTokenOpenExecute, true},
+      {kTokenOpenExecute, kTokenOpenShared, true},
+      {kTokenOpenExecute, kTokenOpenExclusive, false},
+      {kTokenOpenShared, kTokenOpenShared, true},
+      {kTokenOpenShared, kTokenOpenExclusive, false},
+      {kTokenOpenExclusive, kTokenOpenExclusive, false},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(OpenModesCompatible(c.a, c.b), c.compatible)
+        << TokenTypesToString(c.a) << " vs " << TokenTypesToString(c.b);
+    EXPECT_EQ(OpenModesCompatible(c.b, c.a), c.compatible) << "matrix must be symmetric";
+  }
+}
+
+TEST(TokenCompatTest, WholeVolumeConflictsWithWriteClass) {
+  EXPECT_FALSE(TokensCompatible(kTokenWholeVolume, ByteRange::All(), kTokenDataWrite,
+                                ByteRange{0, 10}));
+  EXPECT_FALSE(TokensCompatible(kTokenStatusWrite, ByteRange::All(), kTokenWholeVolume,
+                                ByteRange::All()));
+  EXPECT_TRUE(TokensCompatible(kTokenWholeVolume, ByteRange::All(), kTokenDataRead,
+                               ByteRange::All()));
+}
+
+// --- TokenManager ---
+
+TEST(TokenManagerTest, GrantAndReturn) {
+  TokenManager mgr;
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  ASSERT_OK_AND_ASSIGN(Token t, mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()));
+  EXPECT_TRUE(mgr.HasToken(t.id));
+  EXPECT_EQ(mgr.TokensForFid(kFileA).size(), 1u);
+  ASSERT_OK(mgr.Return(t.id, t.types));
+  EXPECT_FALSE(mgr.HasToken(t.id));
+}
+
+TEST(TokenManagerTest, CompatibleGrantsCoexist) {
+  TokenManager mgr;
+  ScriptedHost h1("h1"), h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataRead, ByteRange::All()).status());
+  EXPECT_EQ(h1.revocations(), 0u);
+  EXPECT_EQ(mgr.TokensForFid(kFileA).size(), 2u);
+}
+
+TEST(TokenManagerTest, ConflictTriggersRevocation) {
+  TokenManager mgr;
+  ScriptedHost h1("h1"), h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK_AND_ASSIGN(Token t1, mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()));
+  ASSERT_OK_AND_ASSIGN(Token t2, mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange::All()));
+  (void)t2;
+  EXPECT_EQ(h1.revocations(), 1u);
+  EXPECT_FALSE(mgr.HasToken(t1.id));  // revoked and erased
+}
+
+TEST(TokenManagerTest, SameHostNeverConflictsWithItself) {
+  TokenManager mgr;
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(h1.revocations(), 0u);
+}
+
+TEST(TokenManagerTest, DisjointRangesNoRevocation) {
+  TokenManager mgr;
+  ScriptedHost h1("h1"), h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange{0, 4096}).status());
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange{4096, 8192}).status());
+  EXPECT_EQ(h1.revocations(), 0u);
+  EXPECT_EQ(mgr.TokensForFid(kFileA).size(), 2u);
+}
+
+TEST(TokenManagerTest, TokensOnDifferentFilesIndependent) {
+  TokenManager mgr;
+  ScriptedHost h1("h1"), h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(2, kFileB, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(h1.revocations(), 0u);
+}
+
+TEST(TokenManagerTest, RefusedRevocationFailsGrant) {
+  TokenManager mgr;
+  ScriptedHost h1("h1", Status(ErrorCode::kBusy, "file open"));
+  ScriptedHost h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK_AND_ASSIGN(Token t1, mgr.Grant(1, kFileA, kTokenOpenWrite, ByteRange::All()));
+  auto denied = mgr.Grant(2, kFileA, kTokenOpenExclusive, ByteRange::All());
+  EXPECT_EQ(denied.code(), ErrorCode::kConflict);
+  EXPECT_TRUE(mgr.HasToken(t1.id));  // holder kept it
+  EXPECT_EQ(mgr.stats().refusals, 1u);
+}
+
+TEST(TokenManagerTest, DeferredReturnCompletesGrant) {
+  TokenManager mgr;
+  ScriptedHost h1("h1", Status(ErrorCode::kWouldBlock, "in-flight"));
+  ScriptedHost h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK_AND_ASSIGN(Token t1, mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange::All()));
+  // Return the token from another thread shortly after the revocation.
+  std::thread returner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (void)mgr.Return(t1.id, t1.types);
+  });
+  ASSERT_OK_AND_ASSIGN(Token t2, mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange::All()));
+  returner.join();
+  EXPECT_TRUE(mgr.HasToken(t2.id));
+  EXPECT_FALSE(mgr.HasToken(t1.id));
+  EXPECT_EQ(mgr.stats().deferred_returns, 1u);
+}
+
+TEST(TokenManagerTest, WholeVolumeTokenBlocksWritersOnAnyFile) {
+  TokenManager mgr;
+  ScriptedHost replica("replica"), writer("writer");
+  mgr.RegisterHost(1, &replica);
+  mgr.RegisterHost(2, &writer);
+  ASSERT_OK_AND_ASSIGN(Token vt, mgr.Grant(1, kVolume, kTokenWholeVolume, ByteRange::All()));
+  // A write grant on any file of volume 1 must first revoke the volume token.
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(replica.revocations(), 1u);
+  EXPECT_FALSE(mgr.HasToken(vt.id));
+  // Readers were never blocked.
+  ASSERT_OK_AND_ASSIGN(Token vt2, mgr.Grant(1, kVolume, kTokenWholeVolume, ByteRange::All()));
+  (void)vt2;
+  EXPECT_EQ(writer.revocations(), 1u);  // volume grant revokes the writer now
+}
+
+TEST(TokenManagerTest, PartialReturnKeepsRemainingTypes) {
+  TokenManager mgr;
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  ASSERT_OK_AND_ASSIGN(Token t, mgr.Grant(1, kFileA, kTokenDataRead | kTokenStatusRead,
+                                          ByteRange::All()));
+  ASSERT_OK(mgr.Return(t.id, kTokenDataRead));
+  EXPECT_TRUE(mgr.HasToken(t.id));
+  auto tokens = mgr.TokensForFid(kFileA);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].types, kTokenStatusRead);
+  ASSERT_OK(mgr.Return(t.id, kTokenStatusRead));
+  EXPECT_FALSE(mgr.HasToken(t.id));
+}
+
+TEST(TokenManagerTest, UnregisterHostDropsItsTokens) {
+  TokenManager mgr;
+  ScriptedHost h1("h1"), h2("h2");
+  mgr.RegisterHost(1, &h1);
+  mgr.RegisterHost(2, &h2);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  mgr.UnregisterHost(1);
+  // No revocation needed: the dead host's tokens are simply gone.
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(h1.revocations(), 0u);
+}
+
+TEST(TokenManagerTest, TokensForHostEnumerates) {
+  TokenManager mgr;
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(1, kFileB, kTokenStatusRead, ByteRange::All()).status());
+  EXPECT_EQ(mgr.TokensForHost(1).size(), 2u);
+  EXPECT_EQ(mgr.TokensForHost(9).size(), 0u);
+}
+
+TEST(TokenTest, SerializationRoundTrip) {
+  Token t;
+  t.id = 42;
+  t.fid = kFileA;
+  t.types = kTokenDataWrite | kTokenStatusRead;
+  t.range = ByteRange{100, 9000};
+  t.host = 7;
+  Writer w;
+  t.Serialize(w);
+  Reader r(w.data());
+  auto back = Token::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, t.id);
+  EXPECT_EQ(back->fid, t.fid);
+  EXPECT_EQ(back->types, t.types);
+  EXPECT_EQ(back->range, t.range);
+  EXPECT_EQ(back->host, t.host);
+}
+
+}  // namespace
+}  // namespace dfs

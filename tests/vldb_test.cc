@@ -1,0 +1,105 @@
+// Volume location database tests (Section 3.4): registration, lookup by id
+// and name, replication across VLDB peers, client-side caching, and failover
+// when a replica is down (the availability argument for replicating it).
+#include <gtest/gtest.h>
+
+#include "src/episode/aggregate.h"
+#include "src/server/vldb.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(VldbTest, RegisterAndLookup) {
+  Network net;
+  VldbServer vldb(net, 1);
+  VldbClient client(net, 100, {1});
+  ASSERT_OK(client.Register(42, "home", 10));
+  ASSERT_OK_AND_ASSIGN(VolumeLocation by_id, client.LookupById(42));
+  EXPECT_EQ(by_id.server, 10u);
+  EXPECT_EQ(by_id.name, "home");
+  ASSERT_OK_AND_ASSIGN(VolumeLocation by_name, client.LookupByName("home"));
+  EXPECT_EQ(by_name.volume_id, 42u);
+}
+
+TEST(VldbTest, LookupMissIsNotFound) {
+  Network net;
+  VldbServer vldb(net, 1);
+  VldbClient client(net, 100, {1});
+  EXPECT_EQ(client.LookupById(99).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client.LookupByName("nope").code(), ErrorCode::kNotFound);
+}
+
+TEST(VldbTest, RemoveDeletesEverywhere) {
+  Network net;
+  VldbServer a(net, 1);
+  VldbServer b(net, 2);
+  a.AddPeer(&b);
+  b.AddPeer(&a);
+  VldbClient client(net, 100, {1, 2});
+  ASSERT_OK(client.Register(7, "tmp", 10));
+  EXPECT_EQ(a.entry_count(), 1u);
+  EXPECT_EQ(b.entry_count(), 1u);  // replicated
+  ASSERT_OK(client.Remove(7));
+  EXPECT_EQ(a.entry_count(), 0u);
+  EXPECT_EQ(b.entry_count(), 0u);
+  EXPECT_EQ(client.LookupById(7).code(), ErrorCode::kNotFound);
+}
+
+TEST(VldbTest, ReplicaServesLookupsWhenPrimaryDown) {
+  Network net;
+  VldbServer primary(net, 1);
+  VldbServer replica(net, 2);
+  primary.AddPeer(&replica);
+  replica.AddPeer(&primary);
+  VldbClient client(net, 100, {1, 2});
+  ASSERT_OK(client.Register(42, "home", 10));
+  client.InvalidateCache(42);
+
+  net.SetNodeDown(1, true);  // primary dies
+  ASSERT_OK_AND_ASSIGN(VolumeLocation loc, client.LookupById(42));
+  EXPECT_EQ(loc.server, 10u);  // answered by the replica
+
+  net.SetNodeDown(1, false);
+}
+
+TEST(VldbTest, ClientCachesLookups) {
+  Network net;
+  VldbServer vldb(net, 1);
+  VldbClient client(net, 100, {1});
+  ASSERT_OK(client.Register(5, "v", 10));
+  client.InvalidateCache(5);
+  ASSERT_OK(client.LookupById(5).status());
+  uint64_t rpcs = client.lookup_rpcs();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(client.LookupById(5).status());
+  }
+  EXPECT_EQ(client.lookup_rpcs(), rpcs);  // served from the location cache
+  client.InvalidateCache(5);
+  ASSERT_OK(client.LookupById(5).status());
+  EXPECT_EQ(client.lookup_rpcs(), rpcs + 1);
+}
+
+TEST(VldbTest, ReRegistrationMovesTheLocation) {
+  Network net;
+  VldbServer vldb(net, 1);
+  VldbClient client(net, 100, {1});
+  ASSERT_OK(client.Register(42, "home", 10));
+  ASSERT_OK(client.Register(42, "home", 11));  // the volume moved
+  client.InvalidateCache(42);
+  ASSERT_OK_AND_ASSIGN(VolumeLocation loc, client.LookupById(42));
+  EXPECT_EQ(loc.server, 11u);
+}
+
+TEST(VldbTest, AllReplicasDownIsUnavailable) {
+  Network net;
+  VldbServer vldb(net, 1);
+  VldbClient client(net, 100, {1});
+  ASSERT_OK(client.Register(42, "home", 10));
+  client.InvalidateCache(42);
+  net.SetNodeDown(1, true);
+  EXPECT_EQ(client.LookupById(42).code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dfs

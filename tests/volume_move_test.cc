@@ -1,0 +1,131 @@
+// Volume server tests (Sections 2.1, 3.6): dynamic volume motion between
+// servers with only the moved volume briefly unavailable, clients following
+// via the VLDB, FIDs stable across the move; plus remote cloning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/vfs/path.h"
+#include "tests/dfs_rig.h"
+#include "tests/test_util.h"
+
+namespace dfs {
+namespace {
+
+TEST(VolumeMoveTest, MoveVolumeBetweenServers) {
+  DfsRig::Options opts;
+  opts.second_server = true;
+  auto rig = DfsRig::Create(opts);
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/pre-move", "travels with the volume", TestCred()));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/pre-move"));
+  Fid fid_before = f->fid();
+  ASSERT_OK(client->Fsync(fid_before));
+  ASSERT_OK(client->ReturnAllTokens());
+
+  VldbClient admin_vldb(rig->net, 50, {kVldbNode});
+  VolumeAdmin admin(rig->net, 50, &admin_vldb);
+  ASSERT_OK(admin.Connect(kServerNode, rig->TicketFor("root")));
+  ASSERT_OK(admin.Connect(kServer2Node, rig->TicketFor("root")));
+  ASSERT_OK(admin.MoveVolume(rig->volume_id, kServerNode, kServer2Node));
+
+  // The client transparently follows the volume to its new server.
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*vfs, "/pre-move"));
+  EXPECT_EQ(back, "travels with the volume");
+  // Same FID after the move.
+  ASSERT_OK_AND_ASSIGN(VnodeRef f2, ResolvePath(*vfs, "/pre-move"));
+  EXPECT_EQ(f2->fid(), fid_before);
+  // New writes land on the new server.
+  ASSERT_OK(WriteFileAt(*vfs, "/post-move", "on server 2", TestCred()));
+  ASSERT_OK(client->SyncAll());
+  // The volume is gone from the source aggregate.
+  EXPECT_EQ(rig->agg->GetVolume(rig->volume_id).code(), ErrorCode::kNotFound);
+  ASSERT_OK(rig->agg2->GetVolume(rig->volume_id).status());
+}
+
+TEST(VolumeMoveTest, ClientBlockedOnlyDuringMoveWindow) {
+  DfsRig::Options opts;
+  opts.second_server = true;
+  auto rig = DfsRig::Create(opts);
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(WriteFileAt(*vfs, "/f" + std::to_string(i), "data", TestCred()));
+  }
+  ASSERT_OK(client->SyncAll());
+  ASSERT_OK(client->ReturnAllTokens());
+
+  // A reader hammers the volume while the move happens.
+  std::atomic<bool> stop{false};
+  std::atomic<int> successes{0};
+  std::atomic<int> failures{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto r = ReadFileAt(*vfs, "/f7");
+      if (r.ok() && *r == "data") {
+        successes.fetch_add(1);
+      } else if (!r.ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+
+  VldbClient admin_vldb(rig->net, 50, {kVldbNode});
+  VolumeAdmin admin(rig->net, 50, &admin_vldb);
+  ASSERT_OK(admin.Connect(kServerNode, rig->TicketFor("root")));
+  ASSERT_OK(admin.Connect(kServer2Node, rig->TicketFor("root")));
+  ASSERT_OK(admin.MoveVolume(rig->volume_id, kServerNode, kServer2Node));
+
+  // After the move completes, reads keep succeeding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_EQ(failures.load(), 0) << "operations must block/retry, not fail, during a move";
+}
+
+TEST(VolumeMoveTest, RemoteCloneViaVolumeServer) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* client = rig->NewClient();
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, client->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/snapme", "version 1", TestCred()));
+  ASSERT_OK(client->SyncAll());
+
+  VldbClient admin_vldb(rig->net, 50, {kVldbNode});
+  VolumeAdmin admin(rig->net, 50, &admin_vldb);
+  ASSERT_OK(admin.Connect(kServerNode, rig->TicketFor("root")));
+  ASSERT_OK_AND_ASSIGN(uint64_t clone_id, admin.CloneVolume(rig->volume_id, kServerNode,
+                                                            "home.backup"));
+
+  // The original keeps evolving; the clone serves the snapshot, remotely.
+  ASSERT_OK(WriteFileAt(*vfs, "/snapme", "version 2", TestCred()));
+  ASSERT_OK(client->SyncAll());
+  ASSERT_OK_AND_ASSIGN(VfsRef snap, client->MountVolumeById(clone_id));
+  ASSERT_OK_AND_ASSIGN(std::string old, ReadFileAt(*snap, "/snapme"));
+  EXPECT_EQ(old, "version 1");
+  ASSERT_OK_AND_ASSIGN(std::string cur, ReadFileAt(*vfs, "/snapme"));
+  EXPECT_EQ(cur, "version 2");
+  // Restoring a deleted file from the clone (the backup use case).
+  ASSERT_OK(UnlinkAt(*vfs, "/snapme"));
+  ASSERT_OK_AND_ASSIGN(std::string restored, ReadFileAt(*snap, "/snapme"));
+  EXPECT_EQ(restored, "version 1");
+}
+
+TEST(VolumeMoveTest, ListVolumesThroughAdmin) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  VldbClient admin_vldb(rig->net, 50, {kVldbNode});
+  VolumeAdmin admin(rig->net, 50, &admin_vldb);
+  ASSERT_OK(admin.Connect(kServerNode, rig->TicketFor("root")));
+  ASSERT_OK_AND_ASSIGN(auto vols, admin.ListVolumes(kServerNode));
+  ASSERT_EQ(vols.size(), 1u);
+  EXPECT_EQ(vols[0].name, "home");
+}
+
+}  // namespace
+}  // namespace dfs

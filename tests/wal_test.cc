@@ -1,0 +1,291 @@
+// Unit tests for the write-ahead log: transactions, group commit, recovery
+// (redo committed / undo uncommitted), abort, checkpointing, torn tails.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/buf/buffer_cache.h"
+#include "src/common/vclock.h"
+#include "src/wal/wal.h"
+
+namespace dfs {
+namespace {
+
+constexpr uint64_t kLogStart = 1;
+constexpr uint64_t kLogBlocks = 64;
+constexpr uint64_t kDataBlock = 100;
+
+struct WalRig {
+  explicit WalRig(Wal::Options opts = {}) : disk(256), cache(disk, 32) {
+    opts.log_start_block = kLogStart;
+    opts.log_blocks = kLogBlocks;
+    wal = std::make_unique<Wal>(disk, cache, opts);
+    cache.AttachWal(wal.get());
+    EXPECT_TRUE(wal->Format().ok());
+  }
+
+  // Re-create WAL + cache over the same disk (post-crash mount).
+  void Remount(Wal::Options opts = {}) {
+    opts.log_start_block = kLogStart;
+    opts.log_blocks = kLogBlocks;
+    cache.Crash();
+    wal = std::make_unique<Wal>(disk, cache, opts);
+    cache.AttachWal(wal.get());
+  }
+
+  Status Update(TxnId txn, uint64_t blockno, uint32_t offset, std::string_view bytes) {
+    auto buf = cache.Get(blockno);
+    RETURN_IF_ERROR(buf.status());
+    return wal->LogUpdate(
+        txn, *buf, offset,
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+  }
+
+  uint8_t DiskByte(uint64_t blockno, uint32_t offset) {
+    std::vector<uint8_t> block(kBlockSize);
+    EXPECT_TRUE(disk.Read(blockno, block).ok());
+    return block[offset];
+  }
+
+  uint8_t CacheByte(uint64_t blockno, uint32_t offset) {
+    auto buf = cache.Get(blockno);
+    EXPECT_TRUE(buf.ok());
+    return buf->data()[offset];
+  }
+
+  SimDisk disk;
+  BufferCache cache;
+  std::unique_ptr<Wal> wal;
+};
+
+TEST(WalTest, UpdateAppliesToBufferImmediately) {
+  WalRig rig;
+  TxnId txn = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(txn, kDataBlock, 10, "AB").ok());
+  EXPECT_EQ(rig.CacheByte(kDataBlock, 10), 'A');
+  EXPECT_EQ(rig.CacheByte(kDataBlock, 11), 'B');
+  ASSERT_TRUE(rig.wal->Commit(txn).ok());
+}
+
+TEST(WalTest, CommittedTxnSurvivesCrash) {
+  WalRig rig;
+  TxnId txn = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "hello").ok());
+  ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  // Crash before any buffer write-back.
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_redone, 1u);
+  EXPECT_EQ(stats->txns_undone, 0u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'h');
+}
+
+TEST(WalTest, UncommittedTxnIsUndone) {
+  WalRig rig;
+  // Committed baseline.
+  TxnId t1 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "X").ok());
+  ASSERT_TRUE(rig.wal->Commit(t1).ok());
+  // Uncommitted change on top; force its record to disk, then flush the
+  // buffer (legal: log is ahead), then crash.
+  TxnId t2 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t2, kDataBlock, 0, "Y").ok());
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  ASSERT_TRUE(rig.cache.FlushAll().ok());
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'Y');  // dirty uncommitted data on disk
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_undone, 1u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'X');  // old value restored
+}
+
+TEST(WalTest, UnflushedCommitIsLostButConsistent) {
+  WalRig rig;  // group commit on: commit stays in memory
+  TxnId txn = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "Z").ok());
+  ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  // No Sync: crash loses the commit — UNIX semantics allow this.
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_redone, 0u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 0);
+}
+
+TEST(WalTest, ForceOnCommitMakesEveryCommitDurable) {
+  Wal::Options opts;
+  opts.force_on_commit = true;
+  WalRig rig(opts);
+  TxnId txn = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "D").ok());
+  ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_redone, 1u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'D');
+}
+
+TEST(WalTest, AbortRestoresOldValuesInMemory) {
+  WalRig rig;
+  TxnId t1 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t1, kDataBlock, 5, "old").ok());
+  ASSERT_TRUE(rig.wal->Commit(t1).ok());
+  TxnId t2 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t2, kDataBlock, 5, "new").ok());
+  EXPECT_EQ(rig.CacheByte(kDataBlock, 5), 'n');
+  ASSERT_TRUE(rig.wal->Abort(t2).ok());
+  EXPECT_EQ(rig.CacheByte(kDataBlock, 5), 'o');
+}
+
+TEST(WalTest, AbortedTxnStaysAbortedAfterCrash) {
+  WalRig rig;
+  TxnId t1 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t1, kDataBlock, 5, "old").ok());
+  ASSERT_TRUE(rig.wal->Commit(t1).ok());
+  TxnId t2 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t2, kDataBlock, 5, "new").ok());
+  ASSERT_TRUE(rig.wal->Abort(t2).ok());
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  rig.Remount();
+  ASSERT_TRUE(rig.wal->Recover().ok());
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 5), 'o');
+}
+
+TEST(WalTest, GroupCommitBatchesMultipleTxns) {
+  WalRig rig;
+  for (int i = 0; i < 10; ++i) {
+    TxnId txn = rig.wal->Begin();
+    ASSERT_TRUE(rig.Update(txn, kDataBlock, static_cast<uint32_t>(i), "q").ok());
+    ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  }
+  EXPECT_EQ(rig.wal->stats().log_flushes, 0u);  // still batched in memory
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  EXPECT_EQ(rig.wal->stats().log_flushes, 1u);  // one sequential append
+}
+
+TEST(WalTest, GroupCommitIntervalOnVirtualClock) {
+  VirtualClock clock;
+  Wal::Options opts;
+  opts.clock = &clock;
+  opts.group_commit_interval_ns = 30 * VirtualClock::kSecond;
+  WalRig rig(opts);
+  TxnId t1 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "a").ok());
+  ASSERT_TRUE(rig.wal->Commit(t1).ok());
+  EXPECT_EQ(rig.wal->stats().log_flushes, 0u);
+  clock.AdvanceSeconds(31);
+  ASSERT_TRUE(rig.wal->MaybeGroupCommit().ok());
+  EXPECT_EQ(rig.wal->stats().log_flushes, 1u);
+}
+
+TEST(WalTest, LogAppendsAreSequentialWrites) {
+  WalRig rig;
+  for (int i = 0; i < 50; ++i) {
+    TxnId txn = rig.wal->Begin();
+    ASSERT_TRUE(rig.Update(txn, kDataBlock, static_cast<uint32_t>(i), "ab").ok());
+    ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  }
+  rig.disk.ResetStats();
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  DeviceStats s = rig.disk.stats();
+  ASSERT_GT(s.writes, 0u);
+  // All but the first block of the append land sequentially.
+  EXPECT_GE(s.sequential_writes + 1, s.writes);
+}
+
+TEST(WalTest, CheckpointResetsActiveLog) {
+  WalRig rig;
+  TxnId txn = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "ck").ok());
+  ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  EXPECT_GT(rig.wal->active_bytes(), 0u);
+  ASSERT_TRUE(rig.wal->Checkpoint().ok());
+  EXPECT_EQ(rig.wal->active_bytes(), 0u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'c');  // buffers flushed by checkpoint
+  // Recovery of a checkpointed log is a no-op.
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_scanned, 0u);
+}
+
+TEST(WalTest, AutomaticCheckpointWhenLogFills) {
+  WalRig rig;
+  std::vector<uint8_t> big(2048, 0x33);
+  // Each record is ~4 KiB (old+new); the 63-block data area fills quickly.
+  for (int i = 0; i < 200; ++i) {
+    TxnId txn = rig.wal->Begin();
+    auto buf = rig.cache.Get(kDataBlock + (i % 8));
+    ASSERT_TRUE(buf.ok());
+    ASSERT_TRUE(rig.wal->LogUpdate(txn, *buf, 0, big).ok());
+    ASSERT_TRUE(rig.wal->Commit(txn).ok());
+  }
+  EXPECT_GT(rig.wal->stats().checkpoints, 0u);
+  EXPECT_LE(rig.wal->active_bytes(), (kLogBlocks - 1) * kBlockSize);
+}
+
+TEST(WalTest, OversizedTransactionIsRejected) {
+  WalRig rig;
+  std::vector<uint8_t> big(4096, 1);
+  TxnId txn = rig.wal->Begin();
+  Status last = Status::Ok();
+  // One transaction cannot exceed the log area; it must hit kNoSpace.
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    auto buf = rig.cache.Get(kDataBlock + (i % 16));
+    ASSERT_TRUE(buf.ok());
+    last = rig.wal->LogUpdate(txn, *buf, 0, big);
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  ASSERT_TRUE(rig.wal->Abort(txn).ok());
+}
+
+TEST(WalTest, TornTailStopsScanCleanly) {
+  WalRig rig;
+  TxnId t1 = rig.wal->Begin();
+  ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "ok").ok());
+  ASSERT_TRUE(rig.wal->Commit(t1).ok());
+  ASSERT_TRUE(rig.wal->Sync().ok());
+  // Corrupt the log area beyond the valid records (simulates a torn write).
+  rig.disk.CorruptBlock(kLogStart + 1 + 2, 99);
+  rig.Remount();
+  auto stats = rig.wal->Recover();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_redone, 1u);
+  EXPECT_EQ(rig.DiskByte(kDataBlock, 0), 'o');
+}
+
+TEST(WalTest, RecoveryCostTracksActiveLogSize) {
+  WalRig small;
+  for (int i = 0; i < 5; ++i) {
+    TxnId txn = small.wal->Begin();
+    ASSERT_TRUE(small.Update(txn, kDataBlock, static_cast<uint32_t>(i), "x").ok());
+    ASSERT_TRUE(small.wal->Commit(txn).ok());
+  }
+  ASSERT_TRUE(small.wal->Sync().ok());
+  small.Remount();
+  auto s1 = small.wal->Recover();
+  ASSERT_TRUE(s1.ok());
+
+  WalRig large;
+  for (int i = 0; i < 100; ++i) {
+    TxnId txn = large.wal->Begin();
+    ASSERT_TRUE(large.Update(txn, kDataBlock, static_cast<uint32_t>(i % 512), "x").ok());
+    ASSERT_TRUE(large.wal->Commit(txn).ok());
+  }
+  ASSERT_TRUE(large.wal->Sync().ok());
+  large.Remount();
+  auto s2 = large.wal->Recover();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(s2->bytes_scanned, s1->bytes_scanned);
+  EXPECT_EQ(s1->records_scanned, 10u);   // 5 updates + 5 commits
+  EXPECT_EQ(s2->records_scanned, 200u);  // 100 updates + 100 commits
+}
+
+}  // namespace
+}  // namespace dfs
