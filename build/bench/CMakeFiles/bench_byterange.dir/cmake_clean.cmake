@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_byterange.dir/bench_byterange.cpp.o"
+  "CMakeFiles/bench_byterange.dir/bench_byterange.cpp.o.d"
+  "bench_byterange"
+  "bench_byterange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_byterange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

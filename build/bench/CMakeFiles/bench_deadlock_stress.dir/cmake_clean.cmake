@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadlock_stress.dir/bench_deadlock_stress.cpp.o"
+  "CMakeFiles/bench_deadlock_stress.dir/bench_deadlock_stress.cpp.o.d"
+  "bench_deadlock_stress"
+  "bench_deadlock_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlock_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meta_throughput.dir/bench_meta_throughput.cpp.o"
+  "CMakeFiles/bench_meta_throughput.dir/bench_meta_throughput.cpp.o.d"
+  "bench_meta_throughput"
+  "bench_meta_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meta_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

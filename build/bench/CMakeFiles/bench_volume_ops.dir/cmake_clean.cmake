@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_ops.dir/bench_volume_ops.cpp.o"
+  "CMakeFiles/bench_volume_ops.dir/bench_volume_ops.cpp.o.d"
+  "bench_volume_ops"
+  "bench_volume_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

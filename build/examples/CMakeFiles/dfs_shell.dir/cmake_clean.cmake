@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_shell.dir/dfs_shell.cpp.o"
+  "CMakeFiles/dfs_shell.dir/dfs_shell.cpp.o.d"
+  "dfs_shell"
+  "dfs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_write.dir/shared_write.cpp.o"
+  "CMakeFiles/shared_write.dir/shared_write.cpp.o.d"
+  "shared_write"
+  "shared_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

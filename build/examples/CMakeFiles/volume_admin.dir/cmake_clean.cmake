@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_admin.dir/volume_admin.cpp.o"
+  "CMakeFiles/volume_admin.dir/volume_admin.cpp.o.d"
+  "volume_admin"
+  "volume_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

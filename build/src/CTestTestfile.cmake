@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("blockdev")
+subdirs("buf")
+subdirs("wal")
+subdirs("vfs")
+subdirs("episode")
+subdirs("ffs")
+subdirs("rpc")
+subdirs("tokens")
+subdirs("server")
+subdirs("client")
+subdirs("baselines")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_baselines.dir/afs.cc.o"
+  "CMakeFiles/dfs_baselines.dir/afs.cc.o.d"
+  "CMakeFiles/dfs_baselines.dir/nfs.cc.o"
+  "CMakeFiles/dfs_baselines.dir/nfs.cc.o.d"
+  "libdfs_baselines.a"
+  "libdfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

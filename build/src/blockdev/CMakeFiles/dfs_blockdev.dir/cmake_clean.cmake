@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_blockdev.dir/block_device.cc.o"
+  "CMakeFiles/dfs_blockdev.dir/block_device.cc.o.d"
+  "libdfs_blockdev.a"
+  "libdfs_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_buf.dir/buffer_cache.cc.o"
+  "CMakeFiles/dfs_buf.dir/buffer_cache.cc.o.d"
+  "libdfs_buf.a"
+  "libdfs_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_client.dir/cache_manager.cc.o"
+  "CMakeFiles/dfs_client.dir/cache_manager.cc.o.d"
+  "CMakeFiles/dfs_client.dir/cache_store.cc.o"
+  "CMakeFiles/dfs_client.dir/cache_store.cc.o.d"
+  "CMakeFiles/dfs_client.dir/dfs_vnode.cc.o"
+  "CMakeFiles/dfs_client.dir/dfs_vnode.cc.o.d"
+  "libdfs_client.a"
+  "libdfs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_common.dir/lock_order.cc.o"
+  "CMakeFiles/dfs_common.dir/lock_order.cc.o.d"
+  "CMakeFiles/dfs_common.dir/status.cc.o"
+  "CMakeFiles/dfs_common.dir/status.cc.o.d"
+  "CMakeFiles/dfs_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dfs_common.dir/thread_pool.cc.o.d"
+  "libdfs_common.a"
+  "libdfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_episode.dir/aggregate.cc.o"
+  "CMakeFiles/dfs_episode.dir/aggregate.cc.o.d"
+  "CMakeFiles/dfs_episode.dir/layout.cc.o"
+  "CMakeFiles/dfs_episode.dir/layout.cc.o.d"
+  "CMakeFiles/dfs_episode.dir/salvage.cc.o"
+  "CMakeFiles/dfs_episode.dir/salvage.cc.o.d"
+  "CMakeFiles/dfs_episode.dir/volume.cc.o"
+  "CMakeFiles/dfs_episode.dir/volume.cc.o.d"
+  "CMakeFiles/dfs_episode.dir/volume_ops.cc.o"
+  "CMakeFiles/dfs_episode.dir/volume_ops.cc.o.d"
+  "libdfs_episode.a"
+  "libdfs_episode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_episode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

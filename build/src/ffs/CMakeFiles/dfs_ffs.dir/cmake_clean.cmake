@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_ffs.dir/ffs.cc.o"
+  "CMakeFiles/dfs_ffs.dir/ffs.cc.o.d"
+  "libdfs_ffs.a"
+  "libdfs_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

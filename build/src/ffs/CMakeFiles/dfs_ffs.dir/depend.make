@@ -1,0 +1,2 @@
+# Empty dependencies file for dfs_ffs.
+# This may be replaced when dependencies are built.

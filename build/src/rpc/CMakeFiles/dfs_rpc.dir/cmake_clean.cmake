@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_rpc.dir/auth.cc.o"
+  "CMakeFiles/dfs_rpc.dir/auth.cc.o.d"
+  "CMakeFiles/dfs_rpc.dir/rpc.cc.o"
+  "CMakeFiles/dfs_rpc.dir/rpc.cc.o.d"
+  "libdfs_rpc.a"
+  "libdfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_server.dir/file_server.cc.o"
+  "CMakeFiles/dfs_server.dir/file_server.cc.o.d"
+  "CMakeFiles/dfs_server.dir/local_vnode.cc.o"
+  "CMakeFiles/dfs_server.dir/local_vnode.cc.o.d"
+  "CMakeFiles/dfs_server.dir/replication.cc.o"
+  "CMakeFiles/dfs_server.dir/replication.cc.o.d"
+  "CMakeFiles/dfs_server.dir/vldb.cc.o"
+  "CMakeFiles/dfs_server.dir/vldb.cc.o.d"
+  "CMakeFiles/dfs_server.dir/volume_server.cc.o"
+  "CMakeFiles/dfs_server.dir/volume_server.cc.o.d"
+  "libdfs_server.a"
+  "libdfs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_tokens.dir/token.cc.o"
+  "CMakeFiles/dfs_tokens.dir/token.cc.o.d"
+  "CMakeFiles/dfs_tokens.dir/token_manager.cc.o"
+  "CMakeFiles/dfs_tokens.dir/token_manager.cc.o.d"
+  "libdfs_tokens.a"
+  "libdfs_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/acl.cc" "src/vfs/CMakeFiles/dfs_vfs.dir/acl.cc.o" "gcc" "src/vfs/CMakeFiles/dfs_vfs.dir/acl.cc.o.d"
+  "/root/repo/src/vfs/path.cc" "src/vfs/CMakeFiles/dfs_vfs.dir/path.cc.o" "gcc" "src/vfs/CMakeFiles/dfs_vfs.dir/path.cc.o.d"
+  "/root/repo/src/vfs/wire.cc" "src/vfs/CMakeFiles/dfs_vfs.dir/wire.cc.o" "gcc" "src/vfs/CMakeFiles/dfs_vfs.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_vfs.dir/acl.cc.o"
+  "CMakeFiles/dfs_vfs.dir/acl.cc.o.d"
+  "CMakeFiles/dfs_vfs.dir/path.cc.o"
+  "CMakeFiles/dfs_vfs.dir/path.cc.o.d"
+  "CMakeFiles/dfs_vfs.dir/wire.cc.o"
+  "CMakeFiles/dfs_vfs.dir/wire.cc.o.d"
+  "libdfs_vfs.a"
+  "libdfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_wal.dir/wal.cc.o"
+  "CMakeFiles/dfs_wal.dir/wal.cc.o.d"
+  "libdfs_wal.a"
+  "libdfs_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

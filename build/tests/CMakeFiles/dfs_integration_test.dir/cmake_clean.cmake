@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_integration_test.dir/dfs_integration_test.cc.o"
+  "CMakeFiles/dfs_integration_test.dir/dfs_integration_test.cc.o.d"
+  "dfs_integration_test"
+  "dfs_integration_test.pdb"
+  "dfs_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_property_test.dir/dfs_property_test.cc.o"
+  "CMakeFiles/dfs_property_test.dir/dfs_property_test.cc.o.d"
+  "dfs_property_test"
+  "dfs_property_test.pdb"
+  "dfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

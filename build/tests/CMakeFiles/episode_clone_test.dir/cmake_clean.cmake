@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episode_clone_test.dir/episode_clone_test.cc.o"
+  "CMakeFiles/episode_clone_test.dir/episode_clone_test.cc.o.d"
+  "episode_clone_test"
+  "episode_clone_test.pdb"
+  "episode_clone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episode_clone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episode_limits_test.dir/episode_limits_test.cc.o"
+  "CMakeFiles/episode_limits_test.dir/episode_limits_test.cc.o.d"
+  "episode_limits_test"
+  "episode_limits_test.pdb"
+  "episode_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episode_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

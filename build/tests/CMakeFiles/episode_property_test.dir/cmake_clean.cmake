@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episode_property_test.dir/episode_property_test.cc.o"
+  "CMakeFiles/episode_property_test.dir/episode_property_test.cc.o.d"
+  "episode_property_test"
+  "episode_property_test.pdb"
+  "episode_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episode_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

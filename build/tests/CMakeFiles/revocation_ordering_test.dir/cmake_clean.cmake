@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_ordering_test.dir/revocation_ordering_test.cc.o"
+  "CMakeFiles/revocation_ordering_test.dir/revocation_ordering_test.cc.o.d"
+  "revocation_ordering_test"
+  "revocation_ordering_test.pdb"
+  "revocation_ordering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

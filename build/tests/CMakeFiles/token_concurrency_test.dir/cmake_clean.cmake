@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_concurrency_test.dir/token_concurrency_test.cc.o"
+  "CMakeFiles/token_concurrency_test.dir/token_concurrency_test.cc.o.d"
+  "token_concurrency_test"
+  "token_concurrency_test.pdb"
+  "token_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vldb_test.dir/vldb_test.cc.o"
+  "CMakeFiles/vldb_test.dir/vldb_test.cc.o.d"
+  "vldb_test"
+  "vldb_test.pdb"
+  "vldb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vldb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

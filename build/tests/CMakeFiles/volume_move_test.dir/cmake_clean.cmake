@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_move_test.dir/volume_move_test.cc.o"
+  "CMakeFiles/volume_move_test.dir/volume_move_test.cc.o.d"
+  "volume_move_test"
+  "volume_move_test.pdb"
+  "volume_move_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_move_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

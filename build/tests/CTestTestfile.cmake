@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/episode_test[1]_include.cmake")
+include("/root/repo/build/tests/episode_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/episode_clone_test[1]_include.cmake")
+include("/root/repo/build/tests/episode_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ffs_test[1]_include.cmake")
+include("/root/repo/build/tests/token_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_move_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlock_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/revocation_ordering_test[1]_include.cmake")
+include("/root/repo/build/tests/vldb_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/client_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/episode_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")
+include("/root/repo/build/tests/token_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/durability_test[1]_include.cmake")
+include("/root/repo/build/tests/namespace_test[1]_include.cmake")
