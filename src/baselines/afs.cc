@@ -13,14 +13,14 @@ AfsServer::AfsServer(Network& network, NodeId node, VfsRef vfs)
 AfsServer::~AfsServer() { network_.UnregisterNode(node_); }
 
 AfsServer::Stats AfsServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void AfsServer::BreakCallbacks(const Fid& fid, NodeId except) {
   std::set<NodeId> holders;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = callbacks_.find(fid.ToString());
     if (it == callbacks_.end()) {
       return;
@@ -36,7 +36,7 @@ void AfsServer::BreakCallbacks(const Fid& fid, NodeId except) {
     Writer w;
     PutFid(w, fid);
     (void)network_.Call(node_, client, kAfsBreakCallback, w.data(), "afs-server");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.callbacks_broken += 1;
   }
 }
@@ -63,7 +63,7 @@ Result<std::vector<uint8_t>> AfsServer::Handle(const RpcRequest& req) {
           data.resize(n);
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           callbacks_[fid.ToString()].insert(req.from);
           stats_.fetches += 1;
         }
@@ -81,7 +81,7 @@ Result<std::vector<uint8_t>> AfsServer::Handle(const RpcRequest& req) {
           (void)n;
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           stats_.stores += 1;
         }
         BreakCallbacks(fid, req.from);
@@ -157,7 +157,7 @@ Result<std::vector<uint8_t>> AfsClient::Handle(const RpcRequest& req) {
     return EncodeErrorReply(fid.status());
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(fid->ToString());
     if (it != cache_.end()) {
       it->second.has_callback = false;  // cached copy may no longer be used
@@ -169,7 +169,7 @@ Result<std::vector<uint8_t>> AfsClient::Handle(const RpcRequest& req) {
 
 Status AfsClient::Open(const Fid& fid) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& e = cache_[fid.ToString()];
     if (e.has_callback) {
       e.open_count += 1;
@@ -180,14 +180,14 @@ Status AfsClient::Open(const Fid& fid) {
   Writer w;
   PutFid(w, fid);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.fetches += 1;
   }
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsFetch, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[fid.ToString()];
   e.attr = attr;
   e.data = std::move(data);
@@ -198,7 +198,7 @@ Status AfsClient::Open(const Fid& fid) {
 }
 
 Result<size_t> AfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(fid.ToString());
   if (it == cache_.end() || it->second.open_count == 0) {
     return Status(ErrorCode::kInvalidArgument, "file not open");
@@ -213,7 +213,7 @@ Result<size_t> AfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_
 }
 
 Status AfsClient::Write(const Fid& fid, uint64_t offset, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(fid.ToString());
   if (it == cache_.end() || it->second.open_count == 0) {
     return Status(ErrorCode::kInvalidArgument, "file not open");
@@ -231,7 +231,7 @@ Status AfsClient::Close(const Fid& fid) {
   bool store = false;
   std::vector<uint8_t> data;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(fid.ToString());
     if (it == cache_.end()) {
       return Status(ErrorCode::kInvalidArgument, "file not open");
@@ -249,13 +249,13 @@ Status AfsClient::Close(const Fid& fid) {
     PutFid(w, fid);
     w.PutBytes(data);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.stores += 1;
     }
     ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsStore, w));
     Reader r(payload);
     ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cache_[fid.ToString()].attr = attr;
   }
   return Status::Ok();
@@ -290,7 +290,7 @@ Result<Fid> AfsClient::Create(const Fid& dir, const std::string& name) {
 }
 
 AfsClient::Stats AfsClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -12,9 +12,9 @@
 #define SRC_BASELINES_AFS_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 
+#include "src/common/mutex.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
 #include "src/vfs/vnode.h"
@@ -53,9 +53,10 @@ class AfsServer : public RpcHandler {
   Network& network_;
   NodeId node_;
   VfsRef vfs_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::set<NodeId>> callbacks_;  // fid string -> clients
-  Stats stats_;
+  mutable Mutex mu_;
+  // fid string -> clients
+  std::map<std::string, std::set<NodeId>> callbacks_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 class AfsClient : public RpcHandler {
@@ -100,9 +101,9 @@ class AfsClient : public RpcHandler {
   Network& network_;
   NodeId node_;
   NodeId server_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> cache_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> cache_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

@@ -114,7 +114,7 @@ Result<Fid> NfsClient::Root() {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetRootNfs, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[attr.fid.ToString()];
   e.attr = attr;
   e.attr_valid = true;
@@ -125,7 +125,7 @@ Result<Fid> NfsClient::Root() {
 Status NfsClient::Revalidate(const Fid& fid, bool is_dir) {
   uint64_t ttl = is_dir ? options_.dir_ttl_ns : options_.file_ttl_ns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& e = cache_[fid.ToString()];
     if (e.attr_valid && clock_.Now() - e.attr_time < ttl) {
       ++stats_.cache_hits;
@@ -135,13 +135,13 @@ Status NfsClient::Revalidate(const Fid& fid, bool is_dir) {
   Writer w;
   PutFid(w, fid);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.getattr_rpcs;
   }
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetAttr, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[fid.ToString()];
   if (e.attr_valid && e.attr.data_version != attr.data_version) {
     e.blocks.clear();  // the file changed: cached pages are stale
@@ -155,7 +155,7 @@ Status NfsClient::Revalidate(const Fid& fid, bool is_dir) {
 
 Result<FileAttr> NfsClient::GetAttr(const Fid& fid) {
   RETURN_IF_ERROR(Revalidate(fid, /*is_dir=*/false));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_[fid.ToString()].attr;
 }
 
@@ -167,7 +167,7 @@ Result<Fid> NfsClient::Lookup(const Fid& dir, const std::string& name) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsLookup, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[attr.fid.ToString()];
   e.attr = attr;
   e.attr_valid = true;
@@ -180,7 +180,7 @@ Result<size_t> NfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_
   uint64_t size;
   bool all_cached = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& e = cache_[fid.ToString()];
     size = e.attr.size;
     if (offset >= size) {
@@ -216,14 +216,14 @@ Result<size_t> NfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_
   w.PutU64(aligned);
   w.PutU32(alen);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.read_rpcs;
   }
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsRead, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[fid.ToString()];
   e.attr = attr;
   e.attr_valid = true;
@@ -251,13 +251,13 @@ Status NfsClient::Write(const Fid& fid, uint64_t offset, std::span<const uint8_t
   w.PutU64(offset);
   w.PutBytes(data);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.write_rpcs;
   }
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsWrite, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = cache_[fid.ToString()];
   e.attr = attr;
   e.attr_valid = true;
@@ -299,7 +299,7 @@ Result<std::vector<DirEntry>> NfsClient::ReadDir(const Fid& dir) {
 }
 
 NfsClient::Stats NfsClient::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -10,8 +10,8 @@
 #define SRC_BASELINES_NFS_H_
 
 #include <map>
-#include <mutex>
 
+#include "src/common/mutex.h"
 #include "src/common/vclock.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
@@ -90,9 +90,9 @@ class NfsClient {
   NodeId node_;
   VirtualClock& clock_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> cache_;  // key = fid string
-  Stats stats_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> cache_ GUARDED_BY(mu_);  // key = fid string
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

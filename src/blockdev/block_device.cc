@@ -13,7 +13,7 @@ Status SimDisk::Read(uint64_t blockno, std::span<uint8_t> out) {
   if (blockno >= block_count_ || out.size() != kBlockSize) {
     return Status(ErrorCode::kInvalidArgument, "bad read");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::memcpy(out.data(), medium_.data() + blockno * kBlockSize, kBlockSize);
   ++stats_.reads;
   return Status::Ok();
@@ -23,7 +23,7 @@ Status SimDisk::Write(uint64_t blockno, std::span<const uint8_t> data) {
   if (blockno >= block_count_ || data.size() != kBlockSize) {
     return Status(ErrorCode::kInvalidArgument, "bad write");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fail_writes_ > 0) {
     --fail_writes_;
     return Status(ErrorCode::kIoError, "injected write failure");
@@ -41,29 +41,29 @@ Status SimDisk::Write(uint64_t blockno, std::span<const uint8_t> data) {
 }
 
 Status SimDisk::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.flushes;
   return Status::Ok();
 }
 
 DeviceStats SimDisk::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void SimDisk::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = DeviceStats{};
   last_write_block_ = UINT64_MAX;
 }
 
 void SimDisk::FailNextWrites(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fail_writes_ = n;
 }
 
 void SimDisk::CorruptBlock(uint64_t blockno, uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (blockno >= block_count_) {
     return;
   }
@@ -76,12 +76,12 @@ void SimDisk::CorruptBlock(uint64_t blockno, uint64_t seed) {
 }
 
 std::vector<uint8_t> SimDisk::SnapshotMedium() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return medium_;
 }
 
 void SimDisk::RestoreMedium(const std::vector<uint8_t>& image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (image.size() == medium_.size()) {
     medium_ = image;
   }

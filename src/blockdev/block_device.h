@@ -11,10 +11,10 @@
 #define SRC_BLOCKDEV_BLOCK_DEVICE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace dfs {
@@ -74,11 +74,11 @@ class SimDisk : public BlockDevice {
 
  private:
   const uint64_t block_count_;
-  mutable std::mutex mu_;
-  std::vector<uint8_t> medium_;
-  DeviceStats stats_;
-  uint64_t last_write_block_ = UINT64_MAX;
-  uint64_t fail_writes_ = 0;
+  mutable Mutex mu_;
+  std::vector<uint8_t> medium_ GUARDED_BY(mu_);
+  DeviceStats stats_ GUARDED_BY(mu_);
+  uint64_t last_write_block_ GUARDED_BY(mu_) = UINT64_MAX;
+  uint64_t fail_writes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dfs

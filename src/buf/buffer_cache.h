@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 
 #include "src/blockdev/block_device.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace dfs {
@@ -108,17 +108,21 @@ class BufferCache {
   };
 
  private:
-  void Unpin(Slot* slot);
-  Status EvictIfNeededLocked(std::unique_lock<std::mutex>& lock);
-  Status WriteBackLocked(Slot* slot, std::unique_lock<std::mutex>& lock);
+  void Unpin(Slot* slot) EXCLUDES(mu_);
+  // Both may drop and retake `lock` around the WAL flush (write-ahead rule);
+  // the lock is held again on return. Slot fields are guarded by mu_ by
+  // convention (they sit behind the slots_ map, which the analysis cannot
+  // express per-field).
+  Status EvictIfNeededLocked(UniqueMutexLock& lock) REQUIRES(mu_);
+  Status WriteBackLocked(Slot* slot, UniqueMutexLock& lock) REQUIRES(mu_);
 
   BlockDevice& dev_;
-  WalFlusher* wal_ = nullptr;
+  WalFlusher* wal_ = nullptr;  // set once via AttachWal before concurrency
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Slot>> slots_;
-  std::list<Slot*> lru_;  // front = least recently used, all unpinned
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Slot>> slots_ GUARDED_BY(mu_);
+  std::list<Slot*> lru_ GUARDED_BY(mu_);  // front = least recently used, all unpinned
+  Stats stats_ GUARDED_BY(mu_);
 
   friend class Ref;
 };

@@ -57,7 +57,7 @@ Status OpenHandle::Close() {
   cm_ = nullptr;
   auto cv = cm->GetCVnode(fid_);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     cv->open_count -= 1;
     for (auto it = cv->tokens.begin(); it != cv->tokens.end(); ++it) {
       if (it->id == token_) {
@@ -90,7 +90,7 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
 CacheManager::~CacheManager() { network_.UnregisterNode(options_.node); }
 
 CacheManager::CVnodeRef CacheManager::GetCVnode(const Fid& fid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cvnodes_.find(fid);
   if (it == cvnodes_.end()) {
     it = cvnodes_.emplace(fid, std::make_shared<CVnode>(fid, next_tag_++)).first;
@@ -99,7 +99,7 @@ CacheManager::CVnodeRef CacheManager::GetCVnode(const Fid& fid) {
 }
 
 CacheManager::Stats CacheManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -115,7 +115,7 @@ Result<NodeId> CacheManager::ServerForVolume(uint64_t volume_id, bool refresh) {
 
 Status CacheManager::EnsureConnected(NodeId server) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (connected_.count(server) != 0) {
       return Status::Ok();
     }
@@ -125,7 +125,7 @@ Status CacheManager::EnsureConnected(NodeId server) {
   RETURN_IF_ERROR(
       UnwrapReply(network_.Call(options_.node, server, kConnect, w.data(), ticket_.principal))
           .status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   connected_.insert(server);
   return Status::Ok();
 }
@@ -152,7 +152,7 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
         if (code == ErrorCode::kAuthFailed) {
           // A restarted server forgot our kConnect registration; reconnect
           // and retry (the host module is rebuilt on the fly).
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           connected_.erase(*server);
         }
         bool relocatable = code == ErrorCode::kBusy || code == ErrorCode::kUnavailable ||
@@ -163,7 +163,7 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.location_retries += 1;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -284,7 +284,7 @@ Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
       cv.attr_dirty = false;  // the server has everything; its attr rules again
     }
     MergeSyncLocked(cv, sync);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (revocation_path) {
       stats_.revocation_stores += 1;
     } else {
@@ -378,7 +378,7 @@ Status CacheManager::ReturnToken(const Fid& fid, TokenId id, uint32_t types) {
 }
 
 void CacheManager::TouchLru(const Fid& fid, uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LruKey key{fid, block};
   auto it = lru_index_.find(key);
   if (it != lru_index_.end()) {
@@ -389,7 +389,7 @@ void CacheManager::TouchLru(const Fid& fid, uint64_t block) {
 }
 
 void CacheManager::RemoveLru(const Fid& fid, uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LruKey key{fid, block};
   auto it = lru_index_.find(key);
   if (it != lru_index_.end()) {
@@ -401,7 +401,7 @@ void CacheManager::RemoveLru(const Fid& fid, uint64_t block) {
 void CacheManager::MaybeEvict() {
   size_t budget;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (lru_.size() <= options_.max_cached_blocks) {
       return;
     }
@@ -410,7 +410,7 @@ void CacheManager::MaybeEvict() {
   for (size_t step = 0; step < budget; ++step) {
     LruKey victim;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (lru_.size() <= options_.max_cached_blocks) {
         return;
       }
@@ -419,7 +419,7 @@ void CacheManager::MaybeEvict() {
       lru_index_.erase(victim);
     }
     CVnodeRef cv = GetCVnode(victim.first);
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     if (cv->dirty_blocks.count(victim.second) != 0) {
       // Dirty blocks are not evictable; recycle to the back of the LRU.
       TouchLru(victim.first, victim.second);
@@ -427,7 +427,7 @@ void CacheManager::MaybeEvict() {
     }
     if (cv->cached_blocks.erase(victim.second) != 0) {
       store_->Erase(victim.first, victim.second);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.cache_evictions += 1;
     }
   }
@@ -448,7 +448,7 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
   uint64_t aligned_len = BlockEnd(offset, len) * kBlockSize - aligned_off;
 
   {
-    std::lock_guard<OrderedMutex> low(cv.low);
+    OrderedLockGuard low(cv.low);
     cv.rpc_in_flight += 1;
   }
   Writer w;
@@ -460,10 +460,11 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
   w.PutU64(trange.end);
   auto payload = CallVolume(cv.fid.volume, kFetchData, w);
 
-  std::lock_guard<OrderedMutex> low(cv.low);
+  OrderedLockGuard low(cv.low);
   cv.rpc_in_flight -= 1;
   std::vector<std::pair<TokenId, uint32_t>> to_return;
   Status result = [&]() -> Status {
+    cv.low.AssertHeld();  // the enclosing scope's guard; lambdas are analyzed alone
     RETURN_IF_ERROR(payload.status());
     Reader r(*payload);
     ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
@@ -519,9 +520,9 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
 
 Status CacheManager::EnsureStatus(CVnode& cv) {
   {
-    std::lock_guard<OrderedMutex> low(cv.low);
+    OrderedLockGuard low(cv.low);
     if (cv.attr_valid && HasTokenLocked(cv, kTokenStatusRead, ByteRange::All())) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.attr_cache_hits += 1;
       return Status::Ok();
     }
@@ -532,9 +533,10 @@ Status CacheManager::EnsureStatus(CVnode& cv) {
   w.PutU32(kTokenStatusRead);
   auto payload = CallVolume(cv.fid.volume, kFetchStatus, w);
 
-  std::lock_guard<OrderedMutex> low(cv.low);
+  OrderedLockGuard low(cv.low);
   cv.rpc_in_flight -= 1;
   Status result = [&]() -> Status {
+    cv.low.AssertHeld();  // the enclosing scope's guard; lambdas are analyzed alone
     RETURN_IF_ERROR(payload.status());
     Reader r(*payload);
     ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
@@ -584,9 +586,9 @@ Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
   CVnodeRef cv = GetCVnode(token.fid);
   uint8_t verdict;
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.revocations_handled += 1;
     }
     bool known = false;
@@ -601,7 +603,7 @@ Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
         // Section 6.3: the grant may be in a reply we have not processed yet.
         cv->pending.push_back(PendingRevocation{token, types, stamp});
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           stats_.revocations_deferred += 1;
         }
         verdict = kRevokeDeferred;
@@ -640,7 +642,7 @@ Result<OpenHandle> CacheManager::Open(Vfs& vfs, const std::string& path, OpenMod
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolvePath(vfs, path));
   Fid fid = vnode->fid();
   CVnodeRef cv = GetCVnode(fid);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
 
   uint32_t type = OpenTokenFor(mode);
   Writer w;
@@ -658,7 +660,7 @@ Result<OpenHandle> CacheManager::Open(Vfs& vfs, const std::string& path, OpenMod
   Reader r(*payload);
   ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     AddTokenLocked(*cv, token);
     cv->open_count += 1;
   }
@@ -668,7 +670,7 @@ Result<OpenHandle> CacheManager::Open(Vfs& vfs, const std::string& path, OpenMod
 Status CacheManager::Fsync(const Fid& fid) {
   CVnodeRef cv = GetCVnode(fid);
   {
-    std::lock_guard<OrderedMutex> high(cv->high);
+    OrderedLockGuard high(cv->high);
     RETURN_IF_ERROR(FsyncHighLocked(*cv));
   }
   // The data reached the server; now make the server's metadata durable too
@@ -688,7 +690,7 @@ Status CacheManager::FsyncHighLocked(CVnode& cv) {
     std::vector<uint8_t> data;
     std::vector<uint64_t> blocks;
     {
-      std::lock_guard<OrderedMutex> low(cv.low);
+      OrderedLockGuard low(cv.low);
       if (cv.dirty_blocks.empty()) {
         return Status::Ok();
       }
@@ -737,7 +739,7 @@ Status CacheManager::FsyncHighLocked(CVnode& cv) {
       // The file itself is gone (deleted remotely, or lost with an unsynced
       // server crash): there is nothing to store into. Drop our cached state
       // and report the staleness.
-      std::lock_guard<OrderedMutex> low(cv.low);
+      OrderedLockGuard low(cv.low);
       for (uint64_t b : cv.cached_blocks) {
         store_->Erase(cv.fid, b);
         RemoveLru(cv.fid, b);
@@ -752,7 +754,7 @@ Status CacheManager::FsyncHighLocked(CVnode& cv) {
     Reader r(*payload);
     ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
     {
-      std::lock_guard<OrderedMutex> low(cv.low);
+      OrderedLockGuard low(cv.low);
       for (uint64_t b : blocks) {
         cv.dirty_blocks.erase(b);
       }
@@ -760,7 +762,7 @@ Status CacheManager::FsyncHighLocked(CVnode& cv) {
         cv.attr_dirty = false;
       }
       MergeSyncLocked(cv, sync);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.dirty_stores += 1;
     }
   }
@@ -769,7 +771,7 @@ Status CacheManager::FsyncHighLocked(CVnode& cv) {
 Status CacheManager::SyncAll() {
   std::vector<CVnodeRef> cvs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [fid, cv] : cvnodes_) {
       cvs.push_back(cv);
     }
@@ -777,7 +779,7 @@ Status CacheManager::SyncAll() {
   for (CVnodeRef& cv : cvs) {
     bool has_dirty;
     {
-      std::lock_guard<OrderedMutex> low(cv->low);
+      OrderedLockGuard low(cv->low);
       has_dirty = !cv->dirty_blocks.empty();
     }
     if (has_dirty) {
@@ -790,7 +792,7 @@ Status CacheManager::SyncAll() {
 Status CacheManager::ReturnAllTokens() {
   std::vector<CVnodeRef> cvs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [fid, cv] : cvnodes_) {
       cvs.push_back(cv);
     }
@@ -798,14 +800,14 @@ Status CacheManager::ReturnAllTokens() {
   for (CVnodeRef& cv : cvs) {
     std::vector<Token> tokens;
     {
-      std::lock_guard<OrderedMutex> high(cv->high);
+      OrderedLockGuard high(cv->high);
       Status s = FsyncHighLocked(*cv);
       if (!s.ok() && s.code() != ErrorCode::kStale) {
         return s;  // stale = the file no longer exists; nothing to push
       }
     }
     {
-      std::lock_guard<OrderedMutex> low(cv->low);
+      OrderedLockGuard low(cv->low);
       tokens = cv->tokens;
       cv->tokens.clear();
       cv->attr_valid = false;
@@ -827,7 +829,7 @@ Status CacheManager::ReturnAllTokens() {
 
 Status CacheManager::AcquireLockToken(const Fid& fid, bool exclusive, ByteRange range) {
   CVnodeRef cv = GetCVnode(fid);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid);
   w.PutU32(exclusive ? kTokenLockWrite : kTokenLockRead);
@@ -836,16 +838,16 @@ Status CacheManager::AcquireLockToken(const Fid& fid, bool exclusive, ByteRange 
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallVolume(fid.volume, kGetToken, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   AddTokenLocked(*cv, token);
   return Status::Ok();
 }
 
 Status CacheManager::SetLock(const Fid& fid, ByteRange range, bool exclusive, uint64_t owner) {
   CVnodeRef cv = GetCVnode(fid);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     uint32_t needed = exclusive ? kTokenLockWrite : kTokenLockRead;
     if (HasTokenLocked(*cv, needed, range)) {
       // With a lock token the server guarantees no conflicting locks exist;
@@ -865,9 +867,9 @@ Status CacheManager::SetLock(const Fid& fid, ByteRange range, bool exclusive, ui
 
 Status CacheManager::ClearLock(const Fid& fid, ByteRange range, uint64_t owner) {
   CVnodeRef cv = GetCVnode(fid);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     auto it = std::find_if(cv->local_locks.begin(), cv->local_locks.end(),
                            [&](const auto& l) { return l.first == range && l.second == owner; });
     if (it != cv->local_locks.end()) {

@@ -30,7 +30,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -38,6 +37,7 @@
 
 #include "src/client/cache_store.h"
 #include "src/common/lock_order.h"
+#include "src/common/mutex.h"
 #include "src/rpc/auth.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
@@ -166,29 +166,29 @@ class CacheManager : public RpcHandler {
     OrderedMutex high;  // L1: one client operation at a time
     OrderedMutex low;   // L3: vnode state; never held across normal RPCs
 
-    // All fields below are guarded by `low`.
-    FileAttr attr;
-    bool attr_valid = false;
+    FileAttr attr GUARDED_BY(low);
+    bool attr_valid GUARDED_BY(low) = false;
     // Local attribute changes (size/mtime) not yet reflected at the server:
     // our attr wins over reply attrs until the dirty data is stored.
-    bool attr_dirty = false;
-    uint64_t stamp = 0;  // per-file serialization counter (Section 6.2)
-    std::vector<Token> tokens;
-    std::set<uint64_t> cached_blocks;
-    std::set<uint64_t> dirty_blocks;
-    int rpc_in_flight = 0;
+    bool attr_dirty GUARDED_BY(low) = false;
+    // Per-file serialization counter (Section 6.2).
+    uint64_t stamp GUARDED_BY(low) = 0;
+    std::vector<Token> tokens GUARDED_BY(low);
+    std::set<uint64_t> cached_blocks GUARDED_BY(low);
+    std::set<uint64_t> dirty_blocks GUARDED_BY(low);
+    int rpc_in_flight GUARDED_BY(low) = 0;
     // Sequential-read detector for read-ahead: end offset of the last read.
-    uint64_t last_read_end = 0;
-    std::vector<PendingRevocation> pending;
-    int open_count = 0;
+    uint64_t last_read_end GUARDED_BY(low) = 0;
+    std::vector<PendingRevocation> pending GUARDED_BY(low);
+    int open_count GUARDED_BY(low) = 0;
     // Directory layer: per-name lookup results and the full listing.
     // nullopt records a *negative* result (the name does not exist), valid
     // under the same status-read token as positive entries.
-    std::map<std::string, std::optional<FileAttr>> lookup_cache;
-    std::vector<DirEntry> listing;
-    bool listing_valid = false;
+    std::map<std::string, std::optional<FileAttr>> lookup_cache GUARDED_BY(low);
+    std::vector<DirEntry> listing GUARDED_BY(low);
+    bool listing_valid GUARDED_BY(low) = false;
     // Local file locks held under a lock token.
-    std::vector<std::pair<ByteRange, uint64_t>> local_locks;
+    std::vector<std::pair<ByteRange, uint64_t>> local_locks GUARDED_BY(low);
   };
   using CVnodeRef = std::shared_ptr<CVnode>;
 
@@ -201,30 +201,36 @@ class CacheManager : public RpcHandler {
   Result<std::vector<uint8_t>> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w);
 
   // --- cache layer internals ---
-  bool HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const;
-  void AddTokenLocked(CVnode& cv, const Token& token);
+  bool HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const
+      REQUIRES(cv.low);
+  void AddTokenLocked(CVnode& cv, const Token& token) REQUIRES(cv.low);
   // Merges a reply's SyncInfo under the stamp rule; returns true if applied.
-  bool MergeSyncLocked(CVnode& cv, const SyncInfo& sync);
+  bool MergeSyncLocked(CVnode& cv, const SyncInfo& sync) REQUIRES(cv.low);
   // Applies any queued revocations whose tokens are now known; returns the
   // token ids (+types) that must be sent back via kReturnToken.
-  std::vector<std::pair<TokenId, uint32_t>> DrainPendingLocked(CVnode& cv);
+  std::vector<std::pair<TokenId, uint32_t>> DrainPendingLocked(CVnode& cv) REQUIRES(cv.low);
   // Performs the local effects of a revocation. May issue kRevocationStore
   // (allowed while holding `low`: the server runs it on the dedicated pool
   // under L4 only).
-  Status ApplyRevocationLocked(CVnode& cv, const Token& token, uint32_t types, uint64_t stamp);
-  Status StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range, bool revocation_path);
-  Status FsyncHighLocked(CVnode& cv);
+  Status ApplyRevocationLocked(CVnode& cv, const Token& token, uint32_t types, uint64_t stamp)
+      REQUIRES(cv.low);
+  Status StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range, bool revocation_path)
+      REQUIRES(cv.low);
+  // Takes (and drops) cv.low around each pushed run itself.
+  Status FsyncHighLocked(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
 
   // Fetches data + tokens for the aligned range; installs under `low`.
   // `after_install`, when provided, runs under `low` after the reply is
   // merged but *before* queued revocations are honored: the reply's grant was
   // serialized at the server ahead of those revocations (Section 6.3), so the
   // operation that requested the token is entitled to complete under it —
-  // otherwise a storm of conflicting peers livelocks the requester.
+  // otherwise a storm of conflicting peers livelocks the requester. (Being a
+  // lambda, its body must AssertHeld cv.low rather than rely on REQUIRES.)
   Status FetchAndInstall(CVnode& cv, uint64_t offset, size_t len, uint32_t want_types,
-                         const std::function<void()>& after_install = nullptr);
+                         const std::function<void()>& after_install = nullptr)
+      REQUIRES(cv.high) EXCLUDES(cv.low);
   ByteRange TokenRangeFor(uint64_t offset, size_t len) const;
-  Status EnsureStatus(CVnode& cv);
+  Status EnsureStatus(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
 
   Status ReturnToken(const Fid& fid, TokenId id, uint32_t types);
 
@@ -243,11 +249,14 @@ class CacheManager : public RpcHandler {
   Options options_;
   std::unique_ptr<CacheStore> store_;
 
-  mutable std::mutex mu_;  // guards the maps below and stats
-  std::unordered_map<Fid, CVnodeRef, FidHash> cvnodes_;
-  std::set<NodeId> connected_;
-  uint64_t next_tag_ = 1;
-  Stats stats_;
+  // LOCK-EXEMPT(leaf): guards the cvnode registry, connection set, stats and
+  // the LRU; a leaf below the cvnode low locks — never held across an RPC or
+  // an OrderedMutex acquisition.
+  mutable Mutex mu_;
+  std::unordered_map<Fid, CVnodeRef, FidHash> cvnodes_ GUARDED_BY(mu_);
+  std::set<NodeId> connected_ GUARDED_BY(mu_);
+  uint64_t next_tag_ GUARDED_BY(mu_) = 1;
+  Stats stats_ GUARDED_BY(mu_);
   // Global LRU over cached data blocks.
   using LruKey = std::pair<Fid, uint64_t>;
   struct LruKeyHash {
@@ -255,8 +264,9 @@ class CacheManager : public RpcHandler {
       return FidHash()(k.first) * 1000003u ^ std::hash<uint64_t>()(k.second);
     }
   };
-  std::list<LruKey> lru_;  // front = least recently used
-  std::unordered_map<LruKey, std::list<LruKey>::iterator, LruKeyHash> lru_index_;
+  std::list<LruKey> lru_ GUARDED_BY(mu_);  // front = least recently used
+  std::unordered_map<LruKey, std::list<LruKey>::iterator, LruKeyHash> lru_index_
+      GUARDED_BY(mu_);
 };
 
 // --- vnode layer ---
@@ -281,8 +291,10 @@ class DfsVfs : public Vfs, public std::enable_shared_from_this<DfsVfs> {
   CacheManager* cm_;
   uint64_t volume_id_;
   // The root FID is fetched once and cached: volume roots are permanent.
-  std::mutex root_mu_;
-  Fid root_fid_;
+  // LOCK-EXEMPT(leaf): guards only the cached root FID; nothing acquired
+  // under it.
+  Mutex root_mu_;
+  Fid root_fid_ GUARDED_BY(root_mu_);
 };
 
 class DfsVnode : public Vnode {

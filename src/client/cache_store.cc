@@ -7,13 +7,13 @@
 namespace dfs {
 
 Status MemoryCacheStore::Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   blocks_[{fid, block}].assign(data.begin(), data.end());
   return Status::Ok();
 }
 
 Status MemoryCacheStore::Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blocks_.find({fid, block});
   if (it == blocks_.end()) {
     return Status(ErrorCode::kNotFound, "block not in cache");
@@ -27,12 +27,12 @@ Status MemoryCacheStore::Get(const Fid& fid, uint64_t block, std::span<uint8_t> 
 }
 
 void MemoryCacheStore::Erase(const Fid& fid, uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   blocks_.erase({fid, block});
 }
 
 void MemoryCacheStore::EraseFile(const Fid& fid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = blocks_.begin(); it != blocks_.end();) {
     if (it->first.first == fid) {
       it = blocks_.erase(it);
@@ -43,7 +43,7 @@ void MemoryCacheStore::EraseFile(const Fid& fid) {
 }
 
 uint64_t MemoryCacheStore::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [key, data] : blocks_) {
     total += data.size();
@@ -76,7 +76,7 @@ Result<VnodeRef> DiskCacheStore::CacheFile(const Fid& fid, bool create) {
 }
 
 Status DiskCacheStore::Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(VnodeRef file, CacheFile(fid, /*create=*/true));
   ASSIGN_OR_RETURN(size_t n, file->Write(block * kBlockSize, data));
   (void)n;
@@ -85,7 +85,7 @@ Status DiskCacheStore::Put(const Fid& fid, uint64_t block, std::span<const uint8
 }
 
 Status DiskCacheStore::Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(VnodeRef file, CacheFile(fid, /*create=*/false));
   std::memset(out.data(), 0, out.size());
   ASSIGN_OR_RETURN(size_t n, file->Read(block * kBlockSize, out));
@@ -101,13 +101,16 @@ void DiskCacheStore::Erase(const Fid& fid, uint64_t block) {
 }
 
 void DiskCacheStore::EraseFile(const Fid& fid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto root = fs_->Root();
   if (root.ok()) {
     (void)(*root)->Unlink(NameFor(fid));
   }
 }
 
-uint64_t DiskCacheStore::bytes_used() const { return bytes_; }
+uint64_t DiskCacheStore::bytes_used() const {
+  MutexLock lock(mu_);
+  return bytes_;
+}
 
 }  // namespace dfs

@@ -11,9 +11,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/blockdev/block_device.h"
+#include "src/common/mutex.h"
 #include "src/ffs/ffs.h"
 #include "src/vfs/types.h"
 
@@ -45,8 +45,9 @@ class MemoryCacheStore : public CacheStore {
              std::tie(b.first.volume, b.first.vnode, b.first.uniq, b.second);
     }
   };
-  mutable std::mutex mu_;
-  std::map<Key, std::vector<uint8_t>, KeyLess> blocks_;
+  // LOCK-EXEMPT(leaf): guards only this store's block map; no calls out.
+  mutable Mutex mu_;
+  std::map<Key, std::vector<uint8_t>, KeyLess> blocks_ GUARDED_BY(mu_);
 };
 
 // Cache files live in a local FFS: one file per remote fid.
@@ -63,13 +64,15 @@ class DiskCacheStore : public CacheStore {
 
  private:
   DiskCacheStore() = default;
-  Result<VnodeRef> CacheFile(const Fid& fid, bool create);
+  Result<VnodeRef> CacheFile(const Fid& fid, bool create) REQUIRES(mu_);
   static std::string NameFor(const Fid& fid);
 
   std::unique_ptr<SimDisk> disk_;
-  std::shared_ptr<FfsVfs> fs_;
-  std::mutex mu_;
-  uint64_t bytes_ = 0;
+  std::shared_ptr<FfsVfs> fs_ PT_GUARDED_BY(mu_);
+  // LOCK-EXEMPT(leaf): serializes cache-FFS operations; below every
+  // hierarchy level (only taken from cache-manager code holding L3).
+  mutable Mutex mu_;
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dfs

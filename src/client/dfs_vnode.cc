@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <optional>
 
 #include "src/client/cache_manager.h"
 
@@ -21,7 +22,7 @@ uint64_t BlockEnd(uint64_t offset, size_t len) {
 
 Result<VnodeRef> DfsVfs::Root() {
   {
-    std::lock_guard<std::mutex> lock(root_mu_);
+    MutexLock lock(root_mu_);
     if (root_fid_.IsValid()) {
       return VnodeRef(std::make_shared<DfsVnode>(cm_, root_fid_));
     }
@@ -34,11 +35,11 @@ Result<VnodeRef> DfsVfs::Root() {
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
   auto cv = cm_->GetCVnode(root_fid);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     cm_->MergeSyncLocked(*cv, sync);
   }
   {
-    std::lock_guard<std::mutex> lock(root_mu_);
+    MutexLock lock(root_mu_);
     root_fid_ = root_fid;
   }
   return VnodeRef(std::make_shared<DfsVnode>(cm_, root_fid));
@@ -74,10 +75,11 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
   if (second != nullptr && second->high.tag() < first->high.tag()) {
     std::swap(first, second);
   }
-  std::lock_guard<OrderedMutex> h1(first->high);
-  std::unique_ptr<std::lock_guard<OrderedMutex>> h2;
+  OrderedLockGuard h1(first->high);
+  // Conditional second lock (cross-directory rename), taken in tag order.
+  std::optional<OrderedLockGuard> h2;
   if (second != nullptr) {
-    h2 = std::make_unique<std::lock_guard<OrderedMutex>>(second->high);
+    h2.emplace(second->high);
   }
 
   Writer w;
@@ -90,18 +92,18 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
   ASSIGN_OR_RETURN(SyncInfo src_sync, ReadSyncInfo(r));
   ASSIGN_OR_RETURN(SyncInfo dst_sync, ReadSyncInfo(r));
   {
-    std::lock_guard<OrderedMutex> low(cv_src->low);
+    OrderedLockGuard low(cv_src->low);
     cm_->MergeSyncLocked(*cv_src, src_sync);
     cv_src->lookup_cache.erase(std::string(src_name));
     cv_src->listing_valid = false;
   }
   if (cv_src != cv_dst) {
-    std::lock_guard<OrderedMutex> low(cv_dst->low);
+    OrderedLockGuard low(cv_dst->low);
     cm_->MergeSyncLocked(*cv_dst, dst_sync);
     cv_dst->lookup_cache.clear();
     cv_dst->listing_valid = false;
   } else {
-    std::lock_guard<OrderedMutex> low(cv_src->low);
+    OrderedLockGuard low(cv_src->low);
     cv_src->lookup_cache.clear();
   }
   return Status::Ok();
@@ -111,22 +113,22 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
 
 Result<FileAttr> DfsVnode::GetAttr() {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   return cv->attr;
 }
 
 Status DfsVnode::SetAttr(const AttrUpdate& update) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   PutAttrUpdate(w, update);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kStoreStatus, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, sync);
   return Status::Ok();
 }
@@ -134,10 +136,11 @@ Status DfsVnode::SetAttr(const AttrUpdate& update) {
 Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
   auto cv = cm_->GetCVnode(fid_);
   cm_->MaybeEvict();  // before any cvnode lock: eviction locks victims itself
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
 
   // Requires cv->low to be held by the caller.
   auto try_local_locked = [&]() -> Result<size_t> {
+    cv->low.AssertHeld();  // callers hold it; lambdas are analyzed alone
     ByteRange want{offset, offset + out.size()};
     if (!cv->attr_valid ||
         !cm_->HasTokenLocked(*cv, kTokenStatusRead | kTokenDataRead, want)) {
@@ -166,23 +169,23 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
   };
 
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     auto local = try_local_locked();
     if (local.ok()) {
-      std::lock_guard<std::mutex> lock(cm_->mu_);
+      MutexLock lock(cm_->mu_);
       cm_->stats_.data_cache_hits += 1;
       return local;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(cm_->mu_);
+    MutexLock lock(cm_->mu_);
     cm_->stats_.data_cache_misses += 1;
   }
   // Sequential reads fetch ahead: the request (and its token range) extends
   // past the asked-for bytes so the next reads are local.
   size_t fetch_len = std::max<size_t>(out.size(), 1);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     if (cm_->options_.readahead_blocks > 0 && offset == cv->last_read_end && offset != 0) {
       fetch_len += static_cast<size_t>(cm_->options_.readahead_blocks) * kBlockSize;
     }
@@ -202,7 +205,7 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
 Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   auto cv = cm_->GetCVnode(fid_);
   cm_->MaybeEvict();  // before any cvnode lock: eviction locks victims itself
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   ByteRange want{BlockOf(offset) * kBlockSize, BlockEnd(offset, data.size()) * kBlockSize};
 
   // A write that stays inside the file needs no status-write token: the size
@@ -213,7 +216,7 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
   uint32_t write_tokens = kTokenDataRead | kTokenDataWrite | kTokenStatusRead;
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     bool extends = !cv->attr_valid || offset + data.size() > cv->attr.size;
     if (extends) {
       write_tokens |= kTokenStatusWrite;
@@ -223,6 +226,7 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   // Requires cv->low to be held. Applies the write if tokens and edge blocks
   // are in place; returns kWouldBlock when they are not.
   auto apply_locked = [&]() -> Result<size_t> {
+    cv->low.AssertHeld();  // callers hold it; lambdas are analyzed alone
     bool ready = cv->attr_valid && cm_->HasTokenLocked(*cv, write_tokens, want);
     if (ready) {
       // Edge blocks that exist on the server must be cached before a partial
@@ -266,7 +270,7 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   };
 
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     auto fast = apply_locked();
     if (fast.ok()) {
       return fast;
@@ -285,14 +289,14 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
 
 Status DfsVnode::Truncate(uint64_t new_size) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutU64(new_size);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kTruncate, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, sync);
   // Even when local dirty state blocks the merge, the truncation is ours:
   // apply the new size to the local attributes.
@@ -315,14 +319,14 @@ Status DfsVnode::Truncate(uint64_t new_size) {
 
 Result<VnodeRef> DfsVnode::Lookup(std::string_view name) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   std::string key(name);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     auto it = cv->lookup_cache.find(key);
     if (it != cv->lookup_cache.end() &&
         cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
-      std::lock_guard<std::mutex> lock(cm_->mu_);
+      MutexLock lock(cm_->mu_);
       cm_->stats_.lookup_cache_hits += 1;
       if (!it->second.has_value()) {
         return Status(ErrorCode::kNotFound, "no such entry (cached): " + key);
@@ -340,7 +344,7 @@ Result<VnodeRef> DfsVnode::Lookup(std::string_view name) {
   if (payload.code() == ErrorCode::kNotFound) {
     // Cache the miss: repeated lookups of absent names (PATH searches, etc.)
     // stay local while the directory's status-read token is held.
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     if (cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
       cv->lookup_cache[key] = std::nullopt;
     }
@@ -351,7 +355,7 @@ Result<VnodeRef> DfsVnode::Lookup(std::string_view name) {
   ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     cm_->MergeSyncLocked(*cv, dir_sync);
     cv->lookup_cache[key] = child_attr;
   }
@@ -362,7 +366,7 @@ Result<VnodeRef> DfsVnode::Create(std::string_view name, FileType type, uint32_t
                                   const Cred& cred) {
   (void)cred;  // the server derives credentials from the connection principal
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
@@ -373,7 +377,7 @@ Result<VnodeRef> DfsVnode::Create(std::string_view name, FileType type, uint32_t
   ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     cm_->MergeSyncLocked(*cv, dir_sync);
     cv->lookup_cache[std::string(name)] = child_attr;
     cv->listing_valid = false;
@@ -385,7 +389,7 @@ Result<VnodeRef> DfsVnode::CreateSymlink(std::string_view name, std::string_view
                                          const Cred& cred) {
   (void)cred;
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
@@ -395,7 +399,7 @@ Result<VnodeRef> DfsVnode::CreateSymlink(std::string_view name, std::string_view
   ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     cm_->MergeSyncLocked(*cv, dir_sync);
     cv->lookup_cache[std::string(name)] = child_attr;
     cv->listing_valid = false;
@@ -405,7 +409,7 @@ Result<VnodeRef> DfsVnode::CreateSymlink(std::string_view name, std::string_view
 
 Status DfsVnode::Link(std::string_view name, Vnode& target) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
@@ -413,7 +417,7 @@ Status DfsVnode::Link(std::string_view name, Vnode& target) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kLink, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, dir_sync);
   cv->listing_valid = false;
   cv->lookup_cache.clear();
@@ -422,14 +426,14 @@ Status DfsVnode::Link(std::string_view name, Vnode& target) {
 
 Status DfsVnode::Unlink(std::string_view name) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemove, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, dir_sync);
   cv->lookup_cache.erase(std::string(name));
   cv->listing_valid = false;
@@ -438,14 +442,14 @@ Status DfsVnode::Unlink(std::string_view name) {
 
 Status DfsVnode::Rmdir(std::string_view name) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemoveDir, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, dir_sync);
   cv->lookup_cache.erase(std::string(name));
   cv->listing_valid = false;
@@ -454,11 +458,11 @@ Status DfsVnode::Rmdir(std::string_view name) {
 
 Result<std::vector<DirEntry>> DfsVnode::ReadDir() {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   {
-    std::lock_guard<OrderedMutex> low(cv->low);
+    OrderedLockGuard low(cv->low);
     if (cv->listing_valid && cm_->HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
-      std::lock_guard<std::mutex> lock(cm_->mu_);
+      MutexLock lock(cm_->mu_);
       cm_->stats_.lookup_cache_hits += 1;
       return cv->listing;
     }
@@ -475,7 +479,7 @@ Result<std::vector<DirEntry>> DfsVnode::ReadDir() {
     entries.push_back(std::move(e));
   }
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, sync);
   cv->listing = entries;
   cv->listing_valid = true;
@@ -500,14 +504,14 @@ Result<Acl> DfsVnode::GetAcl() {
 
 Status DfsVnode::SetAcl(const Acl& acl) {
   auto cv = cm_->GetCVnode(fid_);
-  std::lock_guard<OrderedMutex> high(cv->high);
+  OrderedLockGuard high(cv->high);
   Writer w;
   PutFid(w, fid_);
   acl.Serialize(w);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kSetAcl, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-  std::lock_guard<OrderedMutex> low(cv->low);
+  OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, sync);
   return Status::Ok();
 }

@@ -1,4 +1,4 @@
-// Runtime enforcement of the Section-6 locking hierarchy.
+// Enforcement of the Section-6 locking hierarchy — runtime and compile time.
 //
 // The paper avoids deadlock by a partial order on locked resources:
 //
@@ -11,11 +11,20 @@
 //                                                  back into the server, Section 6.4)
 //
 // Every distributed-layer mutex in this codebase is an OrderedMutex carrying one of these
-// levels. A thread-local stack records the levels currently held; acquiring a lock whose
-// (level, tag) is not strictly greater than the top of the stack aborts the process with a
-// diagnostic. Within one level, multiple locks may be taken in increasing `tag` order (the
-// paper orders multi-vnode operations, e.g. rename, by FID). Leaf mutexes that never call
-// out (buffer-cache internals, statistics) are ordinary std::mutex and are exempt.
+// levels. Two checkers cover it:
+//
+//   - Runtime (LockOrderChecker): a thread-local stack records the levels currently held;
+//     acquiring a lock whose (level, tag) is not strictly greater than the top of the stack
+//     aborts the process with a diagnostic. Within one level, multiple locks may be taken in
+//     increasing `tag` order (the paper orders multi-vnode operations, e.g. rename, by FID).
+//   - Compile time (Clang TSA): OrderedMutex is a CAPABILITY and OrderedLockGuard a
+//     SCOPED_CAPABILITY, so GUARDED_BY/REQUIRES annotations over them are checked by
+//     -Wthread-safety (the DFS_THREAD_SAFETY build). See src/common/thread_annotations.h.
+//
+// Leaf mutexes that never call out (buffer-cache internals, statistics) are dfs::Mutex
+// (src/common/mutex.h) and are exempt from the hierarchy; in the distributed layer each
+// one must carry a `// LOCK-EXEMPT(leaf): <reason>` comment, enforced by
+// tools/lint_lock_discipline.py.
 #ifndef SRC_COMMON_LOCK_ORDER_H_
 #define SRC_COMMON_LOCK_ORDER_H_
 
@@ -24,6 +33,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace dfs {
 
@@ -55,7 +66,7 @@ class LockOrderChecker {
 
 // A mutex with a hierarchy level and per-object tag. Same-level locks must be
 // acquired in increasing tag order.
-class OrderedMutex {
+class CAPABILITY("ordered_mutex") OrderedMutex {
  public:
   OrderedMutex(LockLevel level, uint64_t tag, const char* name)
       : level_(level), tag_(tag), name_(name) {}
@@ -63,21 +74,31 @@ class OrderedMutex {
   OrderedMutex(const OrderedMutex&) = delete;
   OrderedMutex& operator=(const OrderedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     LockOrderChecker::NoteAcquire(level_, tag_, name_);
     mu_.lock();
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     LockOrderChecker::NoteRelease(level_, tag_);
   }
-  bool try_lock() {
+  // The hierarchy is checked (and violations abort) *before* the underlying
+  // acquisition, mirroring lock(): aborting while holding the mutex would
+  // leave it locked across the abort handler, and the checker's held-stack
+  // would already disagree with reality.
+  bool try_lock() TRY_ACQUIRE(true) {
+    LockOrderChecker::NoteAcquire(level_, tag_, name_);
     if (!mu_.try_lock()) {
+      LockOrderChecker::NoteRelease(level_, tag_);
       return false;
     }
-    LockOrderChecker::NoteAcquire(level_, tag_, name_);
     return true;
   }
+
+  // Tells the analysis the lock is held here without checking it at runtime.
+  // For code reached only through a lock-holding caller the analysis cannot
+  // see across (e.g. lambdas run under a caller's guard); prefer REQUIRES.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
 
   LockLevel level() const { return level_; }
   uint64_t tag() const { return tag_; }
@@ -87,6 +108,19 @@ class OrderedMutex {
   uint64_t tag_;
   const char* name_;
   std::mutex mu_;
+};
+
+// std::lock_guard over an OrderedMutex, visible to the static analysis.
+class SCOPED_CAPABILITY OrderedLockGuard {
+ public:
+  explicit OrderedLockGuard(OrderedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~OrderedLockGuard() RELEASE() { mu_.unlock(); }
+
+  OrderedLockGuard(const OrderedLockGuard&) = delete;
+  OrderedLockGuard& operator=(const OrderedLockGuard&) = delete;
+
+ private:
+  OrderedMutex& mu_;
 };
 
 }  // namespace dfs

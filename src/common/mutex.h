@@ -1,0 +1,119 @@
+// Annotated leaf-mutex wrappers.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety attributes,
+// so Clang's analysis cannot see them acquire anything. dfs::Mutex wraps
+// std::mutex as a CAPABILITY and MutexLock / UniqueMutexLock are the
+// SCOPED_CAPABILITY guards; CondVar pairs with UniqueMutexLock for waits.
+//
+// These are for *leaf* locks only — locks that never call out while held
+// (statistics, container maps, device state). Anything on the Section-6
+// hierarchy (L1–L4) must be an OrderedMutex from src/common/lock_order.h,
+// which is both a capability for the static analysis and a runtime-checked
+// ordered lock; tools/lint_lock_discipline.py enforces that split for the
+// distributed layer (src/tokens, src/client, src/server).
+#ifndef SRC_COMMON_MUTEX_H_
+#define SRC_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace dfs {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analysis the lock is held here without checking it at runtime.
+  // For code reached only through a lock-holding caller the analysis cannot
+  // see across (e.g. callbacks run under RunTxn); prefer REQUIRES elsewhere.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  // For CondVar only; everything else goes through the guards.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// std::lock_guard equivalent.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::unique_lock equivalent, for CondVar waits and guards that must unlock
+// early. The analysis models the common pattern (construct = acquire,
+// destruct/Unlock = release); a CondVar wait releases and reacquires
+// internally, which is invisible to the analysis but holds the lock again
+// before returning, so the guarantee at every statement the analysis checks
+// is unchanged.
+class SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), lock_(mu.native()) {}
+  ~UniqueMutexLock() RELEASE() {}
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  // Early release; the destructor then releases nothing. Callers must not
+  // touch guarded state between Unlock() and destruction.
+  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable over dfs::Mutex. No predicate overloads on purpose:
+// Clang analyzes lambda bodies as separate functions, so a predicate reading
+// GUARDED_BY state would warn. Write waits as explicit loops —
+//
+//   UniqueMutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(lock);
+//
+// — which the analysis checks naturally.
+class CondVar {
+ public:
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(UniqueMutexLock& lock) { cv_.wait(lock.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(UniqueMutexLock& lock,
+                           const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.native(), deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(UniqueMutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.native(), timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_MUTEX_H_

@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis (TSA) attribute macros.
+//
+// These move the Section-6 lock discipline into the type system: a mutex (or
+// OrderedMutex) is declared a *capability*, data members name the capability
+// that guards them with GUARDED_BY, and functions declare what they acquire,
+// release, or require. Under `clang -Wthread-safety` (the DFS_THREAD_SAFETY
+// CMake option turns it on with -Werror=thread-safety-analysis) a lock-
+// discipline violation is a compile error on every build, instead of a
+// runtime abort on the interleavings a test happens to execute.
+//
+// The macro set and semantics follow the Clang "Thread Safety Analysis"
+// documentation (and abseil's base/thread_annotations.h). Under any compiler
+// without the capability attribute — GCC in particular — every macro expands
+// to nothing, so annotated code builds everywhere.
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DFS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DFS_THREAD_ANNOTATION
+#define DFS_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// A type that can be held/released (a mutex). The string names the capability
+// kind in diagnostics ("mutex", "ordered_mutex", ...).
+#define CAPABILITY(x) DFS_THREAD_ANNOTATION(capability(x))
+
+// An RAII type whose constructor acquires a capability and whose destructor
+// releases it (lock guards).
+#define SCOPED_CAPABILITY DFS_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member: reads and writes require holding the named capability.
+#define GUARDED_BY(x) DFS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member: the *pointed-to* data is protected by the capability.
+#define PT_GUARDED_BY(x) DFS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function precondition: caller must hold the capabilities (still held on
+// return). The "...Locked" private-helper convention maps onto this.
+#define REQUIRES(...) DFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) DFS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the capabilities itself (lock()/unlock()).
+#define ACQUIRE(...) DFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) DFS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) DFS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// try_lock(): acquires only when returning `b`.
+#define TRY_ACQUIRE(b, ...) DFS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// Function must be called *without* the capabilities held (anti-deadlock for
+// non-reentrant locks; e.g. public methods that take their own mutex).
+#define EXCLUDES(...) DFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (tells the analysis so).
+#define ASSERT_CAPABILITY(x) DFS_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the named capability (lock accessors).
+#define RETURN_CAPABILITY(x) DFS_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (conditional acquisition,
+// out-of-order release, locks handed across threads). Every use should carry
+// a comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS DFS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(size_t num_threads, const char* name) : name_(name) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) {
     t.join();
   }
@@ -23,23 +23,25 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return false;
     }
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+  UniqueMutexLock lock(mu_);
+  while (!(queue_.empty() && busy_ == 0)) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 size_t ThreadPool::busy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return busy_;
 }
 
@@ -47,8 +49,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      UniqueMutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(lock);
+      }
       if (shutdown_ && queue_.empty()) {
         return;
       }
@@ -58,10 +62,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
       if (queue_.empty() && busy_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }

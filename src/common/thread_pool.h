@@ -7,13 +7,13 @@
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace dfs {
 
@@ -40,13 +40,13 @@ class ThreadPool {
   void WorkerLoop();
 
   const char* name_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t busy_ = 0;
-  bool shutdown_ = false;
+  size_t busy_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dfs

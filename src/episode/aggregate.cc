@@ -99,7 +99,10 @@ Result<std::unique_ptr<Aggregate>> Aggregate::Format(BlockDevice& dev, Options o
   auto agg = std::unique_ptr<Aggregate>(new Aggregate(dev, options));
   RETURN_IF_ERROR(agg->InitWal());
   RETURN_IF_ERROR(agg->wal_->Format());
-  agg->alloc_hint_ = data_start;
+  {
+    MutexLock lock(agg->op_mu_);  // not published yet; keeps the analysis exact
+    agg->alloc_hint_ = data_start;
+  }
   return agg;
 }
 
@@ -125,7 +128,7 @@ Result<std::unique_ptr<Aggregate>> Aggregate::Mount(BlockDevice& dev, Options op
 Status Aggregate::SyncLog() { return wal_->Sync(); }
 
 Status Aggregate::Checkpoint() {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   return wal_->Checkpoint();
 }
 
@@ -226,6 +229,7 @@ Status Aggregate::DecRef(TxnId txn, uint64_t blockno, bool* now_free) {
   if (now_free != nullptr) {
     *now_free = (v == 1);
   }
+  op_mu_.AssertHeld();  // reached only from inside a RunTxn/RunTxnLocked body
   if (v == 1 && blockno < alloc_hint_) {
     alloc_hint_ = blockno;
   }
@@ -233,6 +237,7 @@ Status Aggregate::DecRef(TxnId txn, uint64_t blockno, bool* now_free) {
 }
 
 Result<uint64_t> Aggregate::AllocBlock(TxnId txn) {
+  op_mu_.AssertHeld();  // reached only from inside a RunTxn/RunTxnLocked body
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
   uint64_t start = std::max<uint64_t>(alloc_hint_, 1);
   for (uint64_t pass = 0; pass < 2; ++pass) {
@@ -758,6 +763,7 @@ Status Aggregate::PrivatizeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol
 
 Result<uint64_t> Aggregate::AllocAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
                                        AnodeType type, const AnodeRecord& init) {
+  op_mu_.AssertHeld();  // reached only from inside a RunTxn/RunTxnLocked body
   uint64_t& hint = anode_hint_[vol.volume_id];
   if (hint == 0 || hint >= vol.anode_count) {
     hint = 1;

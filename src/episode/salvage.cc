@@ -90,7 +90,7 @@ struct Walker {
 }  // namespace
 
 Result<Aggregate::SalvageReport> Aggregate::Salvage(bool repair) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   SalvageReport report;
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
 

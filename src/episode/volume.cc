@@ -63,7 +63,7 @@ uint64_t NowTime(Aggregate& agg) {
 // --- EpisodeVfs ---
 
 Result<VnodeRef> EpisodeVfs::Root() {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(VolCtx ctx, LoadVolume(*agg_, volume_id_, /*for_write=*/false));
   ASSIGN_OR_RETURN(AnodeRecord rec, agg_->ReadAnode(ctx.vol, ctx.vol.root_vnode));
   if (rec.type != AnodeType::kDirectory) {
@@ -77,7 +77,7 @@ Result<VnodeRef> EpisodeVfs::VnodeByFid(const Fid& fid) {
   if (fid.volume != volume_id_) {
     return Status(ErrorCode::kStale, "FID volume mismatch");
   }
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(VolCtx ctx, LoadVolume(*agg_, volume_id_, /*for_write=*/false));
   ASSIGN_OR_RETURN(AnodeRecord rec, agg_->ReadAnode(ctx.vol, fid.vnode));
   if (rec.type == AnodeType::kFree || rec.type == AnodeType::kAcl || rec.uniq != fid.uniq) {
@@ -116,7 +116,7 @@ Result<NodeCtx> LoadNode(Aggregate& agg, uint64_t volume_id, uint64_t vnode, uin
 }  // namespace
 
 Result<FileAttr> EpisodeVnode::GetAttr() {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   const AnodeRecord& rec = ctx.rec;
   FileAttr attr;
@@ -135,7 +135,7 @@ Result<FileAttr> EpisodeVnode::GetAttr() {
 }
 
 Status EpisodeVnode::SetAttr(const AttrUpdate& update) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   return agg_->RunTxnLocked([&](TxnId txn) -> Status {
     AnodeRecord rec = ctx.rec;
@@ -161,7 +161,7 @@ Status EpisodeVnode::SetAttr(const AttrUpdate& update) {
 }
 
 Result<size_t> EpisodeVnode::Read(uint64_t offset, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   if (ctx.rec.type == AnodeType::kDirectory) {
     return Status(ErrorCode::kIsDirectory, "read of a directory");
@@ -175,7 +175,7 @@ Result<size_t> EpisodeVnode::Read(uint64_t offset, std::span<uint8_t> out) {
 }
 
 Result<size_t> EpisodeVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kFile) {
     return Status(ErrorCode::kIsDirectory, "write of a non-regular file");
@@ -206,7 +206,7 @@ Result<size_t> EpisodeVnode::Write(uint64_t offset, std::span<const uint8_t> dat
 }
 
 Status EpisodeVnode::Truncate(uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kFile) {
     return Status(ErrorCode::kIsDirectory, "truncate of a non-regular file");
@@ -243,7 +243,7 @@ Status EpisodeVnode::Truncate(uint64_t new_size) {
 }
 
 Result<VnodeRef> EpisodeVnode::Lookup(std::string_view name) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "lookup in a non-directory");
@@ -254,7 +254,7 @@ Result<VnodeRef> EpisodeVnode::Lookup(std::string_view name) {
 
 Result<VnodeRef> EpisodeVnode::Create(std::string_view name, FileType type, uint32_t mode,
                                       const Cred& cred) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "create in a non-directory");
@@ -315,7 +315,7 @@ Result<VnodeRef> EpisodeVnode::Create(std::string_view name, FileType type, uint
 
 Result<VnodeRef> EpisodeVnode::CreateSymlink(std::string_view name, std::string_view target,
                                              const Cred& cred) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "create in a non-directory");
@@ -364,7 +364,7 @@ Status EpisodeVnode::Link(std::string_view name, Vnode& target) {
   if (other == nullptr || other->volume_id_ != volume_id_) {
     return Status(ErrorCode::kCrossVolume, "hard link across volumes");
   }
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "link target dir is not a directory");
@@ -394,7 +394,7 @@ Status EpisodeVnode::Link(std::string_view name, Vnode& target) {
 }
 
 Status EpisodeVnode::Unlink(std::string_view name) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "unlink in a non-directory");
@@ -427,7 +427,7 @@ Status EpisodeVnode::Unlink(std::string_view name) {
 }
 
 Status EpisodeVnode::Rmdir(std::string_view name) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "rmdir in a non-directory");
@@ -458,7 +458,7 @@ Status EpisodeVnode::Rmdir(std::string_view name) {
 }
 
 Result<std::vector<DirEntry>> EpisodeVnode::ReadDir() {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "readdir of a non-directory");
@@ -473,7 +473,7 @@ Result<std::vector<DirEntry>> EpisodeVnode::ReadDir() {
 }
 
 Result<std::string> EpisodeVnode::ReadSymlink() {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   if (ctx.rec.type != AnodeType::kSymlink) {
     return Status(ErrorCode::kInvalidArgument, "not a symlink");
@@ -485,7 +485,7 @@ Result<std::string> EpisodeVnode::ReadSymlink() {
 }
 
 Result<Acl> EpisodeVnode::GetAcl() {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, false));
   if (ctx.rec.acl_vnode == 0) {
     return Acl();
@@ -498,7 +498,7 @@ Result<Acl> EpisodeVnode::GetAcl() {
 }
 
 Status EpisodeVnode::SetAcl(const Acl& acl) {
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
   return agg_->RunTxnLocked([&](TxnId txn) -> Status {
     Writer w;
@@ -538,7 +538,7 @@ Status EpisodeVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_
   if (src_name == "." || src_name == ".." || dst_name == "." || dst_name == "..") {
     return Status(ErrorCode::kInvalidArgument, "cannot rename . or ..");
   }
-  std::lock_guard<std::mutex> lock(agg_->op_mu());
+  MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(VolCtx vc, LoadVolume(*agg_, volume_id_, /*for_write=*/true));
   return agg_->RunTxnLocked([&](TxnId txn) -> Status {
     RETURN_IF_ERROR(agg_->PrivatizeAnode(txn, vc.slot_index, vc.vol, src->vnode_));

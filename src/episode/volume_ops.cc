@@ -99,7 +99,7 @@ Result<uint64_t> Aggregate::CreateVolumeLocked(std::string_view name, uint64_t f
 }
 
 Result<uint64_t> Aggregate::CreateVolume(std::string_view name) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   return CreateVolumeLocked(name, 0);
 }
 
@@ -131,12 +131,12 @@ Status Aggregate::DeleteVolumeLocked(uint64_t volume_id) {
 }
 
 Status Aggregate::DeleteVolume(uint64_t volume_id) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   return DeleteVolumeLocked(volume_id);
 }
 
 Result<uint64_t> Aggregate::CloneVolume(uint64_t volume_id, std::string_view clone_name) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   uint64_t clone_id = 0;
   Status s = RunTxnLocked([&](TxnId txn) -> Status {
     ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
@@ -176,7 +176,7 @@ Result<uint64_t> Aggregate::CloneVolume(uint64_t volume_id, std::string_view clo
 }
 
 Result<std::vector<VolumeInfo>> Aggregate::ListVolumes() {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
   uint32_t nslots = static_cast<uint32_t>(sb.registry.size / kVolumeSlotSize);
   std::vector<uint8_t> bytes(kVolumeSlotSize);
@@ -218,13 +218,13 @@ Result<VolumeInfo> Aggregate::GetVolume(uint64_t volume_id) {
 }
 
 Result<VfsRef> Aggregate::MountVolume(uint64_t volume_id) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   RETURN_IF_ERROR(FindVolumeSlot(volume_id).status());
   return VfsRef(std::make_shared<EpisodeVfs>(this, volume_id));
 }
 
 Status Aggregate::SetVolumeBusy(uint64_t volume_id, bool busy) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   return RunTxnLocked([&](TxnId txn) -> Status {
     ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
     VolumeSlot vol = std::move(pair.first);
@@ -272,7 +272,7 @@ Result<VolumeDumpFile> Aggregate::DumpOneFile(const VolumeSlot& vol, uint64_t vn
 }
 
 Result<VolumeDump> Aggregate::DumpVolume(uint64_t volume_id, uint64_t since_version) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
   const VolumeSlot& vol = pair.first;
 
@@ -358,7 +358,7 @@ Status Aggregate::RestoreOneFile(TxnId txn, uint32_t slot_index, VolumeSlot& vol
 }
 
 Result<uint64_t> Aggregate::RestoreVolume(const VolumeDump& dump) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   uint64_t forced = dump.info.id;
   if (FindVolumeSlot(forced).ok()) {
     forced = 0;  // id collision on this aggregate: allocate a fresh one
@@ -389,7 +389,7 @@ Result<uint64_t> Aggregate::RestoreVolume(const VolumeDump& dump) {
 }
 
 Status Aggregate::ApplyDelta(uint64_t volume_id, const VolumeDump& delta) {
-  std::lock_guard<std::mutex> lock(op_mu_);
+  MutexLock lock(op_mu_);
   ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
   VolumeSlot vol = std::move(pair.first);
   uint32_t slot_index = pair.second;

@@ -105,6 +105,8 @@ Result<std::shared_ptr<FfsVfs>> FfsVfs::Format(BlockDevice& dev, Options options
   fs->bitmap_start_ = bitmap_start;
   fs->bitmap_blocks_ = bitmap_blocks;
   fs->data_start_ = data_start;
+  // Not published yet, but the helpers require the op lock.
+  MutexLock lock(fs->mu_);
   fs->alloc_hint_ = data_start;
 
   // Root directory: inode 1 with "." and "..".
@@ -136,6 +138,8 @@ Result<std::shared_ptr<FfsVfs>> FfsVfs::Mount(BlockDevice& dev, Options options)
   fs->bitmap_start_ = GetLe64(block.data() + 40);
   fs->bitmap_blocks_ = GetLe64(block.data() + 48);
   fs->data_start_ = GetLe64(block.data() + 56);
+  // Not published yet, but the helpers require the op lock.
+  MutexLock lock(fs->mu_);
   fs->alloc_hint_ = fs->data_start_;
   // Recover the uniquifier high-water mark.
   for (uint64_t ino = 1; ino < fs->options_.inode_count; ++ino) {
@@ -150,7 +154,7 @@ Result<std::shared_ptr<FfsVfs>> FfsVfs::Mount(BlockDevice& dev, Options options)
 void FfsVfs::CrashNow() { cache_->Crash(); }
 
 Status FfsVfs::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_->FlushAll();
 }
 
@@ -507,7 +511,7 @@ Result<bool> FfsVfs::DirEmpty(const Inode& dir) {
 // --- Vfs interface ---
 
 Result<VnodeRef> FfsVfs::Root() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(Inode root, ReadInode(1));
   return VnodeRef(std::make_shared<FfsVnode>(shared_from_this(), 1, root.uniq));
 }
@@ -516,7 +520,7 @@ Result<VnodeRef> FfsVfs::VnodeByFid(const Fid& fid) {
   if (fid.volume != options_.volume_id) {
     return Status(ErrorCode::kStale, "FID volume mismatch");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(Inode in, ReadInode(fid.vnode));
   if (in.type == 0 || in.uniq != fid.uniq) {
     return Status(ErrorCode::kStale, "stale FID");
@@ -531,7 +535,7 @@ Status FfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
   if (src == nullptr || dst == nullptr) {
     return Status(ErrorCode::kCrossVolume, "rename across file systems");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(Inode sdir, ReadInode(src->ino_));
   uint8_t type = 0;
   ASSIGN_OR_RETURN(auto moving, DirFind(sdir, src_name, &type));
@@ -565,7 +569,7 @@ Status FfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
 }
 
 Result<FfsVfs::FsckReport> FfsVfs::Fsck(bool repair) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FsckReport report;
   uint64_t block_count = dev_.BlockCount();
   std::vector<bool> used(block_count, false);
@@ -669,7 +673,7 @@ Result<FfsVfs::Inode> FfsVnode::LoadChecked(bool want_dir) {
 }
 
 Result<FileAttr> FfsVnode::GetAttr() {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   FileAttr attr;
   attr.fid = fid();
@@ -687,7 +691,7 @@ Result<FileAttr> FfsVnode::GetAttr() {
 }
 
 Status FfsVnode::SetAttr(const AttrUpdate& update) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   if (update.mode) {
     in.mode = *update.mode;
@@ -706,7 +710,7 @@ Status FfsVnode::SetAttr(const AttrUpdate& update) {
 }
 
 Result<size_t> FfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   if (offset >= in.size) {
     return size_t{0};
@@ -717,7 +721,7 @@ Result<size_t> FfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
 }
 
 Result<size_t> FfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   bool changed = false;
   RETURN_IF_ERROR(fs_->WriteRange(in, offset, data, &changed));
@@ -728,7 +732,7 @@ Result<size_t> FfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
 }
 
 Status FfsVnode::Truncate(uint64_t new_size) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   RETURN_IF_ERROR(fs_->TruncateBlocks(in, new_size));
   in.mtime = fs_->NowTime();
@@ -737,7 +741,7 @@ Status FfsVnode::Truncate(uint64_t new_size) {
 }
 
 Result<VnodeRef> FfsVnode::Lookup(std::string_view name) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(true));
   ASSIGN_OR_RETURN(auto found, fs_->DirFind(in, name, nullptr));
   return VnodeRef(std::make_shared<FfsVnode>(fs_, found.first, found.second));
@@ -745,7 +749,7 @@ Result<VnodeRef> FfsVnode::Lookup(std::string_view name) {
 
 Result<VnodeRef> FfsVnode::Create(std::string_view name, FileType type, uint32_t mode,
                                   const Cred& cred) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
   if (fs_->DirFind(dir, name, nullptr).ok()) {
     return Status(ErrorCode::kExists, "entry exists");
@@ -778,7 +782,7 @@ Result<VnodeRef> FfsVnode::Create(std::string_view name, FileType type, uint32_t
 Result<VnodeRef> FfsVnode::CreateSymlink(std::string_view name, std::string_view target,
                                          const Cred& cred) {
   ASSIGN_OR_RETURN(VnodeRef link, Create(name, FileType::kSymlink, 0777, cred));
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   auto* lv = static_cast<FfsVnode*>(link.get());
   ASSIGN_OR_RETURN(FfsVfs::Inode in, fs_->ReadInode(lv->ino_));
   bool changed = false;
@@ -794,7 +798,7 @@ Status FfsVnode::Link(std::string_view name, Vnode& target) {
   if (other == nullptr) {
     return Status(ErrorCode::kCrossVolume, "link across file systems");
   }
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
   ASSIGN_OR_RETURN(FfsVfs::Inode tin, fs_->ReadInode(other->ino_));
   if (tin.type != static_cast<uint8_t>(FileType::kFile)) {
@@ -806,7 +810,7 @@ Status FfsVnode::Link(std::string_view name, Vnode& target) {
 }
 
 Status FfsVnode::Unlink(std::string_view name) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
   uint8_t type = 0;
   ASSIGN_OR_RETURN(auto found, fs_->DirFind(dir, name, &type));
@@ -823,7 +827,7 @@ Status FfsVnode::Unlink(std::string_view name) {
 }
 
 Status FfsVnode::Rmdir(std::string_view name) {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
   uint8_t type = 0;
   ASSIGN_OR_RETURN(auto found, fs_->DirFind(dir, name, &type));
@@ -843,13 +847,13 @@ Status FfsVnode::Rmdir(std::string_view name) {
 }
 
 Result<std::vector<DirEntry>> FfsVnode::ReadDir() {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode dir, LoadChecked(true));
   return fs_->DirList(dir);
 }
 
 Result<std::string> FfsVnode::ReadSymlink() {
-  std::lock_guard<std::mutex> lock(fs_->mu_);
+  MutexLock lock(fs_->mu_);
   ASSIGN_OR_RETURN(FfsVfs::Inode in, LoadChecked(false));
   if (in.type != static_cast<uint8_t>(FileType::kSymlink)) {
     return Status(ErrorCode::kInvalidArgument, "not a symlink");

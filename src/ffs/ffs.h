@@ -17,10 +17,10 @@
 #define SRC_FFS_FFS_H_
 
 #include <memory>
-#include <mutex>
 
 #include "src/blockdev/block_device.h"
 #include "src/buf/buffer_cache.h"
+#include "src/common/mutex.h"
 #include "src/vfs/vnode.h"
 
 namespace dfs {
@@ -88,48 +88,55 @@ class FfsVfs : public Vfs, public std::enable_shared_from_this<FfsVfs> {
 
   FfsVfs(BlockDevice& dev, Options options);
 
-  Result<Inode> ReadInode(uint64_t ino);
+  // Every private helper below runs under the per-filesystem operation lock
+  // (one big lock, FFS-style); Format/Mount take it before calling them even
+  // though the object is not yet published, to keep the discipline uniform.
+  Result<Inode> ReadInode(uint64_t ino) REQUIRES(mu_);
   // Synchronous: the inode block goes to the device before this returns.
-  Status WriteInodeSync(uint64_t ino, const Inode& inode);
-  Result<uint64_t> AllocInode(uint8_t type);
-  Status FreeInodeSync(uint64_t ino);
+  Status WriteInodeSync(uint64_t ino, const Inode& inode) REQUIRES(mu_);
+  Result<uint64_t> AllocInode(uint8_t type) REQUIRES(mu_);
+  Status FreeInodeSync(uint64_t ino) REQUIRES(mu_);
 
-  Result<uint64_t> AllocBlockSync();
-  Status FreeBlockSync(uint64_t blockno);
+  Result<uint64_t> AllocBlockSync() REQUIRES(mu_);
+  Status FreeBlockSync(uint64_t blockno) REQUIRES(mu_);
 
-  Result<uint64_t> MapRead(const Inode& inode, uint64_t fblock);
-  Result<uint64_t> MapWrite(Inode& inode, uint64_t fblock, bool* inode_changed);
+  Result<uint64_t> MapRead(const Inode& inode, uint64_t fblock) REQUIRES(mu_);
+  Result<uint64_t> MapWrite(Inode& inode, uint64_t fblock, bool* inode_changed)
+      REQUIRES(mu_);
 
-  Status ReadRange(const Inode& inode, uint64_t off, std::span<uint8_t> out);
+  Status ReadRange(const Inode& inode, uint64_t off, std::span<uint8_t> out)
+      REQUIRES(mu_);
   // Data goes to the cache; metadata consequences (bitmap, indirect blocks,
   // inode) are written synchronously.
   Status WriteRange(Inode& inode, uint64_t off, std::span<const uint8_t> data,
-                    bool* inode_changed);
-  Status TruncateBlocks(Inode& inode, uint64_t new_size);
+                    bool* inode_changed) REQUIRES(mu_);
+  Status TruncateBlocks(Inode& inode, uint64_t new_size) REQUIRES(mu_);
 
   // Directory helpers (same 80-byte entry format as Episode's DirSlot).
   Status DirAdd(uint64_t dir_ino, Inode& dir, std::string_view name, uint64_t ino,
-                uint64_t uniq, uint8_t type);
+                uint64_t uniq, uint8_t type) REQUIRES(mu_);
   Result<std::pair<uint64_t, uint64_t>> DirFind(const Inode& dir, std::string_view name,
-                                                uint8_t* type_out);
-  Status DirRemove(uint64_t dir_ino, Inode& dir, std::string_view name);
-  Result<std::vector<DirEntry>> DirList(const Inode& dir);
-  Result<bool> DirEmpty(const Inode& dir);
+                                                uint8_t* type_out) REQUIRES(mu_);
+  Status DirRemove(uint64_t dir_ino, Inode& dir, std::string_view name) REQUIRES(mu_);
+  Result<std::vector<DirEntry>> DirList(const Inode& dir) REQUIRES(mu_);
+  Result<bool> DirEmpty(const Inode& dir) REQUIRES(mu_);
 
-  uint64_t NowTime();
+  uint64_t NowTime() REQUIRES(mu_);
 
   BlockDevice& dev_;
   Options options_;
   std::unique_ptr<BufferCache> cache_;
-  std::mutex mu_;
+  Mutex mu_;
+  // Layout geometry: written once during Format/Mount before the file system
+  // is published, immutable afterwards — deliberately not GUARDED_BY(mu_).
   uint64_t inode_start_ = 0;
   uint64_t inode_blocks_ = 0;
   uint64_t bitmap_start_ = 0;
   uint64_t bitmap_blocks_ = 0;
   uint64_t data_start_ = 0;
-  uint64_t next_uniq_ = 1;
-  uint64_t alloc_hint_ = 0;
-  uint64_t time_ = 1;
+  uint64_t next_uniq_ GUARDED_BY(mu_) = 1;
+  uint64_t alloc_hint_ GUARDED_BY(mu_) = 0;
+  uint64_t time_ GUARDED_BY(mu_) = 1;
 };
 
 class FfsVnode : public Vnode {
@@ -163,7 +170,7 @@ class FfsVnode : public Vnode {
 
  private:
   friend class FfsVfs;
-  Result<FfsVfs::Inode> LoadChecked(bool want_dir);
+  Result<FfsVfs::Inode> LoadChecked(bool want_dir) REQUIRES(fs_->mu_);
 
   std::shared_ptr<FfsVfs> fs_;
   uint64_t ino_;

@@ -39,12 +39,12 @@ uint64_t AuthService::Mac(const std::string& principal, uint32_t uid, uint64_t n
 }
 
 void AuthService::AddPrincipal(const std::string& principal, uint32_t uid, uint64_t secret) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   principals_[principal] = Entry{uid, secret, {uid}};  // every user's private group
 }
 
 void AuthService::AddToGroup(const std::string& principal, uint32_t gid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = principals_.find(principal);
   if (it != principals_.end()) {
     it->second.groups.push_back(gid);
@@ -52,13 +52,13 @@ void AuthService::AddToGroup(const std::string& principal, uint32_t gid) {
 }
 
 std::vector<uint32_t> AuthService::GroupsOf(const std::string& principal) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = principals_.find(principal);
   return it != principals_.end() ? it->second.groups : std::vector<uint32_t>{};
 }
 
 Result<Ticket> AuthService::IssueTicket(const std::string& principal, uint64_t secret) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = principals_.find(principal);
   if (it == principals_.end() || it->second.secret != secret) {
     return Status(ErrorCode::kAuthFailed, "unknown principal or bad secret");
@@ -72,7 +72,7 @@ Result<Ticket> AuthService::IssueTicket(const std::string& principal, uint64_t s
 }
 
 Result<std::string> AuthService::ValidateTicket(const Ticket& ticket) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = principals_.find(ticket.principal);
   if (it == principals_.end()) {
     return Status(ErrorCode::kAuthFailed, "unknown principal");

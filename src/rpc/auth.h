@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/codec.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 
 namespace dfs {
@@ -51,14 +51,14 @@ class AuthService {
   static uint64_t Mac(const std::string& principal, uint32_t uid, uint64_t nonce,
                       uint64_t secret);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   struct Entry {
     uint32_t uid;
     uint64_t secret;
     std::vector<uint32_t> groups;
   };
-  std::map<std::string, Entry> principals_;
-  uint64_t next_nonce_ = 1;
+  std::map<std::string, Entry> principals_ GUARDED_BY(mu_);
+  uint64_t next_nonce_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace dfs

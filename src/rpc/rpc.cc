@@ -8,7 +8,7 @@ namespace dfs {
 Network::~Network() = default;
 
 Status Network::RegisterNode(NodeId id, RpcHandler* handler, NodeOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (nodes_.count(id) != 0) {
     return Status(ErrorCode::kExists, "node id already registered");
   }
@@ -27,7 +27,7 @@ Status Network::RegisterNode(NodeId id, RpcHandler* handler, NodeOptions options
 void Network::UnregisterNode(NodeId id) {
   std::unique_ptr<Node> node;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) {
       return;
@@ -45,7 +45,7 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
   ThreadPool* pool = nullptr;
   uint64_t timeout_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = nodes_.find(to);
     if (it == nodes_.end() || it->second->down) {
       return Status(ErrorCode::kUnavailable, "destination node down");
@@ -86,19 +86,19 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
   }
   Result<std::vector<uint8_t>> reply = future.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_[{from, to}].bytes += (reply.ok() ? reply->size() : 0) + kMessageOverheadBytes;
   }
   return reply;
 }
 
 void Network::Partition(NodeId a, NodeId b, bool blocked) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitions_[{std::min(a, b), std::max(a, b)}] = blocked;
 }
 
 void Network::SetNodeDown(NodeId id, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = nodes_.find(id);
   if (it != nodes_.end()) {
     it->second->down = down;
@@ -106,13 +106,13 @@ void Network::SetNodeDown(NodeId id, bool down) {
 }
 
 LinkStats Network::StatsBetween(NodeId a, NodeId b) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = stats_.find({a, b});
   return it != stats_.end() ? it->second : LinkStats{};
 }
 
 LinkStats Network::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LinkStats total;
   for (const auto& [key, s] : stats_) {
     total += s;
@@ -121,7 +121,7 @@ LinkStats Network::TotalStats() const {
 }
 
 void Network::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.clear();
 }
 

@@ -10,15 +10,14 @@
 #ifndef SRC_RPC_RPC_H_
 #define SRC_RPC_RPC_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/common/vclock.h"
@@ -111,10 +110,10 @@ class Network {
   };
 
   VirtualClock* clock_;
-  mutable std::mutex mu_;
-  std::map<NodeId, std::unique_ptr<Node>> nodes_;
-  std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
-  std::map<std::pair<NodeId, NodeId>, bool> partitions_;
+  mutable Mutex mu_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_ GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, LinkStats> stats_ GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, bool> partitions_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

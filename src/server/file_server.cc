@@ -1,11 +1,12 @@
 #include "src/server/file_server.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace dfs {
 
 OrderedMutex& FidLockTable::Get(const Fid& fid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = locks_.find(fid);
   if (it == locks_.end()) {
     it = locks_.emplace(fid, std::make_unique<OrderedMutex>(level_, next_tag_++, name_)).first;
@@ -22,14 +23,14 @@ FileServer::FileServer(Network& network, AuthService& auth, NodeId node, Options
 FileServer::~FileServer() { network_.UnregisterNode(node_); }
 
 Status FileServer::ExportVolume(uint64_t volume_id, VfsRef vfs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   volumes_[volume_id] = std::move(vfs);
   return Status::Ok();
 }
 
 Status FileServer::ExportAggregate(VolumeOps* ops) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     volume_ops_.push_back(ops);
   }
   return RefreshExports();
@@ -38,13 +39,13 @@ Status FileServer::ExportAggregate(VolumeOps* ops) {
 Status FileServer::RefreshExports() {
   std::vector<VolumeOps*> ops_list;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_list = volume_ops_;
   }
   for (VolumeOps* ops : ops_list) {
     ASSIGN_OR_RETURN(std::vector<VolumeInfo> vols, ops->ListVolumes());
     for (const VolumeInfo& info : vols) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (volumes_.count(info.id) == 0) {
         auto vfs = ops->MountVolume(info.id);
         if (vfs.ok()) {
@@ -57,13 +58,13 @@ Status FileServer::RefreshExports() {
 }
 
 Status FileServer::UnexportVolume(uint64_t volume_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   volumes_.erase(volume_id);
   return Status::Ok();
 }
 
 Result<VfsRef> FileServer::ExportedVolume(uint64_t volume_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = volumes_.find(volume_id);
   if (it == volumes_.end()) {
     // kUnavailable (not kNotFound): the volume may have moved — the client's
@@ -74,12 +75,12 @@ Result<VfsRef> FileServer::ExportedVolume(uint64_t volume_id) {
 }
 
 uint64_t FileServer::NextStamp(const Fid& fid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ++stamps_[fid];
 }
 
 FileServer::Stats FileServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -99,7 +100,7 @@ Result<Cred> FileServer::CredForHost(NodeId host) {
   std::string principal;
   uint32_t uid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = hosts_.find(host);
     if (it == hosts_.end()) {
       return Status(ErrorCode::kAuthFailed, "host not connected");
@@ -127,7 +128,7 @@ Status FileServer::Authorize(Vnode& vnode, const Cred& cred, uint32_t needed_rig
                             attr.type == FileType::kDirectory);
   }
   if ((rights & needed_rights) != needed_rights) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.acl_denials += 1;
     return Status(ErrorCode::kPermissionDenied,
                   "missing rights on " + vnode.fid().ToString());
@@ -184,7 +185,7 @@ Result<std::vector<uint8_t>> UnwrapReply(Result<std::vector<uint8_t>> raw) {
 
 Result<std::vector<uint8_t>> FileServer::Handle(const RpcRequest& req) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.requests += 1;
   }
   Reader r(req.payload);
@@ -291,7 +292,7 @@ FileServer::Body FileServer::DoConnect(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Ticket ticket, Ticket::Deserialize(r));
   ASSIGN_OR_RETURN(std::string principal, auth_.ValidateTicket(ticket));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     HostInfo& info = hosts_[req.from];
     info.principal = principal;
     info.uid = ticket.uid;
@@ -322,7 +323,7 @@ FileServer::Body FileServer::DoFetchStatus(const RpcRequest& req, Reader& r) {
   RETURN_IF_ERROR(CredForHost(req.from).status());
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(uint32_t want, r.ReadU32());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   Writer w;
   if (want != 0) {
@@ -347,7 +348,7 @@ FileServer::Body FileServer::DoFetchData(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(range.start, r.ReadU64());
   ASSIGN_OR_RETURN(range.end, r.ReadU64());
 
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   RETURN_IF_ERROR(Authorize(*vnode, cred,
                             (want & kTokenDataWrite) ? kRightRead | kRightWrite : kRightRead));
@@ -381,9 +382,11 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
   // The normal store serializes through the vnode lock; the special store
   // issued by token-revocation code must not touch L2 (the revoking thread
   // holds it) and is pre-authorized by the token being revoked (Section 6.4).
-  std::unique_ptr<std::lock_guard<OrderedMutex>> l2;
+  // Conditional acquisition: invisible to the static analysis (the guard is
+  // constructed inside std::optional), but still runtime-order-checked.
+  std::optional<OrderedLockGuard> l2;
   if (!revocation_path) {
-    l2 = std::make_unique<std::lock_guard<OrderedMutex>>(vnode_locks_.Get(fid));
+    l2.emplace(vnode_locks_.Get(fid));
     // The client must hold a write data token covering the range.
     bool covered = false;
     for (const Token& t : tokens_.TokensForFid(fid)) {
@@ -397,7 +400,7 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
       return Status(ErrorCode::kConflict, "store without a covering write data token");
     }
   }
-  std::lock_guard<OrderedMutex> l4(io_locks_.Get(fid));
+  OrderedLockGuard l4(io_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   if (!data.empty()) {
     ASSIGN_OR_RETURN(size_t n, vnode->Write(offset, data));
@@ -413,7 +416,7 @@ FileServer::Body FileServer::DoStoreStatus(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(AttrUpdate update, ReadAttrUpdate(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   RETURN_IF_ERROR(Authorize(*vnode, cred, kRightWrite));
   // Pull status-write authority to this client, invalidating other caches.
@@ -431,13 +434,13 @@ FileServer::Body FileServer::DoTruncate(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(uint64_t new_size, r.ReadU64());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   RETURN_IF_ERROR(Authorize(*vnode, cred, kRightWrite));
   ASSIGN_OR_RETURN(Token token, tokens_.Grant(req.from, fid,
                                               kTokenDataWrite | kTokenStatusWrite,
                                               ByteRange::All()));
-  std::lock_guard<OrderedMutex> l4(io_locks_.Get(fid));
+  OrderedLockGuard l4(io_locks_.Get(fid));
   RETURN_IF_ERROR(vnode->Truncate(new_size));
   ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
   RETURN_IF_ERROR(tokens_.Return(token.id, token.types));
@@ -454,7 +457,7 @@ FileServer::Body FileServer::DoGetToken(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(range.start, r.ReadU64());
   ASSIGN_OR_RETURN(range.end, r.ReadU64());
 
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(Token token, tokens_.Grant(req.from, fid, types, range));
   Writer w;
   token.Serialize(w);
@@ -482,7 +485,7 @@ FileServer::Body FileServer::DoLookup(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
   ASSIGN_OR_RETURN(std::string name, r.ReadString());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightLookup));
   ASSIGN_OR_RETURN(VnodeRef child, dir->Lookup(name));
@@ -500,7 +503,7 @@ FileServer::Body FileServer::DoCreate(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(std::string name, r.ReadString());
   ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
   ASSIGN_OR_RETURN(uint32_t mode, r.ReadU32());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightInsert));
   // Invalidate every client's cached view of the directory first.
@@ -523,7 +526,7 @@ FileServer::Body FileServer::DoSymlink(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
   ASSIGN_OR_RETURN(std::string name, r.ReadString());
   ASSIGN_OR_RETURN(std::string target, r.ReadString());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightInsert));
   ASSIGN_OR_RETURN(Token guard,
@@ -544,7 +547,7 @@ FileServer::Body FileServer::DoRemove(const RpcRequest& req, Reader& r, bool rmd
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
   ASSIGN_OR_RETURN(std::string name, r.ReadString());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightDelete));
 
@@ -597,10 +600,11 @@ FileServer::Body FileServer::DoRename(const RpcRequest& req, Reader& r) {
   if (second != nullptr && second->tag() < first->tag()) {
     std::swap(first, second);
   }
-  std::lock_guard<OrderedMutex> l2a(*first);
-  std::unique_ptr<std::lock_guard<OrderedMutex>> l2b;
+  OrderedLockGuard l2a(*first);
+  // Conditional second lock (cross-directory rename), taken in tag order.
+  std::optional<OrderedLockGuard> l2b;
   if (second != nullptr) {
-    l2b = std::make_unique<std::lock_guard<OrderedMutex>>(*second);
+    l2b.emplace(*second);
   }
 
   ASSIGN_OR_RETURN(VfsRef vfs, ExportedVolume(src_fid.volume));
@@ -657,7 +661,7 @@ FileServer::Body FileServer::DoLink(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
   ASSIGN_OR_RETURN(std::string name, r.ReadString());
   ASSIGN_OR_RETURN(Fid target_fid, ReadFid(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef target, ResolveFid(target_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightInsert));
@@ -674,7 +678,7 @@ FileServer::Body FileServer::DoLink(const RpcRequest& req, Reader& r) {
 FileServer::Body FileServer::DoReadDir(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid dir_fid, ReadFid(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(dir_fid));
+  OrderedLockGuard l2(vnode_locks_.Get(dir_fid));
   ASSIGN_OR_RETURN(VnodeRef dir, ResolveFid(dir_fid));
   RETURN_IF_ERROR(Authorize(*dir, cred, kRightLookup));
   ASSIGN_OR_RETURN(std::vector<DirEntry> entries, dir->ReadDir());
@@ -691,7 +695,7 @@ FileServer::Body FileServer::DoReadDir(const RpcRequest& req, Reader& r) {
 FileServer::Body FileServer::DoReadlink(const RpcRequest& req, Reader& r) {
   RETURN_IF_ERROR(CredForHost(req.from).status());
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   ASSIGN_OR_RETURN(std::string target, vnode->ReadSymlink());
   Writer w;
@@ -702,7 +706,7 @@ FileServer::Body FileServer::DoReadlink(const RpcRequest& req, Reader& r) {
 FileServer::Body FileServer::DoGetAcl(const RpcRequest& req, Reader& r) {
   RETURN_IF_ERROR(CredForHost(req.from).status());
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   ASSIGN_OR_RETURN(Acl acl, vnode->GetAcl());
   Writer w;
@@ -714,7 +718,7 @@ FileServer::Body FileServer::DoSetAcl(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(Acl acl, Acl::Deserialize(r));
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
   RETURN_IF_ERROR(Authorize(*vnode, cred, kRightControl));
   ASSIGN_OR_RETURN(Token guard, GrantLocal(fid, kTokenStatusWrite));
@@ -735,8 +739,8 @@ FileServer::Body FileServer::DoSetLock(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(range.end, r.ReadU64());
   ASSIGN_OR_RETURN(bool exclusive, r.ReadBool());
   ASSIGN_OR_RETURN(uint64_t owner, r.ReadU64());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
-  std::lock_guard<std::mutex> lock(mu_);
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
+  MutexLock lock(mu_);
   for (const FileLock& fl : file_locks_[fid]) {
     bool same_owner = fl.owner_host == req.from && fl.owner == owner;
     if (!same_owner && fl.range.Overlaps(range) && (fl.exclusive || exclusive)) {
@@ -754,8 +758,8 @@ FileServer::Body FileServer::DoClearLock(const RpcRequest& req, Reader& r) {
   ASSIGN_OR_RETURN(range.start, r.ReadU64());
   ASSIGN_OR_RETURN(range.end, r.ReadU64());
   ASSIGN_OR_RETURN(uint64_t owner, r.ReadU64());
-  std::lock_guard<OrderedMutex> l2(vnode_locks_.Get(fid));
-  std::lock_guard<std::mutex> lock(mu_);
+  OrderedLockGuard l2(vnode_locks_.Get(fid));
+  MutexLock lock(mu_);
   auto& locks = file_locks_[fid];
   locks.erase(std::remove_if(locks.begin(), locks.end(),
                              [&](const FileLock& fl) {
@@ -770,7 +774,7 @@ FileServer::Body FileServer::DoVolProc(const RpcRequest& req, uint32_t proc, Rea
   RETURN_IF_ERROR(CredForHost(req.from).status());
   std::vector<VolumeOps*> ops_list;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops_list = volume_ops_;
   }
   if (ops_list.empty()) {

@@ -15,12 +15,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/lock_order.h"
+#include "src/common/mutex.h"
 #include "src/rpc/auth.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
@@ -40,10 +40,12 @@ class FidLockTable {
  private:
   LockLevel level_;
   const char* name_;
-  std::mutex mu_;
-  uint64_t next_tag_ = 1;
-  std::map<Fid, std::unique_ptr<OrderedMutex>, bool (*)(const Fid&, const Fid&)> locks_{
-      [](const Fid& a, const Fid& b) {
+  // LOCK-EXEMPT(leaf): registry map guard; held only for the map lookup,
+  // never while acquiring the OrderedMutex it hands out.
+  Mutex mu_;
+  uint64_t next_tag_ GUARDED_BY(mu_) = 1;
+  std::map<Fid, std::unique_ptr<OrderedMutex>, bool (*)(const Fid&, const Fid&)> locks_
+      GUARDED_BY(mu_){[](const Fid& a, const Fid& b) {
         return std::tie(a.volume, a.vnode, a.uniq) < std::tie(b.volume, b.vnode, b.uniq);
       }};
 };
@@ -184,16 +186,19 @@ class FileServer : public RpcHandler {
   FidLockTable vnode_locks_{LockLevel::kServerVnode, "server-vnode"};
   FidLockTable io_locks_{LockLevel::kServerIo, "server-io"};
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, VfsRef> volumes_;
-  std::vector<VolumeOps*> volume_ops_;
-  std::map<NodeId, HostInfo> hosts_;
-  std::unordered_map<Fid, uint64_t, FidHash> stamps_;
-  std::map<Fid, std::vector<FileLock>, bool (*)(const Fid&, const Fid&)> file_locks_{
-      [](const Fid& a, const Fid& b) {
+  // LOCK-EXEMPT(leaf): server registry/stats guard; held only for map and
+  // counter access, below every OrderedMutex in the hierarchy — nothing
+  // acquired under it, no RPC issued under it.
+  mutable Mutex mu_;
+  std::map<uint64_t, VfsRef> volumes_ GUARDED_BY(mu_);
+  std::vector<VolumeOps*> volume_ops_ GUARDED_BY(mu_);
+  std::map<NodeId, HostInfo> hosts_ GUARDED_BY(mu_);
+  std::unordered_map<Fid, uint64_t, FidHash> stamps_ GUARDED_BY(mu_);
+  std::map<Fid, std::vector<FileLock>, bool (*)(const Fid&, const Fid&)> file_locks_
+      GUARDED_BY(mu_){[](const Fid& a, const Fid& b) {
         return std::tie(a.volume, a.vnode, a.uniq) < std::tie(b.volume, b.vnode, b.uniq);
       }};
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

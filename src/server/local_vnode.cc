@@ -1,5 +1,7 @@
 #include "src/server/local_vnode.h"
 
+#include <optional>
+
 namespace dfs {
 
 Result<VnodeRef> LocalVfs::Root() {
@@ -16,9 +18,9 @@ template <typename Fn>
 auto LocalVnode::RunWithTokens(uint32_t types, Fn&& fn) -> decltype(fn()) {
   FileServer* server = vfs_->server();
   Fid f = fid();
-  std::lock_guard<OrderedMutex> l2(server->vnode_locks().Get(f));
+  OrderedLockGuard l2(server->vnode_locks().Get(f));
   {
-    std::lock_guard<std::mutex> lock(server->mu_);
+    MutexLock lock(server->mu_);
     server->stats_.local_ops += 1;
   }
   auto token = server->tokens().Grant(server->local_host(), f, types, ByteRange::All());
@@ -156,10 +158,11 @@ Status LocalVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_di
   if (second != nullptr && second->tag() < first->tag()) {
     std::swap(first, second);
   }
-  std::lock_guard<OrderedMutex> l2a(*first);
-  std::unique_ptr<std::lock_guard<OrderedMutex>> l2b;
+  OrderedLockGuard l2a(*first);
+  // Conditional second lock (cross-directory rename), taken in tag order.
+  std::optional<OrderedLockGuard> l2b;
   if (second != nullptr) {
-    l2b = std::make_unique<std::lock_guard<OrderedMutex>>(*second);
+    l2b.emplace(*second);
   }
   ASSIGN_OR_RETURN(Token g1, server_->tokens().Grant(server_->local_host(), src_fid,
                                                      kTokenStatusWrite | kTokenDataWrite,

@@ -5,11 +5,12 @@
 #ifndef SRC_SERVER_VLDB_H_
 #define SRC_SERVER_VLDB_H_
 
+#include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
 
@@ -40,9 +41,11 @@ class VldbServer : public RpcHandler {
 
   Network& network_;
   const NodeId node_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, VolumeLocation> by_id_;
-  std::vector<VldbServer*> peers_;
+  // LOCK-EXEMPT(leaf): protects only this server's location map and peer
+  // list; never held across an RPC (Handle snapshots peers_ first).
+  mutable Mutex mu_;
+  std::map<uint64_t, VolumeLocation> by_id_ GUARDED_BY(mu_);
+  std::vector<VldbServer*> peers_ GUARDED_BY(mu_);
 };
 
 // Client-side access with caching (the resource layer's location cache).
@@ -57,7 +60,7 @@ class VldbClient {
   Status Remove(uint64_t volume_id);
 
   void InvalidateCache(uint64_t volume_id);
-  uint64_t lookup_rpcs() const { return lookup_rpcs_; }
+  uint64_t lookup_rpcs() const { return lookup_rpcs_.load(std::memory_order_relaxed); }
 
  private:
   // Tries each VLDB replica until one answers (availability through
@@ -67,9 +70,11 @@ class VldbClient {
   Network& network_;
   NodeId self_;
   std::vector<NodeId> vldb_nodes_;
-  std::mutex mu_;
-  std::map<uint64_t, VolumeLocation> cache_;
-  uint64_t lookup_rpcs_ = 0;
+  // LOCK-EXEMPT(leaf): guards the location cache only; RPCs go out unlocked.
+  Mutex mu_;
+  std::map<uint64_t, VolumeLocation> cache_ GUARDED_BY(mu_);
+  // Stat counter, read unlocked by benches while lookups run.
+  std::atomic<uint64_t> lookup_rpcs_{0};
 };
 
 }  // namespace dfs

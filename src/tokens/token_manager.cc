@@ -13,12 +13,12 @@ constexpr auto kDeferredReturnTimeout = std::chrono::seconds(10);
 }  // namespace
 
 void TokenManager::RegisterHost(HostId host, TokenHost* handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hosts_[host] = handler;
 }
 
 void TokenManager::UnregisterHost(HostId host) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hosts_.erase(host);
   for (auto it = tokens_.begin(); it != tokens_.end();) {
     if (it->second.host == host) {
@@ -29,7 +29,7 @@ void TokenManager::UnregisterHost(HostId host) {
       ++it;
     }
   }
-  returned_cv_.notify_all();
+  returned_cv_.NotifyAll();
 }
 
 std::vector<std::pair<Token, uint32_t>> TokenManager::ConflictsLocked(
@@ -63,12 +63,17 @@ std::vector<std::pair<Token, uint32_t>> TokenManager::ConflictsLocked(
   return conflicts;
 }
 
+bool TokenManager::RelinquishedLocked(TokenId id, uint32_t types) const {
+  auto it = tokens_.find(id);
+  return it == tokens_.end() || (it->second.types & types) == 0;
+}
+
 Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
                                   ByteRange range) {
   for (int round = 0; round < 64; ++round) {
     std::vector<std::pair<Token, uint32_t>> conflicts;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       conflicts = ConflictsLocked(host, fid, types, range);
       if (conflicts.empty()) {
         Token token;
@@ -88,7 +93,7 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
     for (const auto& [conflict, conflicting_types] : conflicts) {
       TokenHost* handler = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto tit = tokens_.find(conflict.id);
         if (tit == tokens_.end() || (tit->second.types & conflicting_types) == 0) {
           continue;  // already relinquished by someone else's revocation
@@ -100,12 +105,8 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
                      ? handler->Revoke(conflict, conflicting_types)
                      : Status::Ok();  // host gone: drop its token
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueMutexLock lock(mu_);
         stats_.revocations += 1;
-        auto relinquished = [&] {
-          auto tit = tokens_.find(conflict.id);
-          return tit == tokens_.end() || (tit->second.types & conflicting_types) == 0;
-        };
         if (s.ok()) {
           auto tit = tokens_.find(conflict.id);
           if (tit != tokens_.end()) {
@@ -115,15 +116,18 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
               vec.erase(std::remove(vec.begin(), vec.end(), conflict.id), vec.end());
               tokens_.erase(tit);
             }
-            returned_cv_.notify_all();
+            returned_cv_.NotifyAll();
           }
         } else if (s.code() == ErrorCode::kWouldBlock) {
           // Deferred: the holder will call Return() once its in-flight RPC
           // completes (Section 6.3's queued-revocation case).
           stats_.deferred_returns += 1;
-          bool returned = returned_cv_.wait_for(lock, kDeferredReturnTimeout, relinquished);
-          if (!returned) {
-            return Status(ErrorCode::kTimedOut, "deferred token return never arrived");
+          auto deadline = std::chrono::steady_clock::now() + kDeferredReturnTimeout;
+          while (!RelinquishedLocked(conflict.id, conflicting_types)) {
+            if (returned_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
+                !RelinquishedLocked(conflict.id, conflicting_types)) {
+              return Status(ErrorCode::kTimedOut, "deferred token return never arrived");
+            }
           }
         } else {
           stats_.refusals += 1;
@@ -139,7 +143,7 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
 }
 
 Status TokenManager::Return(TokenId id, uint32_t types) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tokens_.find(id);
   if (it == tokens_.end()) {
     return Status(ErrorCode::kNotFound, "unknown token");
@@ -150,17 +154,17 @@ Status TokenManager::Return(TokenId id, uint32_t types) {
     vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
     tokens_.erase(it);
   }
-  returned_cv_.notify_all();
+  returned_cv_.NotifyAll();
   return Status::Ok();
 }
 
 bool TokenManager::HasToken(TokenId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tokens_.count(id) != 0;
 }
 
 std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Token> out;
   for (const auto& [id, t] : tokens_) {
     if (t.fid == fid) {
@@ -171,7 +175,7 @@ std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
 }
 
 std::vector<Token> TokenManager::TokensForHost(HostId host) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Token> out;
   for (const auto& [id, t] : tokens_) {
     if (t.host == host) {
@@ -182,7 +186,7 @@ std::vector<Token> TokenManager::TokensForHost(HostId host) const {
 }
 
 TokenManager::Stats TokenManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

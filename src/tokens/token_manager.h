@@ -19,14 +19,13 @@
 #ifndef SRC_TOKENS_TOKEN_MANAGER_H_
 #define SRC_TOKENS_TOKEN_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/tokens/token.h"
 
@@ -70,19 +69,24 @@ class TokenManager {
 
  private:
   // Finds tokens (and which of their types) conflicting with the proposed
-  // grant. Caller holds mu_.
+  // grant.
   std::vector<std::pair<Token, uint32_t>> ConflictsLocked(HostId host, const Fid& fid,
                                                           uint32_t types,
-                                                          const ByteRange& range) const;
+                                                          const ByteRange& range) const
+      REQUIRES(mu_);
+  // True once the conflicting types of `id` are gone (deferred-return wait).
+  bool RelinquishedLocked(TokenId id, uint32_t types) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable returned_cv_;
-  TokenId next_id_ = 1;
-  std::unordered_map<HostId, TokenHost*> hosts_;
-  std::map<TokenId, Token> tokens_;
+  // LOCK-EXEMPT(leaf): the manager lock is never held across a Revoke call
+  // (which may be a blocking RPC); grants re-scan after each revocation round.
+  mutable Mutex mu_;
+  CondVar returned_cv_;
+  TokenId next_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<HostId, TokenHost*> hosts_ GUARDED_BY(mu_);
+  std::map<TokenId, Token> tokens_ GUARDED_BY(mu_);
   // Secondary index: volume -> token ids (for whole-volume conflict scans).
-  std::unordered_map<uint64_t, std::vector<TokenId>> by_volume_;
-  Stats stats_;
+  std::unordered_map<uint64_t, std::vector<TokenId>> by_volume_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

@@ -48,7 +48,7 @@ Result<Wal::LogHeader> Wal::ReadHeader() {
 }
 
 Status Wal::Format() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   epoch_ = 1;
   epoch_start_lsn_ = 0;
   next_lsn_ = 0;
@@ -61,16 +61,16 @@ Status Wal::Format() {
 TxnId Wal::Begin() {
   // Checkpoint between transactions only: checkpointing mid-transaction would
   // flush uncommitted buffer changes whose undo records it then discards.
+  bool checkpoint = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bool near_full = (next_lsn_ - epoch_start_lsn_) > LogDataBytes() * 3 / 4;
-    if (near_full && active_txns_.empty()) {
-      lock.unlock();
-      (void)Checkpoint();
-      lock.lock();
-    }
+    checkpoint = near_full && active_txns_.empty();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  if (checkpoint) {
+    (void)Checkpoint();
+  }
+  MutexLock lock(mu_);
   TxnId txn = next_txn_++;
   active_txns_.emplace(txn, std::vector<UndoEntry>{});
   return txn;
@@ -114,7 +114,7 @@ Status Wal::LogUpdate(TxnId txn, BufferCache::Ref& buf, uint32_t offset,
   if (offset + new_bytes.size() > kBlockSize) {
     return Status(ErrorCode::kInvalidArgument, "update crosses block boundary");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_txns_.find(txn);
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
@@ -130,7 +130,7 @@ Status Wal::LogUpdate(TxnId txn, BufferCache::Ref& buf, uint32_t offset,
 }
 
 Status Wal::Commit(TxnId txn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_txns_.find(txn);
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
@@ -150,7 +150,7 @@ Status Wal::Commit(TxnId txn) {
 }
 
 Status Wal::Abort(TxnId txn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueMutexLock lock(mu_);
   auto it = active_txns_.find(txn);
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
@@ -163,7 +163,7 @@ Status Wal::Abort(TxnId txn) {
   (void)AppendRecordLocked(RecordKind::kAbort, txn, 0, 0, {}, {});
   uint64_t abort_lsn = next_lsn_;
   ++stats_.aborts;
-  lock.unlock();
+  lock.Unlock();
 
   // Restore old values in memory, newest change first. Recovery performs the
   // same restoration from the log, so the two paths are idempotent.
@@ -210,12 +210,12 @@ Status Wal::FlushLocked() {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushLocked();
 }
 
 Status Wal::MaybeGroupCommit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.clock == nullptr || pending_.empty()) {
     return Status::Ok();
   }
@@ -226,7 +226,7 @@ Status Wal::MaybeGroupCommit() {
 }
 
 Status Wal::FlushTo(uint64_t lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (durable_lsn_ >= lsn) {
     return Status::Ok();
   }
@@ -235,12 +235,12 @@ Status Wal::FlushTo(uint64_t lsn) {
 
 Status Wal::Checkpoint() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RETURN_IF_ERROR(FlushLocked());
   }
   // Flush dirty buffers without holding our mutex: write-back calls FlushTo.
   RETURN_IF_ERROR(cache_.FlushAll());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   epoch_ += 1;
   epoch_start_lsn_ = next_lsn_;
   durable_lsn_ = next_lsn_;
@@ -250,7 +250,7 @@ Status Wal::Checkpoint() {
 }
 
 Result<Wal::RecoveryStats> Wal::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ASSIGN_OR_RETURN(LogHeader header, ReadHeader());
 
   RecoveryStats rstats;
@@ -410,17 +410,17 @@ Result<Wal::RecoveryStats> Wal::Recover() {
 }
 
 Wal::Stats Wal::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 uint64_t Wal::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 uint64_t Wal::active_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_ - epoch_start_lsn_;
 }
 

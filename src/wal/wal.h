@@ -26,12 +26,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/blockdev/block_device.h"
 #include "src/buf/buffer_cache.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/vclock.h"
 
@@ -130,8 +130,8 @@ class Wal : public WalFlusher {
 
   Status AppendRecordLocked(RecordKind kind, TxnId txn, uint64_t blockno, uint32_t offset,
                             std::span<const uint8_t> old_bytes,
-                            std::span<const uint8_t> new_bytes);
-  Status FlushLocked();
+                            std::span<const uint8_t> new_bytes) REQUIRES(mu_);
+  Status FlushLocked() REQUIRES(mu_);
   Status WriteHeader(const LogHeader& header);
   Result<LogHeader> ReadHeader();
   Status CheckpointIfNearFull();
@@ -141,16 +141,17 @@ class Wal : public WalFlusher {
   BufferCache& cache_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  TxnId next_txn_ = 1;
-  uint64_t epoch_ = 1;
-  uint64_t epoch_start_lsn_ = 0;
-  uint64_t next_lsn_ = 0;     // global byte counter across epochs
-  uint64_t durable_lsn_ = 0;  // log durable through this LSN
-  uint64_t last_flush_time_ = 0;
-  std::vector<uint8_t> pending_;  // serialized records in [durable_lsn_, next_lsn_)
-  std::map<TxnId, std::vector<UndoEntry>> active_txns_;
-  Stats stats_;
+  mutable Mutex mu_;
+  TxnId next_txn_ GUARDED_BY(mu_) = 1;
+  uint64_t epoch_ GUARDED_BY(mu_) = 1;
+  uint64_t epoch_start_lsn_ GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 0;     // global byte counter across epochs
+  uint64_t durable_lsn_ GUARDED_BY(mu_) = 0;  // log durable through this LSN
+  uint64_t last_flush_time_ GUARDED_BY(mu_) = 0;
+  // Serialized records in [durable_lsn_, next_lsn_).
+  std::vector<uint8_t> pending_ GUARDED_BY(mu_);
+  std::map<TxnId, std::vector<UndoEntry>> active_txns_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace dfs

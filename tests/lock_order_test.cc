@@ -1,0 +1,126 @@
+// Direct unit tests for LockOrderChecker and OrderedMutex (src/common/lock_order.h).
+//
+// The integration suites (deadlock_stress, revocation_ordering) exercise the
+// checker through the full client/server stack; these tests pin down the
+// checker's contract in isolation: level ordering, same-level tag ordering,
+// try_lock's check-before-acquire behavior, and checked_count accounting.
+
+#include "src/common/lock_order.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace dfs {
+namespace {
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LockOrderChecker::Enable(true); }
+};
+
+TEST_F(LockOrderTest, AscendingLevelsAllowed) {
+  OrderedMutex l1(LockLevel::kClientHigh, 1, "l1");
+  OrderedMutex l2(LockLevel::kServerVnode, 1, "l2");
+  OrderedMutex l3(LockLevel::kClientLow, 1, "l3");
+  OrderedMutex l4(LockLevel::kServerIo, 1, "l4");
+  OrderedLockGuard g1(l1);
+  OrderedLockGuard g2(l2);
+  OrderedLockGuard g3(l3);
+  OrderedLockGuard g4(l4);
+}
+
+TEST_F(LockOrderTest, InversionL3ThenL2Aborts) {
+  OrderedMutex low(LockLevel::kClientLow, 1, "cv.low");
+  OrderedMutex vnode(LockLevel::kServerVnode, 1, "server.vnode");
+  OrderedLockGuard hold_low(low);
+  // A client thread holding its low-level cvnode lock must never call into the
+  // server's vnode lock (Section 6.4: only revocation-initiated stores may,
+  // and those go straight to the L4 I/O lock).
+  EXPECT_DEATH({ OrderedLockGuard g(vnode); }, "LOCK ORDER VIOLATION");
+}
+
+TEST_F(LockOrderTest, SameLevelIncreasingTagAllowed) {
+  OrderedMutex a(LockLevel::kServerVnode, 10, "vnode-10");
+  OrderedMutex b(LockLevel::kServerVnode, 20, "vnode-20");
+  OrderedLockGuard ga(a);
+  OrderedLockGuard gb(b);  // tag 20 > 10: the rename two-vnode order.
+}
+
+TEST_F(LockOrderTest, SameLevelDecreasingTagAborts) {
+  OrderedMutex a(LockLevel::kServerVnode, 20, "vnode-20");
+  OrderedMutex b(LockLevel::kServerVnode, 10, "vnode-10");
+  OrderedLockGuard ga(a);
+  EXPECT_DEATH({ OrderedLockGuard g(b); }, "LOCK ORDER VIOLATION");
+}
+
+TEST_F(LockOrderTest, SameLevelEqualTagAborts) {
+  OrderedMutex a(LockLevel::kClientLow, 7, "cv-7a");
+  OrderedMutex b(LockLevel::kClientLow, 7, "cv-7b");
+  OrderedLockGuard ga(a);
+  EXPECT_DEATH({ OrderedLockGuard g(b); }, "LOCK ORDER VIOLATION");
+}
+
+TEST_F(LockOrderTest, ReleaseResetsOrderConstraint) {
+  OrderedMutex high(LockLevel::kServerIo, 1, "io");
+  OrderedMutex low(LockLevel::kClientHigh, 1, "high");
+  {
+    OrderedLockGuard g(high);
+  }
+  // Nothing held any more, so an L1 acquisition is fine again.
+  OrderedLockGuard g(low);
+}
+
+TEST_F(LockOrderTest, TryLockChecksHierarchyBeforeAcquiring) {
+  OrderedMutex low(LockLevel::kClientLow, 1, "cv.low");
+  OrderedMutex vnode(LockLevel::kServerVnode, 1, "server.vnode");
+  OrderedLockGuard hold_low(low);
+  // try_lock runs the hierarchy check before touching the underlying mutex,
+  // so an out-of-order try_lock aborts rather than silently succeeding.
+  EXPECT_DEATH({ (void)vnode.try_lock(); }, "LOCK ORDER VIOLATION");
+}
+
+TEST_F(LockOrderTest, TryLockFailureUnwindsCheckerState) {
+  OrderedMutex mu(LockLevel::kServerVnode, 1, "vnode");
+  mu.lock();
+  std::atomic<bool> tried{false};
+  // Contend from another thread: its try_lock fails, and must pop its own
+  // checker entry so the thread's held-stack stays consistent.
+  std::thread t([&]() NO_THREAD_SAFETY_ANALYSIS {
+    EXPECT_FALSE(mu.try_lock());
+    tried.store(true);
+    // With the failed entry unwound this thread holds nothing, so acquiring a
+    // *lower* level (L1) must not trip the checker.
+    OrderedMutex other(LockLevel::kClientHigh, 1, "high");
+    other.lock();
+    other.unlock();
+  });
+  t.join();
+  EXPECT_TRUE(tried.load());
+  mu.unlock();
+}
+
+TEST_F(LockOrderTest, CheckedCountIsMonotonic) {
+  OrderedMutex mu(LockLevel::kClientHigh, 1, "counted");
+  const uint64_t before = LockOrderChecker::checked_count();
+  for (int i = 0; i < 10; ++i) {
+    OrderedLockGuard g(mu);
+  }
+  const uint64_t after = LockOrderChecker::checked_count();
+  EXPECT_GE(after, before + 10);
+}
+
+TEST_F(LockOrderTest, DisabledCheckerCountsNothing) {
+  LockOrderChecker::Enable(false);
+  OrderedMutex mu(LockLevel::kClientHigh, 1, "uncounted");
+  const uint64_t before = LockOrderChecker::checked_count();
+  {
+    OrderedLockGuard g(mu);
+  }
+  EXPECT_EQ(LockOrderChecker::checked_count(), before);
+  LockOrderChecker::Enable(true);
+}
+
+}  // namespace
+}  // namespace dfs

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for the distributed layer.
+
+The Section-6 deadlock-avoidance argument only holds if every lock that can be
+held across a call into another module participates in the hierarchy. This
+lint enforces the coding rule that makes that auditable:
+
+  Modules under src/tokens, src/client and src/server may only declare
+    - dfs::OrderedMutex            (hierarchy-checked, the default), or
+    - a leaf lock (dfs::Mutex, std::mutex, std::shared_mutex) carrying an
+      explicit `// LOCK-EXEMPT(leaf): <reason>` comment on the same line or
+      in the contiguous comment block directly above the declaration.
+
+Anything else — a bare std::mutex, std::shared_mutex or dfs::Mutex member —
+fails the build. Run as:  lint_lock_discipline.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINTED_DIRS = ("src/tokens", "src/client", "src/server")
+
+# Declarations of non-hierarchy mutex types: `std::mutex m_;`, `Mutex m_;`,
+# `mutable std::shared_mutex m_;` etc. OrderedMutex is always allowed, and
+# `Mutex&` / `Mutex*` reference or pointer declarations are not declarations
+# of a new lock.
+DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:dfs::)?(?:std::)?(?:shared_)?[Mm]utex\s+[A-Za-z_]\w*\s*"
+    r"(?:\{[^}]*\}|=[^;]*)?;"
+)
+EXEMPT_RE = re.compile(r"//\s*LOCK-EXEMPT\(leaf\):\s*\S")
+
+
+def lint_file(path: Path) -> list:
+    violations = []
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        if "OrderedMutex" in line or not DECL_RE.match(line):
+            continue
+        # Same line, or anywhere in the contiguous comment block above.
+        window = [line]
+        j = i - 1
+        while j >= 0 and lines[j].lstrip().startswith("//"):
+            window.append(lines[j])
+            j -= 1
+        if not any(EXEMPT_RE.search(w) for w in window):
+            violations.append((path, i + 1, line.strip()))
+    return violations
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    missing = [d for d in LINTED_DIRS if not (root / d).is_dir()]
+    if missing:
+        print(f"lint_lock_discipline: {root} is not the repo root "
+              f"(missing {', '.join(missing)})", file=sys.stderr)
+        return 2
+    violations = []
+    for d in LINTED_DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                violations.extend(lint_file(path))
+    if violations:
+        print("lock-discipline lint FAILED: bare mutex declarations in the "
+              "distributed layer.\n")
+        for path, lineno, text in violations:
+            print(f"  {path.relative_to(root)}:{lineno}: {text}")
+        print(
+            "\nDistributed-layer locks must be dfs::OrderedMutex (hierarchy-"
+            "checked), or leaf locks annotated with\n"
+            "  // LOCK-EXEMPT(leaf): <why this lock can never be held across "
+            "a call that acquires another lock>\n"
+            "on the declaration or in the comment block directly above it."
+        )
+        return 1
+    print(f"lock-discipline lint OK ({len(LINTED_DIRS)} directories clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
