@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "examples/example_util.h"
 #include "src/baselines/nfs.h"
 #include "src/common/rng.h"
@@ -197,10 +198,16 @@ PhaseTimes RunNfs(const TreeSpec& spec) {
   return t;
 }
 
-void Print(const char* name, const PhaseTimes& t) {
+void Print(bench::Report& report, const char* name, const PhaseTimes& t) {
   std::printf("%-16s %9.1f %9.1f %9.1f %9.1f %9.1f | %8llu %12llu\n", name, t.mkdir_ms,
               t.copy_ms, t.scan_ms, t.read_ms, t.make_ms, (unsigned long long)t.rpcs,
               (unsigned long long)t.bytes);
+  std::string k(name);
+  report.Metric(k + "_copy_ms", t.copy_ms, "ms");
+  report.Metric(k + "_scan_ms", t.scan_ms, "ms");
+  report.Metric(k + "_make_ms", t.make_ms, "ms");
+  report.Metric(k + "_rpcs", static_cast<double>(t.rpcs), "count");
+  report.Metric(k + "_net_bytes", static_cast<double>(t.bytes), "bytes");
 }
 
 }  // namespace
@@ -212,6 +219,10 @@ int main() {
   std::printf("%-16s %9s %9s %9s %9s %9s | %8s %12s\n", "stack", "mkdir_ms", "copy_ms",
               "scan_ms", "read_ms", "make_ms", "rpcs", "net_bytes");
 
+  bench::Report report("andrew");
+  report.Config("dirs", kDirs);
+  report.Config("files_per_dir", kFilesPerDir);
+  report.Config("file_bytes", static_cast<long long>(kFileBytes));
   {
     SimDisk disk(32768);
     Aggregate::Options opts;
@@ -221,7 +232,7 @@ int main() {
     EX_CHECK(agg.status());
     auto vid = (*agg)->CreateVolume("local");
     auto vfs = (*agg)->MountVolume(*vid);
-    Print("episode-local",
+    Print(report, "episode-local",
           RunVfs(**vfs, spec, Cred{100, {100}}, [] { return LinkStats{}; }));
   }
   {
@@ -230,13 +241,13 @@ int main() {
     auto vfs = client->MountVolume("home");
     EX_CHECK(vfs.status());
     NodeId node = client->node();
-    Print("dfs-client", RunVfs(**vfs, spec, UserCred(100), [&] {
+    Print(report, "dfs-client", RunVfs(**vfs, spec, UserCred(100), [&] {
             LinkStats s = cell->net.StatsBetween(node, kExServer1);
             s += cell->net.StatsBetween(kExServer1, node);
             return s;
           }));
   }
-  Print("nfs-client", RunNfs(spec));
+  Print(report, "nfs-client", RunNfs(spec));
 
   std::printf(
       "\nexpected shape: the DFS client pays RPCs in the write-heavy phases (copy, make)\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "examples/example_util.h"
 #include "src/baselines/afs.h"
 
@@ -105,6 +106,8 @@ int main() {
               kRounds);
   std::printf("%12s %12s | %18s %18s %18s\n", "file_blocks", "file_KiB", "dfs_byterange",
               "dfs_wholefile", "afs");
+  bench::Report report("byterange");
+  report.Config("rounds", kRounds);
   for (uint64_t blocks : {16ull, 64ull, 256ull}) {
     uint64_t dfs_range = RunDfs(blocks, /*whole_file_tokens=*/false);
     uint64_t dfs_whole = RunDfs(blocks, /*whole_file_tokens=*/true);
@@ -112,6 +115,10 @@ int main() {
     std::printf("%12llu %12llu | %18llu %18llu %18llu\n", (unsigned long long)blocks,
                 (unsigned long long)(blocks * 4), (unsigned long long)dfs_range,
                 (unsigned long long)dfs_whole, (unsigned long long)afs);
+    std::string k = "blocks" + std::to_string(blocks);
+    report.Metric(k + "_dfs_byterange", static_cast<double>(dfs_range), "bytes");
+    report.Metric(k + "_dfs_wholefile", static_cast<double>(dfs_whole), "bytes");
+    report.Metric(k + "_afs", static_cast<double>(afs), "bytes");
   }
   std::printf(
       "\nexpected shape: byte-range tokens keep steady-state traffic near zero and flat in\n"

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "examples/example_util.h"  // the cell harness shared with examples
 #include "src/baselines/afs.h"
 #include "src/baselines/nfs.h"
@@ -161,9 +162,13 @@ Outcome RunNfs(bool sharing) {
   return out;
 }
 
-void PrintRow(const char* proto, const Outcome& o) {
+void PrintRow(bench::Report& report, const char* proto, const char* phase,
+              const Outcome& o) {
   std::printf("%-10s %8llu %12llu %12d %12d\n", proto, (unsigned long long)o.rpcs,
               (unsigned long long)o.bytes, o.fresh_reads, o.stale_reads);
+  std::string k = std::string(proto) + "_" + phase;
+  report.Metric(k + "_rpcs", static_cast<double>(o.rpcs), "count");
+  report.Metric(k + "_stale_reads", o.stale_reads, "count");
 }
 
 }  // namespace
@@ -173,17 +178,19 @@ int main() {
   std::printf("(%d rounds, reader polls 1 s after each write on the virtual clock)\n\n",
               kRounds);
 
+  bench::Report report("consistency");
+  report.Config("rounds", kRounds);
   std::printf("--- sharing workload: writer updates, reader polls ---\n");
   std::printf("%-10s %8s %12s %12s %12s\n", "protocol", "rpcs", "bytes", "fresh", "stale");
-  PrintRow("dfs", RunDfs(true));
-  PrintRow("afs", RunAfs(true));
-  PrintRow("nfs", RunNfs(true));
+  PrintRow(report, "dfs", "sharing", RunDfs(true));
+  PrintRow(report, "afs", "sharing", RunAfs(true));
+  PrintRow(report, "nfs", "sharing", RunNfs(true));
 
   std::printf("\n--- no-sharing workload: reader polls an unchanging file ---\n");
   std::printf("%-10s %8s %12s %12s %12s\n", "protocol", "rpcs", "bytes", "fresh", "stale");
-  PrintRow("dfs", RunDfs(false));
-  PrintRow("afs", RunAfs(false));
-  PrintRow("nfs", RunNfs(false));
+  PrintRow(report, "dfs", "nosharing", RunDfs(false));
+  PrintRow(report, "afs", "nosharing", RunAfs(false));
+  PrintRow(report, "nfs", "nosharing", RunNfs(false));
 
   std::printf(
       "\nexpected shape (Section 5.4): DFS has zero stale reads AND near-zero traffic when\n"

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "bench/report.h"
 #include "src/client/cache_manager.h"
 #include "src/common/lock_order.h"
 #include "src/common/rng.h"
@@ -142,6 +143,13 @@ int main() {
               "no dedicated pool (6.4)", no_pool.completed, no_pool.timeouts, no_pool.errors,
               no_pool.wall_ms, (unsigned long long)no_pool.revocations,
               (unsigned long long)no_pool.lock_checks);
+
+  bench::Report report("deadlock_stress");
+  report.Metric("with_pool_timeouts", with_pool.timeouts, "count");
+  report.Metric("with_pool_wall", with_pool.wall_ms, "ms");
+  report.Metric("with_pool_revocations", static_cast<double>(with_pool.revocations), "count");
+  report.Metric("no_pool_timeouts", no_pool.timeouts, "count");
+  report.Metric("lock_checks", static_cast<double>(with_pool.lock_checks), "count");
 
   std::printf(
       "\nexpected shape: with the Section-6.4 dedicated pool the storm completes with zero\n"

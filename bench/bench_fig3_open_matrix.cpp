@@ -4,7 +4,9 @@
 // with the file open would), then host B requests mode 2; "yes" means the
 // grant succeeded with both tokens outstanding.
 #include <cstdio>
+#include <string>
 
+#include "bench/report.h"
 #include "src/tokens/token_manager.h"
 
 using namespace dfs;
@@ -33,6 +35,7 @@ constexpr Mode kModes[] = {
 
 int main() {
   std::printf("Figure 3 — open-token compatibility (may both clients hold the modes?)\n\n");
+  bench::Report report("fig3_open_matrix");
   std::printf("%-16s", "");
   for (const Mode& col : kModes) {
     std::printf("%-16s", col.name);
@@ -53,6 +56,7 @@ int main() {
         compatible = mgr.Grant(2, fid, col.bit, ByteRange::All()).ok();
       }
       std::printf("%-16s", compatible ? "yes" : "-");
+      report.Metric(std::string(row.name) + "_vs_" + col.name, compatible ? 1 : 0, "bool");
     }
     std::printf("\n");
   }

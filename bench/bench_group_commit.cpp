@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
+
 #include "src/common/vclock.h"
 #include "src/episode/aggregate.h"
 #include "src/vfs/path.h"
@@ -63,10 +65,13 @@ Row Run(bool force_on_commit, uint64_t interval_secs, bool fsync_every_op,
   return row;
 }
 
-void Print(const char* name, const Row& r) {
+void Print(bench::Report& report, const char* key, const char* name, const Row& r) {
   std::printf("%-26s %12llu %10llu %10.1f%% %12.1f\n", name,
               (unsigned long long)r.log_flushes, (unsigned long long)r.writes,
               r.seq_fraction, r.modeled_ms);
+  std::string k(key);
+  report.Metric(k + "_log_flushes", static_cast<double>(r.log_flushes), "count");
+  report.Metric(k + "_modeled", r.modeled_ms, "ms");
 }
 
 }  // namespace
@@ -76,14 +81,16 @@ int main() {
   std::printf("%-26s %12s %10s %11s %12s\n", "commit policy", "log_flushes", "writes",
               "seq_pct", "modeled_ms");
 
+  bench::Report report("group_commit");
+  report.Config("files", kFiles);
   VirtualClock clock_force;
-  Print("force per commit", Run(true, 0, false, &clock_force));
+  Print(report, "force_per_commit", "force per commit", Run(true, 0, false, &clock_force));
   VirtualClock clock_fsync;
-  Print("fsync per file", Run(false, 30, true, &clock_fsync));
+  Print(report, "fsync_per_file", "fsync per file", Run(false, 30, true, &clock_fsync));
   VirtualClock clock_1s;
-  Print("batch, 1 s interval", Run(false, 1, false, &clock_1s));
+  Print(report, "batch_1s", "batch, 1 s interval", Run(false, 1, false, &clock_1s));
   VirtualClock clock_30s;
-  Print("batch, 30 s (the paper)", Run(false, 30, false, &clock_30s));
+  Print(report, "batch_30s", "batch, 30 s (the paper)", Run(false, 30, false, &clock_30s));
 
   std::printf(
       "\nexpected shape: batching turns many tiny log forces into a few large sequential\n"

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "src/episode/aggregate.h"
 #include "src/ffs/ffs.h"
 #include "src/vfs/path.h"
@@ -61,6 +62,7 @@ int main() {
   std::printf("%8s %-9s %10s %10s %10s %12s %10s\n", "N", "fs", "writes", "seq", "random",
               "modeled_ms", "wall_ms");
 
+  bench::Report report("meta_throughput");
   Cred cred{100, {100}};
   for (int files : {100, 300, 1000}) {
     {
@@ -78,6 +80,9 @@ int main() {
       std::printf("%8d %-9s %10llu %10llu %10llu %12.1f %10.1f\n", files, "episode",
                   (unsigned long long)r.writes, (unsigned long long)r.seq,
                   (unsigned long long)r.rand, r.modeled_us / 1000.0, r.wall_ms);
+      std::string k = "episode_n" + std::to_string(files);
+      report.Metric(k + "_writes", static_cast<double>(r.writes), "blocks");
+      report.Metric(k + "_modeled", r.modeled_us / 1000.0, "ms");
     }
     {
       SimDisk disk(32768);
@@ -92,6 +97,9 @@ int main() {
       std::printf("%8d %-9s %10llu %10llu %10llu %12.1f %10.1f\n", files, "ffs",
                   (unsigned long long)r.writes, (unsigned long long)r.seq,
                   (unsigned long long)r.rand, r.modeled_us / 1000.0, r.wall_ms);
+      std::string k = "ffs_n" + std::to_string(files);
+      report.Metric(k + "_writes", static_cast<double>(r.writes), "blocks");
+      report.Metric(k + "_modeled", r.modeled_us / 1000.0, "ms");
     }
   }
   std::printf(

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "src/episode/aggregate.h"
 #include "src/ffs/ffs.h"
 #include "src/vfs/path.h"
@@ -34,6 +35,8 @@ int main() {
   std::printf("%12s %12s | %14s %14s | %14s %14s\n", "disk_blocks", "disk_MiB",
               "episode_reads", "episode_ms", "fsck_reads", "fsck_ms");
 
+  bench::Report breport("recovery");
+  breport.Config("files", kFiles);
   Cred cred{100, {100}};
   for (uint64_t blocks : {16384ull, 65536ull, 131072ull}) {
     uint64_t episode_reads = 0, episode_us = 0, fsck_reads = 0, fsck_us = 0;
@@ -83,6 +86,9 @@ int main() {
                 (unsigned long long)blocks, (unsigned long long)(blocks * 4096 / (1 << 20)),
                 (unsigned long long)episode_reads, episode_us / 1000.0,
                 (unsigned long long)fsck_reads, fsck_us / 1000.0);
+    std::string k = "blocks" + std::to_string(blocks);
+    breport.Metric(k + "_episode_ms", episode_us / 1000.0, "ms");
+    breport.Metric(k + "_fsck_ms", fsck_us / 1000.0, "ms");
   }
   std::printf(
       "\nexpected shape: the episode column is flat (active log only); the fsck column\n"

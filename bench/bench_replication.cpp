@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.h"
 #include "examples/example_util.h"
 
 using namespace dfs;
@@ -18,6 +19,9 @@ int main() {
               kTotalFiles, kPeriods);
   std::printf("%16s | %14s %14s %14s %12s\n", "changes/period", "incr_bytes", "full_bytes",
               "savings", "stale_reads");
+  bench::Report report("replication");
+  report.Config("files", kTotalFiles);
+  report.Config("periods", kPeriods);
 
   for (int churn : {1, 4, 16}) {
     auto cell = ExampleCell::Create(/*two_servers=*/true);
@@ -83,6 +87,10 @@ int main() {
     std::printf("%16d | %14llu %14llu %11.1f%% %12d\n", churn,
                 (unsigned long long)incr_bytes, (unsigned long long)full_bytes_estimate,
                 savings, stale_reads);
+    std::string k = "churn" + std::to_string(churn);
+    report.Metric(k + "_incr_bytes", static_cast<double>(incr_bytes), "bytes");
+    report.Metric(k + "_savings", savings, "%");
+    report.Metric(k + "_stale_reads", stale_reads, "count");
   }
   std::printf(
       "\nexpected shape: incremental refresh traffic scales with the churn, not with the\n"

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/report.h"
 #include "examples/example_util.h"
 #include "src/common/rng.h"
 
@@ -123,11 +124,17 @@ int main() {
               kSharedFiles, kOpsPerClient);
   std::printf("%8s %10s %12s %12s %14s %12s\n", "clients", "ops", "server_rpcs",
               "rpcs_per_op", "kops_per_sec", "wall_ms");
+  bench::Report report("scale");
+  report.Config("shared_files", kSharedFiles);
+  report.Config("ops_per_client", kOpsPerClient);
   for (int clients : {1, 2, 4, 8, 16}) {
     Row r = Run(clients);
     std::printf("%8d %10llu %12llu %12.3f %14.1f %12.1f\n", clients,
                 (unsigned long long)r.total_ops, (unsigned long long)r.server_rpcs,
                 r.rpcs_per_op, r.kops_per_s, r.wall_ms);
+    std::string k = "clients" + std::to_string(clients);
+    report.Metric(k + "_rpcs_per_op", r.rpcs_per_op, "rpc/op");
+    report.Metric(k + "_throughput", r.kops_per_s, "kops/s");
   }
   std::printf(
       "\nexpected shape: server RPCs per operation fall toward zero as caches warm (each\n"

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 
+#include "bench/report.h"
 #include "examples/example_util.h"
 
 using namespace dfs;
@@ -26,6 +27,7 @@ void PopulateVolume(Vfs& vfs, int files, const Cred& cred) {
 
 int main() {
   std::printf("E7 — volume administration costs\n\n");
+  bench::Report report("volume_ops");
 
   // --- Clone cost vs volume size ---
   std::printf("--- clone (snapshot) cost vs volume size ---\n");
@@ -59,6 +61,9 @@ int main() {
     std::printf("%8d %12llu | %14llu %14.0f %12s\n", files,
                 (unsigned long long)info->blocks_used, (unsigned long long)clone_writes, us,
                 clone_info->blocks_used == info->blocks_used ? "full" : "partial");
+    std::string k = "files" + std::to_string(files);
+    report.Metric(k + "_clone_writes", static_cast<double>(clone_writes), "blocks");
+    report.Metric(k + "_clone_wall", us, "us");
   }
   std::printf("(clone_writes stays flat as the volume grows: the snapshot is O(1))\n\n");
 
@@ -109,6 +114,10 @@ int main() {
     prober.join();
     std::printf("%8d | %12.1f %14.1f %14d\n", files, move_ms, max_gap_us.load() / 1000.0,
                 failed.load());
+    std::string k = "files" + std::to_string(files);
+    report.Metric(k + "_move_ms", move_ms, "ms");
+    report.Metric(k + "_blocked_ms", max_gap_us.load() / 1000.0, "ms");
+    report.Metric(k + "_failed_ops", failed.load(), "count");
   }
   std::printf(
       "\nexpected shape: the move takes time proportional to the volume, but client\n"

@@ -1,0 +1,106 @@
+// Machine-readable benchmark results.
+//
+// Each bench builds a Report, records its configuration and metrics, and
+// writes BENCH_<name>.json into the working directory on destruction (or an
+// explicit Write()). CI uploads the files as artifacts, so every run leaves a
+// comparable data point and perf changes show up as diffs in numbers, not
+// prose. Hand-rolled JSON: flat schema, no dependency.
+//
+//   {
+//     "bench": "revoke_fanout",
+//     "config": { "hosts": "16", "fanout_threads": "8" },
+//     "metrics": [
+//       { "name": "grant_p50", "value": 1.23, "unit": "ms" },
+//       ...
+//     ]
+//   }
+#ifndef BENCH_REPORT_H_
+#define BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfs::bench {
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+  ~Report() { Write(); }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  // Configuration key/value recorded once per run (host count, mode flags).
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void Config(const std::string& key, long long value) {
+    Config(key, std::to_string(value));
+  }
+
+  void Metric(const std::string& name, double value, const std::string& unit) {
+    metrics_.push_back({name, value, unit});
+  }
+
+  // Writes BENCH_<name>.json; idempotent (the destructor's call becomes a
+  // no-op after an explicit one).
+  void Write() {
+    if (written_) {
+      return;
+    }
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return;  // read-only working directory: results stay on stdout only
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {", Escaped(name_).c_str());
+    for (size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i ? "," : "",
+                   Escaped(config_[i].first).c_str(), Escaped(config_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n  \"metrics\": [", config_.empty() ? "" : "\n  ");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    { \"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\" }",
+                   i ? "," : "", Escaped(metrics_[i].name).c_str(), metrics_[i].value,
+                   Escaped(metrics_[i].unit).c_str());
+    }
+    std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct MetricRow {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<MetricRow> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace dfs::bench
+
+#endif  // BENCH_REPORT_H_

@@ -85,9 +85,24 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
                              : std::make_unique<MemoryCacheStore>();
   }
   (void)network_.RegisterNode(options_.node, this, options_.rpc);
+  if (options_.write_behind) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
 }
 
-CacheManager::~CacheManager() { network_.UnregisterNode(options_.node); }
+CacheManager::~CacheManager() {
+  // Stop the flusher before dropping off the network: a pass in progress may
+  // still be issuing store RPCs through it.
+  if (flusher_.joinable()) {
+    {
+      MutexLock lock(flusher_mu_);
+      flusher_shutdown_ = true;
+    }
+    flusher_cv_.NotifyAll();
+    flusher_.join();
+  }
+  network_.UnregisterNode(options_.node);
+}
 
 CacheManager::CVnodeRef CacheManager::GetCVnode(const Fid& fid) {
   MutexLock lock(mu_);
@@ -680,91 +695,158 @@ Status CacheManager::Fsync(const Fid& fid) {
   return CallVolume(fid.volume, kSyncVolume, w).status();
 }
 
-// Pushes dirty runs one at a time, releasing the low-level lock across each
-// normal store RPC (the rule of Section 6.1: the low lock is never held over
-// a client-initiated call, because the server may be holding its vnode lock
-// while revoking one of our tokens — which needs our low lock).
-Status CacheManager::FsyncHighLocked(CVnode& cv) {
+// Pushes the first contiguous dirty run, releasing the low-level lock across
+// the normal store RPC (the rule of Section 6.1: the low lock is never held
+// over a client-initiated call, because the server may be holding its vnode
+// lock while revoking one of our tokens — which needs our low lock).
+Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background) {
+  uint64_t offset = 0;
+  std::vector<uint8_t> data;
+  std::vector<uint64_t> blocks;
   for (;;) {
-    uint64_t offset = 0;
-    std::vector<uint8_t> data;
-    std::vector<uint64_t> blocks;
-    {
-      OrderedLockGuard low(cv.low);
-      if (cv.dirty_blocks.empty()) {
-        return Status::Ok();
-      }
-      uint64_t first = *cv.dirty_blocks.begin();
-      uint64_t last = first;
-      while (cv.dirty_blocks.count(last + 1) != 0) {
-        ++last;
-      }
-      offset = first * kBlockSize;
-      uint64_t end = std::min<uint64_t>((last + 1) * kBlockSize, cv.attr.size);
-      if (end <= offset) {
-        for (uint64_t b = first; b <= last; ++b) {
-          cv.dirty_blocks.erase(b);
-        }
-        continue;
-      }
-      data.resize(end - offset);
+    OrderedLockGuard low(cv.low);
+    if (cv.dirty_blocks.empty()) {
+      return false;
+    }
+    uint64_t first = *cv.dirty_blocks.begin();
+    uint64_t last = first;
+    while (cv.dirty_blocks.count(last + 1) != 0) {
+      ++last;
+    }
+    offset = first * kBlockSize;
+    uint64_t end = std::min<uint64_t>((last + 1) * kBlockSize, cv.attr.size);
+    if (end <= offset) {
       for (uint64_t b = first; b <= last; ++b) {
-        std::vector<uint8_t> block(kBlockSize, 0);
-        (void)store_->Get(cv.fid, b, block);
-        uint64_t boff = b * kBlockSize - offset;
-        std::memcpy(data.data() + boff, block.data(),
-                    std::min<size_t>(kBlockSize, data.size() - boff));
-        blocks.push_back(b);
-      }
-    }
-    Writer w;
-    PutFid(w, cv.fid);
-    w.PutU64(offset);
-    w.PutBytes(data);
-    auto payload = CallVolume(cv.fid.volume, kStoreData, w);
-    if (payload.code() == ErrorCode::kConflict) {
-      // Our write token is gone (e.g. the server restarted and its token
-      // state with it). Re-acquire and retry; dirty blocks are immune to the
-      // refetch, so no local data is lost.
-      Status refetch = FetchAndInstall(
-          cv, offset, data.size(),
-          kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
-      if (refetch.ok()) {
-        payload = CallVolume(cv.fid.volume, kStoreData, w);
-      } else {
-        payload = refetch;
-      }
-    }
-    if (payload.code() == ErrorCode::kStale) {
-      // The file itself is gone (deleted remotely, or lost with an unsynced
-      // server crash): there is nothing to store into. Drop our cached state
-      // and report the staleness.
-      OrderedLockGuard low(cv.low);
-      for (uint64_t b : cv.cached_blocks) {
-        store_->Erase(cv.fid, b);
-        RemoveLru(cv.fid, b);
-      }
-      cv.cached_blocks.clear();
-      cv.dirty_blocks.clear();
-      cv.attr_valid = false;
-      cv.attr_dirty = false;
-      return payload.status();
-    }
-    RETURN_IF_ERROR(payload.status());
-    Reader r(*payload);
-    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-    {
-      OrderedLockGuard low(cv.low);
-      for (uint64_t b : blocks) {
         cv.dirty_blocks.erase(b);
       }
-      if (cv.dirty_blocks.empty()) {
-        cv.attr_dirty = false;
-      }
-      MergeSyncLocked(cv, sync);
-      MutexLock lock(mu_);
-      stats_.dirty_stores += 1;
+      continue;  // run past EOF (truncate): discard it and look again
     }
+    data.resize(end - offset);
+    for (uint64_t b = first; b <= last; ++b) {
+      std::vector<uint8_t> block(kBlockSize, 0);
+      (void)store_->Get(cv.fid, b, block);
+      uint64_t boff = b * kBlockSize - offset;
+      std::memcpy(data.data() + boff, block.data(),
+                  std::min<size_t>(kBlockSize, data.size() - boff));
+      blocks.push_back(b);
+    }
+    break;
+  }
+  Writer w;
+  PutFid(w, cv.fid);
+  w.PutU64(offset);
+  w.PutBytes(data);
+  auto payload = CallVolume(cv.fid.volume, kStoreData, w);
+  if (payload.code() == ErrorCode::kConflict) {
+    // Our write token is gone (e.g. the server restarted and its token
+    // state with it). Re-acquire and retry; dirty blocks are immune to the
+    // refetch, so no local data is lost.
+    Status refetch = FetchAndInstall(
+        cv, offset, data.size(),
+        kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
+    if (refetch.ok()) {
+      payload = CallVolume(cv.fid.volume, kStoreData, w);
+    } else {
+      payload = refetch;
+    }
+  }
+  if (payload.code() == ErrorCode::kStale) {
+    // The file itself is gone (deleted remotely, or lost with an unsynced
+    // server crash): there is nothing to store into. Drop our cached state
+    // and report the staleness.
+    OrderedLockGuard low(cv.low);
+    for (uint64_t b : cv.cached_blocks) {
+      store_->Erase(cv.fid, b);
+      RemoveLru(cv.fid, b);
+    }
+    cv.cached_blocks.clear();
+    cv.dirty_blocks.clear();
+    cv.attr_valid = false;
+    cv.attr_dirty = false;
+    return payload.status();
+  }
+  RETURN_IF_ERROR(payload.status());
+  Reader r(*payload);
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  {
+    OrderedLockGuard low(cv.low);
+    for (uint64_t b : blocks) {
+      cv.dirty_blocks.erase(b);
+    }
+    if (cv.dirty_blocks.empty()) {
+      cv.attr_dirty = false;
+    }
+    MergeSyncLocked(cv, sync);
+    MutexLock lock(mu_);
+    stats_.dirty_stores += 1;
+    if (background) {
+      stats_.write_behind_stores += 1;
+    }
+  }
+  return true;
+}
+
+Status CacheManager::FsyncHighLocked(CVnode& cv) {
+  for (;;) {
+    ASSIGN_OR_RETURN(bool pushed, PushOneDirtyRunHighLocked(cv, /*background=*/false));
+    if (!pushed) {
+      return Status::Ok();
+    }
+  }
+}
+
+void CacheManager::FlusherLoop() {
+  UniqueMutexLock lock(flusher_mu_);
+  while (!flusher_shutdown_) {
+    (void)flusher_cv_.WaitFor(lock,
+                              std::chrono::milliseconds(options_.write_behind_interval_ms));
+    if (flusher_shutdown_) {
+      return;
+    }
+    lock.Unlock();
+    WriteBehindPass();
+    lock.Lock();
+  }
+}
+
+void CacheManager::WriteBehindPass() {
+  std::vector<CVnodeRef> cvs;
+  {
+    MutexLock lock(mu_);
+    cvs.reserve(cvnodes_.size());
+    for (auto& [fid, cv] : cvnodes_) {
+      cvs.push_back(cv);
+    }
+  }
+  for (CVnodeRef& cv : cvs) {
+    {
+      MutexLock lock(flusher_mu_);
+      if (flusher_shutdown_) {
+        return;
+      }
+    }
+    bool dirty;
+    {
+      OrderedLockGuard low(cv->low);
+      dirty = !cv->dirty_blocks.empty();
+    }
+    if (!dirty) {
+      continue;
+    }
+    // Idle-time only: if an operation holds the file's high lock right now,
+    // skip it this pass rather than queueing behind the user's work.
+    if (!cv->high.try_lock()) {
+      continue;
+    }
+    for (uint32_t run = 0; run < options_.write_behind_max_runs; ++run) {
+      auto pushed = PushOneDirtyRunHighLocked(*cv, /*background=*/true);
+      // Errors (server down, volume moving, stale file) are left for the
+      // foreground paths to surface; the flusher just stops this pass.
+      if (!pushed.ok() || !*pushed) {
+        break;
+      }
+    }
+    cv->high.unlock();
   }
 }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -94,6 +95,18 @@ class CacheManager : public RpcHandler {
     // On a detected sequential read, fetch this many extra blocks (and the
     // matching token range) ahead of the requested data. 0 disables.
     uint32_t readahead_blocks = 8;
+    // Background write-behind: a flusher daemon pushes dirty blocks toward
+    // the server during idle time, so the writeback a token revocation must
+    // perform shrinks to the residual delta. Off by default — callers that
+    // reason about exactly when dirty data leaves the client (tests counting
+    // revocation stores, strict-ablation benches) keep the write-on-revoke
+    // behavior unless they opt in.
+    bool write_behind = false;
+    // Flusher pass period while idle.
+    uint32_t write_behind_interval_ms = 50;
+    // Dirty runs pushed per file per pass; bounds one pass's work so the
+    // daemon yields the per-file operation lock quickly.
+    uint32_t write_behind_max_runs = 4;
     Network::NodeOptions rpc;         // includes the dedicated revocation pool
   };
 
@@ -106,6 +119,8 @@ class CacheManager : public RpcHandler {
     uint64_t revocations_deferred = 0;
     uint64_t revocation_stores = 0;
     uint64_t dirty_stores = 0;
+    // Subset of dirty_stores issued by the write-behind flusher.
+    uint64_t write_behind_stores = 0;
     uint64_t location_retries = 0;
     uint64_t cache_evictions = 0;
   };
@@ -216,8 +231,20 @@ class CacheManager : public RpcHandler {
       REQUIRES(cv.low);
   Status StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range, bool revocation_path)
       REQUIRES(cv.low);
+  // Pushes the first contiguous dirty run to the server. Returns true if a
+  // run was pushed, false when no dirty data remains. Takes (and drops)
+  // cv.low around the run itself. `background` attributes the store to the
+  // write-behind flusher in the stats.
+  Result<bool> PushOneDirtyRunHighLocked(CVnode& cv, bool background) REQUIRES(cv.high)
+      EXCLUDES(cv.low);
   // Takes (and drops) cv.low around each pushed run itself.
   Status FsyncHighLocked(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
+
+  // --- write-behind flusher ---
+  void FlusherLoop();
+  // One idle-time pass: for each cvnode with dirty blocks whose operation
+  // lock is free right now, push up to write_behind_max_runs runs.
+  void WriteBehindPass();
 
   // Fetches data + tokens for the aligned range; installs under `low`.
   // `after_install`, when provided, runs under `low` after the reply is
@@ -267,6 +294,13 @@ class CacheManager : public RpcHandler {
   std::list<LruKey> lru_ GUARDED_BY(mu_);  // front = least recently used
   std::unordered_map<LruKey, std::list<LruKey>::iterator, LruKeyHash> lru_index_
       GUARDED_BY(mu_);
+
+  // LOCK-EXEMPT(leaf): flusher wakeup/shutdown latch only; nothing is
+  // acquired and no RPC is issued while it is held.
+  Mutex flusher_mu_;
+  CondVar flusher_cv_;
+  bool flusher_shutdown_ GUARDED_BY(flusher_mu_) = false;
+  std::thread flusher_;
 };
 
 // --- vnode layer ---

@@ -77,10 +77,7 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
   }
   OrderedLockGuard h1(first->high);
   // Conditional second lock (cross-directory rename), taken in tag order.
-  std::optional<OrderedLockGuard> h2;
-  if (second != nullptr) {
-    h2.emplace(second->high);
-  }
+  MaybeLockGuard h2(second != nullptr ? &second->high : nullptr);
 
   Writer w;
   PutFid(w, src->fid_);

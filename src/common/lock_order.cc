@@ -10,6 +10,7 @@ struct HeldLock {
   LockLevel level;
   uint64_t tag;
   const char* name;
+  bool shared;
 };
 
 thread_local std::vector<HeldLock> g_held;
@@ -25,26 +26,31 @@ bool LockOrderChecker::enabled() { return enabled_.load(std::memory_order_acquir
 
 uint64_t LockOrderChecker::checked_count() { return checked_.load(std::memory_order_relaxed); }
 
-void LockOrderChecker::NoteAcquire(LockLevel level, uint64_t tag, const char* name) {
+void LockOrderChecker::NoteAcquire(LockLevel level, uint64_t tag, const char* name,
+                                   bool shared) {
   if (!enabled()) {
     return;
   }
   checked_.fetch_add(1, std::memory_order_relaxed);
   if (!g_held.empty()) {
     const HeldLock& top = g_held.back();
+    // Shared acquisitions obey the same partial order as exclusive ones: a
+    // reader blocking behind a writer is still a lock wait, so only hierarchy
+    // position matters for deadlock freedom.
     bool ok = (static_cast<uint32_t>(level) > static_cast<uint32_t>(top.level)) ||
               (level == top.level && tag > top.tag);
     if (!ok) {
       std::fprintf(stderr,
-                   "LOCK ORDER VIOLATION: acquiring %s (level %u, tag %llu) while holding %s "
-                   "(level %u, tag %llu)\n",
-                   name, static_cast<uint32_t>(level), static_cast<unsigned long long>(tag),
-                   top.name, static_cast<uint32_t>(top.level),
+                   "LOCK ORDER VIOLATION: acquiring %s%s (level %u, tag %llu) while holding "
+                   "%s%s (level %u, tag %llu)\n",
+                   name, shared ? " [shared]" : "", static_cast<uint32_t>(level),
+                   static_cast<unsigned long long>(tag), top.name,
+                   top.shared ? " [shared]" : "", static_cast<uint32_t>(top.level),
                    static_cast<unsigned long long>(top.tag));
       std::abort();
     }
   }
-  g_held.push_back(HeldLock{level, tag, name});
+  g_held.push_back(HeldLock{level, tag, name, shared});
 }
 
 void LockOrderChecker::NoteRelease(LockLevel level, uint64_t tag) {

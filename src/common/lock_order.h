@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -39,10 +40,18 @@
 namespace dfs {
 
 enum class LockLevel : uint32_t {
-  kClientHigh = 100,   // L1
-  kServerVnode = 200,  // L2
-  kClientLow = 300,    // L3
-  kServerIo = 400,     // L4
+  kClientHigh = 100,    // L1
+  kServerVnode = 200,   // L2
+  kClientLow = 300,     // L3
+  kServerIo = 400,      // L4
+  // Sub-levels above L4: the token manager's bookkeeping, acquired from RPC
+  // handlers that may already hold the vnode (L2) and file-I/O (L4) locks
+  // (grant before an op, return after it), but never across an outbound RPC.
+  kTokenShard = 450,    // token-manager shard (tag = shard index)
+  kHostRegistry = 460,  // read-mostly host/handler table
+  // Read-mostly leaf-most maps (VLDB location maps): may be acquired with any
+  // of the above held, and never hold anything else while held.
+  kVldbMap = 500,
 };
 
 // Process-global switch; tests arm it (fatal on violation), benches may disable
@@ -52,8 +61,12 @@ class LockOrderChecker {
   static void Enable(bool on);
   static bool enabled();
 
-  // Called by OrderedMutex around lock/unlock. Aborts on violation when enabled.
-  static void NoteAcquire(LockLevel level, uint64_t tag, const char* name);
+  // Called by OrderedMutex around lock/unlock. Aborts on violation when
+  // enabled. Shared (reader) acquisitions follow the same partial order —
+  // hierarchy position, not exclusivity, is what prevents deadlock — and are
+  // flagged in diagnostics.
+  static void NoteAcquire(LockLevel level, uint64_t tag, const char* name,
+                          bool shared = false);
   static void NoteRelease(LockLevel level, uint64_t tag);
 
   // Total acquisitions checked (for the E9 stress bench's sanity output).
@@ -121,6 +134,133 @@ class SCOPED_CAPABILITY OrderedLockGuard {
 
  private:
   OrderedMutex& mu_;
+};
+
+// std::unique_lock-style guard over an OrderedMutex, for condition-variable
+// waits (std::condition_variable_any). A wait releases and reacquires through
+// lock()/unlock(), so the runtime checker's held-stack stays exact across the
+// wait; the static analysis cannot see inside the wait (same caveat as
+// UniqueMutexLock in mutex.h) but the lock is held again at every statement
+// it checks.
+class SCOPED_CAPABILITY OrderedUniqueLock {
+ public:
+  explicit OrderedUniqueLock(OrderedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~OrderedUniqueLock() RELEASE() { mu_.unlock(); }
+
+  OrderedUniqueLock(const OrderedUniqueLock&) = delete;
+  OrderedUniqueLock& operator=(const OrderedUniqueLock&) = delete;
+
+  // BasicLockable, for std::condition_variable_any only — everything else
+  // holds the guard for its full scope.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  OrderedMutex& mu_;
+};
+
+// Conditionally-acquired OrderedLockGuard: locks when constructed with a
+// non-null mutex, a no-op otherwise. Replaces std::optional<OrderedLockGuard>
+// at sites like the cross-directory rename second lock and the
+// revocation-path store, which the static analysis could not see into. The
+// analysis conservatively treats the capability as held for the whole scope
+// (the abseil MutexLockMaybe convention) — sound, because the null case only
+// ever skips the lock when the guarded state is not touched on that path.
+class SCOPED_CAPABILITY MaybeLockGuard {
+ public:
+  explicit MaybeLockGuard(OrderedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    if (mu_ != nullptr) {
+      mu_->lock();
+    }
+  }
+  ~MaybeLockGuard() RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    }
+  }
+
+  MaybeLockGuard(const MaybeLockGuard&) = delete;
+  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+
+  bool held() const { return mu_ != nullptr; }
+
+ private:
+  OrderedMutex* mu_;
+};
+
+// A reader/writer mutex on the hierarchy: shared (reader) acquisitions
+// coexist with each other, exclusive (writer) acquisitions are solitary, and
+// *both* obey the Section-6 partial order — a reader that could block behind
+// a writer is still a lock wait, so hierarchy position is what keeps it
+// deadlock-free. For read-mostly tables (the VLDB location map, the token
+// manager's host registry) where grants and lookups vastly outnumber
+// registrations.
+class SHARED_CAPABILITY("shared_ordered_mutex") SharedOrderedMutex {
+ public:
+  SharedOrderedMutex(LockLevel level, uint64_t tag, const char* name)
+      : level_(level), tag_(tag), name_(name) {}
+
+  SharedOrderedMutex(const SharedOrderedMutex&) = delete;
+  SharedOrderedMutex& operator=(const SharedOrderedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    LockOrderChecker::NoteAcquire(level_, tag_, name_);
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    LockOrderChecker::NoteRelease(level_, tag_);
+  }
+  void lock_shared() ACQUIRE_SHARED() {
+    LockOrderChecker::NoteAcquire(level_, tag_, name_, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    LockOrderChecker::NoteRelease(level_, tag_);
+  }
+
+  // Tells the analysis the lock is held here without checking it at runtime.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  LockLevel level() const { return level_; }
+  uint64_t tag() const { return tag_; }
+
+ private:
+  LockLevel level_;
+  uint64_t tag_;
+  const char* name_;
+  std::shared_mutex mu_;
+};
+
+// Writer guard over a SharedOrderedMutex.
+class SCOPED_CAPABILITY SharedOrderedLockGuard {
+ public:
+  explicit SharedOrderedLockGuard(SharedOrderedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedOrderedLockGuard() RELEASE() { mu_.unlock(); }
+
+  SharedOrderedLockGuard(const SharedOrderedLockGuard&) = delete;
+  SharedOrderedLockGuard& operator=(const SharedOrderedLockGuard&) = delete;
+
+ private:
+  SharedOrderedMutex& mu_;
+};
+
+// Reader guard over a SharedOrderedMutex.
+class SCOPED_CAPABILITY SharedOrderedReadGuard {
+ public:
+  explicit SharedOrderedReadGuard(SharedOrderedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedOrderedReadGuard() RELEASE() { mu_.unlock_shared(); }
+
+  SharedOrderedReadGuard(const SharedOrderedReadGuard&) = delete;
+  SharedOrderedReadGuard& operator=(const SharedOrderedReadGuard&) = delete;
+
+ private:
+  SharedOrderedMutex& mu_;
 };
 
 }  // namespace dfs

@@ -28,6 +28,11 @@
 // kind in diagnostics ("mutex", "ordered_mutex", ...).
 #define CAPABILITY(x) DFS_THREAD_ANNOTATION(capability(x))
 
+// A capability that also supports shared (reader) acquisition. Clang models
+// shared-ness per-acquire, so this is the same attribute as CAPABILITY; the
+// separate macro documents that the type offers ACQUIRE_SHARED paths.
+#define SHARED_CAPABILITY(x) DFS_THREAD_ANNOTATION(capability(x))
+
 // An RAII type whose constructor acquires a capability and whose destructor
 // releases it (lock guards).
 #define SCOPED_CAPABILITY DFS_THREAD_ANNOTATION(scoped_lockable)

@@ -15,7 +15,8 @@ OrderedMutex& FidLockTable::Get(const Fid& fid) {
 }
 
 FileServer::FileServer(Network& network, AuthService& auth, NodeId node, Options options)
-    : network_(network), auth_(auth), node_(node), options_(options) {
+    : network_(network), auth_(auth), node_(node), options_(options),
+      tokens_(options_.tokens) {
   (void)network_.RegisterNode(node_, this, options_.rpc);
   tokens_.RegisterHost(node_, &local_host_handler_);  // the glue layer's host
 }
@@ -382,11 +383,8 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
   // The normal store serializes through the vnode lock; the special store
   // issued by token-revocation code must not touch L2 (the revoking thread
   // holds it) and is pre-authorized by the token being revoked (Section 6.4).
-  // Conditional acquisition: invisible to the static analysis (the guard is
-  // constructed inside std::optional), but still runtime-order-checked.
-  std::optional<OrderedLockGuard> l2;
+  MaybeLockGuard l2(revocation_path ? nullptr : &vnode_locks_.Get(fid));
   if (!revocation_path) {
-    l2.emplace(vnode_locks_.Get(fid));
     // The client must hold a write data token covering the range.
     bool covered = false;
     for (const Token& t : tokens_.TokensForFid(fid)) {
@@ -602,10 +600,7 @@ FileServer::Body FileServer::DoRename(const RpcRequest& req, Reader& r) {
   }
   OrderedLockGuard l2a(*first);
   // Conditional second lock (cross-directory rename), taken in tag order.
-  std::optional<OrderedLockGuard> l2b;
-  if (second != nullptr) {
-    l2b.emplace(*second);
-  }
+  MaybeLockGuard l2b(second);
 
   ASSIGN_OR_RETURN(VfsRef vfs, ExportedVolume(src_fid.volume));
   ASSIGN_OR_RETURN(VnodeRef src_dir, ResolveFid(src_fid));

@@ -54,6 +54,9 @@ class FileServer : public RpcHandler {
  public:
   struct Options {
     Network::NodeOptions rpc;
+    // Sharding + revocation fan-out knobs, passed through to the token
+    // manager (the bench's serial-ablation flag comes in this way).
+    TokenManager::Options tokens;
   };
 
   FileServer(Network& network, AuthService& auth, NodeId node, Options options = {});

@@ -160,10 +160,7 @@ Status LocalVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_di
   }
   OrderedLockGuard l2a(*first);
   // Conditional second lock (cross-directory rename), taken in tag order.
-  std::optional<OrderedLockGuard> l2b;
-  if (second != nullptr) {
-    l2b.emplace(*second);
-  }
+  MaybeLockGuard l2b(second);
   ASSIGN_OR_RETURN(Token g1, server_->tokens().Grant(server_->local_host(), src_fid,
                                                      kTokenStatusWrite | kTokenDataWrite,
                                                      ByteRange::All()));

@@ -28,22 +28,22 @@ VldbServer::VldbServer(Network& network, NodeId node) : network_(network), node_
 VldbServer::~VldbServer() { network_.UnregisterNode(node_); }
 
 void VldbServer::AddPeer(VldbServer* peer) {
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   peers_.push_back(peer);
 }
 
 void VldbServer::ApplyLocal(const VolumeLocation& loc) {
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   by_id_[loc.volume_id] = loc;
 }
 
 void VldbServer::RemoveLocal(uint64_t volume_id) {
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   by_id_.erase(volume_id);
 }
 
 size_t VldbServer::entry_count() const {
-  MutexLock lock(mu_);
+  SharedOrderedReadGuard lock(mu_);
   return by_id_.size();
 }
 
@@ -59,7 +59,7 @@ Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
       ApplyLocal(*loc);
       std::vector<VldbServer*> peers;
       {
-        MutexLock lock(mu_);
+        SharedOrderedReadGuard lock(mu_);
         peers = peers_;
       }
       for (VldbServer* peer : peers) {
@@ -75,7 +75,7 @@ Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
       RemoveLocal(*id);
       std::vector<VldbServer*> peers;
       {
-        MutexLock lock(mu_);
+        SharedOrderedReadGuard lock(mu_);
         peers = peers_;
       }
       for (VldbServer* peer : peers) {
@@ -88,7 +88,7 @@ Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
       if (!id.ok()) {
         return EncodeErrorReply(id.status());
       }
-      MutexLock lock(mu_);
+      SharedOrderedReadGuard lock(mu_);
       auto it = by_id_.find(*id);
       if (it == by_id_.end()) {
         return EncodeErrorReply(Status(ErrorCode::kNotFound, "volume not in VLDB"));
@@ -101,7 +101,7 @@ Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
       if (!name.ok()) {
         return EncodeErrorReply(name.status());
       }
-      MutexLock lock(mu_);
+      SharedOrderedReadGuard lock(mu_);
       for (const auto& [id, loc] : by_id_) {
         if (loc.name == *name) {
           PutLocation(w, loc);
@@ -130,7 +130,7 @@ Result<std::vector<uint8_t>> VldbClient::CallAny(uint32_t proc, const Writer& w)
 
 Result<VolumeLocation> VldbClient::LookupById(uint64_t volume_id) {
   {
-    MutexLock lock(mu_);
+    SharedOrderedReadGuard lock(mu_);
     auto it = cache_.find(volume_id);
     if (it != cache_.end()) {
       return it->second;
@@ -142,14 +142,14 @@ Result<VolumeLocation> VldbClient::LookupById(uint64_t volume_id) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupById, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   cache_[volume_id] = loc;
   return loc;
 }
 
 Result<VolumeLocation> VldbClient::LookupByName(const std::string& name) {
   {
-    MutexLock lock(mu_);
+    SharedOrderedReadGuard lock(mu_);
     for (const auto& [id, loc] : cache_) {
       if (loc.name == name) {
         return loc;
@@ -162,7 +162,7 @@ Result<VolumeLocation> VldbClient::LookupByName(const std::string& name) {
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupByName, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   cache_[loc.volume_id] = loc;
   return loc;
 }
@@ -171,7 +171,7 @@ Status VldbClient::Register(uint64_t volume_id, const std::string& name, NodeId 
   Writer w;
   PutLocation(w, VolumeLocation{volume_id, name, server});
   RETURN_IF_ERROR(CallAny(kVldbRegister, w).status());
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   cache_[volume_id] = VolumeLocation{volume_id, name, server};
   return Status::Ok();
 }
@@ -180,13 +180,13 @@ Status VldbClient::Remove(uint64_t volume_id) {
   Writer w;
   w.PutU64(volume_id);
   RETURN_IF_ERROR(CallAny(kVldbRemove, w).status());
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   cache_.erase(volume_id);
   return Status::Ok();
 }
 
 void VldbClient::InvalidateCache(uint64_t volume_id) {
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(mu_);
   cache_.erase(volume_id);
 }
 

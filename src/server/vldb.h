@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "src/common/mutex.h"
+#include "src/common/lock_order.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
 
@@ -41,9 +41,11 @@ class VldbServer : public RpcHandler {
 
   Network& network_;
   const NodeId node_;
-  // LOCK-EXEMPT(leaf): protects only this server's location map and peer
-  // list; never held across an RPC (Handle snapshots peers_ first).
-  mutable Mutex mu_;
+  // Read-mostly location map: lookups vastly outnumber registrations, so
+  // readers share the lock. kVldbMap is the leaf-most hierarchy level — safe
+  // to take with anything held, never held across an RPC (Handle snapshots
+  // peers_ first).
+  mutable SharedOrderedMutex mu_{LockLevel::kVldbMap, 1, "vldb-server-map"};
   std::map<uint64_t, VolumeLocation> by_id_ GUARDED_BY(mu_);
   std::vector<VldbServer*> peers_ GUARDED_BY(mu_);
 };
@@ -70,8 +72,9 @@ class VldbClient {
   Network& network_;
   NodeId self_;
   std::vector<NodeId> vldb_nodes_;
-  // LOCK-EXEMPT(leaf): guards the location cache only; RPCs go out unlocked.
-  Mutex mu_;
+  // Read-mostly location cache at the leaf-most hierarchy level (lookups run
+  // under client L1/L3 contexts); RPCs go out unlocked.
+  mutable SharedOrderedMutex mu_{LockLevel::kVldbMap, 2, "vldb-client-cache"};
   std::map<uint64_t, VolumeLocation> cache_ GUARDED_BY(mu_);
   // Stat counter, read unlocked by benches while lookups run.
   std::atomic<uint64_t> lookup_rpcs_{0};

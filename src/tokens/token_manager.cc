@@ -1,47 +1,81 @@
 #include "src/tokens/token_manager.h"
 
 #include <algorithm>
-#include <chrono>
+#include <utility>
 
 namespace dfs {
 
 namespace {
-// How long a grant waits for a deferred token return before giving up. Long
-// enough for a client to finish an in-flight RPC, short enough that a dead
-// client cannot wedge the server forever.
-constexpr auto kDeferredReturnTimeout = std::chrono::seconds(10);
+// Mixes volume ids (often small and sequential) into shard indices.
+uint64_t MixVolume(uint64_t volume) {
+  volume ^= volume >> 33;
+  volume *= 0xff51afd7ed558ccdULL;
+  volume ^= volume >> 33;
+  return volume;
+}
 }  // namespace
 
+TokenManager::TokenManager(const Options& options) : options_(options) {
+  size_t n = std::max<size_t>(1, options_.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Tags 1..n: a thread only ever holds one shard lock, but distinct tags
+    // keep the hierarchy diagnostics unambiguous.
+    shards_.push_back(std::make_unique<Shard>(i + 1));
+  }
+}
+
+TokenManager::~TokenManager() = default;
+
+TokenManager::Shard& TokenManager::ShardFor(uint64_t volume) const {
+  return *shards_[MixVolume(volume) % shards_.size()];
+}
+
 void TokenManager::RegisterHost(HostId host, TokenHost* handler) {
-  MutexLock lock(mu_);
+  SharedOrderedLockGuard lock(host_mu_);
   hosts_[host] = handler;
 }
 
 void TokenManager::UnregisterHost(HostId host) {
-  MutexLock lock(mu_);
-  hosts_.erase(host);
-  for (auto it = tokens_.begin(); it != tokens_.end();) {
-    if (it->second.host == host) {
-      auto& vec = by_volume_[it->second.fid.volume];
-      vec.erase(std::remove(vec.begin(), vec.end(), it->first), vec.end());
-      it = tokens_.erase(it);
-    } else {
-      ++it;
-    }
+  {
+    SharedOrderedLockGuard lock(host_mu_);
+    hosts_.erase(host);
   }
-  returned_cv_.NotifyAll();
+  // Per-shard cleanup after the registry lock is released: kTokenShard sits
+  // below kHostRegistry in the hierarchy, so the two are never nested this
+  // way around.
+  for (auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    for (auto it = shard->tokens.begin(); it != shard->tokens.end();) {
+      if (it->second.host == host) {
+        auto vit = shard->by_volume.find(it->second.fid.volume);
+        if (vit != shard->by_volume.end()) {
+          auto& vec = vit->second;
+          vec.erase(std::remove(vec.begin(), vec.end(), it->first), vec.end());
+          if (vec.empty()) {
+            shard->by_volume.erase(vit);
+          }
+        }
+        it = shard->tokens.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shard->returned_cv.notify_all();
+  }
 }
 
 std::vector<std::pair<Token, uint32_t>> TokenManager::ConflictsLocked(
-    HostId host, const Fid& fid, uint32_t types, const ByteRange& range) const {
+    const Shard& shard, HostId host, const Fid& fid, uint32_t types,
+    const ByteRange& range) const {
   std::vector<std::pair<Token, uint32_t>> conflicts;
-  auto vit = by_volume_.find(fid.volume);
-  if (vit == by_volume_.end()) {
+  auto vit = shard.by_volume.find(fid.volume);
+  if (vit == shard.by_volume.end()) {
     return conflicts;
   }
   for (TokenId id : vit->second) {
-    auto tit = tokens_.find(id);
-    if (tit == tokens_.end()) {
+    auto tit = shard.tokens.find(id);
+    if (tit == shard.tokens.end()) {
       continue;
     }
     const Token& t = tit->second;
@@ -63,79 +97,209 @@ std::vector<std::pair<Token, uint32_t>> TokenManager::ConflictsLocked(
   return conflicts;
 }
 
-bool TokenManager::RelinquishedLocked(TokenId id, uint32_t types) const {
-  auto it = tokens_.find(id);
-  return it == tokens_.end() || (it->second.types & types) == 0;
+bool TokenManager::RelinquishedLocked(const Shard& shard, TokenId id, uint32_t types) const {
+  auto it = shard.tokens.find(id);
+  return it == shard.tokens.end() || (it->second.types & types) == 0;
+}
+
+void TokenManager::EraseTokenTypesLocked(Shard& shard, TokenId id, uint32_t types) {
+  auto it = shard.tokens.find(id);
+  if (it == shard.tokens.end()) {
+    return;
+  }
+  it->second.types &= ~types;
+  if (it->second.types == 0) {
+    auto vit = shard.by_volume.find(it->second.fid.volume);
+    if (vit != shard.by_volume.end()) {
+      auto& vec = vit->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+      if (vec.empty()) {
+        // Prune the emptied volume entry: volumes come and go (clones, moves,
+        // tests churning fids), and an entry per volume ever seen would grow
+        // without bound.
+        shard.by_volume.erase(vit);
+      }
+    }
+    shard.tokens.erase(it);
+  }
+}
+
+bool TokenManager::IssueRevokes(std::vector<RevokeOutcome>& outcomes) {
+  auto run_one = [](RevokeOutcome& o) {
+    o.holder = o.handler != nullptr ? o.handler->name() : "unknown";
+    o.status = o.handler != nullptr ? o.handler->Revoke(o.token, o.types)
+                                    : Status::Ok();  // host gone: drop its token
+  };
+  if (options_.revoke_fanout_threads == 0 || outcomes.size() < 2) {
+    for (auto& o : outcomes) {
+      run_one(o);
+    }
+    return false;
+  }
+  ThreadPool* pool = nullptr;
+  {
+    MutexLock lock(pool_mu_);
+    if (revoke_pool_ == nullptr) {
+      revoke_pool_ =
+          std::make_unique<ThreadPool>(options_.revoke_fanout_threads, "revoke-fanout");
+    }
+    pool = revoke_pool_.get();
+  }
+  // Batch-completion latch. Workers only touch their own outcome slot, so the
+  // latch is the sole shared state.
+  // LOCK-EXEMPT(leaf): batch-local latch; never held across any other lock.
+  Mutex done_mu;
+  CondVar done_cv;
+  size_t pending = outcomes.size();
+  for (auto& o : outcomes) {
+    bool submitted = pool->Submit([&o, &run_one, &done_mu, &done_cv, &pending] {
+      run_one(o);
+      MutexLock lock(done_mu);
+      --pending;
+      done_cv.NotifyOne();
+    });
+    if (!submitted) {  // pool shutting down: fall back inline
+      run_one(o);
+      MutexLock lock(done_mu);
+      --pending;
+    }
+  }
+  UniqueMutexLock lock(done_mu);
+  while (pending > 0) {
+    done_cv.Wait(lock);
+  }
+  return true;
+}
+
+Status TokenManager::RevokeConflicts(Shard& shard,
+                                     std::vector<std::pair<Token, uint32_t>> conflicts) {
+  // Re-filter under the shard lock (another grant's revocations may have
+  // already cleared some), then resolve handlers. The registry read nests
+  // inside the shard lock: kHostRegistry > kTokenShard.
+  std::vector<RevokeOutcome> outcomes;
+  outcomes.reserve(conflicts.size());
+  {
+    OrderedLockGuard lock(shard.mu);
+    SharedOrderedReadGuard hosts_lock(host_mu_);
+    for (auto& [conflict, conflicting_types] : conflicts) {
+      auto tit = shard.tokens.find(conflict.id);
+      if (tit == shard.tokens.end() || (tit->second.types & conflicting_types) == 0) {
+        continue;  // already relinquished by someone else's revocation
+      }
+      RevokeOutcome o;
+      o.token = conflict;
+      o.types = conflicting_types;
+      auto hit = hosts_.find(conflict.host);
+      o.handler = (hit != hosts_.end()) ? hit->second : nullptr;
+      outcomes.push_back(std::move(o));
+    }
+  }
+  if (outcomes.empty()) {
+    return Status::Ok();  // nothing left to do: caller re-scans
+  }
+
+  // Issue every Revoke with no shard lock held: each may be a blocking RPC
+  // whose handler calls back into this manager.
+  bool used_pool = IssueRevokes(outcomes);
+
+  // Merge. All callbacks have completed, so relinquished tokens are erased
+  // even when some other holder refused — their holders already gave them up.
+  std::vector<std::pair<TokenId, uint32_t>> deferred;
+  Status refusal = Status::Ok();
+  {
+    OrderedLockGuard lock(shard.mu);
+    shard.stats.revocations += outcomes.size();
+    if (used_pool) {
+      shard.stats.fanout_batches += 1;
+    }
+    bool erased_any = false;
+    for (const auto& o : outcomes) {
+      if (o.status.ok()) {
+        EraseTokenTypesLocked(shard, o.token.id, o.types);
+        erased_any = true;
+      } else if (o.status.code() == ErrorCode::kWouldBlock) {
+        // Deferred: the holder will call Return() once its in-flight RPC
+        // completes (Section 6.3's queued-revocation case).
+        shard.stats.deferred_returns += 1;
+        deferred.push_back({o.token.id, o.types});
+      } else {
+        shard.stats.refusals += 1;
+        if (refusal.ok()) {
+          refusal = Status(ErrorCode::kConflict,
+                           "token held by " + o.holder +
+                               " was not relinquished: " + TokenTypesToString(o.types));
+        }
+      }
+    }
+    if (erased_any) {
+      shard.returned_cv.notify_all();
+    }
+  }
+  // A refusal fails the grant outright — don't burn the deferred-return
+  // timeout waiting for returns that can no longer help.
+  if (!refusal.ok()) {
+    return refusal;
+  }
+
+  if (!deferred.empty()) {
+    // One shared deadline for the whole round: the deferrals were issued
+    // together, so they time out together — N deferring holders cost one
+    // timeout budget, not N.
+    auto deadline = std::chrono::steady_clock::now() + options_.deferred_return_timeout;
+    OrderedUniqueLock lock(shard.mu);
+    for (;;) {
+      bool all = true;
+      for (const auto& [id, types] : deferred) {
+        if (!RelinquishedLocked(shard, id, types)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        break;
+      }
+      if (shard.returned_cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        bool relinquished = true;
+        for (const auto& [id, types] : deferred) {
+          if (!RelinquishedLocked(shard, id, types)) {
+            relinquished = false;
+            break;
+          }
+        }
+        if (!relinquished) {
+          return Status(ErrorCode::kTimedOut, "deferred token return never arrived");
+        }
+        break;
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
                                   ByteRange range) {
+  Shard& shard = ShardFor(fid.volume);
   for (int round = 0; round < 64; ++round) {
     std::vector<std::pair<Token, uint32_t>> conflicts;
     {
-      MutexLock lock(mu_);
-      conflicts = ConflictsLocked(host, fid, types, range);
+      OrderedLockGuard lock(shard.mu);
+      conflicts = ConflictsLocked(shard, host, fid, types, range);
       if (conflicts.empty()) {
         Token token;
-        token.id = next_id_++;
+        token.id = next_id_.fetch_add(1, std::memory_order_relaxed);
         token.fid = fid;
         token.types = types;
         token.range = range;
         token.host = host;
-        tokens_.emplace(token.id, token);
-        by_volume_[fid.volume].push_back(token.id);
-        stats_.grants += 1;
+        shard.tokens.emplace(token.id, token);
+        shard.by_volume[fid.volume].push_back(token.id);
+        shard.stats.grants += 1;
         return token;
       }
     }
-    // Revoke conflicts without holding the manager lock: Revoke may be a
-    // blocking RPC whose handler calls back into this manager.
-    for (const auto& [conflict, conflicting_types] : conflicts) {
-      TokenHost* handler = nullptr;
-      {
-        MutexLock lock(mu_);
-        auto tit = tokens_.find(conflict.id);
-        if (tit == tokens_.end() || (tit->second.types & conflicting_types) == 0) {
-          continue;  // already relinquished by someone else's revocation
-        }
-        auto hit = hosts_.find(conflict.host);
-        handler = (hit != hosts_.end()) ? hit->second : nullptr;
-      }
-      Status s = handler != nullptr
-                     ? handler->Revoke(conflict, conflicting_types)
-                     : Status::Ok();  // host gone: drop its token
-      {
-        UniqueMutexLock lock(mu_);
-        stats_.revocations += 1;
-        if (s.ok()) {
-          auto tit = tokens_.find(conflict.id);
-          if (tit != tokens_.end()) {
-            tit->second.types &= ~conflicting_types;
-            if (tit->second.types == 0) {
-              auto& vec = by_volume_[tit->second.fid.volume];
-              vec.erase(std::remove(vec.begin(), vec.end(), conflict.id), vec.end());
-              tokens_.erase(tit);
-            }
-            returned_cv_.NotifyAll();
-          }
-        } else if (s.code() == ErrorCode::kWouldBlock) {
-          // Deferred: the holder will call Return() once its in-flight RPC
-          // completes (Section 6.3's queued-revocation case).
-          stats_.deferred_returns += 1;
-          auto deadline = std::chrono::steady_clock::now() + kDeferredReturnTimeout;
-          while (!RelinquishedLocked(conflict.id, conflicting_types)) {
-            if (returned_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
-                !RelinquishedLocked(conflict.id, conflicting_types)) {
-              return Status(ErrorCode::kTimedOut, "deferred token return never arrived");
-            }
-          }
-        } else {
-          stats_.refusals += 1;
-          return Status(ErrorCode::kConflict,
-                        "token held by " + (handler ? handler->name() : "unknown") +
-                            " was not relinquished: " + TokenTypesToString(conflicting_types));
-        }
-      }
+    Status s = RevokeConflicts(shard, std::move(conflicts));
+    if (!s.ok()) {
+      return s;
     }
     // Loop: re-scan. New conflicting grants may have slipped in.
   }
@@ -143,30 +307,36 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
 }
 
 Status TokenManager::Return(TokenId id, uint32_t types) {
-  MutexLock lock(mu_);
-  auto it = tokens_.find(id);
-  if (it == tokens_.end()) {
-    return Status(ErrorCode::kNotFound, "unknown token");
+  // A TokenId does not encode its volume, so probe shards; grants are the hot
+  // path, not returns.
+  for (auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    auto it = shard->tokens.find(id);
+    if (it == shard->tokens.end()) {
+      continue;
+    }
+    EraseTokenTypesLocked(*shard, id, types);
+    shard->returned_cv.notify_all();
+    return Status::Ok();
   }
-  it->second.types &= ~types;
-  if (it->second.types == 0) {
-    auto& vec = by_volume_[it->second.fid.volume];
-    vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
-    tokens_.erase(it);
-  }
-  returned_cv_.NotifyAll();
-  return Status::Ok();
+  return Status(ErrorCode::kNotFound, "unknown token");
 }
 
 bool TokenManager::HasToken(TokenId id) const {
-  MutexLock lock(mu_);
-  return tokens_.count(id) != 0;
+  for (const auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    if (shard->tokens.count(id) != 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
-  MutexLock lock(mu_);
+  Shard& shard = ShardFor(fid.volume);
+  OrderedLockGuard lock(shard.mu);
   std::vector<Token> out;
-  for (const auto& [id, t] : tokens_) {
+  for (const auto& [id, t] : shard.tokens) {
     if (t.fid == fid) {
       out.push_back(t);
     }
@@ -175,19 +345,38 @@ std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
 }
 
 std::vector<Token> TokenManager::TokensForHost(HostId host) const {
-  MutexLock lock(mu_);
   std::vector<Token> out;
-  for (const auto& [id, t] : tokens_) {
-    if (t.host == host) {
-      out.push_back(t);
+  for (const auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    for (const auto& [id, t] : shard->tokens) {
+      if (t.host == host) {
+        out.push_back(t);
+      }
     }
   }
   return out;
 }
 
 TokenManager::Stats TokenManager::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  Stats total;
+  for (const auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    total.grants += shard->stats.grants;
+    total.revocations += shard->stats.revocations;
+    total.deferred_returns += shard->stats.deferred_returns;
+    total.refusals += shard->stats.refusals;
+    total.fanout_batches += shard->stats.fanout_batches;
+  }
+  return total;
+}
+
+size_t TokenManager::VolumeIndexEntries() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    OrderedLockGuard lock(shard->mu);
+    n += shard->by_volume.size();
+  }
+  return n;
 }
 
 }  // namespace dfs

@@ -3,6 +3,10 @@
 // ReturnAllTokens, and directory-listing caching.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+#include <thread>
+
 #include "src/client/cache_store.h"
 #include "src/vfs/path.h"
 #include "tests/dfs_rig.h"
@@ -290,6 +294,51 @@ TEST(ClientCacheTest, SequentialReadAheadCutsRpcs) {
   EXPECT_LT(rpcs_with * 3, rpcs_without)
       << "read-ahead must cut sequential-read RPCs by several x (with=" << rpcs_with
       << " without=" << rpcs_without << ")";
+}
+
+TEST(ClientCacheTest, WriteBehindFlushesDirtyDataDuringIdleTime) {
+  auto rig = DfsRig::Create();
+  CacheManager::Options opts;
+  opts.write_behind = true;
+  opts.write_behind_interval_ms = 5;
+  CacheManager* writer = rig->NewClient("alice", opts);
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, writer->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*vfs, "/wb", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*vfs, "/wb", std::string(3 * kBlockSize, 'w'), TestCred()));
+
+  // No fsync, no revocation: the idle-time flusher alone must push the dirty
+  // blocks to the server within a few passes.
+  for (int i = 0; i < 400 && writer->stats().write_behind_stores == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(writer->stats().write_behind_stores, 0u);
+
+  // With the data already at the server, a reader's conflicting grant finds
+  // nothing left to store on the revocation path.
+  uint64_t revocation_stores_before = writer->stats().revocation_stores;
+  CacheManager* reader = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef rv, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*rv, "/wb"));
+  EXPECT_EQ(back, std::string(3 * kBlockSize, 'w'));
+  EXPECT_EQ(writer->stats().revocation_stores, revocation_stores_before);
+}
+
+TEST(ClientCacheTest, WriteBehindOffByDefaultPreservesRevocationStores) {
+  // The flusher must stay opt-in: with it off, dirty data travels on the
+  // revocation path exactly as the integration tests assert.
+  auto rig = DfsRig::Create();
+  CacheManager* writer = rig->NewClient("alice");
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, writer->MountVolume("home"));
+  ASSERT_OK(WriteFileAt(*vfs, "/plain", "never flushed early", TestCred()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(writer->stats().write_behind_stores, 0u);
+  EXPECT_EQ(writer->stats().dirty_stores, 0u);
+
+  CacheManager* reader = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef rv, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*rv, "/plain"));
+  EXPECT_EQ(back, "never flushed early");
+  EXPECT_GT(writer->stats().revocation_stores, 0u);
 }
 
 }  // namespace

@@ -111,6 +111,78 @@ TEST_F(LockOrderTest, CheckedCountIsMonotonic) {
   EXPECT_GE(after, before + 10);
 }
 
+TEST_F(LockOrderTest, SharedMutexReadersFollowTheSameOrder) {
+  SharedOrderedMutex vldb(LockLevel::kVldbMap, 1, "vldb");
+  OrderedMutex shard(LockLevel::kTokenShard, 1, "shard");
+  {
+    // Shard (450) then VLDB (500) ascends: fine for readers and writers.
+    OrderedLockGuard g1(shard);
+    SharedOrderedReadGuard g2(vldb);
+  }
+  {
+    SharedOrderedLockGuard w(vldb);  // writer path, same ordering rules
+  }
+}
+
+TEST_F(LockOrderTest, SharedReadAcquisitionBelowHeldLevelAborts) {
+  // Shared (read) acquisitions obey the same partial order as exclusive
+  // ones: holding the leaf-most VLDB lock, even a *read* of a token shard
+  // is an inversion.
+  SharedOrderedMutex vldb(LockLevel::kVldbMap, 1, "vldb");
+  SharedOrderedMutex registry(LockLevel::kHostRegistry, 1, "hosts");
+  SharedOrderedReadGuard hold(vldb);
+  EXPECT_DEATH({ SharedOrderedReadGuard g(registry); }, "LOCK ORDER VIOLATION");
+}
+
+TEST_F(LockOrderTest, TokenShardNestsAboveIoLock) {
+  // The shard level (450) sits above L2 and L4 — handlers grant/return with
+  // the vnode and io locks held — and below the host registry (460) a shard
+  // consults to resolve revocation handlers.
+  OrderedMutex vnode(LockLevel::kServerVnode, 1, "vnode");
+  OrderedMutex io(LockLevel::kServerIo, 1, "io");
+  OrderedMutex shard(LockLevel::kTokenShard, 1, "shard");
+  SharedOrderedMutex hosts(LockLevel::kHostRegistry, 1, "hosts");
+  OrderedLockGuard g1(vnode);
+  OrderedLockGuard g2(io);
+  OrderedLockGuard g3(shard);
+  SharedOrderedReadGuard g4(hosts);
+}
+
+TEST_F(LockOrderTest, MaybeLockGuardNullIsNoOp) {
+  OrderedMutex mu(LockLevel::kServerVnode, 1, "maybe");
+  {
+    MaybeLockGuard none(nullptr);
+    EXPECT_FALSE(none.held());
+    // The mutex really is free: an uncontended try_lock succeeds.
+    if (mu.try_lock()) {
+      mu.unlock();
+    } else {
+      ADD_FAILURE() << "mutex unexpectedly held by no-op guard";
+    }
+  }
+  {
+    MaybeLockGuard some(&mu);
+    EXPECT_TRUE(some.held());
+  }
+  // Released on scope exit.
+  if (mu.try_lock()) {
+    mu.unlock();
+  } else {
+    ADD_FAILURE() << "mutex not released by guard destructor";
+  }
+}
+
+TEST_F(LockOrderTest, OrderedUniqueLockReacquiresThroughChecker) {
+  // The condvar-wait companion: unlock/lock cycles keep the checker's
+  // held-stack exact, so a post-reacquire ascent is still validated.
+  OrderedMutex shard(LockLevel::kTokenShard, 1, "shard");
+  OrderedUniqueLock lk(shard);
+  lk.unlock();
+  lk.lock();
+  SharedOrderedMutex vldb(LockLevel::kVldbMap, 1, "vldb");
+  SharedOrderedReadGuard g(vldb);  // 500 above 450: fine after reacquire
+}
+
 TEST_F(LockOrderTest, DisabledCheckerCountsNothing) {
   LockOrderChecker::Enable(false);
   OrderedMutex mu(LockLevel::kClientHigh, 1, "uncounted");

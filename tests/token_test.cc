@@ -268,6 +268,43 @@ TEST(TokenManagerTest, TokensForHostEnumerates) {
   EXPECT_EQ(mgr.TokensForHost(9).size(), 0u);
 }
 
+TEST(TokenManagerTest, EmptiedVolumeIndexEntriesArePruned) {
+  // Regression: returning the last token of a volume used to leave an empty
+  // vector in the volume index forever; across volume churn (create volume,
+  // use it, move it away) those entries accumulated without bound.
+  TokenManager mgr;
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  std::vector<std::pair<TokenId, uint32_t>> granted;
+  for (uint64_t vol = 1; vol <= 32; ++vol) {
+    Fid fid{vol, 2, 3};
+    auto t = mgr.Grant(1, fid, kTokenDataRead, ByteRange::All());
+    ASSERT_OK(t.status());
+    granted.push_back({t->id, t->types});
+  }
+  EXPECT_EQ(mgr.VolumeIndexEntries(), 32u);
+  for (auto [id, types] : granted) {
+    ASSERT_OK(mgr.Return(id, types));
+  }
+  EXPECT_EQ(mgr.VolumeIndexEntries(), 0u);
+
+  // UnregisterHost prunes too.
+  ASSERT_OK(mgr.Grant(1, Fid{77, 1, 1}, kTokenDataRead, ByteRange::All()).status());
+  EXPECT_EQ(mgr.VolumeIndexEntries(), 1u);
+  mgr.UnregisterHost(1);
+  EXPECT_EQ(mgr.VolumeIndexEntries(), 0u);
+}
+
+TEST(TokenManagerTest, ShardCountIsConfigurable) {
+  TokenManager::Options opts;
+  opts.shards = 3;
+  TokenManager mgr(opts);
+  EXPECT_EQ(mgr.shard_count(), 3u);
+  opts.shards = 0;  // clamped to one shard rather than dividing by zero
+  TokenManager clamped(opts);
+  EXPECT_EQ(clamped.shard_count(), 1u);
+}
+
 TEST(TokenTest, SerializationRoundTrip) {
   Token t;
   t.id = 42;
