@@ -88,11 +88,14 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
   if (options_.write_behind) {
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
+  if (options_.keepalive_interval_ms > 0) {
+    keepalive_ = std::thread([this] { KeepAliveLoop(); });
+  }
 }
 
 CacheManager::~CacheManager() {
-  // Stop the flusher before dropping off the network: a pass in progress may
-  // still be issuing store RPCs through it.
+  // Stop the daemons before dropping off the network: a pass in progress may
+  // still be issuing RPCs through it.
   if (flusher_.joinable()) {
     {
       MutexLock lock(flusher_mu_);
@@ -100,6 +103,14 @@ CacheManager::~CacheManager() {
     }
     flusher_cv_.NotifyAll();
     flusher_.join();
+  }
+  if (keepalive_.joinable()) {
+    {
+      MutexLock lock(keepalive_mu_);
+      keepalive_shutdown_ = true;
+    }
+    keepalive_cv_.NotifyAll();
+    keepalive_.join();
   }
   network_.UnregisterNode(options_.node);
 }
@@ -137,19 +148,44 @@ Status CacheManager::EnsureConnected(NodeId server) {
   }
   Writer w;
   ticket_.Serialize(w);
-  RETURN_IF_ERROR(
-      UnwrapReply(network_.Call(options_.node, server, kConnect, w.data(), ticket_.principal))
-          .status());
+  ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      UnwrapReply(network_.Call(options_.node, server, kConnect, w.data(), ticket_.principal)));
+  // Reply: principal string, then the server's incarnation epoch (appended
+  // to the wire format; tolerate its absence so old-format replies parse).
+  Reader r(payload);
+  uint64_t epoch = 0;
+  if (r.ReadString().ok() && r.Remaining() >= sizeof(uint64_t)) {
+    auto e = r.ReadU64();
+    if (e.ok()) {
+      epoch = *e;
+    }
+  }
+  if (network_.clock() != nullptr) {
+    last_contact_ns_.store(network_.clock()->Now(), std::memory_order_relaxed);
+  }
   MutexLock lock(mu_);
   connected_.insert(server);
+  if (epoch != 0) {
+    server_epochs_[server] = epoch;
+  }
   return Status::Ok();
 }
 
+uint64_t CacheManager::EpochFor(NodeId server) {
+  MutexLock lock(mu_);
+  auto it = server_epochs_.find(server);
+  return it == server_epochs_.end() ? 0 : it->second;
+}
+
 Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32_t proc,
-                                                      const Writer& w) {
+                                                      const Writer& w, const Fid* fid,
+                                                      bool allow_recovery) {
   Status last = Status::Ok();
+  uint32_t backoff_ms = 1;  // doubles per kRecovering answer, capped at 16
   for (int attempt = 0; attempt < 100; ++attempt) {
-    auto server = ServerForVolume(volume_id, /*refresh=*/attempt > 0);
+    bool refresh = attempt > 0;
+    auto server = ServerForVolume(volume_id, refresh);
     if (!server.ok()) {
       last = server.status();
     } else {
@@ -157,9 +193,12 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
       if (!conn.ok()) {
         last = conn;
       } else {
-        auto payload = UnwrapReply(
-            network_.Call(options_.node, *server, proc, w.data(), ticket_.principal));
+        auto payload = UnwrapReply(network_.Call(options_.node, *server, proc, w.data(),
+                                                 ticket_.principal, EpochFor(*server)));
         if (payload.ok()) {
+          if (network_.clock() != nullptr) {
+            last_contact_ns_.store(network_.clock()->Now(), std::memory_order_relaxed);
+          }
           return payload;
         }
         last = payload.status();
@@ -169,6 +208,50 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
           // and retry (the host module is rebuilt on the fly).
           MutexLock lock(mu_);
           connected_.erase(*server);
+        }
+        if (code == ErrorCode::kStaleEpoch) {
+          // The server restarted under us. Reconnect, learn the new epoch,
+          // and reassert every token we hold from it before retrying the
+          // call — otherwise the retry runs tokenless against a server that
+          // may grant conflicts to other clients first.
+          {
+            MutexLock lock(mu_);
+            stats_.stale_epoch_retries += 1;
+          }
+          if (!allow_recovery) {
+            // Holder of a cvnode low lock: reasserting here would relock it.
+            // Drop the stale connection and let a foreground path recover.
+            MutexLock lock(mu_);
+            connected_.erase(*server);
+            return last;
+          }
+          std::unordered_set<Fid, FidHash> invalidated;
+          Status reassert = HandleStaleEpoch(*server, &invalidated);
+          if (!reassert.ok()) {
+            last = reassert;
+          } else if (fid != nullptr && invalidated.count(*fid) != 0) {
+            // The very file this call is about lost its tokens in the
+            // restart; its dirty data was discarded. Retrying (a store,
+            // say) would push data we no longer have the right to write.
+            return Status(ErrorCode::kIoError,
+                          "write token lost in server restart; dirty data discarded");
+          }
+          continue;  // retry immediately with the new epoch
+        }
+        if (code == ErrorCode::kRecovering) {
+          // Post-restart grace period: the server is waiting for survivors
+          // to reassert. Back off (capped exponential) and retry; our own
+          // reassertion has already been sent by the kStaleEpoch path.
+          {
+            MutexLock lock(mu_);
+            stats_.recovering_retries += 1;
+          }
+          if (!allow_recovery) {
+            return last;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min<uint32_t>(backoff_ms * 2, 16);
+          continue;
         }
         bool relocatable = code == ErrorCode::kBusy || code == ErrorCode::kUnavailable ||
                            code == ErrorCode::kAuthFailed;
@@ -186,9 +269,142 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
   return last;
 }
 
+Status CacheManager::HandleStaleEpoch(NodeId server,
+                                      std::unordered_set<Fid, FidHash>* invalidated) {
+  // A second restart can race the reassertion itself (the batch comes back
+  // kStaleEpoch again); loop a few times before giving up.
+  for (int round = 0; round < 3; ++round) {
+    {
+      MutexLock lock(mu_);
+      connected_.erase(server);
+    }
+    RETURN_IF_ERROR(EnsureConnected(server));  // learns the new epoch
+    uint64_t epoch = EpochFor(server);
+
+    // Snapshot the cvnodes, then filter to files this server owns. The
+    // volume lookup takes no cvnode locks.
+    std::vector<CVnodeRef> cvs;
+    {
+      MutexLock lock(mu_);
+      cvs.reserve(cvnodes_.size());
+      for (auto& [f, cv] : cvnodes_) {
+        cvs.push_back(cv);
+      }
+    }
+    std::vector<CVnodeRef> mine;
+    for (CVnodeRef& cv : cvs) {
+      auto owner = ServerForVolume(cv->fid.volume, /*refresh=*/false);
+      if (owner.ok() && *owner == server) {
+        mine.push_back(cv);
+      }
+    }
+
+    // Collect every token under the low locks (one at a time — we may be on
+    // a thread already holding some cvnode's high lock, which is fine: low
+    // is below high and we take each low singly).
+    Writer w;
+    std::vector<std::pair<CVnodeRef, std::vector<Token>>> held;
+    uint32_t count = 0;
+    for (CVnodeRef& cv : mine) {
+      OrderedLockGuard low(cv->low);
+      if (cv->tokens.empty()) {
+        continue;
+      }
+      held.push_back({cv, cv->tokens});
+      count += static_cast<uint32_t>(cv->tokens.size());
+    }
+    Writer body;
+    body.PutU32(count);
+    for (auto& [cv, tokens] : held) {
+      for (const Token& t : tokens) {
+        t.Serialize(body);
+      }
+    }
+    w.PutRaw(body.data());
+
+    // One batched reassertion, sent directly (not CallVolume: this *is* the
+    // recovery path) with the new epoch.
+    auto payload = UnwrapReply(network_.Call(options_.node, server, kReassertTokens, w.data(),
+                                             ticket_.principal, epoch));
+    if (payload.code() == ErrorCode::kStaleEpoch) {
+      continue;  // restarted again mid-recovery; start over
+    }
+    RETURN_IF_ERROR(payload.status());
+    Reader r(*payload);
+    ASSIGN_OR_RETURN(uint64_t server_epoch, r.ReadU64());
+    (void)server_epoch;
+    ASSIGN_OR_RETURN(uint32_t verdicts, r.ReadU32());
+    if (verdicts != count) {
+      return Status(ErrorCode::kInternal, "short kReassertTokens reply");
+    }
+
+    // Apply the verdicts per cvnode: accepted tokens survive; rejected ones
+    // are dropped along with every piece of cached state they vouched for.
+    for (auto& [cv, tokens] : held) {
+      OrderedLockGuard low(cv->low);
+      bool lost_any = false;
+      for (const Token& t : tokens) {
+        ASSIGN_OR_RETURN(uint8_t accepted, r.ReadU8());
+        if (accepted != 0) {
+          MutexLock lock(mu_);
+          stats_.reasserted_tokens += 1;
+          continue;
+        }
+        lost_any = true;
+        for (auto it = cv->tokens.begin(); it != cv->tokens.end(); ++it) {
+          if (it->id == t.id) {
+            cv->tokens.erase(it);
+            break;
+          }
+        }
+        MutexLock lock(mu_);
+        stats_.reassert_rejected += 1;
+      }
+      if (!lost_any) {
+        continue;
+      }
+      // Without its tokens the cached state is unvouched-for: drop it. Dirty
+      // data cannot be stored back (the write token is gone and a peer may
+      // already hold a conflicting grant) — it is lost, and the loss is
+      // surfaced on the next foreground fsync/store via dirty_lost.
+      if (!cv->dirty_blocks.empty() || cv->attr_dirty) {
+        cv->dirty_lost = true;
+      }
+      for (uint64_t b : cv->cached_blocks) {
+        store_->Erase(cv->fid, b);
+        RemoveLru(cv->fid, b);
+      }
+      cv->cached_blocks.clear();
+      cv->dirty_blocks.clear();
+      cv->attr_valid = false;
+      cv->attr_dirty = false;
+      cv->listing_valid = false;
+      cv->lookup_cache.clear();
+      if (invalidated != nullptr) {
+        invalidated->insert(cv->fid);
+      }
+    }
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kUnavailable, "server kept restarting during token reassertion");
+}
+
 // --- Cache layer ---
 
 bool CacheManager::HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const {
+  // Client-side lease (the paper's token lifetimes): if we have been out of
+  // touch with the servers longer than the lease, our tokens may already
+  // have been garbage-collected — stop trusting them and go ask.
+  if (options_.client_lease_ttl_ms > 0 && network_.clock() != nullptr) {
+    // Holding any token implies a past successful contact, so last_contact
+    // is meaningful here even at its 0 initial value (virtual clocks start
+    // at 0 — "never contacted" and "contacted at t=0" expire identically).
+    uint64_t last = last_contact_ns_.load(std::memory_order_relaxed);
+    uint64_t now = network_.clock()->Now();
+    if (now > last && now - last > uint64_t{options_.client_lease_ttl_ms} * 1'000'000ull) {
+      return false;
+    }
+  }
   // Status and open tokens are whole-file guarantees; only data and lock
   // tokens carry meaningful byte ranges (Section 5.2). For the rangeful
   // types, several adjacent tokens compose: coverage is by union.
@@ -289,7 +505,7 @@ Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
     w.PutBytes(data);
     ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                      CallVolume(cv.fid.volume, revocation_path ? kRevocationStore : kStoreData,
-                                w));
+                                w, &cv.fid, /*allow_recovery=*/false));
     Reader r(payload);
     ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
     for (uint64_t b = first; b <= last; ++b) {
@@ -389,7 +605,10 @@ Status CacheManager::ReturnToken(const Fid& fid, TokenId id, uint32_t types) {
   Writer w;
   w.PutU64(id);
   w.PutU32(types);
-  return CallVolume(fid.volume, kReturnToken, w).status();
+  // Callers may hold a cvnode low lock (FetchAndInstall's drain loop), so the
+  // reassert-on-stale-epoch machinery must stay off. A return the restarted
+  // server never heard of is harmless — the token died with the old epoch.
+  return CallVolume(fid.volume, kReturnToken, w, &fid, /*allow_recovery=*/false).status();
 }
 
 void CacheManager::TouchLru(const Fid& fid, uint64_t block) {
@@ -581,65 +800,88 @@ Status CacheManager::EnsureStatus(CVnode& cv) {
 
 // --- Revocation handler (server -> client RPC, dedicated pool) ---
 
-Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
-  if (req.proc != kRevokeToken) {
-    return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown client procedure"));
-  }
-  Reader r(req.payload);
-  auto parse = [&]() -> Result<std::tuple<Token, uint32_t, uint64_t>> {
-    ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
-    ASSIGN_OR_RETURN(uint32_t types, r.ReadU32());
-    ASSIGN_OR_RETURN(uint64_t stamp, r.ReadU64());
-    return std::make_tuple(token, types, stamp);
-  };
-  auto parsed = parse();
-  if (!parsed.ok()) {
-    return EncodeErrorReply(parsed.status());
-  }
-  auto [token, types, stamp] = *parsed;
-
+uint8_t CacheManager::HandleOneRevocation(const Token& token, uint32_t types, uint64_t stamp) {
   CVnodeRef cv = GetCVnode(token.fid);
-  uint8_t verdict;
+  OrderedLockGuard low(cv->low);
   {
-    OrderedLockGuard low(cv->low);
-    {
-      MutexLock lock(mu_);
-      stats_.revocations_handled += 1;
-    }
-    bool known = false;
-    for (const Token& t : cv->tokens) {
-      if (t.id == token.id) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) {
-      if (cv->rpc_in_flight > 0) {
-        // Section 6.3: the grant may be in a reply we have not processed yet.
-        cv->pending.push_back(PendingRevocation{token, types, stamp});
-        {
-          MutexLock lock(mu_);
-          stats_.revocations_deferred += 1;
-        }
-        verdict = kRevokeDeferred;
-      } else {
-        verdict = kRevokeReturned;  // never had it / already gone
-      }
-    } else if ((types & kTokenOpenMask) != 0 && cv->open_count > 0) {
-      // Open tokens for files we actually have open are not returned
-      // (Section 5.3: "this is the normal action").
-      verdict = kRevokeRefused;
-    } else if ((types & (kTokenLockRead | kTokenLockWrite)) != 0 &&
-               !cv->local_locks.empty()) {
-      verdict = kRevokeRefused;
-    } else {
-      Status applied = ApplyRevocationLocked(*cv, token, types, stamp);
-      verdict = applied.ok() ? kRevokeReturned : kRevokeDeferred;
+    MutexLock lock(mu_);
+    stats_.revocations_handled += 1;
+  }
+  bool known = false;
+  for (const Token& t : cv->tokens) {
+    if (t.id == token.id) {
+      known = true;
+      break;
     }
   }
-  Writer w;
-  w.PutU8(verdict);
-  return EncodeOkReply(std::move(w));
+  if (!known) {
+    if (cv->rpc_in_flight > 0) {
+      // Section 6.3: the grant may be in a reply we have not processed yet.
+      cv->pending.push_back(PendingRevocation{token, types, stamp});
+      {
+        MutexLock lock(mu_);
+        stats_.revocations_deferred += 1;
+      }
+      return kRevokeDeferred;
+    }
+    return kRevokeReturned;  // never had it / already gone
+  }
+  if ((types & kTokenOpenMask) != 0 && cv->open_count > 0) {
+    // Open tokens for files we actually have open are not returned
+    // (Section 5.3: "this is the normal action").
+    return kRevokeRefused;
+  }
+  if ((types & (kTokenLockRead | kTokenLockWrite)) != 0 && !cv->local_locks.empty()) {
+    return kRevokeRefused;
+  }
+  Status applied = ApplyRevocationLocked(*cv, token, types, stamp);
+  return applied.ok() ? kRevokeReturned : kRevokeDeferred;
+}
+
+Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
+  Reader r(req.payload);
+  if (req.proc == kRevokeToken) {
+    auto parse = [&]() -> Result<std::tuple<Token, uint32_t, uint64_t>> {
+      ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+      ASSIGN_OR_RETURN(uint32_t types, r.ReadU32());
+      ASSIGN_OR_RETURN(uint64_t stamp, r.ReadU64());
+      return std::make_tuple(token, types, stamp);
+    };
+    auto parsed = parse();
+    if (!parsed.ok()) {
+      return EncodeErrorReply(parsed.status());
+    }
+    auto [token, types, stamp] = *parsed;
+    Writer w;
+    w.PutU8(HandleOneRevocation(token, types, stamp));
+    return EncodeOkReply(std::move(w));
+  }
+  if (req.proc == kRevokeTokenBatch) {
+    // One fan-out round's revocations against this client, coalesced into a
+    // single RPC; the verdicts come back in item order.
+    auto handle = [&]() -> Result<Writer> {
+      ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+      Writer w;
+      w.PutU32(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+        ASSIGN_OR_RETURN(uint32_t types, r.ReadU32());
+        ASSIGN_OR_RETURN(uint64_t stamp, r.ReadU64());
+        w.PutU8(HandleOneRevocation(token, types, stamp));
+      }
+      {
+        MutexLock lock(mu_);
+        stats_.revocation_batches += 1;
+      }
+      return w;
+    };
+    auto body = handle();
+    if (!body.ok()) {
+      return EncodeErrorReply(body.status());
+    }
+    return EncodeOkReply(std::move(*body));
+  }
+  return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown client procedure"));
 }
 
 // --- Public operations ---
@@ -705,6 +947,17 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
   std::vector<uint64_t> blocks;
   for (;;) {
     OrderedLockGuard low(cv.low);
+    if (cv.dirty_lost) {
+      // A server restart rejected this file's reassertion while it had dirty
+      // data; that data is gone. Foreground callers get the error once (then
+      // the flag clears); the background flusher leaves it for them to see.
+      if (!background) {
+        cv.dirty_lost = false;
+        return Status(ErrorCode::kIoError,
+                      "dirty data discarded: write token lost in server restart");
+      }
+      return false;
+    }
     if (cv.dirty_blocks.empty()) {
       return false;
     }
@@ -736,7 +989,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
   PutFid(w, cv.fid);
   w.PutU64(offset);
   w.PutBytes(data);
-  auto payload = CallVolume(cv.fid.volume, kStoreData, w);
+  auto payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
   if (payload.code() == ErrorCode::kConflict) {
     // Our write token is gone (e.g. the server restarted and its token
     // state with it). Re-acquire and retry; dirty blocks are immune to the
@@ -745,7 +998,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
         cv, offset, data.size(),
         kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
     if (refetch.ok()) {
-      payload = CallVolume(cv.fid.volume, kStoreData, w);
+      payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
     } else {
       payload = refetch;
     }
@@ -809,28 +1062,62 @@ void CacheManager::FlusherLoop() {
   }
 }
 
+void CacheManager::NoteDirty(const Fid& fid) {
+  uint64_t now_ms = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                              std::chrono::steady_clock::now().time_since_epoch())
+                                              .count());
+  MutexLock lock(mu_);
+  // emplace keeps the earliest timestamp: the list orders by when the file
+  // *first* went dirty (the 30-second rule's clock), not its latest write.
+  dirty_since_.emplace(fid, now_ms);
+}
+
+size_t CacheManager::DirtyListSize() const {
+  MutexLock lock(mu_);
+  return dirty_since_.size();
+}
+
 void CacheManager::WriteBehindPass() {
-  std::vector<CVnodeRef> cvs;
+  // Walk the dirty list oldest-first instead of scanning every cvnode: files
+  // that never went dirty (the common case for a read-mostly cache) cost
+  // nothing, and the oldest dirty data is pushed first.
+  std::vector<std::pair<uint64_t, Fid>> dirty;
   {
     MutexLock lock(mu_);
-    cvs.reserve(cvnodes_.size());
-    for (auto& [fid, cv] : cvnodes_) {
-      cvs.push_back(cv);
+    dirty.reserve(dirty_since_.size());
+    for (const auto& [fid, since] : dirty_since_) {
+      dirty.push_back({since, fid});
     }
   }
-  for (CVnodeRef& cv : cvs) {
+  std::sort(dirty.begin(), dirty.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [since, fid] : dirty) {
     {
       MutexLock lock(flusher_mu_);
       if (flusher_shutdown_) {
         return;
       }
     }
-    bool dirty;
+    CVnodeRef cv;
+    {
+      MutexLock lock(mu_);
+      auto it = cvnodes_.find(fid);
+      if (it == cvnodes_.end()) {
+        dirty_since_.erase(fid);
+        continue;
+      }
+      cv = it->second;
+    }
+    bool still_dirty;
     {
       OrderedLockGuard low(cv->low);
-      dirty = !cv->dirty_blocks.empty();
+      still_dirty = !cv->dirty_blocks.empty();
     }
-    if (!dirty) {
+    if (!still_dirty) {
+      // Flushed by a foreground fsync (or dropped by a restart) since it was
+      // listed; lazily retire the entry.
+      MutexLock lock(mu_);
+      dirty_since_.erase(fid);
       continue;
     }
     // Idle-time only: if an operation holds the file's high lock right now,
@@ -838,15 +1125,88 @@ void CacheManager::WriteBehindPass() {
     if (!cv->high.try_lock()) {
       continue;
     }
+    bool clean = false;
     for (uint32_t run = 0; run < options_.write_behind_max_runs; ++run) {
       auto pushed = PushOneDirtyRunHighLocked(*cv, /*background=*/true);
       // Errors (server down, volume moving, stale file) are left for the
       // foreground paths to surface; the flusher just stops this pass.
-      if (!pushed.ok() || !*pushed) {
+      if (!pushed.ok()) {
+        break;
+      }
+      if (!*pushed) {
+        clean = true;
         break;
       }
     }
     cv->high.unlock();
+    if (clean) {
+      MutexLock lock(mu_);
+      dirty_since_.erase(fid);
+    }
+  }
+}
+
+// --- keep-alive daemon ---
+
+void CacheManager::KeepAliveLoop() {
+  UniqueMutexLock lock(keepalive_mu_);
+  while (!keepalive_shutdown_) {
+    (void)keepalive_cv_.WaitFor(lock,
+                                std::chrono::milliseconds(options_.keepalive_interval_ms));
+    if (keepalive_shutdown_) {
+      return;
+    }
+    lock.Unlock();
+    KeepAlivePass();
+    lock.Lock();
+  }
+}
+
+void CacheManager::KeepAlivePass() {
+  std::vector<NodeId> servers;
+  {
+    MutexLock lock(mu_);
+    servers.assign(connected_.begin(), connected_.end());
+    // Also probe servers we know an epoch for but are not connected to: a
+    // reconnect that failed mid-recovery (the server was still down) erased
+    // the connection, and the ping is what discovers the server came back —
+    // reassertion must not have to wait for foreground traffic.
+    for (const auto& [server, epoch] : server_epochs_) {
+      if (std::find(servers.begin(), servers.end(), server) == servers.end()) {
+        servers.push_back(server);
+      }
+    }
+  }
+  for (NodeId server : servers) {
+    Writer w;
+    {
+      MutexLock lock(mu_);
+      stats_.keepalives_sent += 1;
+    }
+    auto payload = UnwrapReply(network_.Call(options_.node, server, kKeepAlive, w.data(),
+                                             ticket_.principal, EpochFor(server)));
+    if (!payload.ok()) {
+      if (payload.code() == ErrorCode::kAuthFailed ||
+          payload.code() == ErrorCode::kStaleEpoch) {
+        // The server does not know us anymore: it restarted and lost its
+        // host module. Reconnect and reassert right away rather than letting
+        // a foreground operation trip over it.
+        (void)HandleStaleEpoch(server, nullptr);
+      }
+      // Otherwise down or partitioned: nothing to renew; the lease lapses as
+      // designed.
+      continue;
+    }
+    if (network_.clock() != nullptr) {
+      last_contact_ns_.store(network_.clock()->Now(), std::memory_order_relaxed);
+    }
+    Reader r(*payload);
+    auto epoch = r.ReadU64();
+    if (epoch.ok() && *epoch != 0 && *epoch != EpochFor(server)) {
+      // The server restarted between data RPCs; reassert before a foreground
+      // operation trips over kStaleEpoch.
+      (void)HandleStaleEpoch(server, nullptr);
+    }
   }
 }
 

@@ -27,6 +27,7 @@
 #ifndef SRC_CLIENT_CACHE_MANAGER_H_
 #define SRC_CLIENT_CACHE_MANAGER_H_
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/client/cache_store.h"
@@ -107,6 +109,18 @@ class CacheManager : public RpcHandler {
     // Dirty runs pushed per file per pass; bounds one pass's work so the
     // daemon yields the per-file operation lock quickly.
     uint32_t write_behind_max_runs = 4;
+    // Keep-alive daemon: ping every connected server at this interval so the
+    // server-side lease stays fresh (and restarts are detected) even when the
+    // client is idle. 0 disables the daemon (the default; data RPCs renew the
+    // lease implicitly).
+    uint32_t keepalive_interval_ms = 0;
+    // Client-side mirror of the server lease (the paper's token lifetimes):
+    // after this long without successful server contact the client stops
+    // trusting its own tokens — cached data is no longer served and the next
+    // operation goes to the server (where it will discover an expiry or a
+    // restart). 0 disables (the default: cached reads survive partitions,
+    // which existing failure tests rely on).
+    uint32_t client_lease_ttl_ms = 0;
     Network::NodeOptions rpc;         // includes the dedicated revocation pool
   };
 
@@ -123,6 +137,14 @@ class CacheManager : public RpcHandler {
     uint64_t write_behind_stores = 0;
     uint64_t location_retries = 0;
     uint64_t cache_evictions = 0;
+    // Recovery protocol.
+    uint64_t stale_epoch_retries = 0;   // calls answered kStaleEpoch and retried
+    uint64_t recovering_retries = 0;    // calls answered kRecovering and retried
+    uint64_t reasserted_tokens = 0;     // tokens the restarted server accepted
+    uint64_t reassert_rejected = 0;     // tokens lost in the restart
+    uint64_t keepalives_sent = 0;
+    // Batched revocations (kRevokeTokenBatch callbacks handled).
+    uint64_t revocation_batches = 0;
   };
 
   CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
@@ -154,11 +176,15 @@ class CacheManager : public RpcHandler {
 
   // RpcHandler: the server calls back to revoke tokens.
   Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
-  bool IsRevocationPathProc(uint32_t proc) const override { return proc == kRevokeToken; }
+  bool IsRevocationPathProc(uint32_t proc) const override {
+    return proc == kRevokeToken || proc == kRevokeTokenBatch;
+  }
 
   Stats stats() const;
   NodeId node() const { return options_.node; }
   VldbClient& vldb() { return vldb_; }
+  // Files currently on the write-behind dirty list (test accessor).
+  size_t DirtyListSize() const;
 
  private:
   friend class DfsVfs;
@@ -204,6 +230,11 @@ class CacheManager : public RpcHandler {
     bool listing_valid GUARDED_BY(low) = false;
     // Local file locks held under a lock token.
     std::vector<std::pair<ByteRange, uint64_t>> local_locks GUARDED_BY(low);
+    // Set when a server restart rejected this file's reassertion while dirty
+    // data was outstanding: that data is gone (the paper's client-crash
+    // contract applied to us). Surfaced as kIoError on the next foreground
+    // fsync/store and then cleared.
+    bool dirty_lost GUARDED_BY(low) = false;
   };
   using CVnodeRef = std::shared_ptr<CVnode>;
 
@@ -212,8 +243,25 @@ class CacheManager : public RpcHandler {
   // --- resource layer ---
   Result<NodeId> ServerForVolume(uint64_t volume_id, bool refresh);
   Status EnsureConnected(NodeId server);
-  // Calls the server owning fid.volume with retry-on-move semantics.
-  Result<std::vector<uint8_t>> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w);
+  // Calls the server owning fid.volume with retry-on-move semantics, plus the
+  // recovery protocol: kRecovering retries with capped exponential backoff,
+  // kStaleEpoch reconnects and reasserts held tokens before retrying. `fid`,
+  // when given, names the file the call is about — if reassertion rejects
+  // that very file's tokens the call fails with kIoError instead of retrying
+  // (retrying a store after its write token was lost would push stale data).
+  // `allow_recovery=false` disables the reassert/backoff machinery for
+  // callers that hold a cvnode low lock across the call (the revocation-path
+  // store and token returns), where reasserting would self-deadlock.
+  Result<std::vector<uint8_t>> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w,
+                                          const Fid* fid = nullptr,
+                                          bool allow_recovery = true);
+  // The epoch this client last learned for `server` (0 = never connected).
+  uint64_t EpochFor(NodeId server);
+  // kStaleEpoch response: reconnect to `server`, learn its new epoch, and
+  // reassert every token held from it in one batched kReassertTokens call.
+  // Tokens the server rejects are dropped along with the cvnode's cached
+  // state; those fids land in `invalidated` (when non-null).
+  Status HandleStaleEpoch(NodeId server, std::unordered_set<Fid, FidHash>* invalidated);
 
   // --- cache layer internals ---
   bool HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& range) const
@@ -240,11 +288,24 @@ class CacheManager : public RpcHandler {
   // Takes (and drops) cv.low around each pushed run itself.
   Status FsyncHighLocked(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
 
+  // Handles one revocation (the body shared by kRevokeToken and
+  // kRevokeTokenBatch): returns the kRevoke* verdict byte.
+  uint8_t HandleOneRevocation(const Token& token, uint32_t types, uint64_t stamp);
+
   // --- write-behind flusher ---
   void FlusherLoop();
-  // One idle-time pass: for each cvnode with dirty blocks whose operation
-  // lock is free right now, push up to write_behind_max_runs runs.
+  // One idle-time pass: walks the dirty list oldest-first (the 30-second-rule
+  // ordering) and, for each file whose operation lock is free right now,
+  // pushes up to write_behind_max_runs runs.
   void WriteBehindPass();
+  // Records `fid` on the dirty list; keeps the earliest-dirtied timestamp.
+  void NoteDirty(const Fid& fid);
+
+  // --- keep-alive daemon ---
+  void KeepAliveLoop();
+  // Pings every connected server; a changed epoch in the reply triggers the
+  // reassertion path.
+  void KeepAlivePass();
 
   // Fetches data + tokens for the aligned range; installs under `low`.
   // `after_install`, when provided, runs under `low` after the reply is
@@ -282,8 +343,16 @@ class CacheManager : public RpcHandler {
   mutable Mutex mu_;
   std::unordered_map<Fid, CVnodeRef, FidHash> cvnodes_ GUARDED_BY(mu_);
   std::set<NodeId> connected_ GUARDED_BY(mu_);
+  // Last epoch learned from each server (at connect / keep-alive).
+  std::map<NodeId, uint64_t> server_epochs_ GUARDED_BY(mu_);
+  // Write-behind dirty list: fid -> steady-clock ms when it first went dirty.
+  // The flusher walks this instead of scanning every cvnode.
+  std::unordered_map<Fid, uint64_t, FidHash> dirty_since_ GUARDED_BY(mu_);
   uint64_t next_tag_ GUARDED_BY(mu_) = 1;
   Stats stats_ GUARDED_BY(mu_);
+  // Nanoseconds (network virtual clock) of the last successful server
+  // contact, for the client-side lease check. 0 until first contact.
+  std::atomic<uint64_t> last_contact_ns_{0};
   // Global LRU over cached data blocks.
   using LruKey = std::pair<Fid, uint64_t>;
   struct LruKeyHash {
@@ -301,6 +370,13 @@ class CacheManager : public RpcHandler {
   CondVar flusher_cv_;
   bool flusher_shutdown_ GUARDED_BY(flusher_mu_) = false;
   std::thread flusher_;
+
+  // LOCK-EXEMPT(leaf): keep-alive daemon wakeup/shutdown latch only; nothing
+  // is acquired and no RPC is issued while it is held.
+  Mutex keepalive_mu_;
+  CondVar keepalive_cv_;
+  bool keepalive_shutdown_ GUARDED_BY(keepalive_mu_) = false;
+  std::thread keepalive_;
 };
 
 // --- vnode layer ---

@@ -257,6 +257,7 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
       cv->cached_blocks.insert(b);
       cv->dirty_blocks.insert(b);
     }
+    cm_->NoteDirty(fid_);  // write-behind dirty list (cm_->mu_ is a leaf)
     if (offset + data.size() > cv->attr.size) {
       // Extension: we hold (and needed) the status-write token.
       cv->attr.size = offset + data.size();

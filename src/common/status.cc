@@ -58,6 +58,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "QUOTA";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kRecovering:
+      return "RECOVERING";
+    case ErrorCode::kStaleEpoch:
+      return "STALE_EPOCH";
   }
   return "UNKNOWN";
 }

@@ -45,6 +45,9 @@ enum class ErrorCode : uint16_t {
   kCrossVolume,        // EXDEV (rename across volumes)
   kQuota,              // volume quota exceeded
   kInternal,
+  // Appended after kInternal so existing wire-encoded values stay stable.
+  kRecovering,         // server in post-restart grace period; reassert + retry
+  kStaleEpoch,         // caller's server epoch is from a previous incarnation
 };
 
 // Short upper-case name for an error code ("NOT_FOUND"), for logs and tests.

@@ -1,0 +1,44 @@
+#include "src/recovery/lease_table.h"
+
+namespace dfs {
+
+void LeaseTable::Renew(uint32_t host, uint64_t now_ns) {
+  if (ttl_ns_ == 0) {
+    return;
+  }
+  MutexLock lock(mu_);
+  last_seen_[host] = now_ns;
+}
+
+void LeaseTable::Remove(uint32_t host) {
+  MutexLock lock(mu_);
+  last_seen_.erase(host);
+}
+
+bool LeaseTable::Expired(uint32_t host, uint64_t now_ns) const {
+  if (ttl_ns_ == 0) {
+    return false;
+  }
+  MutexLock lock(mu_);
+  auto it = last_seen_.find(host);
+  if (it == last_seen_.end()) {
+    return false;
+  }
+  return now_ns > it->second && now_ns - it->second > ttl_ns_;
+}
+
+std::vector<uint32_t> LeaseTable::ExpiredHosts(uint64_t now_ns) const {
+  std::vector<uint32_t> out;
+  if (ttl_ns_ == 0) {
+    return out;
+  }
+  MutexLock lock(mu_);
+  for (const auto& [host, seen] : last_seen_) {
+    if (now_ns > seen && now_ns - seen > ttl_ns_) {
+      out.push_back(host);
+    }
+  }
+  return out;
+}
+
+}  // namespace dfs

@@ -1,0 +1,53 @@
+// Host liveness via per-host leases (the paper's token lifetimes).
+//
+// Every RPC a host sends renews its lease; a host whose lease has lapsed is
+// "silent" and the token manager may garbage-collect its tokens instead of
+// waiting on its revoke callbacks during fan-out (the Lustre pinger/eviction
+// analogue). A TTL of zero disables expiry — hosts never go silent — which is
+// the default so existing partition tests keep their semantics.
+#ifndef SRC_RECOVERY_LEASE_TABLE_H_
+#define SRC_RECOVERY_LEASE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace dfs {
+
+class LeaseTable {
+ public:
+  // ttl_ns == 0 disables expiry entirely.
+  explicit LeaseTable(uint64_t ttl_ns) : ttl_ns_(ttl_ns) {}
+
+  LeaseTable(const LeaseTable&) = delete;
+  LeaseTable& operator=(const LeaseTable&) = delete;
+
+  // Marks `host` alive as of `now_ns`. Called on every RPC from the host.
+  void Renew(uint32_t host, uint64_t now_ns);
+
+  // Forgets the host (disconnect / unregistration).
+  void Remove(uint32_t host);
+
+  // True iff the host has a lease and it lapsed before `now_ns`. Unknown
+  // hosts are NOT expired: the server's own local-op handler never connects,
+  // and a host that never spoke has nothing to expire.
+  bool Expired(uint32_t host, uint64_t now_ns) const;
+
+  // All hosts whose leases lapsed before `now_ns`.
+  std::vector<uint32_t> ExpiredHosts(uint64_t now_ns) const;
+
+  uint64_t ttl_ns() const { return ttl_ns_; }
+
+ private:
+  const uint64_t ttl_ns_;
+  // LOCK-EXEMPT(leaf): protects only the last-seen map; never calls out.
+  mutable Mutex mu_;
+  std::unordered_map<uint32_t, uint64_t> last_seen_ GUARDED_BY(mu_);
+};
+
+}  // namespace dfs
+
+#endif  // SRC_RECOVERY_LEASE_TABLE_H_

@@ -1,0 +1,89 @@
+// Server incarnation epochs and the restart recovery grace period.
+//
+// A FileServer is born into an *epoch*; clients learn it at connect time and
+// stamp it into every subsequent RPC. A restarted server (epoch bumped by the
+// operator / test rig) rejects old-epoch calls with kStaleEpoch, which tells
+// the client to reconnect and reassert its tokens. For `grace_period_ns`
+// after construction the server additionally answers all data RPCs with
+// kRecovering: during the grace window only connect / keep-alive / reassert
+// traffic is admitted, so no grant can race a surviving client's reassertion
+// and no stale data is ever served. Tokens not reasserted by grace-end are
+// simply gone — the restarted token manager starts empty, so "dropping" them
+// requires no action.
+#ifndef SRC_RECOVERY_RECOVERY_MANAGER_H_
+#define SRC_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+#include "src/recovery/sim_clock.h"
+
+namespace dfs {
+
+class RecoveryManager {
+ public:
+  struct Options {
+    // Incarnation number; clients reject-and-reassert on mismatch. Epoch 0 is
+    // reserved on the wire to mean "unfenced" (legacy caller), so servers
+    // start at 1.
+    uint64_t epoch = 1;
+    // Length of the post-restart grace window. 0 = no grace period.
+    uint64_t grace_period_ns = 0;
+  };
+
+  struct Stats {
+    uint64_t reasserting_hosts = 0;
+    uint64_t stale_epoch_rejections = 0;
+    uint64_t recovering_rejections = 0;
+  };
+
+  RecoveryManager(const Options& options, const SimClock* clock)
+      : options_(options), clock_(clock),
+        grace_end_ns_(clock->NowNs() + options.grace_period_ns) {}
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  uint64_t epoch() const { return options_.epoch; }
+
+  // True while the grace window is open (always false for grace_period_ns=0).
+  bool InGrace() const {
+    return options_.grace_period_ns != 0 && clock_->NowNs() < grace_end_ns_;
+  }
+
+  void RecordReassertion(uint32_t host) {
+    MutexLock lock(mu_);
+    reasserted_.insert(host);
+    stats_.reasserting_hosts = reasserted_.size();
+  }
+
+  void NoteStaleEpoch() {
+    MutexLock lock(mu_);
+    stats_.stale_epoch_rejections += 1;
+  }
+
+  void NoteRecovering() {
+    MutexLock lock(mu_);
+    stats_.recovering_rejections += 1;
+  }
+
+  Stats stats() const {
+    MutexLock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const Options options_;
+  const SimClock* clock_;
+  const uint64_t grace_end_ns_;
+  // LOCK-EXEMPT(leaf): protects only local statistics; never calls out.
+  mutable Mutex mu_;
+  std::unordered_set<uint32_t> reasserted_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace dfs
+
+#endif  // SRC_RECOVERY_RECOVERY_MANAGER_H_

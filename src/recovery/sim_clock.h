@@ -1,0 +1,43 @@
+// A deterministic clock for the liveness/recovery subsystem.
+//
+// Leases and grace periods are time-driven state, and the whole repro runs on
+// simulated time (see src/common/vclock.h) so tests can advance the world
+// instantly and reproducibly. SimClock is a thin seam over VirtualClock: a
+// FileServer owns a private clock by default, but the test rig injects its
+// shared VirtualClock so client TTLs, server leases, and the grace window all
+// read the same timeline.
+#ifndef SRC_RECOVERY_SIM_CLOCK_H_
+#define SRC_RECOVERY_SIM_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/common/vclock.h"
+
+namespace dfs {
+
+class SimClock {
+ public:
+  SimClock() = default;
+  // Delegates to `backing` (not owned) when non-null; otherwise the SimClock
+  // keeps its own private VirtualClock.
+  explicit SimClock(VirtualClock* backing) : backing_(backing) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  uint64_t NowNs() const { return clock().Now(); }
+
+  void AdvanceNs(uint64_t ns) { clock().Advance(ns); }
+  void AdvanceMillis(uint64_t ms) { clock().AdvanceMillis(ms); }
+  void AdvanceSeconds(uint64_t s) { clock().AdvanceSeconds(s); }
+
+ private:
+  VirtualClock& clock() const { return backing_ != nullptr ? *backing_ : own_; }
+
+  VirtualClock* backing_ = nullptr;
+  mutable VirtualClock own_;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_RECOVERY_SIM_CLOCK_H_

@@ -27,22 +27,30 @@ Status Network::RegisterNode(NodeId id, RpcHandler* handler, NodeOptions options
 void Network::UnregisterNode(NodeId id) {
   std::unique_ptr<Node> node;
   {
-    MutexLock lock(mu_);
+    UniqueMutexLock lock(mu_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) {
       return;
     }
     node = std::move(it->second);
     nodes_.erase(it);
+    // A concurrent Call may have resolved this node's pool before the erase;
+    // destroying the pools under its feet would be a use-after-free. Submits
+    // are a bounded enqueue (no handler runs under them), so this wait is
+    // short — the handlers themselves drain in the pool join below.
+    while (node->inflight_submits != 0) {
+      node_drained_.Wait(lock);
+    }
   }
   // Pools drain and join outside the lock.
 }
 
 Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc,
                                            std::span<const uint8_t> payload,
-                                           const Principal& principal) {
+                                           const Principal& principal, uint64_t epoch) {
   RpcHandler* handler = nullptr;
   ThreadPool* pool = nullptr;
+  Node* node_ref = nullptr;
   uint64_t timeout_ms = 0;
   {
     MutexLock lock(mu_);
@@ -60,6 +68,12 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
         node.revocation_workers != nullptr && handler->IsRevocationPathProc(proc);
     pool = revocation_path ? node.revocation_workers.get() : node.workers.get();
     timeout_ms = node.options.call_timeout_ms;
+    // Pin the node across the Submit below: a concurrent UnregisterNode
+    // (server restart) waits for in-flight submits before destroying the
+    // pools. The node object outlives the counter — UnregisterNode holds it
+    // until the count drains.
+    node_ref = &node;
+    node.inflight_submits += 1;
     stats_[{from, to}].calls += 1;
     stats_[{from, to}].bytes += payload.size() + kMessageOverheadBytes;
   }
@@ -68,6 +82,7 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
   request->from = from;
   request->proc = proc;
   request->principal = principal;
+  request->epoch = epoch;
   request->payload.assign(payload.begin(), payload.end());
 
   auto promise = std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
@@ -75,6 +90,11 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
   bool submitted = pool->Submit([handler, request, promise] {
     promise->set_value(handler->Handle(*request));
   });
+  {
+    MutexLock lock(mu_);
+    node_ref->inflight_submits -= 1;
+  }
+  node_drained_.NotifyAll();
   if (!submitted) {
     return Status(ErrorCode::kUnavailable, "destination shutting down");
   }

@@ -31,6 +31,9 @@ struct RpcRequest {
   NodeId from = 0;
   uint32_t proc = 0;
   Principal principal;  // attached by the transport; authenticated at connect
+  // Server incarnation epoch the caller believes it is talking to; 0 means
+  // "unfenced" (legacy caller or epoch-less service) and skips the check.
+  uint64_t epoch = 0;
   std::vector<uint8_t> payload;
 };
 
@@ -87,7 +90,7 @@ class Network {
   // Synchronous call: runs on the destination's pool, blocks for the reply.
   Result<std::vector<uint8_t>> Call(NodeId from, NodeId to, uint32_t proc,
                                     std::span<const uint8_t> payload,
-                                    const Principal& principal);
+                                    const Principal& principal, uint64_t epoch = 0);
 
   // Failure injection: calls between a and b fail with kUnavailable.
   void Partition(NodeId a, NodeId b, bool blocked);
@@ -107,10 +110,14 @@ class Network {
     std::unique_ptr<ThreadPool> workers;
     std::unique_ptr<ThreadPool> revocation_workers;
     bool down = false;
+    // Calls that resolved this node's pool and have not finished submitting;
+    // UnregisterNode must not destroy the pools while one is in flight.
+    uint32_t inflight_submits = 0;
   };
 
   VirtualClock* clock_;
   mutable Mutex mu_;
+  CondVar node_drained_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_ GUARDED_BY(mu_);
   std::map<std::pair<NodeId, NodeId>, LinkStats> stats_ GUARDED_BY(mu_);
   std::map<std::pair<NodeId, NodeId>, bool> partitions_ GUARDED_BY(mu_);

@@ -14,18 +14,51 @@ OrderedMutex& FidLockTable::Get(const Fid& fid) {
   return *it->second;
 }
 
+FileServer::FileServer(Network& network, AuthService& auth, NodeId node)
+    : FileServer(network, auth, node, Options()) {}
+
 FileServer::FileServer(Network& network, AuthService& auth, NodeId node, Options options)
     : network_(network), auth_(auth), node_(node), options_(options),
-      tokens_(options_.tokens) {
-  (void)network_.RegisterNode(node_, this, options_.rpc);
+      rclock_(options_.recovery.clock != nullptr ? options_.recovery.clock : &own_clock_),
+      leases_(uint64_t{options_.recovery.lease_ttl_ms} * 1'000'000ull),
+      recovery_({options_.recovery.epoch,
+                 uint64_t{options_.recovery.grace_period_ms} * 1'000'000ull},
+                rclock_),
+      tokens_(WithHostSilent(options_.tokens, this)) {
+  // Network registration is deferred to the first export (EnsureRegistered):
+  // the server must not answer the network before its volumes are attached.
   tokens_.RegisterHost(node_, &local_host_handler_);  // the glue layer's host
+}
+
+TokenManager::Options FileServer::WithHostSilent(TokenManager::Options opts,
+                                                 FileServer* server) {
+  opts.host_silent = [server](HostId host) {
+    // The local glue-layer host never sends RPCs, so it has no lease.
+    return host != server->node_ &&
+           server->leases_.Expired(host, server->rclock_->NowNs());
+  };
+  return opts;
 }
 
 FileServer::~FileServer() { network_.UnregisterNode(node_); }
 
+void FileServer::EnsureRegistered() {
+  // Bind-the-socket-last: a restarted server that answered the network before
+  // re-attaching its aggregates would reject in-flight token reassertions for
+  // volumes it simply has not exported *yet* — indistinguishable, to the
+  // client, from "the volume moved away", so the client would drop live
+  // tokens (and their dirty data) spuriously.
+  if (!registered_.exchange(true, std::memory_order_acq_rel)) {
+    (void)network_.RegisterNode(node_, this, options_.rpc);
+  }
+}
+
 Status FileServer::ExportVolume(uint64_t volume_id, VfsRef vfs) {
-  MutexLock lock(mu_);
-  volumes_[volume_id] = std::move(vfs);
+  {
+    MutexLock lock(mu_);
+    volumes_[volume_id] = std::move(vfs);
+  }
+  EnsureRegistered();
   return Status::Ok();
 }
 
@@ -34,7 +67,9 @@ Status FileServer::ExportAggregate(VolumeOps* ops) {
     MutexLock lock(mu_);
     volume_ops_.push_back(ops);
   }
-  return RefreshExports();
+  Status refreshed = RefreshExports();
+  EnsureRegistered();
+  return refreshed;
 }
 
 Status FileServer::RefreshExports() {
@@ -76,8 +111,12 @@ Result<VfsRef> FileServer::ExportedVolume(uint64_t volume_id) {
 }
 
 uint64_t FileServer::NextStamp(const Fid& fid) {
+  // The incarnation epoch forms the stamp's high bits, so a restarted
+  // server's fresh stamps always exceed any the previous incarnation issued —
+  // without it the client's stamp-ordered merge (MergeSyncLocked) would
+  // reject every post-restart reply as stale.
   MutexLock lock(mu_);
-  return ++stamps_[fid];
+  return (recovery_.epoch() << 40) + (++stamps_[fid]);
 }
 
 FileServer::Stats FileServer::stats() const {
@@ -170,6 +209,56 @@ Status FileServer::RemoteHost::Revoke(const Token& token, uint32_t types) {
   }
 }
 
+std::vector<Status> FileServer::RemoteHost::RevokeBatch(
+    const std::vector<RevokeItem>& items) {
+  Writer w;
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const RevokeItem& item : items) {
+    item.token.Serialize(w);
+    w.PutU32(item.types);
+    w.PutU64(server_->NextStamp(item.token.fid));
+  }
+  auto decode = [&]() -> Result<std::vector<Status>> {
+    auto raw =
+        server_->network_.Call(server_->node_, client_, kRevokeTokenBatch, w.data(), "server");
+    if (!raw.ok() && raw.code() == ErrorCode::kUnavailable) {
+      // Same contract as the single-token path: a dead client's tokens drop.
+      server_->OnHostUnreachable(client_);
+      return std::vector<Status>(items.size(), Status::Ok());
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, UnwrapReply(std::move(raw)));
+    Reader r(payload);
+    ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    if (count != items.size()) {
+      return Status(ErrorCode::kInternal, "batch revocation reply count mismatch");
+    }
+    std::vector<Status> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+      switch (code) {
+        case kRevokeReturned:
+          out.push_back(Status::Ok());
+          break;
+        case kRevokeDeferred:
+          out.push_back(Status(ErrorCode::kWouldBlock, "client deferred the return"));
+          break;
+        default:
+          out.push_back(
+              Status(ErrorCode::kBusy, "client refused to relinquish the token"));
+          break;
+      }
+    }
+    return out;
+  };
+  auto statuses = decode();
+  if (statuses.ok()) {
+    return *std::move(statuses);
+  }
+  // Transport/decoding failure: every item gets the same error.
+  return std::vector<Status>(items.size(), statuses.status());
+}
+
 Result<std::vector<uint8_t>> UnwrapReply(Result<std::vector<uint8_t>> raw) {
   RETURN_IF_ERROR(raw.status());
   Reader r(*raw);
@@ -189,11 +278,42 @@ Result<std::vector<uint8_t>> FileServer::Handle(const RpcRequest& req) {
     MutexLock lock(mu_);
     stats_.requests += 1;
   }
+  // Any RPC from a host renews its lease — data traffic doubles as the
+  // keep-alive, so idle-but-chatty clients never need explicit pings.
+  leases_.Renew(req.from, rclock_->NowNs());
+  // Admission (recovery protocol). Connect, keep-alive and reassertion are
+  // always admitted — they ARE the recovery path. Everything else is fenced:
+  // an epoch from a previous incarnation is rejected first (the client must
+  // reconnect and reassert before anything else), then, while the grace
+  // window is open, even current-epoch data RPCs are turned away so no grant
+  // can race a surviving client's reassertion and no stale data is served.
+  bool recovery_proc =
+      req.proc == kConnect || req.proc == kReassertTokens || req.proc == kKeepAlive;
+  if (!recovery_proc) {
+    if (req.epoch != 0 && req.epoch != recovery_.epoch()) {
+      recovery_.NoteStaleEpoch();
+      return EncodeErrorReply(Status(
+          ErrorCode::kStaleEpoch,
+          "server epoch is " + std::to_string(recovery_.epoch()) + ", caller sent " +
+              std::to_string(req.epoch)));
+    }
+    if (recovery_.InGrace()) {
+      recovery_.NoteRecovering();
+      return EncodeErrorReply(
+          Status(ErrorCode::kRecovering, "server in post-restart grace period"));
+    }
+  }
   Reader r(req.payload);
   Body body = Status(ErrorCode::kNotSupported, "unknown procedure");
   switch (req.proc) {
     case kConnect:
       body = DoConnect(req, r);
+      break;
+    case kReassertTokens:
+      body = DoReassertTokens(req, r);
+      break;
+    case kKeepAlive:
+      body = DoKeepAlive(req, r);
       break;
     case kGetRoot:
       body = DoGetRoot(req, r);
@@ -304,6 +424,41 @@ FileServer::Body FileServer::DoConnect(const RpcRequest& req, Reader& r) {
   }
   Writer w;
   w.PutString(principal);
+  w.PutU64(recovery_.epoch());
+  return w;
+}
+
+FileServer::Body FileServer::DoReassertTokens(const RpcRequest& req, Reader& r) {
+  RETURN_IF_ERROR(CredForHost(req.from).status());
+  ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  Writer w;
+  w.PutU64(recovery_.epoch());
+  w.PutU32(count);
+  bool any_accepted = false;
+  for (uint32_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
+    // A host may only reassert its own tokens, and only for volumes actually
+    // exported here (the volume may have moved while the client was away).
+    bool accepted = token.host == req.from && ExportedVolume(token.fid.volume).ok() &&
+                    tokens_.Reassert(token).ok();
+    if (accepted) {
+      any_accepted = true;
+    }
+    w.PutU8(accepted ? 1 : 0);
+  }
+  if (any_accepted) {
+    recovery_.RecordReassertion(req.from);
+  }
+  return w;
+}
+
+FileServer::Body FileServer::DoKeepAlive(const RpcRequest& req, Reader& r) {
+  (void)r;
+  RETURN_IF_ERROR(CredForHost(req.from).status());
+  // The lease was renewed in Handle(); the reply's epoch lets a client detect
+  // a restart between data RPCs.
+  Writer w;
+  w.PutU64(recovery_.epoch());
   return w;
 }
 

@@ -21,6 +21,9 @@
 
 #include "src/common/lock_order.h"
 #include "src/common/mutex.h"
+#include "src/recovery/lease_table.h"
+#include "src/recovery/recovery_manager.h"
+#include "src/recovery/sim_clock.h"
 #include "src/rpc/auth.h"
 #include "src/rpc/rpc.h"
 #include "src/server/procs.h"
@@ -57,14 +60,32 @@ class FileServer : public RpcHandler {
     // Sharding + revocation fan-out knobs, passed through to the token
     // manager (the bench's serial-ablation flag comes in this way).
     TokenManager::Options tokens;
+    // Liveness + restart recovery (src/recovery). Defaults reproduce the
+    // pre-recovery behaviour: epoch 1, no grace period, leases never expire.
+    struct RecoveryOptions {
+      uint64_t epoch = 1;           // incarnation; bump on restart
+      uint32_t grace_period_ms = 0; // post-restart reassertion window
+      uint32_t lease_ttl_ms = 0;    // 0 = hosts never go silent
+      // Shared deterministic clock (the test rig injects its VirtualClock);
+      // null = the server runs a private clock that never advances, i.e.
+      // leases and grace are inert unless someone drives time.
+      SimClock* clock = nullptr;
+    } recovery;
   };
 
-  FileServer(Network& network, AuthService& auth, NodeId node, Options options = {});
+  // Two overloads rather than `Options options = {}`: gcc cannot evaluate a
+  // braced default argument whose type carries nested default member
+  // initializers at class scope.
+  FileServer(Network& network, AuthService& auth, NodeId node);
+  FileServer(Network& network, AuthService& auth, NodeId node, Options options);
   ~FileServer() override;
 
   NodeId node() const { return node_; }
   TokenManager& tokens() { return tokens_; }
   Network& network() { return network_; }
+  uint64_t epoch() const { return recovery_.epoch(); }
+  bool in_grace() const { return recovery_.InGrace(); }
+  RecoveryManager::Stats recovery_stats() const { return recovery_.stats(); }
 
   // Exports a mounted physical file system under its volume id.
   Status ExportVolume(uint64_t volume_id, VfsRef vfs);
@@ -116,6 +137,9 @@ class FileServer : public RpcHandler {
    public:
     RemoteHost(FileServer* server, NodeId client) : server_(server), client_(client) {}
     Status Revoke(const Token& token, uint32_t types) override;
+    // Coalesces a fan-out round's revocations against this client into one
+    // kRevokeTokenBatch RPC.
+    std::vector<Status> RevokeBatch(const std::vector<RevokeItem>& items) override;
     std::string name() const override { return "client-" + std::to_string(client_); }
 
    private:
@@ -149,6 +173,8 @@ class FileServer : public RpcHandler {
   // Dispatch helpers. Each returns the reply body writer.
   using Body = Result<Writer>;
   Body DoConnect(const RpcRequest& req, Reader& r);
+  Body DoReassertTokens(const RpcRequest& req, Reader& r);
+  Body DoKeepAlive(const RpcRequest& req, Reader& r);
   Body DoGetRoot(const RpcRequest& req, Reader& r);
   Body DoFetchStatus(const RpcRequest& req, Reader& r);
   Body DoFetchData(const RpcRequest& req, Reader& r);
@@ -179,10 +205,28 @@ class FileServer : public RpcHandler {
   // caches of the affected files are invalidated first.
   Result<Token> GrantLocal(const Fid& fid, uint32_t types);
 
+  // Injects the lease-expiry hook into the token-manager options. The lambda
+  // captures `server` but only runs on grant paths, well after construction.
+  static TokenManager::Options WithHostSilent(TokenManager::Options opts,
+                                              FileServer* server);
+
+  // Registers this server on the network exactly once, called from the
+  // export paths — the server answers the network only after it has
+  // something exported (see the comment in the definition).
+  void EnsureRegistered();
+
   Network& network_;
   AuthService& auth_;
   const NodeId node_;
   Options options_;
+  std::atomic<bool> registered_{false};
+
+  // Recovery subsystem (declared before tokens_: the host_silent hook the
+  // token manager holds reads leases_ and rclock_).
+  SimClock own_clock_;
+  SimClock* rclock_;
+  LeaseTable leases_;
+  RecoveryManager recovery_;
 
   TokenManager tokens_;
   LocalHost local_host_handler_;

@@ -40,6 +40,13 @@ enum Proc : uint32_t {
   // Forces the volume's physical file system to make recent metadata durable
   // (the server-side half of fsync: an Episode log flush).
   kSyncVolume = 24,
+  // Recovery protocol: after a server restart, each surviving client sends
+  // one batched reassertion of every token it still holds from the old
+  // incarnation; admitted during the grace period (unlike data RPCs).
+  kReassertTokens = 25,  // count + tokens -> epoch + per-token verdicts
+  // Lease renewal when the client has nothing else to say; reply carries the
+  // server's current epoch so restarts are detected between data RPCs.
+  kKeepAlive = 26,
 
   // Volume server interface (Section 3.6).
   kVolList = 40,
@@ -52,6 +59,7 @@ enum Proc : uint32_t {
 
   // File server -> client cache manager.
   kRevokeToken = 100,  // token, types, stamp -> {0 returned, 1 deferred, 2 refused}
+  kRevokeTokenBatch = 101,  // count + (token, types, stamp)* -> count + verdicts
 
   // Volume location database (Section 3.4).
   kVldbRegister = 200,  // volume id, name, server node

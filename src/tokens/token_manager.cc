@@ -45,7 +45,7 @@ void TokenManager::UnregisterHost(HostId host) {
   // below kHostRegistry in the hierarchy, so the two are never nested this
   // way around.
   for (auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     for (auto it = shard->tokens.begin(); it != shard->tokens.end();) {
       if (it->second.host == host) {
         auto vit = shard->by_volume.find(it->second.fid.volume);
@@ -124,17 +124,61 @@ void TokenManager::EraseTokenTypesLocked(Shard& shard, TokenId id, uint32_t type
   }
 }
 
-bool TokenManager::IssueRevokes(std::vector<RevokeOutcome>& outcomes) {
-  auto run_one = [](RevokeOutcome& o) {
-    o.holder = o.handler != nullptr ? o.handler->name() : "unknown";
-    o.status = o.handler != nullptr ? o.handler->Revoke(o.token, o.types)
-                                    : Status::Ok();  // host gone: drop its token
-  };
-  if (options_.revoke_fanout_threads == 0 || outcomes.size() < 2) {
-    for (auto& o : outcomes) {
-      run_one(o);
+TokenManager::IssueResult TokenManager::IssueRevokes(std::vector<RevokeOutcome>& outcomes) {
+  IssueResult result;
+  // Group the round's outcomes by holder host: every host gets exactly one
+  // callback — Revoke for a single token, RevokeBatch (one RPC on the wire)
+  // when several of its tokens conflict at once. Groups hold indices into
+  // `outcomes`, so statuses land back in their slots.
+  std::vector<std::pair<TokenHost*, std::vector<size_t>>> groups;
+  std::unordered_map<HostId, size_t> group_of;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    auto [it, inserted] = group_of.emplace(outcomes[i].token.host, groups.size());
+    if (inserted) {
+      groups.push_back({outcomes[i].handler, {}});
     }
-    return false;
+    groups[it->second].second.push_back(i);
+  }
+  for (const auto& [handler, idx] : groups) {
+    if (handler != nullptr && idx.size() >= 2) {
+      result.host_batches += 1;
+    }
+  }
+
+  auto run_group = [&outcomes](TokenHost* handler, const std::vector<size_t>& idx) {
+    std::string holder = handler != nullptr ? handler->name() : "unknown";
+    for (size_t i : idx) {
+      outcomes[i].holder = holder;
+    }
+    if (handler == nullptr) {  // host gone or lease lapsed: drop its tokens
+      for (size_t i : idx) {
+        outcomes[i].status = Status::Ok();
+      }
+      return;
+    }
+    if (idx.size() == 1) {
+      RevokeOutcome& o = outcomes[idx[0]];
+      o.status = handler->Revoke(o.token, o.types);
+      return;
+    }
+    std::vector<TokenHost::RevokeItem> items;
+    items.reserve(idx.size());
+    for (size_t i : idx) {
+      items.push_back({outcomes[i].token, outcomes[i].types});
+    }
+    std::vector<Status> statuses = handler->RevokeBatch(items);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      outcomes[idx[k]].status =
+          k < statuses.size() ? statuses[k]
+                              : Status(ErrorCode::kInternal, "short RevokeBatch reply");
+    }
+  };
+
+  if (options_.revoke_fanout_threads == 0 || groups.size() < 2) {
+    for (const auto& [handler, idx] : groups) {
+      run_group(handler, idx);
+    }
+    return result;
   }
   ThreadPool* pool = nullptr;
   {
@@ -145,21 +189,22 @@ bool TokenManager::IssueRevokes(std::vector<RevokeOutcome>& outcomes) {
     }
     pool = revoke_pool_.get();
   }
-  // Batch-completion latch. Workers only touch their own outcome slot, so the
-  // latch is the sole shared state.
+  // Batch-completion latch. Workers only touch their own group's outcome
+  // slots, so the latch is the sole shared state.
   // LOCK-EXEMPT(leaf): batch-local latch; never held across any other lock.
   Mutex done_mu;
   CondVar done_cv;
-  size_t pending = outcomes.size();
-  for (auto& o : outcomes) {
-    bool submitted = pool->Submit([&o, &run_one, &done_mu, &done_cv, &pending] {
-      run_one(o);
-      MutexLock lock(done_mu);
-      --pending;
-      done_cv.NotifyOne();
-    });
+  size_t pending = groups.size();
+  for (auto& [handler, idx] : groups) {
+    bool submitted =
+        pool->Submit([handler = handler, &idx, &run_group, &done_mu, &done_cv, &pending] {
+          run_group(handler, idx);
+          MutexLock lock(done_mu);
+          --pending;
+          done_cv.NotifyOne();
+        });
     if (!submitted) {  // pool shutting down: fall back inline
-      run_one(o);
+      run_group(handler, idx);
       MutexLock lock(done_mu);
       --pending;
     }
@@ -168,7 +213,8 @@ bool TokenManager::IssueRevokes(std::vector<RevokeOutcome>& outcomes) {
   while (pending > 0) {
     done_cv.Wait(lock);
   }
-  return true;
+  result.used_pool = true;
+  return result;
 }
 
 Status TokenManager::RevokeConflicts(Shard& shard,
@@ -179,7 +225,7 @@ Status TokenManager::RevokeConflicts(Shard& shard,
   std::vector<RevokeOutcome> outcomes;
   outcomes.reserve(conflicts.size());
   {
-    OrderedLockGuard lock(shard.mu);
+    ShardGuard lock(shard);
     SharedOrderedReadGuard hosts_lock(host_mu_);
     for (auto& [conflict, conflicting_types] : conflicts) {
       auto tit = shard.tokens.find(conflict.id);
@@ -191,6 +237,13 @@ Status TokenManager::RevokeConflicts(Shard& shard,
       o.types = conflicting_types;
       auto hit = hosts_.find(conflict.host);
       o.handler = (hit != hosts_.end()) ? hit->second : nullptr;
+      if (o.handler != nullptr && options_.host_silent && options_.host_silent(conflict.host)) {
+        // The holder's lease lapsed: garbage-collect its token instead of
+        // waiting on a callback it will never answer (the paper's token
+        // lifetimes; Lustre's eviction).
+        o.handler = nullptr;
+        shard.stats.lease_expired_drops += 1;
+      }
       outcomes.push_back(std::move(o));
     }
   }
@@ -200,18 +253,19 @@ Status TokenManager::RevokeConflicts(Shard& shard,
 
   // Issue every Revoke with no shard lock held: each may be a blocking RPC
   // whose handler calls back into this manager.
-  bool used_pool = IssueRevokes(outcomes);
+  IssueResult issued = IssueRevokes(outcomes);
 
   // Merge. All callbacks have completed, so relinquished tokens are erased
   // even when some other holder refused — their holders already gave them up.
   std::vector<std::pair<TokenId, uint32_t>> deferred;
   Status refusal = Status::Ok();
   {
-    OrderedLockGuard lock(shard.mu);
+    ShardGuard lock(shard);
     shard.stats.revocations += outcomes.size();
-    if (used_pool) {
+    if (issued.used_pool) {
       shard.stats.fanout_batches += 1;
     }
+    shard.stats.host_batches += issued.host_batches;
     bool erased_any = false;
     for (const auto& o : outcomes) {
       if (o.status.ok()) {
@@ -246,6 +300,9 @@ Status TokenManager::RevokeConflicts(Shard& shard,
     // together, so they time out together — N deferring holders cost one
     // timeout budget, not N.
     auto deadline = std::chrono::steady_clock::now() + options_.deferred_return_timeout;
+    // Counted by hand: the condvar wait needs the raw OrderedUniqueLock, not
+    // the counting ShardGuard.
+    shard.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
     OrderedUniqueLock lock(shard.mu);
     for (;;) {
       bool all = true;
@@ -282,7 +339,7 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
   for (int round = 0; round < 64; ++round) {
     std::vector<std::pair<Token, uint32_t>> conflicts;
     {
-      OrderedLockGuard lock(shard.mu);
+      ShardGuard lock(shard);
       conflicts = ConflictsLocked(shard, host, fid, types, range);
       if (conflicts.empty()) {
         Token token;
@@ -306,11 +363,39 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
   return Status(ErrorCode::kTimedOut, "grant retry limit exceeded (revocation livelock)");
 }
 
+Status TokenManager::Reassert(const Token& token) {
+  Shard& shard = ShardFor(token.fid.volume);
+  ShardGuard lock(shard);
+  auto it = shard.tokens.find(token.id);
+  if (it != shard.tokens.end()) {
+    if (it->second.host == token.host && it->second.fid == token.fid) {
+      return Status::Ok();  // duplicate reassertion from the same holder
+    }
+    shard.stats.reassert_conflicts += 1;
+    return Status(ErrorCode::kConflict, "token id already in use");
+  }
+  // First-wins: a conflicting grant (or reassertion) that beat us here keeps
+  // its tokens — reassertion never revokes.
+  if (!ConflictsLocked(shard, token.host, token.fid, token.types, token.range).empty()) {
+    shard.stats.reassert_conflicts += 1;
+    return Status(ErrorCode::kConflict, "reassertion lost to a conflicting grant");
+  }
+  shard.tokens.emplace(token.id, token);
+  shard.by_volume[token.fid.volume].push_back(token.id);
+  shard.stats.reasserts += 1;
+  // Fresh grants must mint ids above every reasserted one.
+  TokenId cur = next_id_.load(std::memory_order_relaxed);
+  while (cur <= token.id &&
+         !next_id_.compare_exchange_weak(cur, token.id + 1, std::memory_order_relaxed)) {
+  }
+  return Status::Ok();
+}
+
 Status TokenManager::Return(TokenId id, uint32_t types) {
   // A TokenId does not encode its volume, so probe shards; grants are the hot
   // path, not returns.
   for (auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     auto it = shard->tokens.find(id);
     if (it == shard->tokens.end()) {
       continue;
@@ -324,7 +409,7 @@ Status TokenManager::Return(TokenId id, uint32_t types) {
 
 bool TokenManager::HasToken(TokenId id) const {
   for (const auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     if (shard->tokens.count(id) != 0) {
       return true;
     }
@@ -334,7 +419,7 @@ bool TokenManager::HasToken(TokenId id) const {
 
 std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
   Shard& shard = ShardFor(fid.volume);
-  OrderedLockGuard lock(shard.mu);
+  ShardGuard lock(shard);
   std::vector<Token> out;
   for (const auto& [id, t] : shard.tokens) {
     if (t.fid == fid) {
@@ -347,7 +432,7 @@ std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
 std::vector<Token> TokenManager::TokensForHost(HostId host) const {
   std::vector<Token> out;
   for (const auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     for (const auto& [id, t] : shard->tokens) {
       if (t.host == host) {
         out.push_back(t);
@@ -360,12 +445,18 @@ std::vector<Token> TokenManager::TokensForHost(HostId host) const {
 TokenManager::Stats TokenManager::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     total.grants += shard->stats.grants;
     total.revocations += shard->stats.revocations;
     total.deferred_returns += shard->stats.deferred_returns;
     total.refusals += shard->stats.refusals;
     total.fanout_batches += shard->stats.fanout_batches;
+    total.host_batches += shard->stats.host_batches;
+    total.reasserts += shard->stats.reasserts;
+    total.reassert_conflicts += shard->stats.reassert_conflicts;
+    total.lease_expired_drops += shard->stats.lease_expired_drops;
+    total.lock_acquisitions += shard->lock_acquisitions.load(std::memory_order_relaxed);
+    total.lock_contended += shard->lock_contended.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -373,7 +464,7 @@ TokenManager::Stats TokenManager::stats() const {
 size_t TokenManager::VolumeIndexEntries() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    OrderedLockGuard lock(shard->mu);
+    ShardGuard lock(*shard);
     n += shard->by_volume.size();
   }
   return n;

@@ -38,6 +38,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -54,11 +55,29 @@ namespace dfs {
 
 class TokenHost {
  public:
+  // One revocation of a batch: the token and which of its types to give up.
+  struct RevokeItem {
+    Token token;
+    uint32_t types = 0;
+  };
+
   virtual ~TokenHost() = default;
   // Asks the holder to relinquish `types` of `token`. OK = relinquished now;
   // kWouldBlock = will be returned via TokenManager::Return shortly;
   // kBusy = refused (holder keeps it).
   virtual Status Revoke(const Token& token, uint32_t types) = 0;
+  // Coalesced form: all of one fan-out round's revocations against this host
+  // in a single callback (one RPC on the wire instead of N). Returns one
+  // status per item, same meanings as Revoke. The default loops Revoke so
+  // hosts that never batch keep working unchanged.
+  virtual std::vector<Status> RevokeBatch(const std::vector<RevokeItem>& items) {
+    std::vector<Status> out;
+    out.reserve(items.size());
+    for (const auto& item : items) {
+      out.push_back(Revoke(item.token, item.types));
+    }
+    return out;
+  }
   virtual std::string name() const = 0;
 };
 
@@ -75,6 +94,11 @@ class TokenManager {
     // a dead client cannot wedge the server forever. One shared deadline
     // covers *all* deferrals of a revocation round.
     std::chrono::milliseconds deferred_return_timeout{10'000};
+    // Liveness hook (the paper's token lifetimes): when set and it returns
+    // true for a host, that host's lease has lapsed and its tokens are
+    // garbage-collected during conflict resolution instead of waiting on its
+    // revoke callbacks. Unset = every host is live (the default).
+    std::function<bool(HostId)> host_silent;
   };
 
   struct Stats {
@@ -84,6 +108,18 @@ class TokenManager {
     uint64_t refusals = 0;
     // Revocation rounds with >1 conflict dispatched through the fan-out pool.
     uint64_t fanout_batches = 0;
+    // Per-host RevokeBatch callbacks that coalesced >= 2 tokens.
+    uint64_t host_batches = 0;
+    // Recovery protocol (server restart): tokens re-installed via Reassert,
+    // and reassertions rejected because a conflicting grant got there first.
+    uint64_t reasserts = 0;
+    uint64_t reassert_conflicts = 0;
+    // Tokens dropped because their holder's lease expired (host_silent).
+    uint64_t lease_expired_drops = 0;
+    // Shard-lock contention (groundwork for shard autotuning): total
+    // exclusive acquisitions, and how many found the lock already held.
+    uint64_t lock_acquisitions = 0;
+    uint64_t lock_contended = 0;
   };
 
   TokenManager() : TokenManager(Options()) {}
@@ -102,6 +138,12 @@ class TokenManager {
   // erased when no types remain. Wakes grant waiters.
   Status Return(TokenId id, uint32_t types);
 
+  // Recovery protocol: re-installs a token a surviving client held under the
+  // previous server incarnation, preserving its id. Idempotent for the same
+  // holder; fails with kConflict when a conflicting grant (or another host's
+  // reassertion of the same id) got there first — reassertion never revokes.
+  Status Reassert(const Token& token);
+
   bool HasToken(TokenId id) const;
   std::vector<Token> TokensForFid(const Fid& fid) const;
   std::vector<Token> TokensForHost(HostId host) const;
@@ -118,7 +160,22 @@ class TokenManager {
   struct Shard {
     explicit Shard(uint64_t tag) : mu(LockLevel::kTokenShard, tag, "token-shard") {}
 
+    // Contention-instrumented acquisition: a try_lock probe first (success is
+    // the uncontended fast path), falling back to a blocking lock. The
+    // counters are atomics, not GUARDED_BY(mu) — they are written on the way
+    // *into* the lock.
+    void Lock() ACQUIRE(mu) {
+      lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (!mu.try_lock()) {
+        lock_contended.fetch_add(1, std::memory_order_relaxed);
+        mu.lock();
+      }
+    }
+    void Unlock() RELEASE(mu) { mu.unlock(); }
+
     mutable OrderedMutex mu;
+    mutable std::atomic<uint64_t> lock_acquisitions{0};
+    mutable std::atomic<uint64_t> lock_contended{0};
     // Signalled on every token erase/return in this shard; deferred-return
     // waits in Grant sleep here. condition_variable_any pairs with
     // OrderedUniqueLock so the hierarchy checker tracks the wait's
@@ -129,6 +186,20 @@ class TokenManager {
     // Emptied vectors are pruned.
     std::unordered_map<uint64_t, std::vector<TokenId>> by_volume GUARDED_BY(mu);
     Stats stats GUARDED_BY(mu);
+  };
+
+  // Scoped guard over Shard::Lock/Unlock, mirroring OrderedLockGuard so the
+  // static analysis sees the shard mutex held for the guard's scope.
+  class SCOPED_CAPABILITY ShardGuard {
+   public:
+    explicit ShardGuard(Shard& shard) ACQUIRE(shard.mu) : shard_(shard) { shard_.Lock(); }
+    ~ShardGuard() RELEASE() { shard_.Unlock(); }
+
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    Shard& shard_;
   };
 
   // One conflict's revocation callback and its merged result.
@@ -161,10 +232,18 @@ class TokenManager {
   // the caller should re-scan, an error to fail the grant.
   Status RevokeConflicts(Shard& shard, std::vector<std::pair<Token, uint32_t>> conflicts);
 
-  // Runs the Revoke callbacks of `outcomes` and fills in their status, fanning
-  // out through the pool when enabled and the batch has more than one entry.
-  // Returns true if the batch went through the pool.
-  bool IssueRevokes(std::vector<RevokeOutcome>& outcomes);
+  // Outcome of one IssueRevokes round, for the stats merge.
+  struct IssueResult {
+    bool used_pool = false;      // the round went through the fan-out pool
+    uint64_t host_batches = 0;   // RevokeBatch callbacks coalescing >= 2 tokens
+  };
+
+  // Runs the revocation callbacks of `outcomes` and fills in their status.
+  // Outcomes are grouped per holder host first: a host with several
+  // conflicting tokens gets one RevokeBatch callback (one RPC) instead of N
+  // Revokes. Host groups fan out through the pool when enabled and the round
+  // spans more than one host.
+  IssueResult IssueRevokes(std::vector<RevokeOutcome>& outcomes);
 
   const Options options_;
 

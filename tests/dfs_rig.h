@@ -10,6 +10,7 @@
 
 #include "src/client/cache_manager.h"
 #include "src/episode/aggregate.h"
+#include "src/recovery/sim_clock.h"
 #include "src/rpc/auth.h"
 #include "src/rpc/rpc.h"
 #include "src/server/file_server.h"
@@ -28,8 +29,12 @@ inline constexpr uint64_t kUserSecret = 0xBEEF;
 
 struct DfsRig {
   VirtualClock clock;
+  // The same virtual clock, seen through the recovery subsystem's interface:
+  // advancing `clock` drives server leases and grace periods too.
+  SimClock sim_clock{&clock};
   Network net{&clock};
   AuthService auth;
+  uint64_t server_epoch = 1;
   std::unique_ptr<VldbServer> vldb;
 
   std::unique_ptr<SimDisk> disk;
@@ -42,11 +47,17 @@ struct DfsRig {
 
   uint64_t volume_id = 0;
   std::vector<std::unique_ptr<CacheManager>> clients;
+  // The primary server's construction options, kept so RestartServer can
+  // rebuild it the same way (with a bumped epoch).
+  FileServer::Options server_options;
 
   struct Options {
     bool second_server = false;
     uint64_t disk_blocks = 16384;
     Aggregate::Options agg;
+    // Passed through to the primary file server (lease TTLs, token-manager
+    // knobs, ...). The recovery clock is always overridden to the rig's.
+    FileServer::Options server;
   };
 
   static std::unique_ptr<DfsRig> Create() { return Create(Options()); }
@@ -66,7 +77,11 @@ struct DfsRig {
       return nullptr;
     }
     rig->agg = std::move(*agg);
-    rig->server = std::make_unique<FileServer>(rig->net, rig->auth, kServerNode);
+    FileServer::Options sopts = options.server;
+    sopts.recovery.clock = &rig->sim_clock;
+    sopts.recovery.epoch = rig->server_epoch;
+    rig->server_options = sopts;
+    rig->server = std::make_unique<FileServer>(rig->net, rig->auth, kServerNode, sopts);
     auto vid = rig->agg->CreateVolume("home");
     if (!vid.ok()) {
       return nullptr;
@@ -109,6 +124,27 @@ struct DfsRig {
   Ticket TicketFor(const std::string& principal) {
     auto t = auth.IssueTicket(principal, kUserSecret);
     return t.ok() ? *t : Ticket{};
+  }
+
+  // Kills the primary server (token state, host registrations, and leases die
+  // with it; the aggregate — the disk — survives) and brings it back under a
+  // new incarnation epoch with the given grace period. Clients discover the
+  // restart via kStaleEpoch/kAuthFailed on their next call and reassert.
+  void RestartServer(uint32_t grace_period_ms = 0, uint32_t lease_ttl_ms = 0) {
+    server.reset();
+    server_epoch += 1;
+    FileServer::Options sopts = server_options;
+    sopts.recovery.clock = &sim_clock;
+    sopts.recovery.epoch = server_epoch;
+    sopts.recovery.grace_period_ms = grace_period_ms;
+    sopts.recovery.lease_ttl_ms = lease_ttl_ms;
+    server_options = sopts;
+    server = std::make_unique<FileServer>(net, auth, kServerNode, sopts);
+    (void)server->ExportAggregate(agg.get());
+    // The VLDB registration survives (it lives on its own node); re-register
+    // anyway so a wiped VLDB in a test cannot strand the volume.
+    VldbClient registrar(net, kServerNode, {kVldbNode});
+    (void)registrar.Register(volume_id, "home", kServerNode);
   }
 };
 

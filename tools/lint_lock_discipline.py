@@ -5,7 +5,8 @@ The Section-6 deadlock-avoidance argument only holds if every lock that can be
 held across a call into another module participates in the hierarchy. This
 lint enforces the coding rule that makes that auditable:
 
-  Modules under src/tokens, src/client and src/server may only declare
+  Modules under src/tokens, src/client, src/server and src/recovery may only
+  declare
     - dfs::OrderedMutex            (hierarchy-checked, the default), or
     - a leaf lock (dfs::Mutex, std::mutex, std::shared_mutex) carrying an
       explicit `// LOCK-EXEMPT(leaf): <reason>` comment on the same line or
@@ -19,7 +20,7 @@ import re
 import sys
 from pathlib import Path
 
-LINTED_DIRS = ("src/tokens", "src/client", "src/server")
+LINTED_DIRS = ("src/tokens", "src/client", "src/server", "src/recovery")
 
 # Declarations of non-hierarchy mutex types: `std::mutex m_;`, `Mutex m_;`,
 # `mutable std::shared_mutex m_;` etc. OrderedMutex is always allowed, and
