@@ -59,6 +59,9 @@ Status OpenHandle::Close() {
   {
     OrderedLockGuard low(cv->low);
     cv->open_count -= 1;
+    // Close cancels background readahead for the file: windows in flight
+    // lose the generation race and never install.
+    cv->prefetch_gen += 1;
     for (auto it = cv->tokens.begin(); it != cv->tokens.end(); ++it) {
       if (it->id == token_) {
         cv->tokens.erase(it);
@@ -66,6 +69,7 @@ Status OpenHandle::Close() {
       }
     }
   }
+  cm->prefetcher_->Forget(fid_);
   return cm->ReturnToken(fid_, token_, types_);
 }
 
@@ -84,6 +88,9 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
     store_ = disk_store.ok() ? std::unique_ptr<CacheStore>(std::move(*disk_store))
                              : std::make_unique<MemoryCacheStore>();
   }
+  prefetcher_ = std::make_unique<Prefetcher>(Prefetcher::Options{
+      options_.prefetch_threads, options_.readahead_min_blocks,
+      options_.readahead_max_blocks});
   (void)network_.RegisterNode(options_.node, this, options_.rpc);
   if (options_.write_behind) {
     flusher_ = std::thread([this] { FlusherLoop(); });
@@ -95,7 +102,10 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
 
 CacheManager::~CacheManager() {
   // Stop the daemons before dropping off the network: a pass in progress may
-  // still be issuing RPCs through it.
+  // still be issuing RPCs through it. The prefetch pool goes first — its
+  // tasks touch the stats, the store and the network, and member destruction
+  // order would otherwise tear those down before the pool joins.
+  prefetcher_.reset();
   if (flusher_.joinable()) {
     {
       MutexLock lock(flusher_mu_);
@@ -126,7 +136,9 @@ CacheManager::CVnodeRef CacheManager::GetCVnode(const Fid& fid) {
 
 CacheManager::Stats CacheManager::stats() const {
   MutexLock lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.inflight_highwater = inflight_highwater_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // --- Resource layer ---
@@ -370,7 +382,9 @@ Status CacheManager::HandleStaleEpoch(NodeId server,
       if (!cv->dirty_blocks.empty() || cv->attr_dirty) {
         cv->dirty_lost = true;
       }
+      cv->prefetch_gen += 1;
       for (uint64_t b : cv->cached_blocks) {
+        NotePrefetchDropLocked(*cv, b);
         store_->Erase(cv->fid, b);
         RemoveLru(cv->fid, b);
       }
@@ -540,9 +554,15 @@ Status CacheManager::ApplyRevocationLocked(CVnode& cv, const Token& token, uint3
     RETURN_IF_ERROR(StoreDirtyRangeLocked(cv, ByteRange::All(), /*revocation_path=*/true));
   }
   if (types & (kTokenDataRead | kTokenDataWrite)) {
+    // A data revocation cancels background readahead for the file: windows
+    // already in flight lose the generation race, and the stream restarts
+    // cold if the reader comes back.
+    cv.prefetch_gen += 1;
+    prefetcher_->Forget(cv.fid);
     for (auto it = cv.cached_blocks.begin(); it != cv.cached_blocks.end();) {
       uint64_t bstart = *it * kBlockSize;
       if (token.range.Overlaps(ByteRange{bstart, bstart + kBlockSize})) {
+        NotePrefetchDropLocked(cv, *it);
         store_->Erase(cv.fid, *it);
         RemoveLru(cv.fid, *it);
         it = cv.cached_blocks.erase(it);
@@ -660,10 +680,18 @@ void CacheManager::MaybeEvict() {
       continue;
     }
     if (cv->cached_blocks.erase(victim.second) != 0) {
+      NotePrefetchDropLocked(*cv, victim.second);
       store_->Erase(victim.first, victim.second);
       MutexLock lock(mu_);
       stats_.cache_evictions += 1;
     }
+  }
+}
+
+void CacheManager::NotePrefetchDropLocked(CVnode& cv, uint64_t block) {
+  if (cv.prefetched_blocks.erase(block) != 0) {
+    MutexLock lock(mu_);
+    stats_.prefetch_wasted += 1;
   }
 }
 
@@ -674,82 +702,340 @@ ByteRange CacheManager::TokenRangeFor(uint64_t offset, size_t len) const {
   return ByteRange{BlockOf(offset) * kBlockSize, BlockEnd(offset, len) * kBlockSize};
 }
 
+Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
+                                             uint64_t aligned_len,
+                                             const std::vector<uint8_t>& reply,
+                                             bool install_data, bool mark_prefetched,
+                                             std::vector<uint64_t>* installed) {
+  Reader r(reply);
+  ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
+  Token token;
+  if (has_token) {
+    ASSIGN_OR_RETURN(token, Token::Deserialize(r));
+  }
+  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+  // Sync and token land unconditionally: even a cancelled prefetch must keep
+  // the token it was granted (dropping it would leak it at the server) and
+  // the stamp rule makes the sync merge safe in any order.
+  MergeSyncLocked(cv, sync);
+  if (has_token) {
+    AddTokenLocked(cv, token);
+  }
+  if (!install_data) {
+    return Status::Ok();
+  }
+  // Install whole blocks; the tail block of the file is zero-padded. Blocks
+  // we have dirty locally are NOT overwritten: our copy is newer than what
+  // the server just sent.
+  for (uint64_t i = 0; i * kBlockSize < data.size(); ++i) {
+    uint64_t block = BlockOf(aligned_off) + i;
+    if (cv.dirty_blocks.count(block) != 0) {
+      continue;
+    }
+    std::vector<uint8_t> blockbuf(kBlockSize, 0);
+    size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
+    std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
+    RETURN_IF_ERROR(store_->Put(cv.fid, block, blockbuf));
+    bool fresh = cv.cached_blocks.insert(block).second;
+    TouchLru(cv.fid, block);
+    if (installed != nullptr) {
+      installed->push_back(block);
+    }
+    if (mark_prefetched && fresh) {
+      cv.prefetched_blocks.insert(block);
+    }
+  }
+  // Blocks past EOF within the fetched range are implicit zeros: cacheable.
+  for (uint64_t block = BlockOf(aligned_off) + (data.size() + kBlockSize - 1) / kBlockSize;
+       block < BlockEnd(aligned_off, aligned_len) &&
+       block * kBlockSize >= cv.attr.size && cv.attr_valid;
+       ++block) {
+    std::vector<uint8_t> zeros(kBlockSize, 0);
+    RETURN_IF_ERROR(store_->Put(cv.fid, block, zeros));
+    bool fresh = cv.cached_blocks.insert(block).second;
+    TouchLru(cv.fid, block);
+    if (installed != nullptr) {
+      installed->push_back(block);
+    }
+    if (mark_prefetched && fresh) {
+      cv.prefetched_blocks.insert(block);
+    }
+  }
+  return Status::Ok();
+}
+
+void CacheManager::RunDataTasks(std::vector<std::function<void()>>& tasks) {
+  if (tasks.size() <= 1 || prefetcher_ == nullptr || !prefetcher_->enabled()) {
+    for (auto& t : tasks) {
+      t();
+    }
+    return;
+  }
+  // Batch-completion latch (the IssueRevokes idiom): tasks are independent
+  // sub-range RPCs that never wait on each other or resubmit to the pool.
+  // LOCK-EXEMPT(leaf): batch-local latch; never held across any other lock.
+  Mutex done_mu;
+  CondVar done_cv;
+  size_t pending = tasks.size();
+  for (auto& t : tasks) {
+    bool submitted = prefetcher_->Submit([&t, &done_mu, &done_cv, &pending] {
+      t();
+      MutexLock lock(done_mu);
+      --pending;
+      done_cv.NotifyOne();
+    });
+    if (!submitted) {  // pool shutting down: fall back inline
+      t();
+      MutexLock lock(done_mu);
+      --pending;
+    }
+  }
+  UniqueMutexLock lock(done_mu);
+  while (pending > 0) {
+    done_cv.Wait(lock);
+  }
+}
+
 Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
                                      uint32_t want_types,
                                      const std::function<void()>& after_install) {
   ByteRange trange = TokenRangeFor(offset, len);
   uint64_t aligned_off = BlockOf(offset) * kBlockSize;
   uint64_t aligned_len = BlockEnd(offset, len) * kBlockSize - aligned_off;
+  bool split = options_.max_rpc_bytes > 0 && aligned_len > options_.max_rpc_bytes &&
+               aligned_len > kBlockSize;
 
   {
     OrderedLockGuard low(cv.low);
     cv.rpc_in_flight += 1;
   }
-  Writer w;
-  PutFid(w, cv.fid);
-  w.PutU64(aligned_off);
-  w.PutU32(static_cast<uint32_t>(aligned_len));
-  w.PutU32(want_types);
-  w.PutU64(trange.start);
-  w.PutU64(trange.end);
-  auto payload = CallVolume(cv.fid.volume, kFetchData, w);
+
+  auto fetch_one = [&](uint64_t off, uint64_t clen,
+                       uint32_t want) -> Result<std::vector<uint8_t>> {
+    Writer w;
+    PutFid(w, cv.fid);
+    w.PutU64(off);
+    w.PutU32(static_cast<uint32_t>(clen));
+    w.PutU32(want);
+    w.PutU64(trange.start);
+    w.PutU64(trange.end);
+    InflightTracker inflight(this);
+    return CallVolume(cv.fid.volume, kFetchData, w);
+  };
+
+  Status result = Status::Ok();
+  std::vector<std::vector<uint64_t>> installed;
+  if (!split) {
+    // Legacy single-RPC path: one kFetchData covers data + token.
+    auto payload = fetch_one(aligned_off, aligned_len, want_types);
+
+    OrderedLockGuard low(cv.low);
+    cv.rpc_in_flight -= 1;
+    result = payload.ok() ? InstallFetchReplyLocked(cv, aligned_off, aligned_len, *payload,
+                                                    /*install_data=*/true,
+                                                    /*mark_prefetched=*/false, nullptr)
+                          : payload.status();
+    if (result.ok() && after_install != nullptr) {
+      after_install();
+    }
+    auto to_return = DrainPendingLocked(cv);
+    for (const auto& [id, types] : to_return) {
+      (void)ReturnToken(cv.fid, id, types);
+    }
+    return result;
+  }
+
+  // Parallel bulk fetch: block-aligned sub-ranges issued concurrently on the
+  // data pool and merged under `low` as each reply lands. Only the first
+  // chunk asks for the token (its range still covers the whole transfer);
+  // the rest are pure data reads.
+  {
+    MutexLock lock(mu_);
+    stats_.bulk_rpcs_split += 1;
+  }
+  uint64_t chunk_bytes =
+      std::max<uint64_t>(kBlockSize, options_.max_rpc_bytes / kBlockSize * kBlockSize);
+  struct Chunk {
+    uint64_t off;
+    uint64_t len;
+  };
+  std::vector<Chunk> chunks;
+  for (uint64_t off = aligned_off; off < aligned_off + aligned_len; off += chunk_bytes) {
+    chunks.push_back({off, std::min(chunk_bytes, aligned_off + aligned_len - off)});
+  }
+  std::vector<Status> statuses(chunks.size(), Status::Ok());
+  installed.resize(chunks.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    tasks.push_back([&, i] {
+      const Chunk& c = chunks[i];
+      auto payload = fetch_one(c.off, c.len, i == 0 ? want_types : 0);
+      OrderedLockGuard low(cv.low);
+      statuses[i] = payload.ok()
+                        ? InstallFetchReplyLocked(cv, c.off, c.len, *payload,
+                                                  /*install_data=*/true,
+                                                  /*mark_prefetched=*/false, &installed[i])
+                        : payload.status();
+    });
+  }
+  RunDataTasks(tasks);
 
   OrderedLockGuard low(cv.low);
   cv.rpc_in_flight -= 1;
-  std::vector<std::pair<TokenId, uint32_t>> to_return;
-  Status result = [&]() -> Status {
-    cv.low.AssertHeld();  // the enclosing scope's guard; lambdas are analyzed alone
-    RETURN_IF_ERROR(payload.status());
-    Reader r(*payload);
-    ASSIGN_OR_RETURN(bool has_token, r.ReadBool());
-    Token token;
-    if (has_token) {
-      ASSIGN_OR_RETURN(token, Token::Deserialize(r));
+  for (const Status& s : statuses) {  // first error in chunk order wins
+    if (!s.ok()) {
+      result = s;
+      break;
     }
-    ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-    ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
-    MergeSyncLocked(cv, sync);
-    if (has_token) {
-      AddTokenLocked(cv, token);
-    }
-    // Install whole blocks; the tail block of the file is zero-padded. Blocks
-    // we have dirty locally are NOT overwritten: our copy is newer than what
-    // the server just sent.
-    for (uint64_t i = 0; i * kBlockSize < data.size() || (i == 0 && data.empty()); ++i) {
-      if (data.empty()) {
-        break;
+  }
+  if (!result.ok()) {
+    // Roll back every block this op installed: chunks past the first carried
+    // no token request, so if the op as a whole failed, their blocks would
+    // sit in the cache without the token that vouches for them.
+    for (const auto& blocks : installed) {
+      for (uint64_t b : blocks) {
+        if (cv.dirty_blocks.count(b) != 0) {
+          continue;
+        }
+        if (cv.cached_blocks.erase(b) != 0) {
+          store_->Erase(cv.fid, b);
+          RemoveLru(cv.fid, b);
+        }
       }
-      uint64_t block = BlockOf(aligned_off) + i;
-      if (cv.dirty_blocks.count(block) != 0) {
-        continue;
-      }
-      std::vector<uint8_t> blockbuf(kBlockSize, 0);
-      size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
-      std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
-      RETURN_IF_ERROR(store_->Put(cv.fid, block, blockbuf));
-      cv.cached_blocks.insert(block);
-      TouchLru(cv.fid, block);
     }
-    // Blocks past EOF within the fetched range are implicit zeros: cacheable.
-    for (uint64_t block = BlockOf(aligned_off) + (data.size() + kBlockSize - 1) / kBlockSize;
-         block < BlockEnd(aligned_off, aligned_len) &&
-         block * kBlockSize >= cv.attr.size && cv.attr_valid;
-         ++block) {
-      std::vector<uint8_t> zeros(kBlockSize, 0);
-      RETURN_IF_ERROR(store_->Put(cv.fid, block, zeros));
-      cv.cached_blocks.insert(block);
-      TouchLru(cv.fid, block);
-    }
-    return Status::Ok();
-  }();
+  }
   if (result.ok() && after_install != nullptr) {
     after_install();
   }
-  to_return = DrainPendingLocked(cv);
+  auto to_return = DrainPendingLocked(cv);
   for (const auto& [id, types] : to_return) {
     (void)ReturnToken(cv.fid, id, types);
   }
   return result;
+}
+
+void CacheManager::MaybeStartPrefetch(const CVnodeRef& cv, uint64_t offset, size_t len,
+                                      bool sequential) {
+  if (!prefetcher_->enabled()) {
+    return;
+  }
+  if (!sequential) {
+    // Seek: cancel the stream. Windows already in flight lose the generation
+    // race; the detector restarts cold from this position.
+    {
+      OrderedLockGuard low(cv->low);
+      cv->prefetch_gen += 1;
+    }
+    prefetcher_->Forget(cv->fid);
+    return;
+  }
+  uint64_t gen;
+  uint64_t file_blocks = UINT64_MAX;
+  {
+    OrderedLockGuard low(cv->low);
+    gen = cv->prefetch_gen;
+    if (cv->attr_valid) {
+      file_blocks = (cv->attr.size + kBlockSize - 1) / kBlockSize;
+    }
+  }
+  auto win = prefetcher_->Advance(cv->fid, BlockEnd(offset, std::max<size_t>(len, 1)),
+                                  /*sequential=*/true);
+  if (!win.has_value()) {
+    return;
+  }
+  if (win->start_block >= file_blocks) {
+    // Nothing past EOF; release the claim quietly (the stream keeps its
+    // position — a subsequent append by a peer re-opens the window).
+    prefetcher_->WindowDone(cv->fid, win->start_block);
+    return;
+  }
+  bool all_cached = true;
+  {
+    OrderedLockGuard low(cv->low);
+    for (uint64_t b = win->start_block; b < win->start_block + win->blocks; ++b) {
+      if (cv->cached_blocks.count(b) == 0) {
+        all_cached = false;
+        break;
+      }
+    }
+  }
+  if (all_cached) {
+    // Warm rescan: the window is already resident, skip the fetch entirely.
+    prefetcher_->WindowDone(cv->fid, win->start_block);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    stats_.prefetch_issued += 1;
+  }
+  CVnodeRef ref = cv;
+  Prefetcher::Window w = *win;
+  if (!prefetcher_->Submit([this, ref, w, gen] { PrefetchWindow(ref, w, gen); })) {
+    prefetcher_->WindowDone(cv->fid, w.start_block);
+  }
+}
+
+void CacheManager::PrefetchWindow(CVnodeRef cv, Prefetcher::Window win, uint64_t gen) {
+  uint64_t off = win.start_block * kBlockSize;
+  uint64_t len = uint64_t{win.blocks} * kBlockSize;
+  bool cancelled = false;
+  {
+    OrderedLockGuard low(cv->low);
+    if (cv->prefetch_gen != gen) {
+      cancelled = true;
+    } else {
+      // Counted like any foreground fetch: revocations for tokens this very
+      // RPC may be granting get queued (Section 6.3) instead of bounced.
+      cv->rpc_in_flight += 1;
+    }
+  }
+  if (cancelled) {
+    {
+      MutexLock lock(mu_);
+      stats_.prefetch_cancelled += 1;
+    }
+    prefetcher_->WindowDone(cv->fid, win.start_block);
+    return;
+  }
+  ByteRange trange = TokenRangeFor(off, len);
+  Writer w;
+  PutFid(w, cv->fid);
+  w.PutU64(off);
+  w.PutU32(static_cast<uint32_t>(len));
+  w.PutU32(kTokenDataRead | kTokenStatusRead);
+  w.PutU64(trange.start);
+  w.PutU64(trange.end);
+  auto payload = [&] {
+    InflightTracker inflight(this);
+    return CallVolume(cv->fid.volume, kFetchData, w);
+  }();
+
+  {
+    OrderedLockGuard low(cv->low);
+    cv->rpc_in_flight -= 1;
+    if (payload.ok()) {
+      // A revocation (or seek/close) that raced us wins: its generation bump
+      // keeps our data out of the cache. The reply's token and sync info are
+      // installed regardless — a granted token dropped on the floor would
+      // leak at the server, and DrainPendingLocked below hands it straight
+      // to any revocation that was queued against it.
+      bool live = cv->prefetch_gen == gen;
+      (void)InstallFetchReplyLocked(*cv, off, len, *payload, /*install_data=*/live,
+                                    /*mark_prefetched=*/live, nullptr);
+      if (!live) {
+        MutexLock lock(mu_);
+        stats_.prefetch_cancelled += 1;
+      }
+    }
+    auto to_return = DrainPendingLocked(*cv);
+    for (const auto& [id, types] : to_return) {
+      (void)ReturnToken(cv->fid, id, types);
+    }
+  }
+  prefetcher_->WindowDone(cv->fid, win.start_block);
+  MaybeEvict();  // prefetched blocks add cache pressure; pay it here, not in Read
 }
 
 Status CacheManager::EnsureStatus(CVnode& cv) {
@@ -985,30 +1271,144 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
     }
     break;
   }
-  Writer w;
-  PutFid(w, cv.fid);
-  w.PutU64(offset);
-  w.PutBytes(data);
-  auto payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
-  if (payload.code() == ErrorCode::kConflict) {
-    // Our write token is gone (e.g. the server restarted and its token
-    // state with it). Re-acquire and retry; dirty blocks are immune to the
-    // refetch, so no local data is lost.
-    Status refetch = FetchAndInstall(
-        cv, offset, data.size(),
-        kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
-    if (refetch.ok()) {
-      payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
-    } else {
-      payload = refetch;
+  bool split = options_.max_rpc_bytes > 0 && data.size() > options_.max_rpc_bytes &&
+               data.size() > kBlockSize;
+  Status store_result = Status::Ok();
+  if (!split) {
+    // Legacy single-RPC path: the whole run in one kStoreData.
+    Writer w;
+    PutFid(w, cv.fid);
+    w.PutU64(offset);
+    w.PutBytes(data);
+    auto payload = [&] {
+      InflightTracker inflight(this);
+      return CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+    }();
+    if (payload.code() == ErrorCode::kConflict) {
+      // Our write token is gone (e.g. the server restarted and its token
+      // state with it). Re-acquire and retry; dirty blocks are immune to the
+      // refetch, so no local data is lost.
+      Status refetch = FetchAndInstall(
+          cv, offset, data.size(),
+          kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
+      if (refetch.ok()) {
+        InflightTracker inflight(this);
+        payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+      } else {
+        payload = refetch;
+      }
+    }
+    if (payload.ok()) {
+      Reader r(*payload);
+      auto sync = ReadSyncInfo(r);
+      if (!sync.ok()) {
+        return sync.status();
+      }
+      OrderedLockGuard low(cv.low);
+      for (uint64_t b : blocks) {
+        cv.dirty_blocks.erase(b);
+      }
+      if (cv.dirty_blocks.empty()) {
+        cv.attr_dirty = false;
+      }
+      MergeSyncLocked(cv, *sync);
+    }
+    store_result = payload.status();
+  } else {
+    // Parallel bulk store: the run drains as concurrent block-aligned chunk
+    // RPCs. Each chunk is all-or-retry — a successful chunk's blocks come off
+    // the dirty set immediately (the server has them), and the sync infos
+    // merge correctly in any completion order under the stamp rule.
+    {
+      MutexLock lock(mu_);
+      stats_.bulk_rpcs_split += 1;
+    }
+    uint64_t chunk_bytes =
+        std::max<uint64_t>(kBlockSize, options_.max_rpc_bytes / kBlockSize * kBlockSize);
+    struct Chunk {
+      size_t pos;
+      size_t len;
+    };
+    std::vector<Chunk> chunks;
+    for (size_t pos = 0; pos < data.size(); pos += chunk_bytes) {
+      chunks.push_back({pos, std::min<size_t>(chunk_bytes, data.size() - pos)});
+    }
+    std::vector<Status> statuses(chunks.size(), Status::Ok());
+    auto run_chunk = [&](size_t i) {
+      const Chunk& c = chunks[i];
+      uint64_t coff = offset + c.pos;
+      Writer w;
+      PutFid(w, cv.fid);
+      w.PutU64(coff);
+      w.PutBytes(std::span<const uint8_t>(data.data() + c.pos, c.len));
+      auto payload = [&] {
+        InflightTracker inflight(this);
+        return CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+      }();
+      if (!payload.ok()) {
+        statuses[i] = payload.status();
+        return;
+      }
+      Reader r(*payload);
+      auto sync = ReadSyncInfo(r);
+      if (!sync.ok()) {
+        statuses[i] = sync.status();
+        return;
+      }
+      OrderedLockGuard low(cv.low);
+      for (uint64_t b = coff / kBlockSize; b * kBlockSize < coff + c.len; ++b) {
+        cv.dirty_blocks.erase(b);
+      }
+      if (cv.dirty_blocks.empty()) {
+        cv.attr_dirty = false;
+      }
+      MergeSyncLocked(cv, *sync);
+      statuses[i] = Status::Ok();
+    };
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks.size());
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      tasks.push_back([&run_chunk, i] { run_chunk(i); });
+    }
+    RunDataTasks(tasks);
+    bool any_conflict = false;
+    for (const Status& s : statuses) {
+      any_conflict = any_conflict || s.code() == ErrorCode::kConflict;
+    }
+    if (any_conflict) {
+      // One token-refetch round covering the whole run, then retry only the
+      // chunks that bounced (mirrors the single-RPC conflict retry).
+      Status refetch = FetchAndInstall(
+          cv, offset, data.size(),
+          kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
+      std::vector<std::function<void()>> retries;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        if (statuses[i].code() != ErrorCode::kConflict) {
+          continue;
+        }
+        if (refetch.ok()) {
+          retries.push_back([&run_chunk, i] { run_chunk(i); });
+        } else {
+          statuses[i] = refetch;
+        }
+      }
+      RunDataTasks(retries);
+    }
+    for (const Status& s : statuses) {  // first error in chunk order wins
+      if (!s.ok()) {
+        store_result = s;
+        break;
+      }
     }
   }
-  if (payload.code() == ErrorCode::kStale) {
+  if (store_result.code() == ErrorCode::kStale) {
     // The file itself is gone (deleted remotely, or lost with an unsynced
     // server crash): there is nothing to store into. Drop our cached state
     // and report the staleness.
     OrderedLockGuard low(cv.low);
+    cv.prefetch_gen += 1;
     for (uint64_t b : cv.cached_blocks) {
+      NotePrefetchDropLocked(cv, b);
       store_->Erase(cv.fid, b);
       RemoveLru(cv.fid, b);
     }
@@ -1016,20 +1416,10 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
     cv.dirty_blocks.clear();
     cv.attr_valid = false;
     cv.attr_dirty = false;
-    return payload.status();
+    return store_result;
   }
-  RETURN_IF_ERROR(payload.status());
-  Reader r(*payload);
-  ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
+  RETURN_IF_ERROR(store_result);
   {
-    OrderedLockGuard low(cv.low);
-    for (uint64_t b : blocks) {
-      cv.dirty_blocks.erase(b);
-    }
-    if (cv.dirty_blocks.empty()) {
-      cv.attr_dirty = false;
-    }
-    MergeSyncLocked(cv, sync);
     MutexLock lock(mu_);
     stats_.dirty_stores += 1;
     if (background) {
@@ -1091,7 +1481,16 @@ void CacheManager::WriteBehindPass() {
   }
   std::sort(dirty.begin(), dirty.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  uint64_t now_ms = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                              std::chrono::steady_clock::now().time_since_epoch())
+                                              .count());
   for (const auto& [since, fid] : dirty) {
+    // The classic 30-second rule: data dirtied less than the age threshold
+    // ago stays local — most scratch files die before they age in. Sorted
+    // oldest-first, so everything after this entry is younger still.
+    if (options_.write_behind_age_ms > 0 && now_ms - since < options_.write_behind_age_ms) {
+      break;
+    }
     {
       MutexLock lock(flusher_mu_);
       if (flusher_shutdown_) {
@@ -1177,14 +1576,22 @@ void CacheManager::KeepAlivePass() {
       }
     }
   }
+  // Pipelined pings: issue one kKeepAlive per server before waiting for any
+  // reply, so a slow (or dead) server does not delay the others' renewals.
+  std::vector<Network::PendingCall> pings;
+  pings.reserve(servers.size());
   for (NodeId server : servers) {
     Writer w;
     {
       MutexLock lock(mu_);
       stats_.keepalives_sent += 1;
     }
-    auto payload = UnwrapReply(network_.Call(options_.node, server, kKeepAlive, w.data(),
-                                             ticket_.principal, EpochFor(server)));
+    pings.push_back(network_.CallAsync(options_.node, server, kKeepAlive, w.data(),
+                                       ticket_.principal, EpochFor(server)));
+  }
+  for (size_t i = 0; i < servers.size(); ++i) {
+    NodeId server = servers[i];
+    auto payload = UnwrapReply(pings[i].Wait());
     if (!payload.ok()) {
       if (payload.code() == ErrorCode::kAuthFailed ||
           payload.code() == ErrorCode::kStaleEpoch) {
@@ -1255,7 +1662,9 @@ Status CacheManager::ReturnAllTokens() {
       cv->attr_valid = false;
       cv->listing_valid = false;
       cv->lookup_cache.clear();
+      cv->prefetch_gen += 1;
       for (uint64_t b : cv->cached_blocks) {
+        NotePrefetchDropLocked(*cv, b);
         store_->Erase(cv->fid, b);
         RemoveLru(cv->fid, b);
       }

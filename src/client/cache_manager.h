@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/client/cache_store.h"
+#include "src/client/prefetcher.h"
 #include "src/common/lock_order.h"
 #include "src/common/mutex.h"
 #include "src/rpc/auth.h"
@@ -95,8 +96,27 @@ class CacheManager : public RpcHandler {
     // stored back first, which revocations and fsync do).
     uint64_t max_cached_blocks = 1 << 20;
     // On a detected sequential read, fetch this many extra blocks (and the
-    // matching token range) ahead of the requested data. 0 disables.
+    // matching token range) ahead of the requested data. 0 disables. Only
+    // used by the synchronous data path (prefetch_threads == 0): the
+    // foreground fetch is inflated by this much, so the reader pays the
+    // latency and byte cost of its own readahead.
     uint32_t readahead_blocks = 8;
+    // Background readahead daemon width. 0 (the default) keeps the legacy
+    // synchronous data path above; > 0 moves readahead off the critical
+    // path: Read fetches only the asked-for range and hands a window
+    // descriptor to the prefetch pool, which fetches ahead with a doubling
+    // window while the reader consumes what is already cached.
+    size_t prefetch_threads = 0;
+    // Doubling-window bounds (blocks) for background readahead: the window
+    // starts at min on the first confirmed sequential read and doubles per
+    // confirmed window up to max.
+    uint32_t readahead_min_blocks = 4;
+    uint32_t readahead_max_blocks = 64;
+    // Parallel bulk transfer: a fetch or store larger than this is split
+    // into block-aligned sub-ranges issued concurrently on the prefetch pool
+    // and merged under the cvnode low lock. 0 (the default) = unlimited, the
+    // legacy one-RPC-per-transfer behaviour.
+    uint64_t max_rpc_bytes = 0;
     // Background write-behind: a flusher daemon pushes dirty blocks toward
     // the server during idle time, so the writeback a token revocation must
     // perform shrinks to the residual delta. Off by default — callers that
@@ -109,6 +129,10 @@ class CacheManager : public RpcHandler {
     // Dirty runs pushed per file per pass; bounds one pass's work so the
     // daemon yields the per-file operation lock quickly.
     uint32_t write_behind_max_runs = 4;
+    // Age threshold (the classic 30-second rule): the flusher only pushes
+    // files whose data has been dirty at least this long, so short-lived
+    // scratch data never hits the wire. 0 (the default) flushes immediately.
+    uint32_t write_behind_age_ms = 0;
     // Keep-alive daemon: ping every connected server at this interval so the
     // server-side lease stays fresh (and restarts are detected) even when the
     // client is idle. 0 disables the daemon (the default; data RPCs renew the
@@ -145,6 +169,13 @@ class CacheManager : public RpcHandler {
     uint64_t keepalives_sent = 0;
     // Batched revocations (kRevokeTokenBatch callbacks handled).
     uint64_t revocation_batches = 0;
+    // Asynchronous data path (E16).
+    uint64_t prefetch_issued = 0;     // background windows handed to the pool
+    uint64_t prefetch_hits = 0;       // foreground reads served from prefetched blocks
+    uint64_t prefetch_wasted = 0;     // prefetched blocks evicted/invalidated unread
+    uint64_t prefetch_cancelled = 0;  // windows whose install lost a generation race
+    uint64_t bulk_rpcs_split = 0;     // transfers split into parallel sub-range RPCs
+    uint64_t inflight_highwater = 0;  // max concurrent data RPCs observed
   };
 
   CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
@@ -220,6 +251,15 @@ class CacheManager : public RpcHandler {
     int rpc_in_flight GUARDED_BY(low) = 0;
     // Sequential-read detector for read-ahead: end offset of the last read.
     uint64_t last_read_end GUARDED_BY(low) = 0;
+    // Background-readahead cancellation: a seek, close, or data revocation
+    // bumps the generation; a prefetch window only installs data if the
+    // generation it captured at issue time still matches (tokens and sync
+    // info from its reply are installed regardless — a granted token must
+    // never be dropped on the floor).
+    uint64_t prefetch_gen GUARDED_BY(low) = 0;
+    // Blocks installed by the prefetch daemon and not yet consumed by a
+    // foreground read; feeds the prefetch_hits/prefetch_wasted stats.
+    std::set<uint64_t> prefetched_blocks GUARDED_BY(low);
     std::vector<PendingRevocation> pending GUARDED_BY(low);
     int open_count GUARDED_BY(low) = 0;
     // Directory layer: per-name lookup results and the full listing.
@@ -314,9 +354,57 @@ class CacheManager : public RpcHandler {
   // operation that requested the token is entitled to complete under it —
   // otherwise a storm of conflicting peers livelocks the requester. (Being a
   // lambda, its body must AssertHeld cv.low rather than rely on REQUIRES.)
+  // Ranges larger than Options::max_rpc_bytes are split into block-aligned
+  // sub-range RPCs issued concurrently on the prefetch pool and merged under
+  // `low` (first error by chunk order wins; a failed op uninstalls every
+  // block it installed, so a tokenless chunk can never leave stale data).
   Status FetchAndInstall(CVnode& cv, uint64_t offset, size_t len, uint32_t want_types,
                          const std::function<void()>& after_install = nullptr)
       REQUIRES(cv.high) EXCLUDES(cv.low);
+
+  // --- asynchronous data path ---
+  // Parses one kFetchData reply and installs it into the cvnode: merges sync
+  // info under the stamp rule, installs any granted token, and (when
+  // `install_data`) installs whole clean blocks and zero-fills past-EOF
+  // blocks in the aligned range. Block numbers actually installed are
+  // appended to `installed` (when non-null) so a failed multi-chunk op can
+  // roll them back.
+  Status InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off, uint64_t aligned_len,
+                                 const std::vector<uint8_t>& reply, bool install_data,
+                                 bool mark_prefetched, std::vector<uint64_t>* installed)
+      REQUIRES(cv.low);
+  // Runs the tasks to completion — concurrently on the prefetch pool when one
+  // exists, inline otherwise. Tasks must be independent (no task may wait on
+  // another or submit to the pool).
+  void RunDataTasks(std::vector<std::function<void()>>& tasks);
+  // Called from DfsVnode::Read after a successful read (no cvnode locks
+  // held): feeds the sequential-stream detector and, on a confirmed stream,
+  // claims the next window and hands it to the prefetch pool.
+  void MaybeStartPrefetch(const CVnodeRef& cv, uint64_t offset, size_t len, bool sequential);
+  // Pool-side body: fetch one readahead window and install it unless the
+  // generation moved (seek/close/revocation cancelled the stream).
+  void PrefetchWindow(CVnodeRef cv, Prefetcher::Window win, uint64_t gen);
+  // Drops `block` from the prefetched set if present, counting it as wasted
+  // (evicted or invalidated before any foreground read consumed it).
+  void NotePrefetchDropLocked(CVnode& cv, uint64_t block) REQUIRES(cv.low);
+
+  // RAII high-water accounting around every data RPC (fetch/store, single or
+  // chunked, foreground or background).
+  class InflightTracker {
+   public:
+    explicit InflightTracker(CacheManager* cm) : cm_(cm) {
+      uint64_t now = cm_->data_rpcs_inflight_.fetch_add(1) + 1;
+      uint64_t hw = cm_->inflight_highwater_.load();
+      while (now > hw && !cm_->inflight_highwater_.compare_exchange_weak(hw, now)) {
+      }
+    }
+    ~InflightTracker() { cm_->data_rpcs_inflight_.fetch_sub(1); }
+    InflightTracker(const InflightTracker&) = delete;
+    InflightTracker& operator=(const InflightTracker&) = delete;
+
+   private:
+    CacheManager* cm_;
+  };
   ByteRange TokenRangeFor(uint64_t offset, size_t len) const;
   Status EnsureStatus(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
 
@@ -336,6 +424,12 @@ class CacheManager : public RpcHandler {
   Ticket ticket_;
   Options options_;
   std::unique_ptr<CacheStore> store_;
+  // Background-readahead window state machine + the data-path thread pool
+  // (always constructed; enabled() is false when prefetch_threads == 0).
+  std::unique_ptr<Prefetcher> prefetcher_;
+  // Concurrent data-RPC accounting for Stats::inflight_highwater.
+  std::atomic<uint64_t> data_rpcs_inflight_{0};
+  std::atomic<uint64_t> inflight_highwater_{0};
 
   // LOCK-EXEMPT(leaf): guards the cvnode registry, connection set, stats and
   // the LRU; a leaf below the cvnode low locks — never held across an RPC or

@@ -152,6 +152,7 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
         return Status(ErrorCode::kNotFound, "block missing");
       }
     }
+    bool from_prefetch = false;
     for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
       std::vector<uint8_t> block(kBlockSize);
       RETURN_IF_ERROR(cm_->store_->Get(fid_, b, block));
@@ -160,17 +161,31 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
       uint64_t copy_to = std::min(offset + n, bstart + kBlockSize);
       std::memcpy(out.data() + (copy_from - offset), block.data() + (copy_from - bstart),
                   copy_to - copy_from);
+      from_prefetch = cv->prefetched_blocks.erase(b) != 0 || from_prefetch;
+    }
+    if (from_prefetch) {
+      MutexLock lock(cm_->mu_);
+      cm_->stats_.prefetch_hits += 1;
     }
     cv->last_read_end = offset + n;
     return n;
   };
 
+  // Sequential-stream hint, observed before try_local moves last_read_end.
+  bool sequential;
   {
-    OrderedLockGuard low(cv->low);
-    auto local = try_local_locked();
+    Result<size_t> local = Status(ErrorCode::kNotFound, "not tried");
+    {
+      OrderedLockGuard low(cv->low);
+      sequential = offset == cv->last_read_end && offset != 0;
+      local = try_local_locked();
+    }
     if (local.ok()) {
-      MutexLock lock(cm_->mu_);
-      cm_->stats_.data_cache_hits += 1;
+      {
+        MutexLock lock(cm_->mu_);
+        cm_->stats_.data_cache_hits += 1;
+      }
+      cm_->MaybeStartPrefetch(cv, offset, *local, sequential);
       return local;
     }
   }
@@ -178,14 +193,13 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
     MutexLock lock(cm_->mu_);
     cm_->stats_.data_cache_misses += 1;
   }
-  // Sequential reads fetch ahead: the request (and its token range) extends
-  // past the asked-for bytes so the next reads are local.
+  // Sequential reads fetch ahead. With the background prefetcher off, the
+  // legacy synchronous path inflates the foreground fetch (and its token
+  // range) past the asked-for bytes so the next reads are local; with it on,
+  // the fetch stays exact and the readahead runs off the critical path.
   size_t fetch_len = std::max<size_t>(out.size(), 1);
-  {
-    OrderedLockGuard low(cv->low);
-    if (cm_->options_.readahead_blocks > 0 && offset == cv->last_read_end && offset != 0) {
-      fetch_len += static_cast<size_t>(cm_->options_.readahead_blocks) * kBlockSize;
-    }
+  if (!cm_->prefetcher_->enabled() && cm_->options_.readahead_blocks > 0 && sequential) {
+    fetch_len += static_cast<size_t>(cm_->options_.readahead_blocks) * kBlockSize;
   }
   // Fetch and copy out *while processing the reply*: the grant is serialized
   // before any queued revocation (Section 6.3), so the read completes under
@@ -195,6 +209,9 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
     RETURN_IF_ERROR(cm_->FetchAndInstall(*cv, offset, fetch_len,
                                          kTokenDataRead | kTokenStatusRead,
                                          [&] { applied = try_local_locked(); }));
+  }
+  if (applied.ok()) {
+    cm_->MaybeStartPrefetch(cv, offset, *applied, sequential);
   }
   return applied;
 }
@@ -304,6 +321,7 @@ Status DfsVnode::Truncate(uint64_t new_size) {
   uint64_t boundary = new_size / kBlockSize;
   for (auto it = cv->cached_blocks.begin(); it != cv->cached_blocks.end();) {
     if (*it >= boundary) {
+      cm_->NotePrefetchDropLocked(*cv, *it);
       cm_->store_->Erase(fid_, *it);
       cm_->RemoveLru(fid_, *it);
       cv->dirty_blocks.erase(*it);

@@ -1,0 +1,77 @@
+#include "src/client/prefetcher.h"
+
+#include <algorithm>
+
+namespace dfs {
+
+Prefetcher::Prefetcher(Options options) : options_(options) {
+  if (options_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads, "prefetch");
+  }
+}
+
+Prefetcher::~Prefetcher() = default;
+
+std::optional<Prefetcher::Window> Prefetcher::Advance(const Fid& fid,
+                                                      uint64_t read_end_block,
+                                                      bool sequential) {
+  if (!enabled()) {
+    return std::nullopt;
+  }
+  uint32_t min_w = std::max<uint32_t>(1, options_.min_window_blocks);
+  uint32_t max_w = std::max<uint32_t>(min_w, options_.max_window_blocks);
+  OrderedLockGuard lock(mu_);
+  Stream& s = streams_[fid];
+  if (!sequential) {
+    // Seek: the stream restarts cold. In-flight windows keep their claims so
+    // a racing sequential reader cannot re-fetch them.
+    s.next_block = read_end_block;
+    s.window = min_w;
+    return std::nullopt;
+  }
+  if (s.window == 0) {
+    // First confirmed sequential read of this stream: start right behind it.
+    s.next_block = read_end_block;
+    s.window = min_w;
+  }
+  if (s.next_block < read_end_block) {
+    s.next_block = read_end_block;  // the reader overran the prefetched lead
+  }
+  // Bound the lead and the number of claimed windows: readahead that runs
+  // arbitrarily far ahead of the reader only creates eviction pressure.
+  if (s.inflight.size() >= options_.threads ||
+      s.next_block >= read_end_block + 2ull * max_w) {
+    return std::nullopt;
+  }
+  Window w{s.next_block, s.window};
+  s.inflight.insert(w.start_block);
+  s.next_block += s.window;
+  s.window = std::min(s.window * 2, max_w);
+  return w;
+}
+
+void Prefetcher::WindowDone(const Fid& fid, uint64_t start_block) {
+  OrderedLockGuard lock(mu_);
+  auto it = streams_.find(fid);
+  if (it == streams_.end()) {
+    return;
+  }
+  it->second.inflight.erase(start_block);
+}
+
+void Prefetcher::Forget(const Fid& fid) {
+  OrderedLockGuard lock(mu_);
+  streams_.erase(fid);
+}
+
+bool Prefetcher::Submit(std::function<void()> task) {
+  return pool_ != nullptr && pool_->Submit(std::move(task));
+}
+
+size_t Prefetcher::InflightWindows(const Fid& fid) const {
+  OrderedLockGuard lock(mu_);
+  auto it = streams_.find(fid);
+  return it == streams_.end() ? 0 : it->second.inflight.size();
+}
+
+}  // namespace dfs

@@ -43,6 +43,10 @@ enum class LockLevel : uint32_t {
   kClientHigh = 100,    // L1
   kServerVnode = 200,   // L2
   kClientLow = 300,     // L3
+  // Client prefetcher stream map: the readahead window state machine. May be
+  // consulted while a cvnode low lock (L3) is held (revocations cancel the
+  // file's stream in place), and never holds anything else while held.
+  kClientPrefetch = 350,
   kServerIo = 400,      // L4
   // Sub-levels above L4: the token manager's bookkeeping, acquired from RPC
   // handlers that may already hold the vnode (L2) and file-I/O (L4) locks

@@ -51,6 +51,8 @@ class AuthService {
   static uint64_t Mac(const std::string& principal, uint32_t uid, uint64_t nonce,
                       uint64_t secret);
 
+  // LOCK-EXEMPT(leaf): guards the principal table only; nothing is acquired
+  // and no RPC is issued while it is held.
   mutable Mutex mu_;
   struct Entry {
     uint32_t uid;

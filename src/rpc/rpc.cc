@@ -2,8 +2,25 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 
 namespace dfs {
+namespace {
+
+// One simulated wire leg: propagation latency plus bytes/bandwidth of
+// transfer time, as a real sleep on the destination worker (wall-clock
+// throughput measurements see it). All-zero options cost nothing.
+void SimWireDelay(uint64_t latency_us, uint64_t bandwidth_bytes_per_sec, uint64_t bytes) {
+  uint64_t us = latency_us;
+  if (bandwidth_bytes_per_sec > 0) {
+    us += bytes * 1'000'000ull / bandwidth_bytes_per_sec;
+  }
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
 
 Network::~Network() = default;
 
@@ -48,26 +65,46 @@ void Network::UnregisterNode(NodeId id) {
 Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc,
                                            std::span<const uint8_t> payload,
                                            const Principal& principal, uint64_t epoch) {
+  return CallAsync(from, to, proc, payload, principal, epoch).Wait();
+}
+
+Network::PendingCall Network::CallAsync(NodeId from, NodeId to, uint32_t proc,
+                                        std::span<const uint8_t> payload,
+                                        const Principal& principal, uint64_t epoch) {
+  PendingCall pending;
+  pending.net_ = this;
+  pending.from_ = from;
+  pending.to_ = to;
+  pending.proc_ = proc;
+
   RpcHandler* handler = nullptr;
   ThreadPool* pool = nullptr;
   Node* node_ref = nullptr;
-  uint64_t timeout_ms = 0;
+  uint64_t sim_latency_us = 0;
+  uint64_t sim_bandwidth = 0;
+  uint64_t request_bytes = payload.size() + kMessageOverheadBytes;
   {
     MutexLock lock(mu_);
     auto it = nodes_.find(to);
     if (it == nodes_.end() || it->second->down) {
-      return Status(ErrorCode::kUnavailable, "destination node down");
+      pending.done_ = true;
+      pending.result_ = Status(ErrorCode::kUnavailable, "destination node down");
+      return pending;
     }
     auto pit = partitions_.find({std::min(from, to), std::max(from, to)});
     if (pit != partitions_.end() && pit->second) {
-      return Status(ErrorCode::kUnavailable, "network partition");
+      pending.done_ = true;
+      pending.result_ = Status(ErrorCode::kUnavailable, "network partition");
+      return pending;
     }
     Node& node = *it->second;
     handler = node.handler;
     bool revocation_path =
         node.revocation_workers != nullptr && handler->IsRevocationPathProc(proc);
     pool = revocation_path ? node.revocation_workers.get() : node.workers.get();
-    timeout_ms = node.options.call_timeout_ms;
+    pending.timeout_ms_ = node.options.call_timeout_ms;
+    sim_latency_us = node.options.sim_latency_us;
+    sim_bandwidth = node.options.sim_bandwidth_bytes_per_sec;
     // Pin the node across the Submit below: a concurrent UnregisterNode
     // (server restart) waits for in-flight submits before destroying the
     // pools. The node object outlives the counter — UnregisterNode holds it
@@ -75,7 +112,7 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
     node_ref = &node;
     node.inflight_submits += 1;
     stats_[{from, to}].calls += 1;
-    stats_[{from, to}].bytes += payload.size() + kMessageOverheadBytes;
+    stats_[{from, to}].bytes += request_bytes;
   }
 
   auto request = std::make_shared<RpcRequest>();
@@ -86,30 +123,48 @@ Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc
   request->payload.assign(payload.begin(), payload.end());
 
   auto promise = std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
-  auto future = promise->get_future();
-  bool submitted = pool->Submit([handler, request, promise] {
-    promise->set_value(handler->Handle(*request));
-  });
+  pending.future_ = promise->get_future();
+  bool submitted = pool->Submit(
+      [handler, request, promise, sim_latency_us, sim_bandwidth, request_bytes] {
+        SimWireDelay(sim_latency_us, sim_bandwidth, request_bytes);
+        auto reply = handler->Handle(*request);
+        SimWireDelay(sim_latency_us, sim_bandwidth,
+                     (reply.ok() ? reply->size() : 0) + kMessageOverheadBytes);
+        promise->set_value(std::move(reply));
+      });
   {
     MutexLock lock(mu_);
     node_ref->inflight_submits -= 1;
   }
   node_drained_.NotifyAll();
   if (!submitted) {
-    return Status(ErrorCode::kUnavailable, "destination shutting down");
+    pending.done_ = true;
+    pending.result_ = Status(ErrorCode::kUnavailable, "destination shutting down");
   }
-  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) != std::future_status::ready) {
+  return pending;
+}
+
+Result<std::vector<uint8_t>> Network::PendingCall::Wait() {
+  if (done_) {
+    return result_;
+  }
+  done_ = true;
+  if (future_.wait_for(std::chrono::milliseconds(timeout_ms_)) !=
+      std::future_status::ready) {
     // The worker may still complete later; the shared_ptr promise keeps the
     // state alive. From the caller's view the call timed out — exactly the
     // observable behaviour of a wedged server.
-    return Status(ErrorCode::kTimedOut, "rpc timed out (proc " + std::to_string(proc) + ")");
+    result_ =
+        Status(ErrorCode::kTimedOut, "rpc timed out (proc " + std::to_string(proc_) + ")");
+    return result_;
   }
-  Result<std::vector<uint8_t>> reply = future.get();
+  result_ = future_.get();
   {
-    MutexLock lock(mu_);
-    stats_[{from, to}].bytes += (reply.ok() ? reply->size() : 0) + kMessageOverheadBytes;
+    MutexLock lock(net_->mu_);
+    net_->stats_[{from_, to_}].bytes +=
+        (result_.ok() ? result_->size() : 0) + kMessageOverheadBytes;
   }
-  return reply;
+  return result_;
 }
 
 void Network::Partition(NodeId a, NodeId b, bool blocked) {

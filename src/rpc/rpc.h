@@ -11,6 +11,7 @@
 #define SRC_RPC_RPC_H_
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <span>
@@ -69,6 +70,15 @@ class Network {
     // Maximum real time a caller waits for a reply; expiry surfaces as
     // kTimedOut (this is how the pool-exhaustion deadlock demo terminates).
     uint64_t call_timeout_ms = 10'000;
+    // WAN simulation (E16 and latency-sensitive benches): when non-zero,
+    // each message direction pays this propagation delay on the destination
+    // worker before the handler runs (request leg) and before the reply is
+    // delivered (reply leg). Real sleeps, so wall-clock throughput measures
+    // see them. 0 (default) = no delay, byte-for-byte today's behaviour.
+    uint64_t sim_latency_us = 0;
+    // Simulated per-link bandwidth: each leg additionally pays
+    // bytes / sim_bandwidth of transfer time. 0 (default) = infinite.
+    uint64_t sim_bandwidth_bytes_per_sec = 0;
   };
 
   // Fixed per-message header/trailer cost added to the byte counters, so
@@ -91,6 +101,39 @@ class Network {
   Result<std::vector<uint8_t>> Call(NodeId from, NodeId to, uint32_t proc,
                                     std::span<const uint8_t> payload,
                                     const Principal& principal, uint64_t epoch = 0);
+
+  // A call issued but not yet waited for (the pipelined client): CallAsync
+  // submits the request to the destination's pool and returns immediately;
+  // Wait() blocks for the reply under the destination's timeout. Immediate
+  // failures (node down, partition, shutdown) are captured in the pending
+  // object and surface from Wait(). Movable, single-owner; Wait() is
+  // idempotent (later calls return the cached result).
+  class PendingCall {
+   public:
+    PendingCall() = default;
+    PendingCall(PendingCall&&) = default;
+    PendingCall& operator=(PendingCall&&) = default;
+
+    Result<std::vector<uint8_t>> Wait();
+
+   private:
+    friend class Network;
+    Network* net_ = nullptr;
+    NodeId from_ = 0;
+    NodeId to_ = 0;
+    uint32_t proc_ = 0;
+    uint64_t timeout_ms_ = 0;
+    std::future<Result<std::vector<uint8_t>>> future_;
+    bool done_ = false;
+    Result<std::vector<uint8_t>> result_ = Status(ErrorCode::kUnavailable, "never issued");
+  };
+
+  // Issues a call without blocking for its reply; pair with PendingCall::Wait.
+  // Several CallAsyncs before the first Wait = several RPCs in flight on one
+  // caller thread.
+  PendingCall CallAsync(NodeId from, NodeId to, uint32_t proc,
+                        std::span<const uint8_t> payload, const Principal& principal,
+                        uint64_t epoch = 0);
 
   // Failure injection: calls between a and b fail with kUnavailable.
   void Partition(NodeId a, NodeId b, bool blocked);
@@ -116,6 +159,9 @@ class Network {
   };
 
   VirtualClock* clock_;
+  // LOCK-EXEMPT(leaf): guards the node/stats/partition tables; a leaf below
+  // everything — never held across a handler, a pool submit wait, or any
+  // OrderedMutex acquisition.
   mutable Mutex mu_;
   CondVar node_drained_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_ GUARDED_BY(mu_);

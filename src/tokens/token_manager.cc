@@ -15,20 +15,56 @@ uint64_t MixVolume(uint64_t volume) {
 }
 }  // namespace
 
-TokenManager::TokenManager(const Options& options) : options_(options) {
-  size_t n = std::max<size_t>(1, options_.shards);
-  shards_.reserve(n);
+// Builds a fresh n-shard table. Tags 1..n: a thread only ever holds one shard
+// lock, but distinct tags keep the hierarchy diagnostics unambiguous.
+std::shared_ptr<TokenManager::ShardVec> TokenManager::MakeTable(size_t n) {
+  auto table = std::make_shared<ShardVec>();
+  table->reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    // Tags 1..n: a thread only ever holds one shard lock, but distinct tags
-    // keep the hierarchy diagnostics unambiguous.
-    shards_.push_back(std::make_unique<Shard>(i + 1));
+    table->push_back(std::make_unique<Shard>(i + 1));
   }
+  return table;
+}
+
+TokenManager::TokenManager(const Options& options) : options_(options) {
+  // shards == 0 arms autotuning and starts at the historical default of 8;
+  // the table is resized once, from the volume count, at export time.
+  table_ = MakeTable(options_.shards == 0 ? 8 : options_.shards);
+  autotune_armed_.store(options_.shards == 0, std::memory_order_release);
 }
 
 TokenManager::~TokenManager() = default;
 
-TokenManager::Shard& TokenManager::ShardFor(uint64_t volume) const {
-  return *shards_[MixVolume(volume) % shards_.size()];
+TokenManager::Shard& TokenManager::ShardFor(const ShardVec& table, uint64_t volume) {
+  return *table[MixVolume(volume) % table.size()];
+}
+
+void TokenManager::AutotuneShards(size_t volume_count) {
+  // First caller wins; later aggregates (and explicit shard counts, which
+  // never arm) leave the table alone.
+  if (!autotune_armed_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  size_t desired = 1;
+  while (desired < volume_count && desired < 64) {
+    desired *= 2;
+  }
+  auto current = SnapshotTable();
+  if (desired == current->size()) {
+    return;
+  }
+  // Resizing rehashes every volume->shard assignment, so it is only legal
+  // while no tokens exist. ExportAggregate runs before the node answers the
+  // network; a token here means traffic beat us — keep the current table.
+  for (const auto& shard : *current) {
+    ShardGuard lock(*shard);
+    if (!shard->tokens.empty()) {
+      return;
+    }
+  }
+  auto next = MakeTable(desired);
+  MutexLock lock(table_mu_);
+  table_ = std::move(next);
 }
 
 void TokenManager::RegisterHost(HostId host, TokenHost* handler) {
@@ -44,7 +80,8 @@ void TokenManager::UnregisterHost(HostId host) {
   // Per-shard cleanup after the registry lock is released: kTokenShard sits
   // below kHostRegistry in the hierarchy, so the two are never nested this
   // way around.
-  for (auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     for (auto it = shard->tokens.begin(); it != shard->tokens.end();) {
       if (it->second.host == host) {
@@ -335,12 +372,37 @@ Status TokenManager::RevokeConflicts(Shard& shard,
 
 Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
                                   ByteRange range) {
-  Shard& shard = ShardFor(fid.volume);
+  // One table snapshot for the whole retry loop: every round's scan, erase
+  // and mint land in the same shard object.
+  auto table = SnapshotTable();
+  Shard& shard = ShardFor(*table, fid.volume);
   for (int round = 0; round < 64; ++round) {
     std::vector<std::pair<Token, uint32_t>> conflicts;
     {
       ShardGuard lock(shard);
       conflicts = ConflictsLocked(shard, host, fid, types, range);
+      if (!conflicts.empty() && options_.host_silent) {
+        // Lease fast path: when *every* conflicting holder's lease has
+        // already lapsed, their tokens are garbage — reap them under the
+        // scan's own lock hold and mint immediately, skipping the revocation
+        // fan-out round (and its handler resolution) entirely.
+        bool all_silent = true;
+        for (const auto& [conflict, conflicting_types] : conflicts) {
+          if (!options_.host_silent(conflict.host)) {
+            all_silent = false;
+            break;
+          }
+        }
+        if (all_silent) {
+          for (const auto& [conflict, conflicting_types] : conflicts) {
+            EraseTokenTypesLocked(shard, conflict.id, conflicting_types);
+            shard.stats.lease_expired_drops += 1;
+          }
+          shard.stats.lease_fast_path_grants += 1;
+          shard.returned_cv.notify_all();
+          conflicts.clear();
+        }
+      }
       if (conflicts.empty()) {
         Token token;
         token.id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -364,7 +426,8 @@ Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
 }
 
 Status TokenManager::Reassert(const Token& token) {
-  Shard& shard = ShardFor(token.fid.volume);
+  auto table = SnapshotTable();
+  Shard& shard = ShardFor(*table, token.fid.volume);
   ShardGuard lock(shard);
   auto it = shard.tokens.find(token.id);
   if (it != shard.tokens.end()) {
@@ -394,7 +457,8 @@ Status TokenManager::Reassert(const Token& token) {
 Status TokenManager::Return(TokenId id, uint32_t types) {
   // A TokenId does not encode its volume, so probe shards; grants are the hot
   // path, not returns.
-  for (auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     auto it = shard->tokens.find(id);
     if (it == shard->tokens.end()) {
@@ -408,7 +472,8 @@ Status TokenManager::Return(TokenId id, uint32_t types) {
 }
 
 bool TokenManager::HasToken(TokenId id) const {
-  for (const auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     if (shard->tokens.count(id) != 0) {
       return true;
@@ -418,7 +483,8 @@ bool TokenManager::HasToken(TokenId id) const {
 }
 
 std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
-  Shard& shard = ShardFor(fid.volume);
+  auto table = SnapshotTable();
+  Shard& shard = ShardFor(*table, fid.volume);
   ShardGuard lock(shard);
   std::vector<Token> out;
   for (const auto& [id, t] : shard.tokens) {
@@ -431,7 +497,8 @@ std::vector<Token> TokenManager::TokensForFid(const Fid& fid) const {
 
 std::vector<Token> TokenManager::TokensForHost(HostId host) const {
   std::vector<Token> out;
-  for (const auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     for (const auto& [id, t] : shard->tokens) {
       if (t.host == host) {
@@ -444,7 +511,8 @@ std::vector<Token> TokenManager::TokensForHost(HostId host) const {
 
 TokenManager::Stats TokenManager::stats() const {
   Stats total;
-  for (const auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     total.grants += shard->stats.grants;
     total.revocations += shard->stats.revocations;
@@ -455,6 +523,7 @@ TokenManager::Stats TokenManager::stats() const {
     total.reasserts += shard->stats.reasserts;
     total.reassert_conflicts += shard->stats.reassert_conflicts;
     total.lease_expired_drops += shard->stats.lease_expired_drops;
+    total.lease_fast_path_grants += shard->stats.lease_fast_path_grants;
     total.lock_acquisitions += shard->lock_acquisitions.load(std::memory_order_relaxed);
     total.lock_contended += shard->lock_contended.load(std::memory_order_relaxed);
   }
@@ -463,7 +532,8 @@ TokenManager::Stats TokenManager::stats() const {
 
 size_t TokenManager::VolumeIndexEntries() const {
   size_t n = 0;
-  for (const auto& shard : shards_) {
+  auto table = SnapshotTable();
+  for (const auto& shard : *table) {
     ShardGuard lock(*shard);
     n += shard->by_volume.size();
   }

@@ -84,7 +84,10 @@ class TokenHost {
 class TokenManager {
  public:
   struct Options {
-    // Number of volume-hash shards for the grant bookkeeping.
+    // Number of volume-hash shards for the grant bookkeeping. 0 arms
+    // autotuning: the table starts at 8 shards and is resized once from the
+    // serving aggregate's volume count (AutotuneShards, called by
+    // FileServer::ExportAggregate before the node answers the network).
     size_t shards = 8;
     // Fan-out executor width for concurrent revocations. 0 issues revocations
     // serially in the granting thread (the ablation baseline).
@@ -116,6 +119,9 @@ class TokenManager {
     uint64_t reassert_conflicts = 0;
     // Tokens dropped because their holder's lease expired (host_silent).
     uint64_t lease_expired_drops = 0;
+    // Grants whose conflicts were *all* expired-lease holders: the conflict
+    // scan reaped them in place and minted without a revocation fan-out round.
+    uint64_t lease_fast_path_grants = 0;
     // Shard-lock contention (groundwork for shard autotuning): total
     // exclusive acquisitions, and how many found the lock already held.
     uint64_t lock_acquisitions = 0;
@@ -150,7 +156,15 @@ class TokenManager {
   // Aggregated across shards.
   Stats stats() const;
 
-  size_t shard_count() const { return shards_.size(); }
+  // Resizes the shard table to the smallest power of two covering
+  // `volume_count`, clamped to [1, 64]. Only acts when Options::shards was 0
+  // (autotune armed), only on the first call, and only while the table holds
+  // no tokens — resizing rehashes every volume->shard assignment, so it must
+  // happen in the pre-traffic window. FileServer::ExportAggregate calls it
+  // after mounting the aggregate's volumes, before answering the network.
+  void AutotuneShards(size_t volume_count);
+
+  size_t shard_count() const { return SnapshotTable()->size(); }
   // Entries in the volume->tokens secondary index, across shards. Exposed so
   // tests can assert that emptied volumes are pruned rather than accumulating
   // forever across volume churn.
@@ -211,7 +225,20 @@ class TokenManager {
     Status status = Status::Ok();
   };
 
-  Shard& ShardFor(uint64_t volume) const;
+  // The shard table is published as an immutable snapshot: accessors copy the
+  // shared_ptr once and index into that copy, so AutotuneShards can swap in a
+  // resized table without invalidating a reader mid-operation. A const vector
+  // of unique_ptrs still yields mutable Shards — only the table shape is
+  // frozen, not the shards.
+  using ShardVec = std::vector<std::unique_ptr<Shard>>;
+
+  std::shared_ptr<const ShardVec> SnapshotTable() const {
+    MutexLock lock(table_mu_);
+    return table_;
+  }
+
+  static std::shared_ptr<ShardVec> MakeTable(size_t n);
+  static Shard& ShardFor(const ShardVec& table, uint64_t volume);
 
   // Finds tokens (and which of their types) conflicting with the proposed
   // grant.
@@ -253,7 +280,13 @@ class TokenManager {
   std::unordered_map<HostId, TokenHost*> hosts_ GUARDED_BY(host_mu_);
 
   std::atomic<TokenId> next_id_{1};
-  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // LOCK-EXEMPT(leaf): guards only the table-pointer read/swap; never held
+  // across a shard lock, a callback, or any other acquisition.
+  mutable Mutex table_mu_;
+  std::shared_ptr<const ShardVec> table_ GUARDED_BY(table_mu_);
+  // Set when Options::shards == 0; the first AutotuneShards call consumes it.
+  std::atomic<bool> autotune_armed_{false};
 
   // LOCK-EXEMPT(leaf): guards lazy creation of the fan-out pool only; never
   // held across a Revoke call or any other lock acquisition.

@@ -323,6 +323,32 @@ TEST(ClientCacheTest, WriteBehindFlushesDirtyDataDuringIdleTime) {
   EXPECT_EQ(writer->stats().revocation_stores, revocation_stores_before);
 }
 
+TEST(ClientCacheTest, WriteBehindAgeThresholdKeepsYoungDataLocal) {
+  // The classic 30-second rule: with an age threshold set, freshly dirtied
+  // data must not hit the wire even though the flusher keeps passing — only
+  // data older than the threshold is flushed in the background.
+  auto rig = DfsRig::Create();
+  CacheManager::Options opts;
+  opts.write_behind = true;
+  opts.write_behind_interval_ms = 5;
+  opts.write_behind_age_ms = 60'000;
+  CacheManager* writer = rig->NewClient("alice", opts);
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, writer->MountVolume("home"));
+  ASSERT_OK(CreateFileAt(*vfs, "/young", 0666, TestCred()).status());
+  ASSERT_OK(WriteFileAt(*vfs, "/young", std::string(2 * kBlockSize, 'y'), TestCred()));
+
+  // Many flusher passes elapse, but the data stays younger than the
+  // threshold, so it stays local (and on the dirty list).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(writer->stats().write_behind_stores, 0u);
+  EXPECT_GT(writer->DirtyListSize(), 0u);
+
+  // An explicit sync still pushes on demand, regardless of age.
+  ASSERT_OK(writer->SyncAll());
+  EXPECT_GT(writer->stats().dirty_stores, 0u);
+  EXPECT_EQ(writer->stats().write_behind_stores, 0u);
+}
+
 TEST(ClientCacheTest, WriteBehindOffByDefaultPreservesRevocationStores) {
   // The flusher must stay opt-in: with it off, dirty data travels on the
   // revocation path exactly as the integration tests assert.

@@ -300,9 +300,113 @@ TEST(TokenManagerTest, ShardCountIsConfigurable) {
   opts.shards = 3;
   TokenManager mgr(opts);
   EXPECT_EQ(mgr.shard_count(), 3u);
-  opts.shards = 0;  // clamped to one shard rather than dividing by zero
-  TokenManager clamped(opts);
-  EXPECT_EQ(clamped.shard_count(), 1u);
+  // 0 arms autotuning: the table starts at the historical default of 8 and is
+  // resized once from the volume count at export time (AutotuneShards).
+  opts.shards = 0;
+  TokenManager armed(opts);
+  EXPECT_EQ(armed.shard_count(), 8u);
+}
+
+TEST(TokenManagerTest, LeaseFastPathGrantsWithoutRevocationCallbacks) {
+  // Every conflicting holder is lease-expired: the conflict scan reaps their
+  // tokens in place and mints in the same lock hold — no Revoke callback, no
+  // fan-out round.
+  TokenManager::Options opts;
+  opts.host_silent = [](HostId host) { return host == 1; };
+  TokenManager mgr(opts);
+  ScriptedHost dead("dead");
+  ScriptedHost live("live");
+  mgr.RegisterHost(1, &dead);
+  mgr.RegisterHost(2, &live);
+
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(dead.revocations(), 0u) << "expired holder must not be called back";
+  TokenManager::Stats stats = mgr.stats();
+  EXPECT_EQ(stats.lease_fast_path_grants, 1u);
+  EXPECT_EQ(stats.lease_expired_drops, 1u);
+  EXPECT_EQ(stats.revocations, 0u);
+}
+
+TEST(TokenManagerTest, LeaseFastPathRequiresAllConflictsExpired) {
+  // One live holder in the conflict set forces the normal fan-out round; only
+  // an all-expired set takes the fast path.
+  TokenManager::Options opts;
+  opts.host_silent = [](HostId host) { return host == 1; };
+  TokenManager mgr(opts);
+  ScriptedHost dead("dead");
+  ScriptedHost live("live");
+  ScriptedHost taker("taker");
+  mgr.RegisterHost(1, &dead);
+  mgr.RegisterHost(2, &live);
+  mgr.RegisterHost(3, &taker);
+
+  ASSERT_OK(mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(2, kFileA, kTokenDataRead, ByteRange::All()).status());
+  ASSERT_OK(mgr.Grant(3, kFileA, kTokenDataWrite, ByteRange::All()).status());
+  EXPECT_EQ(live.revocations(), 1u);
+  EXPECT_EQ(dead.revocations(), 0u);  // expired: dropped in the round, not called
+  TokenManager::Stats stats = mgr.stats();
+  EXPECT_EQ(stats.lease_fast_path_grants, 0u);
+  EXPECT_EQ(stats.lease_expired_drops, 1u);
+}
+
+TEST(TokenManagerTest, AutotuneShardsResizesOncePreTraffic) {
+  TokenManager::Options opts;
+  opts.shards = 0;  // armed
+  TokenManager mgr(opts);
+  EXPECT_EQ(mgr.shard_count(), 8u);
+  mgr.AutotuneShards(20);
+  EXPECT_EQ(mgr.shard_count(), 32u) << "smallest power of two covering 20 volumes";
+  mgr.AutotuneShards(5);  // first caller won; later aggregates change nothing
+  EXPECT_EQ(mgr.shard_count(), 32u);
+
+  // The resized table is fully functional.
+  ScriptedHost h1("h1");
+  mgr.RegisterHost(1, &h1);
+  auto t = mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All());
+  ASSERT_OK(t.status());
+  EXPECT_TRUE(mgr.HasToken(t->id));
+  ASSERT_OK(mgr.Return(t->id, t->types));
+}
+
+TEST(TokenManagerTest, AutotuneShardsClampsAndRefusesWhenNotEmpty) {
+  {
+    TokenManager::Options opts;
+    opts.shards = 0;
+    TokenManager mgr(opts);
+    mgr.AutotuneShards(1000);
+    EXPECT_EQ(mgr.shard_count(), 64u) << "clamped to 64 shards";
+  }
+  {
+    TokenManager::Options opts;
+    opts.shards = 0;
+    TokenManager mgr(opts);
+    mgr.AutotuneShards(1);
+    EXPECT_EQ(mgr.shard_count(), 1u);
+  }
+  {
+    // Explicit shard counts never arm autotuning.
+    TokenManager::Options opts;
+    opts.shards = 4;
+    TokenManager mgr(opts);
+    mgr.AutotuneShards(20);
+    EXPECT_EQ(mgr.shard_count(), 4u);
+  }
+  {
+    // Traffic beat the export: resizing would rehash live volume->shard
+    // assignments, so the table stays put and the token survives.
+    TokenManager::Options opts;
+    opts.shards = 0;
+    TokenManager mgr(opts);
+    ScriptedHost h1("h1");
+    mgr.RegisterHost(1, &h1);
+    auto t = mgr.Grant(1, kFileA, kTokenDataRead, ByteRange::All());
+    ASSERT_OK(t.status());
+    mgr.AutotuneShards(20);
+    EXPECT_EQ(mgr.shard_count(), 8u);
+    EXPECT_TRUE(mgr.HasToken(t->id));
+  }
 }
 
 TEST(TokenTest, SerializationRoundTrip) {

@@ -5,7 +5,8 @@ The Section-6 deadlock-avoidance argument only holds if every lock that can be
 held across a call into another module participates in the hierarchy. This
 lint enforces the coding rule that makes that auditable:
 
-  Modules under src/tokens, src/client, src/server and src/recovery may only
+  Modules under src/tokens, src/client, src/server, src/recovery and src/rpc
+  (which the asynchronous data path and the prefetcher call into) may only
   declare
     - dfs::OrderedMutex            (hierarchy-checked, the default), or
     - a leaf lock (dfs::Mutex, std::mutex, std::shared_mutex) carrying an
@@ -20,7 +21,7 @@ import re
 import sys
 from pathlib import Path
 
-LINTED_DIRS = ("src/tokens", "src/client", "src/server", "src/recovery")
+LINTED_DIRS = ("src/tokens", "src/client", "src/server", "src/recovery", "src/rpc")
 
 # Declarations of non-hierarchy mutex types: `std::mutex m_;`, `Mutex m_;`,
 # `mutable std::shared_mutex m_;` etc. OrderedMutex is always allowed, and
