@@ -104,7 +104,13 @@ CacheManager::~CacheManager() {
   // Stop the daemons before dropping off the network: a pass in progress may
   // still be issuing RPCs through it. The prefetch pool goes first — its
   // tasks touch the stats, the store and the network, and member destruction
-  // order would otherwise tear those down before the pool joins.
+  // order would otherwise tear those down before the pool joins. Join via
+  // Shutdown() while `prefetcher_` still points at the object: reset() nulls
+  // the member before ~Prefetcher runs, and an in-flight window task reads
+  // the prefetcher back through `prefetcher_` to release its claim.
+  if (prefetcher_ != nullptr) {
+    prefetcher_->Shutdown();
+  }
   prefetcher_.reset();
   if (flusher_.joinable()) {
     {
@@ -739,7 +745,7 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
     RETURN_IF_ERROR(store_->Put(cv.fid, block, blockbuf));
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
-    if (installed != nullptr) {
+    if (fresh && installed != nullptr) {
       installed->push_back(block);
     }
     if (mark_prefetched && fresh) {
@@ -755,7 +761,7 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
     RETURN_IF_ERROR(store_->Put(cv.fid, block, zeros));
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
-    if (installed != nullptr) {
+    if (fresh && installed != nullptr) {
       installed->push_back(block);
     }
     if (mark_prefetched && fresh) {
@@ -847,9 +853,16 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
   }
 
   // Parallel bulk fetch: block-aligned sub-ranges issued concurrently on the
-  // data pool and merged under `low` as each reply lands. Only the first
-  // chunk asks for the token (its range still covers the whole transfer);
-  // the rest are pure data reads.
+  // data pool and merged under `low` as each reply lands. The token chunk is
+  // a *barrier*: chunk 0 (whose token range covers the whole transfer) runs
+  // first and alone, so by the time the tokenless data chunks are on the wire
+  // the token is already ours — a conflicting write must revoke it first, and
+  // with rpc_in_flight held the revocation queues until DrainPendingLocked
+  // below, which invalidates whatever the data chunks installed. Issuing
+  // tokenless chunks concurrently with the grant would let another client's
+  // write land between a chunk's server-side read and the grant, leaving this
+  // client serving stale bytes under a valid token with no revocation ever
+  // aimed at it.
   {
     MutexLock lock(mu_);
     stats_.bulk_rpcs_split += 1;
@@ -866,21 +879,25 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
   }
   std::vector<Status> statuses(chunks.size(), Status::Ok());
   installed.resize(chunks.size());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks.size());
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    tasks.push_back([&, i] {
-      const Chunk& c = chunks[i];
-      auto payload = fetch_one(c.off, c.len, i == 0 ? want_types : 0);
-      OrderedLockGuard low(cv.low);
-      statuses[i] = payload.ok()
-                        ? InstallFetchReplyLocked(cv, c.off, c.len, *payload,
-                                                  /*install_data=*/true,
-                                                  /*mark_prefetched=*/false, &installed[i])
-                        : payload.status();
-    });
+  auto run_chunk = [&](size_t i, uint32_t want) {
+    const Chunk& c = chunks[i];
+    auto payload = fetch_one(c.off, c.len, want);
+    OrderedLockGuard low(cv.low);
+    statuses[i] = payload.ok()
+                      ? InstallFetchReplyLocked(cv, c.off, c.len, *payload,
+                                                /*install_data=*/true,
+                                                /*mark_prefetched=*/false, &installed[i])
+                      : payload.status();
+  };
+  run_chunk(0, want_types);
+  if (statuses[0].ok()) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks.size() - 1);
+    for (size_t i = 1; i < chunks.size(); ++i) {
+      tasks.push_back([&run_chunk, i] { run_chunk(i, 0); });
+    }
+    RunDataTasks(tasks);
   }
-  RunDataTasks(tasks);
 
   OrderedLockGuard low(cv.low);
   cv.rpc_in_flight -= 1;
@@ -891,15 +908,16 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
     }
   }
   if (!result.ok()) {
-    // Roll back every block this op installed: chunks past the first carried
-    // no token request, so if the op as a whole failed, their blocks would
-    // sit in the cache without the token that vouches for them.
+    // Roll back the blocks this op freshly installed (`installed` never lists
+    // blocks that were validly cached before the op), so a failed bulk fetch
+    // leaves the cache exactly as it found it.
     for (const auto& blocks : installed) {
       for (uint64_t b : blocks) {
         if (cv.dirty_blocks.count(b) != 0) {
           continue;
         }
         if (cv.cached_blocks.erase(b) != 0) {
+          NotePrefetchDropLocked(cv, b);
           store_->Erase(cv.fid, b);
           RemoveLru(cv.fid, b);
         }
@@ -923,12 +941,16 @@ void CacheManager::MaybeStartPrefetch(const CVnodeRef& cv, uint64_t offset, size
   }
   if (!sequential) {
     // Seek: cancel the stream. Windows already in flight lose the generation
-    // race; the detector restarts cold from this position.
+    // race, but keep their single-flight claims (Advance's seek path, not
+    // Forget — that would let a resumed sequential reader re-claim and
+    // re-fetch a window still on the wire); Forget stays reserved for close
+    // and revocation. The detector restarts cold from this position.
     {
       OrderedLockGuard low(cv->low);
       cv->prefetch_gen += 1;
     }
-    prefetcher_->Forget(cv->fid);
+    (void)prefetcher_->Advance(cv->fid, BlockEnd(offset, std::max<size_t>(len, 1)),
+                               /*sequential=*/false);
     return;
   }
   uint64_t gen;
@@ -1284,21 +1306,46 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       InflightTracker inflight(this);
       return CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
     }();
-    if (payload.code() == ErrorCode::kConflict) {
-      // Our write token is gone (e.g. the server restarted and its token
-      // state with it). Re-acquire and retry; dirty blocks are immune to the
-      // refetch, so no local data is lost.
+    bool pushed_by_revocation = false;
+    for (int attempt = 0; attempt < 8 && payload.code() == ErrorCode::kConflict; ++attempt) {
+      // Our write token is gone: the server restarted, or a peer's grant
+      // revoked it while this store was on the wire. In the latter case the
+      // revocation handler's pre-authorized store-back may have pushed this
+      // very run already — if nothing in the run is dirty any more, the data
+      // is at the server and there is nothing left to store. Otherwise
+      // re-acquire and retry (bounded, like Read/Write's grant loops, so a
+      // storm of reader grants cannot starve the store on one bounce); dirty
+      // blocks are immune to the refetch, so no local data is lost.
+      {
+        OrderedLockGuard low(cv.low);
+        bool still_dirty = false;
+        for (uint64_t b : blocks) {
+          if (cv.dirty_blocks.count(b) != 0) {
+            still_dirty = true;
+            break;
+          }
+        }
+        pushed_by_revocation = !still_dirty;
+      }
+      if (pushed_by_revocation) {
+        break;
+      }
       Status refetch = FetchAndInstall(
           cv, offset, data.size(),
           kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
-      if (refetch.ok()) {
-        InflightTracker inflight(this);
-        payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
-      } else {
+      if (!refetch.ok()) {
+        if (refetch.code() == ErrorCode::kTimedOut) {
+          continue;  // the grant lost a deferred-revocation cycle; retry
+        }
         payload = refetch;
+        break;
       }
+      InflightTracker inflight(this);
+      payload = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
     }
-    if (payload.ok()) {
+    if (pushed_by_revocation) {
+      store_result = Status::Ok();
+    } else if (payload.ok()) {
       Reader r(*payload);
       auto sync = ReadSyncInfo(r);
       if (!sync.ok()) {
@@ -1312,8 +1359,10 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
         cv.attr_dirty = false;
       }
       MergeSyncLocked(cv, *sync);
+      store_result = Status::Ok();
+    } else {
+      store_result = payload.status();
     }
-    store_result = payload.status();
   } else {
     // Parallel bulk store: the run drains as concurrent block-aligned chunk
     // RPCs. Each chunk is all-or-retry — a successful chunk's blocks come off
@@ -1371,26 +1420,56 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       tasks.push_back([&run_chunk, i] { run_chunk(i); });
     }
     RunDataTasks(tasks);
-    bool any_conflict = false;
-    for (const Status& s : statuses) {
-      any_conflict = any_conflict || s.code() == ErrorCode::kConflict;
-    }
-    if (any_conflict) {
-      // One token-refetch round covering the whole run, then retry only the
-      // chunks that bounced (mirrors the single-RPC conflict retry).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      // Conflicted chunks whose blocks went clean in the meantime were pushed
+      // by a concurrent revocation store-back — the server has that data, so
+      // they count as stored. For the rest, one token-refetch round covering
+      // the whole run, then retry only the chunks that still need it (the
+      // bulk analogue of the single-RPC bounded conflict loop above).
+      {
+        OrderedLockGuard low(cv.low);
+        for (size_t i = 0; i < chunks.size(); ++i) {
+          if (statuses[i].code() != ErrorCode::kConflict) {
+            continue;
+          }
+          uint64_t coff = offset + chunks[i].pos;
+          bool still_dirty = false;
+          for (uint64_t b = coff / kBlockSize; b * kBlockSize < coff + chunks[i].len; ++b) {
+            if (cv.dirty_blocks.count(b) != 0) {
+              still_dirty = true;
+              break;
+            }
+          }
+          if (!still_dirty) {
+            statuses[i] = Status::Ok();
+          }
+        }
+      }
+      std::vector<size_t> retry_idx;
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        if (statuses[i].code() == ErrorCode::kConflict) {
+          retry_idx.push_back(i);
+        }
+      }
+      if (retry_idx.empty()) {
+        break;
+      }
       Status refetch = FetchAndInstall(
           cv, offset, data.size(),
           kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
-      std::vector<std::function<void()>> retries;
-      for (size_t i = 0; i < chunks.size(); ++i) {
-        if (statuses[i].code() != ErrorCode::kConflict) {
-          continue;
+      if (!refetch.ok()) {
+        if (refetch.code() == ErrorCode::kTimedOut) {
+          continue;  // the grant lost a deferred-revocation cycle; retry
         }
-        if (refetch.ok()) {
-          retries.push_back([&run_chunk, i] { run_chunk(i); });
-        } else {
+        for (size_t i : retry_idx) {
           statuses[i] = refetch;
         }
+        break;
+      }
+      std::vector<std::function<void()>> retries;
+      retries.reserve(retry_idx.size());
+      for (size_t i : retry_idx) {
+        retries.push_back([&run_chunk, i] { run_chunk(i); });
       }
       RunDataTasks(retries);
     }

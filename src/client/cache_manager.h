@@ -355,9 +355,11 @@ class CacheManager : public RpcHandler {
   // otherwise a storm of conflicting peers livelocks the requester. (Being a
   // lambda, its body must AssertHeld cv.low rather than rely on REQUIRES.)
   // Ranges larger than Options::max_rpc_bytes are split into block-aligned
-  // sub-range RPCs issued concurrently on the prefetch pool and merged under
-  // `low` (first error by chunk order wins; a failed op uninstalls every
-  // block it installed, so a tokenless chunk can never leave stale data).
+  // sub-range RPCs merged under `low`. The token-carrying first chunk is a
+  // barrier — it completes before the tokenless data chunks go out
+  // concurrently, so every data chunk reads under a token conflicting
+  // writers must revoke (first error by chunk order wins; a failed op
+  // uninstalls the blocks it freshly installed).
   Status FetchAndInstall(CVnode& cv, uint64_t offset, size_t len, uint32_t want_types,
                          const std::function<void()>& after_install = nullptr)
       REQUIRES(cv.high) EXCLUDES(cv.low);
@@ -366,9 +368,9 @@ class CacheManager : public RpcHandler {
   // Parses one kFetchData reply and installs it into the cvnode: merges sync
   // info under the stamp rule, installs any granted token, and (when
   // `install_data`) installs whole clean blocks and zero-fills past-EOF
-  // blocks in the aligned range. Block numbers actually installed are
-  // appended to `installed` (when non-null) so a failed multi-chunk op can
-  // roll them back.
+  // blocks in the aligned range. Block numbers this call *freshly* installed
+  // (not already validly cached) are appended to `installed` (when non-null)
+  // so a failed multi-chunk op can roll back exactly its own side effects.
   Status InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off, uint64_t aligned_len,
                                  const std::vector<uint8_t>& reply, bool install_data,
                                  bool mark_prefetched, std::vector<uint64_t>* installed)

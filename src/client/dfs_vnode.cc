@@ -206,9 +206,18 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
   // it even when conflicting writers are hammering the file.
   Result<size_t> applied = Status(ErrorCode::kConflict, "read raced with revocations");
   for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
-    RETURN_IF_ERROR(cm_->FetchAndInstall(*cv, offset, fetch_len,
-                                         kTokenDataRead | kTokenStatusRead,
-                                         [&] { applied = try_local_locked(); }));
+    Status fetch = cm_->FetchAndInstall(*cv, offset, fetch_len,
+                                        kTokenDataRead | kTokenStatusRead,
+                                        [&] { applied = try_local_locked(); });
+    if (!fetch.ok()) {
+      // A timed-out grant lost a revocation cycle (our own in-flight fetch
+      // deferred the revocation the peer's grant was waiting on, or vice
+      // versa); the fetch's completion just drained our queue, so retry.
+      if (fetch.code() == ErrorCode::kTimedOut && attempt + 1 < 8) {
+        continue;
+      }
+      return fetch;
+    }
   }
   if (applied.ok()) {
     cm_->MaybeStartPrefetch(cv, offset, *applied, sequential);
@@ -296,8 +305,16 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   // them at the server, so the write legitimately lands in between.
   Result<size_t> applied = Status(ErrorCode::kConflict, "write raced with revocations");
   for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
-    RETURN_IF_ERROR(cm_->FetchAndInstall(*cv, offset, std::max<size_t>(data.size(), 1),
-                                         write_tokens, [&] { applied = apply_locked(); }));
+    Status fetch = cm_->FetchAndInstall(*cv, offset, std::max<size_t>(data.size(), 1),
+                                        write_tokens, [&] { applied = apply_locked(); });
+    if (!fetch.ok()) {
+      // Same retry rule as Read: a timed-out grant means we lost a deferred-
+      // revocation cycle, and completing this fetch drained our queue.
+      if (fetch.code() == ErrorCode::kTimedOut && attempt + 1 < 8) {
+        continue;
+      }
+      return fetch;
+    }
   }
   return applied;
 }

@@ -68,6 +68,8 @@ bool Prefetcher::Submit(std::function<void()> task) {
   return pool_ != nullptr && pool_->Submit(std::move(task));
 }
 
+void Prefetcher::Shutdown() { pool_.reset(); }
+
 size_t Prefetcher::InflightWindows(const Fid& fid) const {
   OrderedLockGuard lock(mu_);
   auto it = streams_.find(fid);

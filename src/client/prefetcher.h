@@ -79,6 +79,12 @@ class Prefetcher {
   // down — the caller must then release the claimed window itself.
   bool Submit(std::function<void()> task);
 
+  // Joins the pool (running tasks finish, queued ones run). The owner must
+  // call this before destroying the Prefetcher if tasks reach it through a
+  // pointer the destructor would null first (e.g. unique_ptr::reset(), which
+  // clears the pointer before ~Prefetcher joins the workers).
+  void Shutdown();
+
   // Windows currently claimed for the file (test accessor).
   size_t InflightWindows(const Fid& fid) const EXCLUDES(mu_);
 

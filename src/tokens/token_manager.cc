@@ -39,7 +39,10 @@ TokenManager::Shard& TokenManager::ShardFor(const ShardVec& table, uint64_t volu
   return *table[MixVolume(volume) % table.size()];
 }
 
-void TokenManager::AutotuneShards(size_t volume_count) {
+// Dynamic all-shard acquisition is beyond the static analysis (the lock set
+// is a runtime loop); the OrderedMutex runtime checker still validates the
+// tag-ordered acquisitions.
+void TokenManager::AutotuneShards(size_t volume_count) NO_THREAD_SAFETY_ANALYSIS {
   // First caller wins; later aggregates (and explicit shard counts, which
   // never arm) leave the table alone.
   if (!autotune_armed_.exchange(false, std::memory_order_acq_rel)) {
@@ -53,18 +56,38 @@ void TokenManager::AutotuneShards(size_t volume_count) {
   if (desired == current->size()) {
     return;
   }
+  auto next = MakeTable(desired);
   // Resizing rehashes every volume->shard assignment, so it is only legal
-  // while no tokens exist. ExportAggregate runs before the node answers the
-  // network; a token here means traffic beat us — keep the current table.
-  for (const auto& shard : *current) {
-    ShardGuard lock(*shard);
-    if (!shard->tokens.empty()) {
-      return;
+  // while no tokens exist — and the check must be atomic with the swap.
+  // Hold EVERY shard lock (legal at one level: tags 1..n acquired in order)
+  // across emptiness check, retirement and publish. A racing Grant/Reassert
+  // on the old snapshot either minted before we took its shard lock (some
+  // shard is non-empty — keep the current table) or is still waiting on it
+  // and will find the shard retired, re-snapshotting the live table before
+  // minting. Releasing a shard between check and publish would let a grant
+  // mint a token into the discarded table, invisible to Return/Revoke.
+  bool empty = true;
+  size_t locked = 0;
+  for (; locked < current->size(); ++locked) {
+    (*current)[locked]->Lock();
+    if (!(*current)[locked]->tokens.empty()) {
+      ++locked;  // this shard's lock is held too; unwind it below
+      empty = false;
+      break;
     }
   }
-  auto next = MakeTable(desired);
-  MutexLock lock(table_mu_);
-  table_ = std::move(next);
+  if (empty) {
+    for (const auto& shard : *current) {
+      shard->retired = true;
+    }
+    // table_mu_ is a leaf: taking it under the shard locks is the one legal
+    // nesting direction.
+    MutexLock lock(table_mu_);
+    table_ = std::move(next);
+  }
+  for (size_t i = locked; i-- > 0;) {
+    (*current)[i]->Unlock();
+  }
 }
 
 void TokenManager::RegisterHost(HostId host, TokenHost* handler) {
@@ -373,62 +396,90 @@ Status TokenManager::RevokeConflicts(Shard& shard,
 Result<Token> TokenManager::Grant(HostId host, const Fid& fid, uint32_t types,
                                   ByteRange range) {
   // One table snapshot for the whole retry loop: every round's scan, erase
-  // and mint land in the same shard object.
-  auto table = SnapshotTable();
-  Shard& shard = ShardFor(*table, fid.volume);
-  for (int round = 0; round < 64; ++round) {
-    std::vector<std::pair<Token, uint32_t>> conflicts;
-    {
-      ShardGuard lock(shard);
-      conflicts = ConflictsLocked(shard, host, fid, types, range);
-      if (!conflicts.empty() && options_.host_silent) {
-        // Lease fast path: when *every* conflicting holder's lease has
-        // already lapsed, their tokens are garbage — reap them under the
-        // scan's own lock hold and mint immediately, skipping the revocation
-        // fan-out round (and its handler resolution) entirely.
-        bool all_silent = true;
-        for (const auto& [conflict, conflicting_types] : conflicts) {
-          if (!options_.host_silent(conflict.host)) {
-            all_silent = false;
-            break;
-          }
+  // and mint land in the same shard object. The one exception: finding the
+  // shard retired means the pre-traffic autotune resize swapped the table
+  // while we waited on the lock — minting here would hand out a token
+  // invisible to Return/Revoke/HasToken on the live table, so refresh the
+  // snapshot instead (retirement is one-shot, the outer loop runs at most
+  // twice).
+  for (;;) {
+    auto table = SnapshotTable();
+    Shard& shard = ShardFor(*table, fid.volume);
+    bool retired = false;
+    for (int round = 0; round < 64; ++round) {
+      std::vector<std::pair<Token, uint32_t>> conflicts;
+      {
+        ShardGuard lock(shard);
+        if (shard.retired) {
+          retired = true;
+          break;
         }
-        if (all_silent) {
+        conflicts = ConflictsLocked(shard, host, fid, types, range);
+        if (!conflicts.empty() && options_.host_silent) {
+          // Lease fast path: when *every* conflicting holder's lease has
+          // already lapsed, their tokens are garbage — reap them under the
+          // scan's own lock hold and mint immediately, skipping the
+          // revocation fan-out round (and its handler resolution) entirely.
+          bool all_silent = true;
           for (const auto& [conflict, conflicting_types] : conflicts) {
-            EraseTokenTypesLocked(shard, conflict.id, conflicting_types);
-            shard.stats.lease_expired_drops += 1;
+            if (!options_.host_silent(conflict.host)) {
+              all_silent = false;
+              break;
+            }
           }
-          shard.stats.lease_fast_path_grants += 1;
-          shard.returned_cv.notify_all();
-          conflicts.clear();
+          if (all_silent) {
+            for (const auto& [conflict, conflicting_types] : conflicts) {
+              EraseTokenTypesLocked(shard, conflict.id, conflicting_types);
+              shard.stats.lease_expired_drops += 1;
+            }
+            shard.stats.lease_fast_path_grants += 1;
+            shard.returned_cv.notify_all();
+            conflicts.clear();
+          }
+        }
+        if (conflicts.empty()) {
+          Token token;
+          token.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+          token.fid = fid;
+          token.types = types;
+          token.range = range;
+          token.host = host;
+          shard.tokens.emplace(token.id, token);
+          shard.by_volume[fid.volume].push_back(token.id);
+          shard.stats.grants += 1;
+          return token;
         }
       }
-      if (conflicts.empty()) {
-        Token token;
-        token.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-        token.fid = fid;
-        token.types = types;
-        token.range = range;
-        token.host = host;
-        shard.tokens.emplace(token.id, token);
-        shard.by_volume[fid.volume].push_back(token.id);
-        shard.stats.grants += 1;
-        return token;
+      Status s = RevokeConflicts(shard, std::move(conflicts));
+      if (!s.ok()) {
+        return s;
       }
+      // Loop: re-scan. New conflicting grants may have slipped in.
     }
-    Status s = RevokeConflicts(shard, std::move(conflicts));
-    if (!s.ok()) {
-      return s;
+    if (!retired) {
+      return Status(ErrorCode::kTimedOut,
+                    "grant retry limit exceeded (revocation livelock)");
     }
-    // Loop: re-scan. New conflicting grants may have slipped in.
+    // Retired: start over on the refreshed snapshot.
   }
-  return Status(ErrorCode::kTimedOut, "grant retry limit exceeded (revocation livelock)");
 }
 
 Status TokenManager::Reassert(const Token& token) {
-  auto table = SnapshotTable();
-  Shard& shard = ShardFor(*table, token.fid.volume);
-  ShardGuard lock(shard);
+  // Like Grant: a retired shard means the autotune resize swapped the table
+  // while we held a stale snapshot — re-snapshot rather than mint into the
+  // discarded table (one-shot, so at most one retry).
+  for (;;) {
+    auto table = SnapshotTable();
+    Shard& shard = ShardFor(*table, token.fid.volume);
+    ShardGuard lock(shard);
+    if (shard.retired) {
+      continue;
+    }
+    return ReassertLocked(shard, token);
+  }
+}
+
+Status TokenManager::ReassertLocked(Shard& shard, const Token& token) {
   auto it = shard.tokens.find(token.id);
   if (it != shard.tokens.end()) {
     if (it->second.host == token.host && it->second.fid == token.fid) {

@@ -95,8 +95,14 @@ class TokenManager {
     // How long a grant waits for deferred token returns before giving up.
     // Long enough for a client to finish an in-flight RPC, short enough that
     // a dead client cannot wedge the server forever. One shared deadline
-    // covers *all* deferrals of a revocation round.
-    std::chrono::milliseconds deferred_return_timeout{10'000};
+    // covers *all* deferrals of a revocation round. Must stay well below the
+    // RPC call timeout: two clients whose in-flight fetches each trigger a
+    // revocation of the other defer both revocations, and the cycle only
+    // breaks when one grant gives up — its client's fetch then completes,
+    // drains the queued revocation, and the other grant proceeds. If this
+    // wait outlived the RPC deadline, the callers would time out first and
+    // both fetches would fail instead of one retrying.
+    std::chrono::milliseconds deferred_return_timeout{2'000};
     // Liveness hook (the paper's token lifetimes): when set and it returns
     // true for a host, that host's lease has lapsed and its tokens are
     // garbage-collected during conflict resolution instead of waiting on its
@@ -159,9 +165,13 @@ class TokenManager {
   // Resizes the shard table to the smallest power of two covering
   // `volume_count`, clamped to [1, 64]. Only acts when Options::shards was 0
   // (autotune armed), only on the first call, and only while the table holds
-  // no tokens — resizing rehashes every volume->shard assignment, so it must
-  // happen in the pre-traffic window. FileServer::ExportAggregate calls it
-  // after mounting the aggregate's volumes, before answering the network.
+  // no tokens — resizing rehashes every volume->shard assignment.
+  // FileServer::ExportAggregate calls it after mounting the aggregate's
+  // volumes, before answering the network; but the pre-traffic window is a
+  // performance expectation, not a safety requirement: the emptiness check,
+  // old-table retirement and new-table publish happen under *all* shard
+  // locks, so a racing Grant/Reassert either minted first (the resize backs
+  // off) or finds its shard retired and re-snapshots the live table.
   void AutotuneShards(size_t volume_count);
 
   size_t shard_count() const { return SnapshotTable()->size(); }
@@ -200,6 +210,11 @@ class TokenManager {
     // Emptied vectors are pruned.
     std::unordered_map<uint64_t, std::vector<TokenId>> by_volume GUARDED_BY(mu);
     Stats stats GUARDED_BY(mu);
+    // Set (under mu, with the shard verified empty) by AutotuneShards when it
+    // swaps this shard's table out. A mutator that finds its shard retired
+    // raced the resize while holding a stale snapshot: it must re-snapshot
+    // the live table instead of minting into this discarded one.
+    bool retired GUARDED_BY(mu) = false;
   };
 
   // Scoped guard over Shard::Lock/Unlock, mirroring OrderedLockGuard so the
@@ -252,6 +267,8 @@ class TokenManager {
   // Erases `types` from token `id`, pruning the token (and its volume-index
   // entry, and the index vector when emptied) once no types remain.
   void EraseTokenTypesLocked(Shard& shard, TokenId id, uint32_t types) REQUIRES(shard.mu);
+  // Reassert body, once Reassert has pinned a live (non-retired) shard.
+  Status ReassertLocked(Shard& shard, const Token& token) REQUIRES(shard.mu);
 
   // One revocation round: issues Revoke for every conflict concurrently (or
   // serially when the fan-out is disabled), merges the results into the

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/client/prefetcher.h"
 #include "src/vfs/path.h"
 #include "tests/dfs_rig.h"
 #include "tests/test_util.h"
@@ -96,7 +97,10 @@ TEST(DatapathTest, BulkFetchSplitsLargeReadsAndMergesCorrectly) {
 
   CacheManager::Options opts;
   opts.prefetch_threads = 4;
-  opts.max_rpc_bytes = 16 * kBlockSize;  // 64 KiB -> 4 chunks
+  // 8 chunks: the token-carrying first chunk is a serial barrier, so 7 data
+  // chunks remain to overlap on 4 threads — enough that at least two are
+  // always in flight together regardless of scheduling.
+  opts.max_rpc_bytes = 8 * kBlockSize;
   CacheManager* reader = rig->NewClient("alice", opts);
   ASSERT_OK_AND_ASSIGN(VfsRef vfs, reader->MountVolume("home"));
   ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/big"));
@@ -206,6 +210,117 @@ TEST(DatapathTest, ServerRevocationRacesInflightPrefetch) {
   // issued window was eventually consumed, cancelled, or wasted — and the
   // client survives a clean shutdown with windows possibly still in flight.
   (void)reader->stats();
+}
+
+TEST(DatapathTest, BulkFetchNeverCachesStaleDataUnderConcurrentWrites) {
+  // Regression for the split fetch's read/grant atomicity: the tokenless
+  // data chunks must only go on the wire once the token chunk has landed
+  // (grant-before-data barrier). Without the barrier, a writer slipping
+  // between a data chunk's server-side read and the grant leaves this
+  // client caching stale bytes under a valid token — no revocation is ever
+  // aimed at it, so the stale data would be served indefinitely.
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  constexpr uint64_t kBlocks = 32;
+  SeedFile(*rig, "/stale", kBlocks, 'a');
+
+  CacheManager::Options ropts;
+  ropts.prefetch_threads = 4;
+  ropts.max_rpc_bytes = 8 * kBlockSize;  // 32-block reads -> 4 chunks
+  CacheManager* reader = rig->NewClient("alice", ropts);
+  CacheManager* writer = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef rvfs, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VfsRef wvfs, writer->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef rf, ResolvePath(*rvfs, "/stale"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef wf, ResolvePath(*wvfs, "/stale"));
+
+  std::atomic<bool> done{false};
+  std::thread writer_thread([&] {
+    // Rewrite in place (size never changes) so every racing read sees whole
+    // blocks of *some* fill generation.
+    const char fills[] = {'b', 'c', 'd'};
+    for (char fill : fills) {
+      std::string data(kBlocks * kBlockSize, fill);
+      auto w = wf->Write(0, std::span<const uint8_t>(
+                                reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+      EXPECT_TRUE(w.ok()) << w.status().message();
+      Status s = writer->SyncAll();
+      EXPECT_TRUE(s.ok()) << s.message();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // EXPECT + break (not ASSERT) inside the loop: a failure must still fall
+  // through to the join below, or the test tears down with the writer thread
+  // joinable and aborts instead of reporting.
+  std::vector<uint8_t> buf(kBlocks * kBlockSize);
+  while (!done.load(std::memory_order_acquire)) {
+    auto n = rf->Read(0, buf);  // split into 4 chunks every cold pass
+    EXPECT_TRUE(n.ok()) << n.status().message();
+    if (!n.ok()) {
+      break;
+    }
+    EXPECT_EQ(*n, buf.size());
+    bool torn = false;
+    for (uint64_t b = 0; b < kBlocks && !torn; ++b) {
+      char first = static_cast<char>(buf[b * kBlockSize]);
+      EXPECT_TRUE(first >= 'a' && first <= 'd') << "block " << b;
+      torn = !(first >= 'a' && first <= 'd');
+      for (size_t i = 1; i < kBlockSize && !torn; i += 509) {
+        char got = static_cast<char>(buf[b * kBlockSize + i]);
+        EXPECT_EQ(got, first) << "torn block " << b;
+        torn = got != first;
+      }
+    }
+    if (torn) {
+      break;
+    }
+  }
+  writer_thread.join();
+
+  // Convergence is the regression check: the writer's final grant must have
+  // revoked the reader's token (invalidating its cache), so the next read
+  // refetches and sees the final fill — never a stale chunk that slipped in
+  // tokenless before the grant.
+  ASSERT_OK_AND_ASSIGN(size_t n, rf->Read(0, buf));
+  ASSERT_EQ(n, buf.size());
+  for (size_t i = 0; i < buf.size(); i += 257) {
+    ASSERT_EQ(static_cast<char>(buf[i]), 'd') << "stale byte at " << i;
+  }
+}
+
+TEST(DatapathTest, SeekPreservesInflightWindowClaims) {
+  // Regression: a non-sequential read resets the stream via the prefetcher's
+  // seek path, which must keep in-flight window claims — erasing them
+  // (Forget) would let a resumed sequential reader claim and re-fetch a
+  // window whose RPC is still on the wire. Forget is reserved for close and
+  // revocation, where dropping the claims is the point.
+  Prefetcher::Options opts;
+  opts.threads = 2;
+  opts.min_window_blocks = 4;
+  opts.max_window_blocks = 8;
+  Prefetcher p(opts);
+  Fid fid{1, 2, 3};
+
+  auto w = p.Advance(fid, 4, /*sequential=*/true);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(p.InflightWindows(fid), 1u);
+
+  // Seek: stream resets cold, claim survives.
+  EXPECT_FALSE(p.Advance(fid, 40, /*sequential=*/false).has_value());
+  EXPECT_EQ(p.InflightWindows(fid), 1u);
+
+  // The resumed stream never re-claims a start the in-flight set still holds;
+  // its next window starts at the seek position.
+  auto w2 = p.Advance(fid, 44, /*sequential=*/true);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_NE(w2->start_block, w->start_block);
+  EXPECT_EQ(p.InflightWindows(fid), 2u);
+
+  // Close/revocation drops everything.
+  p.Forget(fid);
+  EXPECT_EQ(p.InflightWindows(fid), 0u);
 }
 
 TEST(DatapathTest, SeekResetsPrefetchStream) {
