@@ -64,6 +64,7 @@ Status OpenHandle::Close() {
     cv->prefetch_gen += 1;
     for (auto it = cv->tokens.begin(); it != cv->tokens.end(); ++it) {
       if (it->id == token_) {
+        cm->JournalEraseLocked(*cv, *it);
         cv->tokens.erase(it);
         break;
       }
@@ -81,12 +82,31 @@ CacheManager::CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Tic
       vldb_(network, options.node, std::move(vldb_nodes)),
       ticket_(std::move(ticket)),
       options_(options) {
-  if (options_.diskless) {
-    store_ = std::make_unique<MemoryCacheStore>();
-  } else {
-    auto disk_store = DiskCacheStore::Create(options_.cache_disk_blocks);
-    store_ = disk_store.ok() ? std::unique_ptr<CacheStore>(std::move(*disk_store))
-                             : std::make_unique<MemoryCacheStore>();
+  if (options_.persistent_cache && !options_.diskless) {
+    SimDisk* medium = options_.persistent_cache_disk;
+    if (medium == nullptr) {
+      owned_cache_disk_ = std::make_unique<SimDisk>(options_.cache_disk_blocks);
+      medium = owned_cache_disk_.get();
+    }
+    PersistentCacheStore::Options popts;
+    popts.wal_blocks = options_.persistent_cache_wal_blocks;
+    popts.journal_blocks = options_.persistent_cache_journal_blocks;
+    auto pstore = PersistentCacheStore::Open(medium, popts);
+    if (pstore.ok()) {
+      persist_ = pstore->get();
+      store_ = std::move(*pstore);
+    }
+    // Open failure (undersized or corrupt medium) falls through to the
+    // in-memory paths below: the client runs, just not persistently.
+  }
+  if (store_ == nullptr) {
+    if (options_.diskless) {
+      store_ = std::make_unique<MemoryCacheStore>();
+    } else {
+      auto disk_store = DiskCacheStore::Create(options_.cache_disk_blocks);
+      store_ = disk_store.ok() ? std::unique_ptr<CacheStore>(std::move(*disk_store))
+                               : std::make_unique<MemoryCacheStore>();
+    }
   }
   prefetcher_ = std::make_unique<Prefetcher>(Prefetcher::Options{
       options_.prefetch_threads, options_.readahead_min_blocks,
@@ -211,6 +231,16 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
       if (!conn.ok()) {
         last = conn;
       } else {
+        // The VLDB entry carries the serving server's epoch. If it is ahead
+        // of the one we learned at connect time, the server restarted since
+        // — reassert proactively instead of eating a kStaleEpoch bounce.
+        if (allow_recovery) {
+          auto loc = vldb_.Peek(volume_id);
+          uint64_t known = EpochFor(*server);
+          if (loc.has_value() && loc->epoch != 0 && known != 0 && loc->epoch > known) {
+            (void)HandleStaleEpoch(*server, nullptr);
+          }
+        }
         auto payload = UnwrapReply(network_.Call(options_.node, *server, proc, w.data(),
                                                  ticket_.principal, EpochFor(*server)));
         if (payload.ok()) {
@@ -364,6 +394,9 @@ Status CacheManager::HandleStaleEpoch(NodeId server,
       for (const Token& t : tokens) {
         ASSIGN_OR_RETURN(uint8_t accepted, r.ReadU8());
         if (accepted != 0) {
+          // Re-journal the surviving grant so the on-disk record carries the
+          // new incarnation epoch.
+          JournalGrantLocked(*cv, t);
           MutexLock lock(mu_);
           stats_.reasserted_tokens += 1;
           continue;
@@ -375,6 +408,7 @@ Status CacheManager::HandleStaleEpoch(NodeId server,
             break;
           }
         }
+        JournalEraseLocked(*cv, t);
         MutexLock lock(mu_);
         stats_.reassert_rejected += 1;
       }
@@ -468,6 +502,7 @@ bool CacheManager::HasTokenLocked(CVnode& cv, uint32_t types, const ByteRange& r
 
 void CacheManager::AddTokenLocked(CVnode& cv, const Token& token) {
   cv.tokens.push_back(token);
+  JournalGrantLocked(cv, token);
 }
 
 bool CacheManager::MergeSyncLocked(CVnode& cv, const SyncInfo& sync) {
@@ -534,6 +569,7 @@ Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
     if (cv.dirty_blocks.empty()) {
       cv.attr_dirty = false;  // the server has everything; its attr rules again
     }
+    PersistMarkCleanLocked(cv, first, last, sync);
     MergeSyncLocked(cv, sync);
     MutexLock lock(mu_);
     if (revocation_path) {
@@ -589,7 +625,12 @@ Status CacheManager::ApplyRevocationLocked(CVnode& cv, const Token& token, uint3
     if (it->id == token.id) {
       it->types &= ~types;
       if (it->types == 0) {
+        JournalEraseLocked(cv, *it);
         cv.tokens.erase(it);
+      } else {
+        // Partial revocation: the journaled grant is updated in place (the
+        // record is keyed by token id) so recovery reasserts what remains.
+        JournalGrantLocked(cv, *it);
       }
       break;
     }
@@ -635,6 +676,223 @@ Status CacheManager::ReturnToken(const Fid& fid, TokenId id, uint32_t types) {
   // reassert-on-stale-epoch machinery must stay off. A return the restarted
   // server never heard of is harmless — the token died with the old epoch.
   return CallVolume(fid.volume, kReturnToken, w, &fid, /*allow_recovery=*/false).status();
+}
+
+// --- Persistent cache hooks ---
+
+Status CacheManager::StorePutLocked(CVnode& cv, uint64_t block, std::span<const uint8_t> data,
+                                    bool dirty) {
+  if (persist_ == nullptr) {
+    return store_->Put(cv.fid, block, data);
+  }
+  uint64_t dv = cv.attr_valid ? cv.attr.data_version : 0;
+  uint64_t size = cv.attr_valid ? cv.attr.size : 0;
+  return persist_->PutBlock(cv.fid, block, data, dirty, cv.stamp, dv, size);
+}
+
+void CacheManager::PersistMarkCleanLocked(CVnode& cv, uint64_t first, uint64_t last,
+                                          const SyncInfo& sync) {
+  if (persist_ == nullptr) {
+    return;
+  }
+  // The store reply's attributes describe the file *after* our write landed:
+  // that is the version the (now clean) on-disk bytes belong to.
+  for (uint64_t b = first; b <= last; ++b) {
+    (void)persist_->MarkClean(cv.fid, b, sync.stamp, sync.attr.data_version, sync.attr.size);
+  }
+}
+
+void CacheManager::JournalGrantLocked(const CVnode& cv, const Token& token) {
+  if (persist_ == nullptr) {
+    return;
+  }
+  (void)persist_->Journal(PersistentCacheStore::JournalOp::kGrant, token,
+                          JournalEpochFor(cv.fid.volume));
+}
+
+void CacheManager::JournalEraseLocked(const CVnode& cv, const Token& token) {
+  if (persist_ == nullptr) {
+    return;
+  }
+  (void)persist_->Journal(PersistentCacheStore::JournalOp::kErase, token,
+                          JournalEpochFor(cv.fid.volume));
+}
+
+uint64_t CacheManager::JournalEpochFor(uint64_t volume) {
+  auto loc = vldb_.Peek(volume);
+  if (!loc.has_value()) {
+    return 0;
+  }
+  MutexLock lock(mu_);
+  auto it = server_epochs_.find(loc->server);
+  return it == server_epochs_.end() ? 0 : it->second;
+}
+
+Status CacheManager::Recover() {
+  if (persist_ == nullptr) {
+    return Status::Ok();
+  }
+  const PersistentCacheStore::RecoveredState& rec = persist_->recovered();
+  if (!rec.recovered) {
+    return Status::Ok();
+  }
+
+  // 1) Re-drive kReassertTokens from the on-disk journal, batched per server.
+  //    This is PR 3's HandleStaleEpoch protocol with the token list coming
+  //    from the medium instead of memory: the journal's conservative
+  //    semantics (a torn append loses the grant, a lost erasure reasserts a
+  //    dead token) are resolved here — the server rejects what conflicts, and
+  //    everything accepted is still revalidated per file below.
+  std::map<NodeId, std::vector<Token>> by_server;
+  for (const PersistentCacheStore::JournalRecord& jr : rec.tokens) {
+    auto server = ServerForVolume(jr.token.fid.volume, /*refresh=*/false);
+    if (!server.ok()) {
+      MutexLock lock(mu_);
+      stats_.warm_tokens_dropped += 1;
+      continue;
+    }
+    by_server[*server].push_back(jr.token);
+  }
+  std::vector<PersistentCacheStore::JournalRecord> live;
+  for (auto& [server, toks] : by_server) {
+    // A second restart can race the reassertion (kStaleEpoch on the batch);
+    // bounded retry like HandleStaleEpoch.
+    bool applied = false;
+    for (int round = 0; round < 3 && !applied; ++round) {
+      {
+        MutexLock lock(mu_);
+        connected_.erase(server);
+      }
+      if (!EnsureConnected(server).ok()) {
+        break;  // unreachable: its tokens stay un-reasserted and are dropped
+      }
+      uint64_t epoch = EpochFor(server);
+      Writer w;
+      w.PutU32(static_cast<uint32_t>(toks.size()));
+      for (const Token& t : toks) {
+        t.Serialize(w);
+      }
+      auto payload = UnwrapReply(network_.Call(options_.node, server, kReassertTokens,
+                                               w.data(), ticket_.principal, epoch));
+      if (payload.code() == ErrorCode::kStaleEpoch) {
+        continue;
+      }
+      if (!payload.ok()) {
+        break;
+      }
+      Reader r(*payload);
+      auto server_epoch = r.ReadU64();
+      auto count = r.ReadU32();
+      if (!server_epoch.ok() || !count.ok() || *count != toks.size()) {
+        break;
+      }
+      for (const Token& t : toks) {
+        auto verdict = r.ReadU8();
+        if (verdict.ok() && *verdict != 0) {
+          CVnodeRef cv = GetCVnode(t.fid);
+          OrderedLockGuard low(cv->low);
+          AddTokenLocked(*cv, t);  // re-journals the grant under the new epoch
+          live.push_back({PersistentCacheStore::JournalOp::kGrant, t, epoch});
+          MutexLock lock(mu_);
+          stats_.warm_tokens_recovered += 1;
+          stats_.reasserted_tokens += 1;
+        } else {
+          MutexLock lock(mu_);
+          stats_.warm_tokens_dropped += 1;
+          stats_.reassert_rejected += 1;
+        }
+      }
+      applied = true;
+    }
+    if (!applied) {
+      MutexLock lock(mu_);
+      stats_.warm_tokens_dropped += toks.size();
+    }
+  }
+
+  // 2) Hydrate and revalidate every recovered file against the server's
+  //    current truth: one tokenless kFetchStatus per file, then a per-block
+  //    data_version comparison. Clean blocks whose recorded version matches
+  //    (and whose range a reasserted data-read token covers) come back warm;
+  //    everything else is dropped. Dirty blocks resume their interrupted push
+  //    only if the server has not moved past their base version under a
+  //    still-held write token — otherwise the data is gone and the loss
+  //    surfaces as kIoError on the next fsync, the stale-epoch contract.
+  for (const PersistentCacheStore::RecoveredFile& f : rec.files) {
+    CVnodeRef cv = GetCVnode(f.fid);
+    OrderedLockGuard high(cv->high);
+    Writer w;
+    PutFid(w, f.fid);
+    w.PutU32(0);  // status only; no token wanted
+    auto payload = CallVolume(f.fid.volume, kFetchStatus, w, &f.fid);
+    bool have_sync = false;
+    SyncInfo sync;
+    if (payload.ok()) {
+      Reader r(*payload);
+      auto has_token = r.ReadBool();
+      if (has_token.ok() && !*has_token) {
+        auto s = ReadSyncInfo(r);
+        if (s.ok()) {
+          sync = *s;
+          have_sync = true;
+        }
+      }
+    }
+    OrderedLockGuard low(cv->low);
+    if (have_sync) {
+      MergeSyncLocked(*cv, sync);
+    }
+    bool any_dirty_lost = false;
+    uint64_t resumed_size = 0;
+    for (const PersistentCacheStore::RecoveredBlock& b : f.blocks) {
+      ByteRange brange{b.block * kBlockSize, (b.block + 1) * kBlockSize};
+      bool version_ok = have_sync && b.data_version != 0 &&
+                        b.data_version == sync.attr.data_version;
+      if (b.dirty) {
+        if (version_ok && HasTokenLocked(*cv, kTokenDataWrite, brange)) {
+          cv->cached_blocks.insert(b.block);
+          cv->dirty_blocks.insert(b.block);
+          TouchLru(f.fid, b.block);
+          NoteDirty(f.fid);
+          resumed_size = std::max(resumed_size, b.file_size);
+          MutexLock lock(mu_);
+          stats_.warm_dirty_resumed += 1;
+        } else {
+          any_dirty_lost = true;
+          store_->Erase(f.fid, b.block);
+          MutexLock lock(mu_);
+          stats_.warm_blocks_dropped += 1;
+        }
+      } else {
+        if (version_ok && HasTokenLocked(*cv, kTokenDataRead, brange)) {
+          cv->cached_blocks.insert(b.block);
+          TouchLru(f.fid, b.block);
+          MutexLock lock(mu_);
+          stats_.warm_blocks_recovered += 1;
+        } else {
+          store_->Erase(f.fid, b.block);
+          MutexLock lock(mu_);
+          stats_.warm_blocks_dropped += 1;
+        }
+      }
+    }
+    if (cv->attr_valid && resumed_size > cv->attr.size) {
+      // The size extension that went with the resumed dirty data lived only
+      // in the dead client's memory; the write-time size recorded in the
+      // index restores it, and the resumed push re-extends the server copy.
+      cv->attr.size = resumed_size;
+      cv->attr.mtime += 1;
+      cv->attr_dirty = true;
+    }
+    if (any_dirty_lost) {
+      cv->dirty_lost = true;
+    }
+  }
+
+  // 3) The surviving token set becomes the journal's new baseline (the
+  //    appends from AddTokenLocked above compact away into it).
+  (void)persist_->CheckpointJournal(live);
+  return Status::Ok();
 }
 
 void CacheManager::TouchLru(const Fid& fid, uint64_t block) {
@@ -742,7 +1000,7 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
     std::vector<uint8_t> blockbuf(kBlockSize, 0);
     size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
     std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
-    RETURN_IF_ERROR(store_->Put(cv.fid, block, blockbuf));
+    RETURN_IF_ERROR(StorePutLocked(cv, block, blockbuf, /*dirty=*/false));
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
     if (fresh && installed != nullptr) {
@@ -758,7 +1016,7 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
        block * kBlockSize >= cv.attr.size && cv.attr_valid;
        ++block) {
     std::vector<uint8_t> zeros(kBlockSize, 0);
-    RETURN_IF_ERROR(store_->Put(cv.fid, block, zeros));
+    RETURN_IF_ERROR(StorePutLocked(cv, block, zeros, /*dirty=*/false));
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
     if (fresh && installed != nullptr) {
@@ -1358,6 +1616,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       if (cv.dirty_blocks.empty()) {
         cv.attr_dirty = false;
       }
+      PersistMarkCleanLocked(cv, blocks.front(), blocks.back(), *sync);
       MergeSyncLocked(cv, *sync);
       store_result = Status::Ok();
     } else {
@@ -1411,6 +1670,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       if (cv.dirty_blocks.empty()) {
         cv.attr_dirty = false;
       }
+      PersistMarkCleanLocked(cv, coff / kBlockSize, (coff + c.len - 1) / kBlockSize, *sync);
       MergeSyncLocked(cv, *sync);
       statuses[i] = Status::Ok();
     };
@@ -1737,6 +1997,9 @@ Status CacheManager::ReturnAllTokens() {
     {
       OrderedLockGuard low(cv->low);
       tokens = cv->tokens;
+      for (const Token& t : tokens) {
+        JournalEraseLocked(*cv, t);
+      }
       cv->tokens.clear();
       cv->attr_valid = false;
       cv->listing_valid = false;

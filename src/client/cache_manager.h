@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/client/cache_store.h"
+#include "src/client/persist/persistent_cache.h"
 #include "src/client/prefetcher.h"
 #include "src/common/lock_order.h"
 #include "src/common/mutex.h"
@@ -145,6 +146,19 @@ class CacheManager : public RpcHandler {
     // restart). 0 disables (the default: cached reads survive partitions,
     // which existing failure tests rely on).
     uint32_t client_lease_ttl_ms = 0;
+    // Persistent client cache (src/client/persist): back the data cache and
+    // the token state with a SimDisk so both survive a client crash. Off by
+    // default — the in-memory/scratch-disk stores keep their exact behavior.
+    bool persistent_cache = false;
+    // The medium. Caller-owned and must outlive the CacheManager: a rebooted
+    // client hands the *same* SimDisk to its successor, which is what makes
+    // Recover() find a warm cache. Null = a private disk of
+    // cache_disk_blocks blocks (persists only for this process's lifetime).
+    SimDisk* persistent_cache_disk = nullptr;
+    // On-disk layout knobs (see persistent_cache.h): index-WAL area and
+    // token-journal area sizes in 4 KiB blocks.
+    uint64_t persistent_cache_wal_blocks = 64;
+    uint64_t persistent_cache_journal_blocks = 33;
     Network::NodeOptions rpc;         // includes the dedicated revocation pool
   };
 
@@ -176,6 +190,12 @@ class CacheManager : public RpcHandler {
     uint64_t prefetch_cancelled = 0;  // windows whose install lost a generation race
     uint64_t bulk_rpcs_split = 0;     // transfers split into parallel sub-range RPCs
     uint64_t inflight_highwater = 0;  // max concurrent data RPCs observed
+    // Warm-reboot recovery (persistent cache, E17).
+    uint64_t warm_tokens_recovered = 0;  // journaled tokens the server re-accepted
+    uint64_t warm_tokens_dropped = 0;    // journaled tokens rejected or unroutable
+    uint64_t warm_blocks_recovered = 0;  // clean blocks revalidated from disk
+    uint64_t warm_blocks_dropped = 0;    // on-disk blocks discarded as stale/unvouched
+    uint64_t warm_dirty_resumed = 0;     // pre-crash dirty blocks resumed for push
   };
 
   CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
@@ -189,6 +209,15 @@ class CacheManager : public RpcHandler {
 
   // Opens a file, acquiring the matching open-mode token (Section 5.2).
   Result<OpenHandle> Open(Vfs& vfs, const std::string& path, OpenMode mode);
+
+  // Warm-reboot boot path (persistent cache): reasserts the tokens found in
+  // the on-disk journal with their servers, revalidates every recovered file
+  // against the server's current data_version (stale blocks are dropped,
+  // clean blocks are kept warm, pre-crash dirty blocks are resumed for push
+  // or surfaced as kIoError like the stale-epoch flow), and checkpoints the
+  // surviving token set. A no-op without a persistent store or on a
+  // freshly-formatted disk. Call once, after construction, before use.
+  Status Recover();
 
   // Pushes all dirty data for one file (fsync) or everything (sync).
   Status Fsync(const Fid& fid);
@@ -214,6 +243,9 @@ class CacheManager : public RpcHandler {
   Stats stats() const;
   NodeId node() const { return options_.node; }
   VldbClient& vldb() { return vldb_; }
+  // The persistent store, when one backs this client (crash injection and
+  // layout inspection in tests); null otherwise.
+  PersistentCacheStore* persistent_store() { return persist_; }
   // Files currently on the write-behind dirty list (test accessor).
   size_t DirtyListSize() const;
 
@@ -412,6 +444,25 @@ class CacheManager : public RpcHandler {
 
   Status ReturnToken(const Fid& fid, TokenId id, uint32_t types);
 
+  // --- persistent cache hooks (all no-ops when persist_ == nullptr) ---
+  // Store one block, with full version metadata when the store is persistent.
+  // Clean and dirty blocks alike carry the cvnode's stamp and data_version:
+  // for clean blocks that is the version the bytes belong to; for dirty
+  // blocks it is the *base* version they were written against, so Recover()
+  // resumes a pre-crash push only if the server has not moved past it.
+  Status StorePutLocked(CVnode& cv, uint64_t block, std::span<const uint8_t> data, bool dirty)
+      REQUIRES(cv.low);
+  // Records that blocks [first, last] reached the server (store-back done).
+  void PersistMarkCleanLocked(CVnode& cv, uint64_t first, uint64_t last, const SyncInfo& sync)
+      REQUIRES(cv.low);
+  // Token-journal appends (grant / update / erase).
+  void JournalGrantLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
+  void JournalEraseLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
+  // Best-known epoch of the server owning `volume`, from the VLDB location
+  // cache + the connect-time epoch map only — never an RPC, so it is safe
+  // under cvnode locks. 0 when unknown.
+  uint64_t JournalEpochFor(uint64_t volume);
+
   // --- data-cache accounting (guarded by mu_) ---
   // Marks a block most-recently-used (callers hold the owning cv's low lock;
   // mu_ is a leaf below it).
@@ -425,7 +476,14 @@ class CacheManager : public RpcHandler {
   VldbClient vldb_;
   Ticket ticket_;
   Options options_;
+  // Private medium for persistent_cache without a caller-provided disk.
+  // Declared before store_ so the store (which holds buffers over it) is
+  // destroyed first.
+  std::unique_ptr<SimDisk> owned_cache_disk_;
   std::unique_ptr<CacheStore> store_;
+  // Non-owning view of store_ when it is a PersistentCacheStore; null for the
+  // memory/scratch-disk stores (every persist hook checks this).
+  PersistentCacheStore* persist_ = nullptr;
   // Background-readahead window state machine + the data-path thread pool
   // (always constructed; enabled() is false when prefetch_threads == 0).
   std::unique_ptr<Prefetcher> prefetcher_;

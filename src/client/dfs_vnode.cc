@@ -268,7 +268,15 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
       return Status(ErrorCode::kWouldBlock, "tokens or edge blocks missing");
     }
     // Apply locally — no RPC, no server notification: that is exactly what
-    // the write data + status tokens entitle us to (Section 5.2).
+    // the write data + status tokens entitle us to (Section 5.2). The size
+    // extension lands first so a persistent store records each block against
+    // the file size the write produces.
+    if (offset + data.size() > cv->attr.size) {
+      // Extension: we hold (and needed) the status-write token.
+      cv->attr.size = offset + data.size();
+      cv->attr.mtime += 1;
+      cv->attr_dirty = true;
+    }
     for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, data.size()); ++b) {
       std::vector<uint8_t> block(kBlockSize, 0);
       if (cv->cached_blocks.count(b) != 0) {
@@ -279,17 +287,11 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
       uint64_t copy_to = std::min(offset + data.size(), bstart + kBlockSize);
       std::memcpy(block.data() + (copy_from - bstart), data.data() + (copy_from - offset),
                   copy_to - copy_from);
-      RETURN_IF_ERROR(cm_->store_->Put(fid_, b, block));
+      RETURN_IF_ERROR(cm_->StorePutLocked(*cv, b, block, /*dirty=*/true));
       cv->cached_blocks.insert(b);
       cv->dirty_blocks.insert(b);
     }
     cm_->NoteDirty(fid_);  // write-behind dirty list (cm_->mu_ is a leaf)
-    if (offset + data.size() > cv->attr.size) {
-      // Extension: we hold (and needed) the status-write token.
-      cv->attr.size = offset + data.size();
-      cv->attr.mtime += 1;
-      cv->attr_dirty = true;
-    }
     return data.size();
   };
 

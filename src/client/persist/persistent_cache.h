@@ -1,0 +1,243 @@
+// Disk-backed client cache with a token journal (warm-reboot reassertion).
+//
+// AFS clients survive reboots with a warm cache because the cache lives in
+// the node's local file system; DEcorum's diskless MemoryCacheStore loses
+// everything. This store backs the client cache with a caller-owned SimDisk
+// so both the data blocks and the token state survive a client crash:
+//
+//   block 0        superblock (geometry, magic)
+//   [wal]          write-ahead log for index metadata (reuses src/wal)
+//   [index]        one 64-byte entry per data slot: fid, remote block number,
+//                  serialization stamp, data_version, write-time file size,
+//                  valid/dirty flags.
+//                  Written through BufferCache + Wal::LogUpdate so crash
+//                  semantics are inherited from the Episode machinery.
+//   [journal]      append-only token journal: header block + two alternating
+//                  halves. Grants/updates and erasures are appended raw
+//                  (write-through, one block per append); a checkpoint
+//                  compacts the live token set into the inactive half and
+//                  flips the header in a single atomic block write.
+//   [data]         one 4 KiB slot per cached block, written directly to the
+//                  device (user data is not logged, as in Episode).
+//
+// Write-ordering discipline (each rule closes a crash window):
+//   - A put into a slot that is currently valid first *durably* invalidates
+//     the index entry (WAL commit + sync), then writes the data, then commits
+//     the new entry. A crash between any two steps loses at most that one
+//     cached block; it can never leave an entry describing bytes from a
+//     different file or a different version.
+//   - A fresh slot is written data-first, entry-second: a crash in between
+//     leaves an invalid entry and an orphaned data block (harmless).
+//   - Journal appends are written through to the device before returning, so
+//     any prefix of the journal is a consistent (if conservative) token set:
+//     a lost grant record means the token dies with the reboot (safe); a lost
+//     erasure record means recovery reasserts a dead token, which the server
+//     either rejects (conflict) or re-installs — and re-installed tokens are
+//     revalidated against the file's data_version before cached data is
+//     trusted (see CacheManager::Recover()).
+//
+// Crash injection: CrashAfterWrites(n) lets the next n device writes succeed
+// and then fails every subsequent I/O without touching the medium — the
+// recovery sweep in tests proves any prefix of the write path recovers.
+#ifndef SRC_CLIENT_PERSIST_PERSISTENT_CACHE_H_
+#define SRC_CLIENT_PERSIST_PERSISTENT_CACHE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/buf/buffer_cache.h"
+#include "src/client/cache_store.h"
+#include "src/common/mutex.h"
+#include "src/tokens/token.h"
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+// Fails all I/O after a configured number of successful writes; the medium
+// keeps exactly the prefix that was written (SimDisk durability semantics).
+class CrashableDevice : public BlockDevice {
+ public:
+  explicit CrashableDevice(BlockDevice& base) : base_(base) {}
+
+  Status Read(uint64_t blockno, std::span<uint8_t> out) override;
+  Status Write(uint64_t blockno, std::span<const uint8_t> data) override;
+  Status Flush() override;
+  uint64_t BlockCount() const override { return base_.BlockCount(); }
+
+  // After `n` more successful writes, every I/O fails with kCrashed.
+  void CrashAfterWrites(uint64_t n);
+  void CrashNow() { crashed_.store(true, std::memory_order_release); }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  BlockDevice& base_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> remaining_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+class PersistentCacheStore : public CacheStore {
+ public:
+  struct Options {
+    uint64_t wal_blocks = 64;      // index WAL area (incl. 1 header block)
+    uint64_t journal_blocks = 33;  // 1 header + two halves
+  };
+
+  enum class JournalOp : uint8_t { kGrant = 1, kErase = 2 };
+
+  struct JournalRecord {
+    JournalOp op = JournalOp::kGrant;
+    Token token;
+    uint64_t epoch = 0;  // server epoch when the grant was journaled
+  };
+
+  struct RecoveredBlock {
+    uint64_t block = 0;
+    bool dirty = false;
+    uint64_t stamp = 0;
+    uint64_t data_version = 0;
+    // The file's local size when this entry was written. For dirty blocks
+    // this preserves a size extension that existed only in the dying
+    // client's memory — recovery restores it so the resumed push re-extends
+    // the file at the server.
+    uint64_t file_size = 0;
+  };
+  struct RecoveredFile {
+    Fid fid;
+    std::vector<RecoveredBlock> blocks;
+  };
+  struct RecoveredState {
+    bool recovered = false;  // false: the disk was virgin and got formatted
+    std::vector<RecoveredFile> files;
+    std::vector<JournalRecord> tokens;  // live grants (erasures applied)
+  };
+
+  // Opens an existing store (magic present: WAL recovery + index scan +
+  // journal replay) or formats a virgin disk. The SimDisk is caller-owned and
+  // must outlive the store — that is what lets a rebooted client reopen it.
+  static Result<std::unique_ptr<PersistentCacheStore>> Open(SimDisk* disk, Options options);
+
+  ~PersistentCacheStore() override;
+
+  // CacheStore interface. Put() stores a clean block with unknown version
+  // metadata; recovery drops such entries, so integration code should prefer
+  // PutBlock(). Get/Erase/EraseFile behave like the sibling stores.
+  Status Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) override;
+  Status Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) override;
+  void Erase(const Fid& fid, uint64_t block) override;
+  void EraseFile(const Fid& fid) override;
+  uint64_t bytes_used() const override;
+
+  // Full-metadata put: `stamp` is the file's serialization stamp,
+  // `data_version` its attribute version at the time the bytes were valid,
+  // and `file_size` the file's local size (which for dirty blocks may run
+  // ahead of the server's).
+  Status PutBlock(const Fid& fid, uint64_t block, std::span<const uint8_t> data, bool dirty,
+                  uint64_t stamp, uint64_t data_version, uint64_t file_size);
+
+  // Records that a dirty block reached the server (store-back completed).
+  Status MarkClean(const Fid& fid, uint64_t block, uint64_t stamp, uint64_t data_version,
+                   uint64_t file_size);
+
+  // Appends a token-journal record (write-through).
+  Status Journal(JournalOp op, const Token& token, uint64_t epoch);
+
+  // Compacts `live` into the inactive half and atomically flips the header.
+  Status CheckpointJournal(const std::vector<JournalRecord>& live);
+
+  // Flushes the WAL and every dirty index buffer (clean-shutdown path).
+  Status Sync();
+
+  // What Open() reconstructed from the medium.
+  const RecoveredState& recovered() const { return recovered_; }
+
+  // --- Crash injection (recovery tests) ---
+  void CrashAfterWrites(uint64_t n) { crash_dev_->CrashAfterWrites(n); }
+  void CrashNow();
+  bool crashed() const { return crash_dev_->crashed(); }
+  uint64_t device_writes() const { return crash_dev_->writes(); }
+
+  uint64_t data_slots() const { return geo_.data_slots; }
+
+ private:
+  struct Geometry {
+    uint64_t wal_start = 0;
+    uint64_t wal_blocks = 0;
+    uint64_t index_start = 0;
+    uint64_t index_blocks = 0;
+    uint64_t journal_start = 0;
+    uint64_t journal_half_blocks = 0;
+    uint64_t data_start = 0;
+    uint64_t data_slots = 0;
+  };
+
+  struct SlotState {
+    bool valid = false;
+    bool dirty = false;
+    Fid fid;
+    uint64_t block = 0;
+    uint64_t stamp = 0;
+    uint64_t data_version = 0;
+    uint64_t file_size = 0;
+  };
+
+  using Key = std::pair<Fid, uint64_t>;
+  struct KeyLess {
+    bool operator()(const Key& a, const Key& b) const {
+      return std::tie(a.first.volume, a.first.vnode, a.first.uniq, a.second) <
+             std::tie(b.first.volume, b.first.vnode, b.first.uniq, b.second);
+    }
+  };
+
+  PersistentCacheStore() = default;
+
+  Status Boot();
+  Status FormatLocked() REQUIRES(mu_);
+  Status RecoverLocked() REQUIRES(mu_);
+  Status ReplayJournalLocked() REQUIRES(mu_);
+
+  // Writes the entry for `slot` through the WAL (one short transaction).
+  Status WriteEntryLocked(uint64_t slot, const SlotState& state) REQUIRES(mu_);
+  // Durably clears the entry (WAL commit forced to disk before returning).
+  Status InvalidateSlotLocked(uint64_t slot) REQUIRES(mu_);
+  Status EraseSlotLocked(uint64_t slot) REQUIRES(mu_);
+
+  Result<uint64_t> PickSlotLocked(const Key& key) REQUIRES(mu_);
+
+  Status AppendJournalLocked(const JournalRecord& rec) REQUIRES(mu_);
+  Status WriteJournalHeaderLocked(uint8_t active_half, uint64_t seq) REQUIRES(mu_);
+  Status CompactJournalLocked(const std::vector<JournalRecord>& live) REQUIRES(mu_);
+  std::vector<JournalRecord> LiveJournalLocked() const REQUIRES(mu_);
+
+  static void SerializeRecord(Writer& w, const JournalRecord& rec);
+
+  SimDisk* disk_ = nullptr;  // caller-owned medium
+  std::unique_ptr<CrashableDevice> crash_dev_;
+  std::unique_ptr<BufferCache> cache_;  // index metadata only
+  std::unique_ptr<Wal> wal_;
+  Geometry geo_;
+  RecoveredState recovered_;
+
+  // LOCK-EXEMPT(leaf): serializes persistent-store operations; below every
+  // hierarchy level — only the leaf buf/wal/device locks are taken inside,
+  // and nothing in those layers calls back up into this store.
+  mutable Mutex mu_;
+  std::vector<SlotState> slots_ GUARDED_BY(mu_);
+  std::map<Key, uint64_t, KeyLess> by_key_ GUARDED_BY(mu_);  // key -> slot
+  uint64_t next_victim_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
+  // Token journal in-memory state (mirrors the active half).
+  std::map<TokenId, JournalRecord> live_tokens_ GUARDED_BY(mu_);
+  uint8_t active_half_ GUARDED_BY(mu_) = 0;
+  uint64_t journal_seq_ GUARDED_BY(mu_) = 1;
+  std::vector<uint8_t> journal_tail_ GUARDED_BY(mu_);  // bytes in the active half
+};
+
+}  // namespace dfs
+
+#endif  // SRC_CLIENT_PERSIST_PERSISTENT_CACHE_H_

@@ -3,9 +3,8 @@
 namespace dfs {
 
 void LeaseTable::Renew(uint32_t host, uint64_t now_ns) {
-  if (ttl_ns_ == 0) {
-    return;
-  }
+  // Recorded even with expiry disabled (ttl 0): the roster a restarting
+  // server hands its successor comes from this map.
   MutexLock lock(mu_);
   last_seen_[host] = now_ns;
 }
@@ -37,6 +36,17 @@ std::vector<uint32_t> LeaseTable::ExpiredHosts(uint64_t now_ns) const {
     if (now_ns > seen && now_ns - seen > ttl_ns_) {
       out.push_back(host);
     }
+  }
+  return out;
+}
+
+std::vector<uint32_t> LeaseTable::Hosts() const {
+  std::vector<uint32_t> out;
+  MutexLock lock(mu_);
+  out.reserve(last_seen_.size());
+  for (const auto& [host, seen] : last_seen_) {
+    (void)seen;
+    out.push_back(host);
   }
   return out;
 }

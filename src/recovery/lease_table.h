@@ -39,6 +39,11 @@ class LeaseTable {
   // All hosts whose leases lapsed before `now_ns`.
   std::vector<uint32_t> ExpiredHosts(uint64_t now_ns) const;
 
+  // Every host currently holding a lease (expired or not). A restarting
+  // server snapshots this roster so its successor can close the grace window
+  // as soon as all of them have reasserted.
+  std::vector<uint32_t> Hosts() const;
+
   uint64_t ttl_ns() const { return ttl_ns_; }
 
  private:

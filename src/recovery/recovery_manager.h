@@ -13,8 +13,10 @@
 #ifndef SRC_RECOVERY_RECOVERY_MANAGER_H_
 #define SRC_RECOVERY_RECOVERY_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
@@ -31,6 +33,10 @@ class RecoveryManager {
     uint64_t epoch = 1;
     // Length of the post-restart grace window. 0 = no grace period.
     uint64_t grace_period_ns = 0;
+    // Pre-restart lease-table roster (auto-sizing): once every host listed
+    // here has reasserted, the grace window closes early instead of waiting
+    // out the full grace_period_ns. Empty = no early close.
+    std::vector<uint32_t> expected_hosts;
   };
 
   struct Stats {
@@ -49,14 +55,33 @@ class RecoveryManager {
   uint64_t epoch() const { return options_.epoch; }
 
   // True while the grace window is open (always false for grace_period_ns=0).
+  // A full roster of reasserted hosts opens the server early.
   bool InGrace() const {
-    return options_.grace_period_ns != 0 && clock_->NowNs() < grace_end_ns_;
+    if (options_.grace_period_ns == 0 || roster_complete_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return clock_->NowNs() < grace_end_ns_;
   }
+
+  // True iff the grace window was ended early by a complete roster.
+  bool RosterComplete() const { return roster_complete_.load(std::memory_order_acquire); }
 
   void RecordReassertion(uint32_t host) {
     MutexLock lock(mu_);
     reasserted_.insert(host);
     stats_.reasserting_hosts = reasserted_.size();
+    if (!options_.expected_hosts.empty() && !roster_complete_.load(std::memory_order_relaxed)) {
+      bool all = true;
+      for (uint32_t expected : options_.expected_hosts) {
+        if (reasserted_.count(expected) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        roster_complete_.store(true, std::memory_order_release);
+      }
+    }
   }
 
   void NoteStaleEpoch() {
@@ -78,6 +103,9 @@ class RecoveryManager {
   const Options options_;
   const SimClock* clock_;
   const uint64_t grace_end_ns_;
+  // Set once when every expected host has reasserted; read lock-free on the
+  // admission path.
+  std::atomic<bool> roster_complete_{false};
   // LOCK-EXEMPT(leaf): protects only local statistics; never calls out.
   mutable Mutex mu_;
   std::unordered_set<uint32_t> reasserted_ GUARDED_BY(mu_);

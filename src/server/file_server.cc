@@ -22,7 +22,8 @@ FileServer::FileServer(Network& network, AuthService& auth, NodeId node, Options
       rclock_(options_.recovery.clock != nullptr ? options_.recovery.clock : &own_clock_),
       leases_(uint64_t{options_.recovery.lease_ttl_ms} * 1'000'000ull),
       recovery_({options_.recovery.epoch,
-                 uint64_t{options_.recovery.grace_period_ms} * 1'000'000ull},
+                 uint64_t{options_.recovery.grace_period_ms} * 1'000'000ull,
+                 options_.recovery.expected_hosts},
                 rclock_),
       tokens_(WithHostSilent(options_.tokens, this)) {
   // Network registration is deferred to the first export (EnsureRegistered):
@@ -506,6 +507,10 @@ FileServer::Body FileServer::DoFetchStatus(const RpcRequest& req, Reader& r) {
 }
 
 FileServer::Body FileServer::DoFetchData(const RpcRequest& req, Reader& r) {
+  {
+    MutexLock lock(mu_);
+    stats_.fetch_data_calls += 1;
+  }
   ASSIGN_OR_RETURN(Cred cred, CredForHost(req.from));
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(uint64_t offset, r.ReadU64());

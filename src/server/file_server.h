@@ -66,6 +66,9 @@ class FileServer : public RpcHandler {
       uint64_t epoch = 1;           // incarnation; bump on restart
       uint32_t grace_period_ms = 0; // post-restart reassertion window
       uint32_t lease_ttl_ms = 0;    // 0 = hosts never go silent
+      // Pre-restart lease roster (grace auto-sizing): once every listed host
+      // has reasserted, the grace window closes early. Empty = full window.
+      std::vector<uint32_t> expected_hosts;
       // Shared deterministic clock (the test rig injects its VirtualClock);
       // null = the server runs a private clock that never advances, i.e.
       // leases and grace are inert unless someone drives time.
@@ -86,6 +89,9 @@ class FileServer : public RpcHandler {
   uint64_t epoch() const { return recovery_.epoch(); }
   bool in_grace() const { return recovery_.InGrace(); }
   RecoveryManager::Stats recovery_stats() const { return recovery_.stats(); }
+  // Lease-holding hosts; a restarting rig snapshots this as the successor's
+  // expected_hosts roster.
+  std::vector<uint32_t> LeaseHosts() const { return leases_.Hosts(); }
 
   // Exports a mounted physical file system under its volume id.
   Status ExportVolume(uint64_t volume_id, VfsRef vfs);
@@ -120,6 +126,9 @@ class FileServer : public RpcHandler {
     uint64_t requests = 0;
     uint64_t acl_denials = 0;
     uint64_t local_ops = 0;
+    // Data-plane RPCs served, so tests can prove a warm-rebooted client never
+    // re-fetched bytes its persistent cache already held.
+    uint64_t fetch_data_calls = 0;
   };
   Stats stats() const;
 

@@ -9,6 +9,7 @@ void PutLocation(Writer& w, const VolumeLocation& loc) {
   w.PutU64(loc.volume_id);
   w.PutString(loc.name);
   w.PutU32(loc.server);
+  w.PutU64(loc.epoch);
 }
 
 Result<VolumeLocation> ReadLocation(Reader& r) {
@@ -16,6 +17,10 @@ Result<VolumeLocation> ReadLocation(Reader& r) {
   ASSIGN_OR_RETURN(loc.volume_id, r.ReadU64());
   ASSIGN_OR_RETURN(loc.name, r.ReadString());
   ASSIGN_OR_RETURN(loc.server, r.ReadU32());
+  // Trailing epoch is tolerated missing so pre-epoch registrars still parse.
+  if (r.Remaining() >= sizeof(uint64_t)) {
+    ASSIGN_OR_RETURN(loc.epoch, r.ReadU64());
+  }
   return loc;
 }
 
@@ -167,13 +172,24 @@ Result<VolumeLocation> VldbClient::LookupByName(const std::string& name) {
   return loc;
 }
 
-Status VldbClient::Register(uint64_t volume_id, const std::string& name, NodeId server) {
+Status VldbClient::Register(uint64_t volume_id, const std::string& name, NodeId server,
+                            uint64_t epoch) {
   Writer w;
-  PutLocation(w, VolumeLocation{volume_id, name, server});
+  VolumeLocation loc{volume_id, name, server, epoch};
+  PutLocation(w, loc);
   RETURN_IF_ERROR(CallAny(kVldbRegister, w).status());
   SharedOrderedLockGuard lock(mu_);
-  cache_[volume_id] = VolumeLocation{volume_id, name, server};
+  cache_[volume_id] = loc;
   return Status::Ok();
+}
+
+std::optional<VolumeLocation> VldbClient::Peek(uint64_t volume_id) const {
+  SharedOrderedReadGuard lock(mu_);
+  auto it = cache_.find(volume_id);
+  if (it == cache_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
 }
 
 Status VldbClient::Remove(uint64_t volume_id) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@ struct VolumeLocation {
   uint64_t volume_id = 0;
   std::string name;
   NodeId server = 0;
+  // Serving server's incarnation epoch at registration time. 0 = unknown
+  // (pre-epoch registrar); clients treat a nonzero value as authoritative and
+  // reassert proactively instead of eating a kStaleEpoch bounce.
+  uint64_t epoch = 0;
 };
 
 class VldbServer : public RpcHandler {
@@ -58,8 +63,11 @@ class VldbClient {
 
   Result<VolumeLocation> LookupById(uint64_t volume_id);
   Result<VolumeLocation> LookupByName(const std::string& name);
-  Status Register(uint64_t volume_id, const std::string& name, NodeId server);
+  Status Register(uint64_t volume_id, const std::string& name, NodeId server, uint64_t epoch = 0);
   Status Remove(uint64_t volume_id);
+
+  // Cache-only lookup: never issues an RPC, so it is safe under client locks.
+  std::optional<VolumeLocation> Peek(uint64_t volume_id) const;
 
   void InvalidateCache(uint64_t volume_id);
   uint64_t lookup_rpcs() const { return lookup_rpcs_.load(std::memory_order_relaxed); }

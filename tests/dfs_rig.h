@@ -89,7 +89,7 @@ struct DfsRig {
     rig->volume_id = *vid;
     (void)rig->server->ExportAggregate(rig->agg.get());
     VldbClient registrar(rig->net, kServerNode, {kVldbNode});
-    (void)registrar.Register(rig->volume_id, "home", kServerNode);
+    (void)registrar.Register(rig->volume_id, "home", kServerNode, rig->server->epoch());
 
     if (options.second_server) {
       rig->disk2 = std::make_unique<SimDisk>(options.disk_blocks);
@@ -131,6 +131,12 @@ struct DfsRig {
   // new incarnation epoch with the given grace period. Clients discover the
   // restart via kStaleEpoch/kAuthFailed on their next call and reassert.
   void RestartServer(uint32_t grace_period_ms = 0, uint32_t lease_ttl_ms = 0) {
+    // Snapshot the dying incarnation's lease roster: the successor's grace
+    // window closes early once every one of these hosts has reasserted.
+    std::vector<uint32_t> roster;
+    if (server != nullptr) {
+      roster = server->LeaseHosts();
+    }
     server.reset();
     server_epoch += 1;
     FileServer::Options sopts = server_options;
@@ -138,13 +144,15 @@ struct DfsRig {
     sopts.recovery.epoch = server_epoch;
     sopts.recovery.grace_period_ms = grace_period_ms;
     sopts.recovery.lease_ttl_ms = lease_ttl_ms;
+    sopts.recovery.expected_hosts = roster;
     server_options = sopts;
     server = std::make_unique<FileServer>(net, auth, kServerNode, sopts);
     (void)server->ExportAggregate(agg.get());
     // The VLDB registration survives (it lives on its own node); re-register
-    // anyway so a wiped VLDB in a test cannot strand the volume.
+    // anyway so a wiped VLDB in a test cannot strand the volume — and so the
+    // entry carries the new incarnation epoch.
     VldbClient registrar(net, kServerNode, {kVldbNode});
-    (void)registrar.Register(volume_id, "home", kServerNode);
+    (void)registrar.Register(volume_id, "home", kServerNode, server_epoch);
   }
 };
 

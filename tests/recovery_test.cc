@@ -159,6 +159,14 @@ TEST(RecoveryTest, NoStaleDataServedDuringGrace) {
   ASSERT_OK_AND_ASSIGN(std::string warm, ReadFileAt(*avfs, "/f"));
   EXPECT_EQ(warm, "committed");
 
+  // A second host in the lease roster who stays silent after the restart:
+  // with him outstanding the grace window cannot close early on roster
+  // completion, so the server must keep answering kRecovering below.
+  CacheManager* bob = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef bvfs, bob->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string bwarm, ReadFileAt(*bvfs, "/f"));
+  EXPECT_EQ(bwarm, "committed");
+
   rig->RestartServer(/*grace_period_ms=*/200);
 
   // The client lease has lapsed, so the next read goes to the server instead
@@ -196,6 +204,60 @@ TEST(RecoveryTest, NoStaleDataServedDuringGrace) {
   ASSERT_OK(read_status);
   EXPECT_EQ(after, "committed");
   EXPECT_GE(alice->stats().stale_epoch_retries, 1u);
+}
+
+TEST(RecoveryTest, VldbEpochAvoidsStaleEpochBounce) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* alice = rig->NewClient("alice");
+  ASSERT_NE(alice, nullptr);
+  ASSERT_OK_AND_ASSIGN(VfsRef avfs, alice->MountVolume("home"));
+  ASSERT_OK(WriteShared(*avfs, "/f", "committed", TestCred()));
+  ASSERT_OK(alice->SyncAll());
+
+  rig->RestartServer();  // no grace; the VLDB entry now carries epoch 2
+
+  // A client that tracks the restart (or a volume move) through the VLDB
+  // re-fetches the location entry, sees an epoch ahead of the one it learned
+  // at connect time, and reasserts proactively — the data call that follows
+  // never eats a kStaleEpoch bounce.
+  alice->vldb().InvalidateCache(rig->volume_id);
+  ASSERT_OK(WriteShared(*avfs, "/g", "after restart", TestCred()));
+  auto stats = alice->stats();
+  EXPECT_EQ(stats.stale_epoch_retries, 0u);
+  EXPECT_GE(stats.reasserted_tokens, 1u);
+  // The pre-restart cache is still intact and served locally.
+  ASSERT_OK_AND_ASSIGN(std::string now, ReadFileAt(*avfs, "/f"));
+  EXPECT_EQ(now, "committed");
+}
+
+TEST(RecoveryTest, GraceEndsEarlyOnceRosterReasserts) {
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  CacheManager* alice = rig->NewClient("alice");
+  ASSERT_NE(alice, nullptr);
+  ASSERT_OK_AND_ASSIGN(VfsRef avfs, alice->MountVolume("home"));
+  ASSERT_OK(WriteShared(*avfs, "/f", "committed", TestCred()));
+  ASSERT_OK(alice->SyncAll());
+
+  // Alice is the entire lease roster. Restart with a grace period far longer
+  // than the test: with the virtual clock frozen, the window can only close
+  // by roster completion.
+  rig->RestartServer(/*grace_period_ms=*/60'000);
+  EXPECT_TRUE(rig->server->in_grace());
+
+  // Her next call bounces kStaleEpoch, reasserts, and completes the roster —
+  // ending grace immediately, no clock advance needed.
+  ASSERT_OK(WriteShared(*avfs, "/g", "post restart", TestCred()));
+  EXPECT_FALSE(rig->server->in_grace());
+  EXPECT_GE(alice->stats().reasserted_tokens, 1u);
+
+  // A different host's fresh grant is admitted well before grace_period_ms.
+  CacheManager* bob = rig->NewClient("bob");
+  ASSERT_NE(bob, nullptr);
+  ASSERT_OK_AND_ASSIGN(VfsRef bvfs, bob->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string now, ReadFileAt(*bvfs, "/f"));
+  EXPECT_EQ(now, "committed");
 }
 
 TEST(RecoveryTest, DoubleRestartMidGrace) {
