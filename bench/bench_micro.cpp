@@ -40,7 +40,8 @@ void BM_WalCommit(benchmark::State& state) {
   uint8_t payload[64] = {1};
   uint64_t i = 0;
   for (auto _ : state) {
-    TxnId txn = wal.Begin();
+    TxnToken txn = wal.Begin();
+    txn.AssertIssued();
     auto buf = cache.Get(3000 + (i++ % 512));
     (void)wal.LogUpdate(txn, *buf, 0, payload);
     (void)wal.Commit(txn);

@@ -702,6 +702,13 @@ void CacheManager::PersistMarkCleanLocked(CVnode& cv, uint64_t first, uint64_t l
   }
 }
 
+void CacheManager::PersistClampSizeLocked(CVnode& cv, uint64_t new_size) {
+  if (persist_ == nullptr) {
+    return;
+  }
+  (void)persist_->ClampFileSizes(cv.fid, new_size);
+}
+
 void CacheManager::JournalGrantLocked(const CVnode& cv, const Token& token) {
   if (persist_ == nullptr) {
     return;
@@ -1953,6 +1960,21 @@ void CacheManager::KeepAlivePass() {
       // operation trips over kStaleEpoch.
       (void)HandleStaleEpoch(server, nullptr);
     }
+  }
+  // The daemon already woke up; use the pass for journal maintenance too.
+  MaybeCheckpointJournal();
+}
+
+void CacheManager::MaybeCheckpointJournal() {
+  if (persist_ == nullptr || options_.journal_checkpoint_appends == 0) {
+    return;
+  }
+  if (persist_->journal_appends_since_checkpoint() < options_.journal_checkpoint_appends) {
+    return;
+  }
+  if (persist_->SelfCheckpoint().ok()) {
+    MutexLock lock(mu_);
+    stats_.journal_checkpoints += 1;
   }
 }
 

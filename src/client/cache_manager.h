@@ -159,6 +159,12 @@ class CacheManager : public RpcHandler {
     // token-journal area sizes in 4 KiB blocks.
     uint64_t persistent_cache_wal_blocks = 64;
     uint64_t persistent_cache_journal_blocks = 33;
+    // Piggybacked journal maintenance: a keep-alive pass that finds at least
+    // this many raw appends since the last compaction checkpoints the token
+    // journal, so replay stays cheap without waiting for a half to fill.
+    // 0 disables. (No effect unless the keep-alive daemon is running and the
+    // persistent cache is on.)
+    uint64_t journal_checkpoint_appends = 64;
     Network::NodeOptions rpc;         // includes the dedicated revocation pool
   };
 
@@ -196,6 +202,7 @@ class CacheManager : public RpcHandler {
     uint64_t warm_blocks_recovered = 0;  // clean blocks revalidated from disk
     uint64_t warm_blocks_dropped = 0;    // on-disk blocks discarded as stale/unvouched
     uint64_t warm_dirty_resumed = 0;     // pre-crash dirty blocks resumed for push
+    uint64_t journal_checkpoints = 0;    // keep-alive-piggybacked compactions
   };
 
   CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
@@ -378,6 +385,9 @@ class CacheManager : public RpcHandler {
   // Pings every connected server; a changed epoch in the reply triggers the
   // reassertion path.
   void KeepAlivePass();
+  // Piggybacked on the keep-alive pass: compacts the token journal when the
+  // append count since the last checkpoint crosses the Options threshold.
+  void MaybeCheckpointJournal();
 
   // Fetches data + tokens for the aligned range; installs under `low`.
   // `after_install`, when provided, runs under `low` after the reply is
@@ -455,6 +465,10 @@ class CacheManager : public RpcHandler {
   // Records that blocks [first, last] reached the server (store-back done).
   void PersistMarkCleanLocked(CVnode& cv, uint64_t first, uint64_t last, const SyncInfo& sync)
       REQUIRES(cv.low);
+  // Truncate-awareness: clamps the persisted file_size of every surviving
+  // entry of cv's file to `new_size`, so a warm reboot cannot re-extend the
+  // file from a size recorded before the truncate.
+  void PersistClampSizeLocked(CVnode& cv, uint64_t new_size) REQUIRES(cv.low);
   // Token-journal appends (grant / update / erase).
   void JournalGrantLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
   void JournalEraseLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
@@ -473,19 +487,30 @@ class CacheManager : public RpcHandler {
   void MaybeEvict();
 
   Network& network_;
+  // GUARD-EXEMPT: wired at construction and immutable afterwards; VldbClient
+  // is internally synchronized for the lookups it performs.
   VldbClient vldb_;
+  // GUARD-EXEMPT: issued at construction, read-only identity afterwards.
   Ticket ticket_;
+  // GUARD-EXEMPT: configuration snapshot, never written after construction.
   Options options_;
   // Private medium for persistent_cache without a caller-provided disk.
   // Declared before store_ so the store (which holds buffers over it) is
   // destroyed first.
+  // GUARD-EXEMPT: set once at construction; only the pointer identity is
+  // read afterwards (the device itself is driven through store_).
   std::unique_ptr<SimDisk> owned_cache_disk_;
+  // GUARD-EXEMPT: pointer set at construction and never reseated; the
+  // pointee is internally synchronized (each store carries its own mutex).
   std::unique_ptr<CacheStore> store_;
   // Non-owning view of store_ when it is a PersistentCacheStore; null for the
   // memory/scratch-disk stores (every persist hook checks this).
+  // GUARD-EXEMPT: alias of store_ fixed at construction, never reseated.
   PersistentCacheStore* persist_ = nullptr;
   // Background-readahead window state machine + the data-path thread pool
   // (always constructed; enabled() is false when prefetch_threads == 0).
+  // GUARD-EXEMPT: pointer set at construction and never reseated; the
+  // Prefetcher is internally synchronized (its own OrderedMutex).
   std::unique_ptr<Prefetcher> prefetcher_;
   // Concurrent data-RPC accounting for Stats::inflight_highwater.
   std::atomic<uint64_t> data_rpcs_inflight_{0};
@@ -523,6 +548,8 @@ class CacheManager : public RpcHandler {
   Mutex flusher_mu_;
   CondVar flusher_cv_;
   bool flusher_shutdown_ GUARDED_BY(flusher_mu_) = false;
+  // GUARD-EXEMPT: written only by the constructor-thread start and the
+  // destructor join; never touched concurrently.
   std::thread flusher_;
 
   // LOCK-EXEMPT(leaf): keep-alive daemon wakeup/shutdown latch only; nothing
@@ -530,6 +557,8 @@ class CacheManager : public RpcHandler {
   Mutex keepalive_mu_;
   CondVar keepalive_cv_;
   bool keepalive_shutdown_ GUARDED_BY(keepalive_mu_) = false;
+  // GUARD-EXEMPT: written only by the constructor-thread start and the
+  // destructor join; never touched concurrently.
   std::thread keepalive_;
 };
 
@@ -552,7 +581,10 @@ class DfsVfs : public Vfs, public std::enable_shared_from_this<DfsVfs> {
   uint64_t volume_id() const { return volume_id_; }
 
  private:
+  // GUARD-EXEMPT: fixed at construction; DfsVfs is a thin immutable adapter
+  // over the cache manager.
   CacheManager* cm_;
+  // GUARD-EXEMPT: fixed at construction, read-only afterwards.
   uint64_t volume_id_;
   // The root FID is fetched once and cached: volume roots are permanent.
   // LOCK-EXEMPT(leaf): guards only the cached root FID; nothing acquired

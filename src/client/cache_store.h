@@ -67,6 +67,8 @@ class DiskCacheStore : public CacheStore {
   Result<VnodeRef> CacheFile(const Fid& fid, bool create) REQUIRES(mu_);
   static std::string NameFor(const Fid& fid);
 
+  // GUARD-EXEMPT: owned medium created once in Create(), never reseated; all
+  // I/O against it goes through fs_ under mu_.
   std::unique_ptr<SimDisk> disk_;
   std::shared_ptr<FfsVfs> fs_ PT_GUARDED_BY(mu_);
   // LOCK-EXEMPT(leaf): serializes cache-FFS operations; below every

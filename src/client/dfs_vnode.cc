@@ -76,7 +76,9 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
     std::swap(first, second);
   }
   OrderedLockGuard h1(first->high);
-  // Conditional second lock (cross-directory rename), taken in tag order.
+  // Conditional second lock (cross-directory rename).
+  // LOCK-ORDER(same-level): first/second are sorted by high.tag() above, so the
+  // pair is always acquired in ascending tag order.
   MaybeLockGuard h2(second != nullptr ? &second->high : nullptr);
 
   Writer w;
@@ -349,6 +351,10 @@ Status DfsVnode::Truncate(uint64_t new_size) {
       ++it;
     }
   }
+  // Surviving entries below the boundary still carry the pre-truncate
+  // file_size on the cache medium; clamp them so a warm reboot cannot
+  // re-extend the file from stale persisted metadata.
+  cm_->PersistClampSizeLocked(*cv, new_size);
   return Status::Ok();
 }
 

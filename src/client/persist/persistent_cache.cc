@@ -315,7 +315,8 @@ Status PersistentCacheStore::WriteEntryLocked(uint64_t slot, const SlotState& st
   bytes.resize(kEntryBytes, 0);
 
   ASSIGN_OR_RETURN(BufferCache::Ref ref, cache_->Get(geo_.index_start + slot / kEntriesPerBlock));
-  TxnId txn = wal_->Begin();
+  TxnToken txn = wal_->Begin();
+  txn.AssertIssued();
   Status s = wal_->LogUpdate(txn, ref, (slot % kEntriesPerBlock) * kEntryBytes, bytes);
   if (!s.ok()) {
     (void)wal_->Abort(txn);
@@ -419,6 +420,29 @@ Status PersistentCacheStore::MarkClean(const Fid& fid, uint64_t block, uint64_t 
   return Status::Ok();
 }
 
+Status PersistentCacheStore::ClampFileSizes(const Fid& fid, uint64_t new_size) {
+  MutexLock lock(mu_);
+  if (wal_ == nullptr) {
+    return Status(ErrorCode::kCrashed, "store not open");
+  }
+  Status result = Status::Ok();
+  for (auto it = by_key_.lower_bound({fid, 0});
+       it != by_key_.end() && it->first.first == fid; ++it) {
+    SlotState s = slots_[it->second];
+    if (!s.valid || s.file_size <= new_size) {
+      continue;
+    }
+    s.file_size = new_size;
+    Status w = WriteEntryLocked(it->second, s);
+    if (!w.ok()) {
+      result = w;  // clamp the rest anyway; report the first failure
+      continue;
+    }
+    slots_[it->second] = s;
+  }
+  return result;
+}
+
 Status PersistentCacheStore::Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) {
   // Version metadata unknown: recovery cannot validate such an entry and
   // drops it, so this path is only a within-boot cache.
@@ -516,6 +540,7 @@ Status PersistentCacheStore::AppendJournalLocked(const JournalRecord& rec) {
   } else {
     live_tokens_[rec.token.id] = rec;
   }
+  ++journal_appends_;
   return Status::Ok();
 }
 
@@ -584,6 +609,7 @@ Status PersistentCacheStore::CompactJournalLocked(const std::vector<JournalRecor
       live_tokens_[rec.token.id] = rec;
     }
   }
+  journal_appends_ = 0;
   return Status::Ok();
 }
 
@@ -593,6 +619,19 @@ Status PersistentCacheStore::CheckpointJournal(const std::vector<JournalRecord>&
     return Status(ErrorCode::kCrashed, "store not open");
   }
   return CompactJournalLocked(live);
+}
+
+Status PersistentCacheStore::SelfCheckpoint() {
+  MutexLock lock(mu_);
+  if (wal_ == nullptr) {
+    return Status(ErrorCode::kCrashed, "store not open");
+  }
+  return CompactJournalLocked(LiveJournalLocked());
+}
+
+uint64_t PersistentCacheStore::journal_appends_since_checkpoint() const {
+  MutexLock lock(mu_);
+  return journal_appends_;
 }
 
 Status PersistentCacheStore::Sync() {

@@ -144,11 +144,27 @@ class PersistentCacheStore : public CacheStore {
   Status MarkClean(const Fid& fid, uint64_t block, uint64_t stamp, uint64_t data_version,
                    uint64_t file_size);
 
+  // Truncate-awareness: rewrites (through the WAL) every entry of `fid` whose
+  // recorded file_size exceeds `new_size`. Without this, entries below the
+  // truncation boundary keep the pre-truncate size, and a warm reboot would
+  // hand recovery a stale extension for a file the server has since shrunk.
+  Status ClampFileSizes(const Fid& fid, uint64_t new_size);
+
   // Appends a token-journal record (write-through).
   Status Journal(JournalOp op, const Token& token, uint64_t epoch);
 
   // Compacts `live` into the inactive half and atomically flips the header.
   Status CheckpointJournal(const std::vector<JournalRecord>& live);
+
+  // Compacts the store's own in-memory live token set (erasures applied).
+  // The keep-alive daemon calls this when the append count gets high, so the
+  // journal stays short and the next reboot's replay cheap, without waiting
+  // for the half to physically fill.
+  Status SelfCheckpoint();
+
+  // Raw records appended since the last compaction, the checkpoint-pressure
+  // signal for the caller's piggybacked maintenance.
+  uint64_t journal_appends_since_checkpoint() const;
 
   // Flushes the WAL and every dirty index buffer (clean-shutdown path).
   Status Sync();
@@ -217,10 +233,19 @@ class PersistentCacheStore : public CacheStore {
   static void SerializeRecord(Writer& w, const JournalRecord& rec);
 
   SimDisk* disk_ = nullptr;  // caller-owned medium
+  // GUARD-EXEMPT: wired once in Open() before any concurrent use; the
+  // devices/WAL/cache they point at are driven only under mu_.
   std::unique_ptr<CrashableDevice> crash_dev_;
   std::unique_ptr<BufferCache> cache_;  // index metadata only
+  // GUARD-EXEMPT: created once in Open(); the Wal object serializes its own
+  // appends internally.
   std::unique_ptr<Wal> wal_;
+  // GUARD-EXEMPT: computed once in Open() from the disk size, immutable
+  // afterwards.
   Geometry geo_;
+  // GUARD-EXEMPT: filled during single-threaded Open()/recovery and then
+  // only consumed (moved out) by the owning CacheManager before any
+  // concurrent store use.
   RecoveredState recovered_;
 
   // LOCK-EXEMPT(leaf): serializes persistent-store operations; below every
@@ -234,6 +259,7 @@ class PersistentCacheStore : public CacheStore {
   // Token journal in-memory state (mirrors the active half).
   std::map<TokenId, JournalRecord> live_tokens_ GUARDED_BY(mu_);
   uint8_t active_half_ GUARDED_BY(mu_) = 0;
+  uint64_t journal_appends_ GUARDED_BY(mu_) = 0;  // since last compaction
   uint64_t journal_seq_ GUARDED_BY(mu_) = 1;
   std::vector<uint8_t> journal_tail_ GUARDED_BY(mu_);  // bytes in the active half
 };

@@ -1,0 +1,90 @@
+// Zero-cost capability tokens: protocol invariants in the type system.
+//
+// The thread-annotation macros (thread_annotations.h) let Clang check "this
+// mutex is held here" at compile time. The same machinery generalizes from
+// mutexes to arbitrary *protocol* invariants: declare an empty token type a
+// TSA capability, let exactly one issuer class construct it, and pass it by
+// reference through every function that is only legal while the invariant
+// holds. Two independent layers then enforce the protocol:
+//
+//  1. Structural (any compiler, including GCC): the constructor is private
+//     and the type is neither copyable nor movable, so the only way a
+//     `const Token&` parameter can ever bind is to a live token minted by the
+//     issuer. "Call the mutating helper without the protocol step" is a
+//     compile error everywhere.
+//  2. TSA (Clang -Wthread-safety): helpers annotated `REQUIRES(token)` are
+//     checked against the capability set, so even code that *has* a token in
+//     scope must be reachable from the point where it was issued.
+//
+// The pattern costs nothing at runtime: a token is one register-sized value
+// (or empty), created once per protocol window and passed by reference.
+//
+// Usage:
+//
+//   class Wal;
+//   using TxnToken = CapabilityToken<Wal, struct WalTxnTag, uint64_t>;
+//
+//   class Wal {
+//    public:
+//     TxnToken Begin() { return TxnToken(next_id_++); }   // sole mint point
+//     Status Commit(const TxnToken& txn) REQUIRES(txn);
+//   };
+//
+//   Status MutateSomething(const TxnToken& txn) REQUIRES(txn);
+//
+// A lambda or function that receives a token by parameter starts, under TSA,
+// with an empty capability set; call `txn.AssertIssued()` first (the token
+// analogue of Mutex::AssertHeld) to tell the analysis the invariant holds.
+#ifndef SRC_COMMON_CAPABILITY_H_
+#define SRC_COMMON_CAPABILITY_H_
+
+#include <utility>
+
+#include "src/common/thread_annotations.h"
+
+namespace dfs {
+
+// A capability token minted only by `Issuer`, carrying a `Value` payload
+// (e.g. a transaction id). `Tag` distinguishes token kinds sharing an issuer:
+//   using TxnToken = CapabilityToken<Wal, struct WalTxnTag, uint64_t>;
+template <typename Issuer, typename Tag, typename Value>
+class CAPABILITY("token") CapabilityToken {
+ public:
+  CapabilityToken(const CapabilityToken&) = delete;
+  CapabilityToken& operator=(const CapabilityToken&) = delete;
+  CapabilityToken(CapabilityToken&&) = delete;
+  CapabilityToken& operator=(CapabilityToken&&) = delete;
+
+  const Value& value() const { return value_; }
+
+  // Tells the analysis the invariant holds here without re-proving it —
+  // the token analogue of Mutex::AssertHeld. Call it at the top of a lambda
+  // or out-of-line function body that took the token as a parameter.
+  void AssertIssued() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend Issuer;
+  explicit CapabilityToken(Value value) : value_(std::move(value)) {}
+
+  Value value_;
+};
+
+// Payload-free variant for pure "this step happened" invariants.
+template <typename Issuer, typename Tag>
+class CAPABILITY("token") UnitCapabilityToken {
+ public:
+  UnitCapabilityToken(const UnitCapabilityToken&) = delete;
+  UnitCapabilityToken& operator=(const UnitCapabilityToken&) = delete;
+  UnitCapabilityToken(UnitCapabilityToken&&) = delete;
+  UnitCapabilityToken& operator=(UnitCapabilityToken&&) = delete;
+
+  void AssertIssued() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend Issuer;
+  UnitCapabilityToken() = default;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_CAPABILITY_H_

@@ -143,7 +143,7 @@ Result<Superblock> Aggregate::ReadSuper() {
   return Superblock::Decode(std::span<const uint8_t>(buf.data(), kBlockSize));
 }
 
-Status Aggregate::WriteSuper(TxnId txn, const Superblock& sb) {
+Status Aggregate::WriteSuper(const TxnToken& txn, const Superblock& sb) {
   std::vector<uint8_t> bytes(Superblock::kEncodedSize);
   sb.Encode(bytes);
   return LogBlockBytes(txn, 0, 0, bytes);
@@ -159,7 +159,7 @@ Result<VolumeSlot> Aggregate::ReadSlot(uint32_t slot_index) {
   return VolumeSlot::Decode(bytes);
 }
 
-Status Aggregate::WriteSlot(TxnId txn, uint32_t slot_index, const VolumeSlot& slot) {
+Status Aggregate::WriteSlot(const TxnToken& txn, uint32_t slot_index, const VolumeSlot& slot) {
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
   std::vector<uint8_t> bytes(kVolumeSlotSize);
   slot.Encode(bytes);
@@ -201,7 +201,7 @@ Result<uint16_t> Aggregate::GetRefcount(uint64_t blockno) {
   return v;
 }
 
-Status Aggregate::SetRefcount(TxnId txn, uint64_t blockno, uint16_t value) {
+Status Aggregate::SetRefcount(const TxnToken& txn, uint64_t blockno, uint16_t value) {
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
   if (blockno >= sb.block_count) {
     return Status(ErrorCode::kCorrupt, "refcount update out of range");
@@ -212,7 +212,7 @@ Status Aggregate::SetRefcount(TxnId txn, uint64_t blockno, uint16_t value) {
   return LogBlockBytes(txn, rcblock, off, bytes);
 }
 
-Status Aggregate::IncRef(TxnId txn, uint64_t blockno) {
+Status Aggregate::IncRef(const TxnToken& txn, uint64_t blockno) {
   ASSIGN_OR_RETURN(uint16_t v, GetRefcount(blockno));
   if (v == UINT16_MAX) {
     return Status(ErrorCode::kNoSpace, "block refcount saturated");
@@ -220,7 +220,7 @@ Status Aggregate::IncRef(TxnId txn, uint64_t blockno) {
   return SetRefcount(txn, blockno, static_cast<uint16_t>(v + 1));
 }
 
-Status Aggregate::DecRef(TxnId txn, uint64_t blockno, bool* now_free) {
+Status Aggregate::DecRef(const TxnToken& txn, uint64_t blockno, bool* now_free) {
   ASSIGN_OR_RETURN(uint16_t v, GetRefcount(blockno));
   if (v == 0) {
     return Status(ErrorCode::kCorrupt, "double free of block " + std::to_string(blockno));
@@ -236,7 +236,7 @@ Status Aggregate::DecRef(TxnId txn, uint64_t blockno, bool* now_free) {
   return Status::Ok();
 }
 
-Result<uint64_t> Aggregate::AllocBlock(TxnId txn) {
+Result<uint64_t> Aggregate::AllocBlock(const TxnToken& txn) {
   op_mu_.AssertHeld();  // reached only from inside a RunTxn/RunTxnLocked body
   ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
   uint64_t start = std::max<uint64_t>(alloc_hint_, 1);
@@ -270,18 +270,19 @@ uint64_t Aggregate::FreeBlockCount() {
   return free;
 }
 
-Status Aggregate::LogBlockBytes(TxnId txn, uint64_t blockno, uint32_t offset,
+Status Aggregate::LogBlockBytes(const TxnToken& txn, uint64_t blockno, uint32_t offset,
                                 std::span<const uint8_t> bytes) {
   ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
   return wal_->LogUpdate(txn, buf, offset, bytes);
 }
 
-Status Aggregate::LogWholeBlock(TxnId txn, uint64_t blockno, std::span<const uint8_t> content) {
+Status Aggregate::LogWholeBlock(const TxnToken& txn, uint64_t blockno,
+                                std::span<const uint8_t> content) {
   ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
   return wal_->LogUpdate(txn, buf, 0, content);
 }
 
-Result<uint64_t> Aggregate::AllocMetaBlockZeroed(TxnId txn) {
+Result<uint64_t> Aggregate::AllocMetaBlockZeroed(const TxnToken& txn) {
   ASSIGN_OR_RETURN(uint64_t b, AllocBlock(txn));
   std::vector<uint8_t> zeros(kBlockSize, 0);
   RETURN_IF_ERROR(LogWholeBlock(txn, b, zeros));
@@ -290,7 +291,7 @@ Result<uint64_t> Aggregate::AllocMetaBlockZeroed(TxnId txn) {
 
 // --- Copy-on-write primitives ---
 
-Result<uint64_t> Aggregate::CowInterior(TxnId txn, uint64_t blockno) {
+Result<uint64_t> Aggregate::CowInterior(const TxnToken& txn, uint64_t blockno) {
   ASSIGN_OR_RETURN(uint64_t newb, AllocBlock(txn));
   std::vector<uint8_t> content(kBlockSize);
   {
@@ -309,7 +310,7 @@ Result<uint64_t> Aggregate::CowInterior(TxnId txn, uint64_t blockno) {
   return newb;
 }
 
-Status Aggregate::IncAnodeTableLeafChildren(TxnId txn, uint64_t blockno) {
+Status Aggregate::IncAnodeTableLeafChildren(const TxnToken& txn, uint64_t blockno) {
   std::vector<uint8_t> content(kBlockSize);
   {
     ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
@@ -336,7 +337,7 @@ Status Aggregate::IncAnodeTableLeafChildren(TxnId txn, uint64_t blockno) {
   return Status::Ok();
 }
 
-Status Aggregate::FreeAnodeTreesInLeaf(TxnId txn, uint64_t blockno) {
+Status Aggregate::FreeAnodeTreesInLeaf(const TxnToken& txn, uint64_t blockno) {
   std::vector<uint8_t> content(kBlockSize);
   {
     ASSIGN_OR_RETURN(BufferCache::Ref buf, cache_->Get(blockno));
@@ -358,7 +359,7 @@ Status Aggregate::FreeAnodeTreesInLeaf(TxnId txn, uint64_t blockno) {
   return Status::Ok();
 }
 
-Result<uint64_t> Aggregate::CowLeaf(TxnId txn, uint64_t blockno, Kind kind) {
+Result<uint64_t> Aggregate::CowLeaf(const TxnToken& txn, uint64_t blockno, Kind kind) {
   ASSIGN_OR_RETURN(uint64_t newb, AllocBlock(txn));
   std::vector<uint8_t> content(kBlockSize);
   {
@@ -412,7 +413,7 @@ Result<uint64_t> Aggregate::MapBlockForRead(const AnodeRecord& desc, uint64_t fb
   return Status(ErrorCode::kInvalidArgument, "offset beyond maximum container size");
 }
 
-Result<uint64_t> Aggregate::MapBlockForWrite(TxnId txn, AnodeRecord& desc, Kind kind,
+Result<uint64_t> Aggregate::MapBlockForWrite(const TxnToken& txn, AnodeRecord& desc, Kind kind,
                                              uint64_t fblock, bool* desc_changed) {
   auto ensure_leaf = [&](uint64_t cur) -> Result<uint64_t> {
     if (cur == 0) {
@@ -502,7 +503,7 @@ Result<uint64_t> Aggregate::MapBlockForWrite(TxnId txn, AnodeRecord& desc, Kind 
   return leaf;
 }
 
-Status Aggregate::FreeSubtree(TxnId txn, uint64_t ptr, int level, Kind kind) {
+Status Aggregate::FreeSubtree(const TxnToken& txn, uint64_t ptr, int level, Kind kind) {
   if (ptr == 0) {
     return Status::Ok();
   }
@@ -527,7 +528,7 @@ Status Aggregate::FreeSubtree(TxnId txn, uint64_t ptr, int level, Kind kind) {
   return DecRef(txn, ptr, nullptr);
 }
 
-Status Aggregate::TruncSubtree(TxnId txn, uint64_t* slot, int level, uint64_t base_fblock,
+Status Aggregate::TruncSubtree(const TxnToken& txn, uint64_t* slot, int level, uint64_t base_fblock,
                                uint64_t keep_blocks, Kind kind, bool* changed) {
   if (*slot == 0) {
     return Status::Ok();
@@ -625,7 +626,7 @@ Result<uint64_t> Aggregate::CountTreeBlocks(const AnodeRecord& desc, Kind kind) 
   return count;
 }
 
-Status Aggregate::ShareTopLevel(TxnId txn, const AnodeRecord& desc) {
+Status Aggregate::ShareTopLevel(const TxnToken& txn, const AnodeRecord& desc) {
   for (uint32_t d = 0; d < kDirectBlocks; ++d) {
     if (desc.direct[d] != 0) {
       RETURN_IF_ERROR(IncRef(txn, desc.direct[d]));
@@ -662,7 +663,7 @@ Status Aggregate::ReadContainer(const AnodeRecord& desc, uint64_t offset,
   return Status::Ok();
 }
 
-Status Aggregate::WriteContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t offset,
+Status Aggregate::WriteContainer(const TxnToken& txn, AnodeRecord& desc, Kind kind, uint64_t offset,
                                  std::span<const uint8_t> data, bool* desc_changed) {
   size_t done = 0;
   while (done < data.size()) {
@@ -688,8 +689,8 @@ Status Aggregate::WriteContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64
   return Status::Ok();
 }
 
-Status Aggregate::TruncateContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t new_size,
-                                    bool* desc_changed) {
+Status Aggregate::TruncateContainer(const TxnToken& txn, AnodeRecord& desc, Kind kind,
+                                    uint64_t new_size, bool* desc_changed) {
   if (new_size >= desc.size) {
     if (new_size > desc.size) {
       desc.size = new_size;  // extension creates a hole
@@ -733,8 +734,8 @@ Result<AnodeRecord> Aggregate::ReadAnode(const VolumeSlot& vol, uint64_t vnode) 
   return AnodeRecord::Decode(bytes);
 }
 
-Status Aggregate::WriteAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
-                             const AnodeRecord& rec) {
+Status Aggregate::WriteAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
+                             uint64_t vnode, const AnodeRecord& rec) {
   if (vnode == 0 || vnode >= vol.anode_count) {
     return Status(ErrorCode::kStale, "vnode index out of range");
   }
@@ -749,19 +750,19 @@ Status Aggregate::WriteAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, ui
   return Status::Ok();
 }
 
-Result<uint64_t> Aggregate::BumpVersion(TxnId txn, uint32_t slot_index, VolumeSlot& vol) {
+Result<uint64_t> Aggregate::BumpVersion(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol) {
   vol.version_counter += 1;
   RETURN_IF_ERROR(WriteSlot(txn, slot_index, vol));
   return vol.version_counter;
 }
 
-Status Aggregate::PrivatizeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
+Status Aggregate::PrivatizeAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
                                  uint64_t vnode) {
   ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, vnode));
   return WriteAnode(txn, slot_index, vol, vnode, rec);
 }
 
-Result<uint64_t> Aggregate::AllocAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
+Result<uint64_t> Aggregate::AllocAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
                                        AnodeType type, const AnodeRecord& init) {
   op_mu_.AssertHeld();  // reached only from inside a RunTxn/RunTxnLocked body
   uint64_t& hint = anode_hint_[vol.volume_id];
@@ -787,8 +788,8 @@ Result<uint64_t> Aggregate::AllocAnode(TxnId txn, uint32_t slot_index, VolumeSlo
   return Status(ErrorCode::kNoAnodes, "volume anode table full");
 }
 
-Status Aggregate::AllocAnodeAt(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
-                               const AnodeRecord& init) {
+Status Aggregate::AllocAnodeAt(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
+                               uint64_t vnode, const AnodeRecord& init) {
   ASSIGN_OR_RETURN(AnodeRecord cur, ReadAnode(vol, vnode));
   if (cur.type != AnodeType::kFree) {
     return Status(ErrorCode::kExists, "anode slot in use");
@@ -801,7 +802,8 @@ Status Aggregate::AllocAnodeAt(TxnId txn, uint32_t slot_index, VolumeSlot& vol, 
   return Status::Ok();
 }
 
-Status Aggregate::FreeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode) {
+Status Aggregate::FreeAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
+                            uint64_t vnode) {
   ASSIGN_OR_RETURN(AnodeRecord rec, ReadAnode(vol, vnode));
   if (rec.type == AnodeType::kFree) {
     return Status::Ok();
@@ -825,7 +827,7 @@ Status Aggregate::FreeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uin
 
 // --- Directory helpers ---
 
-Status Aggregate::DirAddEntry(TxnId txn, AnodeRecord& dir_an, const DirSlot& entry,
+Status Aggregate::DirAddEntry(const TxnToken& txn, AnodeRecord& dir_an, const DirSlot& entry,
                               bool* desc_changed) {
   if (entry.name.empty() || entry.name.size() > kMaxNameLen) {
     return Status(ErrorCode::kNameTooLong, "directory entry name length invalid");
@@ -864,7 +866,7 @@ Result<DirSlot> Aggregate::DirFind(const AnodeRecord& dir_an, std::string_view n
   return Status(ErrorCode::kNotFound, "no such entry: " + std::string(name));
 }
 
-Status Aggregate::DirRemoveEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name,
+Status Aggregate::DirRemoveEntry(const TxnToken& txn, AnodeRecord& dir_an, std::string_view name,
                                  bool* desc_changed) {
   uint64_t nslots = dir_an.size / kDirEntrySize;
   std::vector<uint8_t> bytes(kDirEntrySize);
@@ -879,7 +881,7 @@ Status Aggregate::DirRemoveEntry(TxnId txn, AnodeRecord& dir_an, std::string_vie
   return Status(ErrorCode::kNotFound, "no such entry: " + std::string(name));
 }
 
-Status Aggregate::DirUpdateEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name,
+Status Aggregate::DirUpdateEntry(const TxnToken& txn, AnodeRecord& dir_an, std::string_view name,
                                  uint64_t vnode, uint64_t uniq, uint8_t type,
                                  bool* desc_changed) {
   uint64_t nslots = dir_an.size / kDirEntrySize;

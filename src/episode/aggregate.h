@@ -97,48 +97,51 @@ class Aggregate : public VolumeOps {
   Mutex& op_mu() RETURN_CAPABILITY(op_mu_) { return op_mu_; }
 
   Result<Superblock> ReadSuper();
-  Status WriteSuper(TxnId txn, const Superblock& sb);
+  Status WriteSuper(const TxnToken& txn, const Superblock& sb) REQUIRES(txn);
 
   // Registry access. slot_index is the position in the registry container.
   Result<std::pair<VolumeSlot, uint32_t>> FindVolumeSlot(uint64_t volume_id);
   Result<VolumeSlot> ReadSlot(uint32_t slot_index);
-  Status WriteSlot(TxnId txn, uint32_t slot_index, const VolumeSlot& slot);
+  Status WriteSlot(const TxnToken& txn, uint32_t slot_index, const VolumeSlot& slot) REQUIRES(txn);
 
   // Anode access within a volume. WriteAnode performs table-block COW as
   // needed and persists any resulting change to the volume's table descriptor.
   Result<AnodeRecord> ReadAnode(const VolumeSlot& vol, uint64_t vnode);
-  Status WriteAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
-                    const AnodeRecord& rec);
+  Status WriteAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
+                    const AnodeRecord& rec) REQUIRES(txn);
   // Allocates a free anode slot (scans the table); returns its vnode index.
-  Result<uint64_t> AllocAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, AnodeType type,
-                              const AnodeRecord& init);
+  Result<uint64_t> AllocAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
+                              AnodeType type, const AnodeRecord& init) REQUIRES(txn);
   // Allocates the anode at a *specific* index (volume restore path).
-  Status AllocAnodeAt(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
-                      const AnodeRecord& init);
+  Status AllocAnodeAt(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode,
+                      const AnodeRecord& init) REQUIRES(txn);
   // Frees the anode and its entire block tree.
-  Status FreeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode);
+  Status FreeAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode)
+      REQUIRES(txn);
 
   // Container byte-level I/O (COW-aware; desc mutated in memory, caller
   // persists it). Reads of holes return zeros.
   Status ReadContainer(const AnodeRecord& desc, uint64_t offset, std::span<uint8_t> out);
-  Status WriteContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t offset,
-                        std::span<const uint8_t> data, bool* desc_changed);
-  Status TruncateContainer(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t new_size,
-                           bool* desc_changed);
+  Status WriteContainer(const TxnToken& txn, AnodeRecord& desc, Kind kind, uint64_t offset,
+                        std::span<const uint8_t> data, bool* desc_changed) REQUIRES(txn);
+  Status TruncateContainer(const TxnToken& txn, AnodeRecord& desc, Kind kind, uint64_t new_size,
+                           bool* desc_changed) REQUIRES(txn);
   // Increments the refcount of every top-level block the descriptor references
   // (the clone primitive).
-  Status ShareTopLevel(TxnId txn, const AnodeRecord& desc);
+  Status ShareTopLevel(const TxnToken& txn, const AnodeRecord& desc) REQUIRES(txn);
 
   // Directory-entry helpers over a directory anode's container. The caller
   // persists dir_an afterwards via WriteAnode. DirAddEntry fails with kExists
   // on duplicates; DirRemoveEntry with kNotFound.
-  Status DirAddEntry(TxnId txn, AnodeRecord& dir_an, const DirSlot& entry, bool* desc_changed);
+  Status DirAddEntry(const TxnToken& txn, AnodeRecord& dir_an, const DirSlot& entry,
+                     bool* desc_changed) REQUIRES(txn);
   Result<DirSlot> DirFind(const AnodeRecord& dir_an, std::string_view name);
-  Status DirRemoveEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name,
-                        bool* desc_changed);
+  Status DirRemoveEntry(const TxnToken& txn, AnodeRecord& dir_an, std::string_view name,
+                        bool* desc_changed) REQUIRES(txn);
   // Replaces the target of an existing entry (rename ".." fixups etc.).
-  Status DirUpdateEntry(TxnId txn, AnodeRecord& dir_an, std::string_view name, uint64_t vnode,
-                        uint64_t uniq, uint8_t type, bool* desc_changed);
+  Status DirUpdateEntry(const TxnToken& txn, AnodeRecord& dir_an, std::string_view name,
+                        uint64_t vnode, uint64_t uniq, uint8_t type, bool* desc_changed)
+      REQUIRES(txn);
   Result<std::vector<DirSlot>> DirList(const AnodeRecord& dir_an);
   // True when the directory holds only "." and "..".
   Result<bool> DirIsEmpty(const AnodeRecord& dir_an);
@@ -146,13 +149,15 @@ class Aggregate : public VolumeOps {
   // Takes the volume's next mutation stamp (persisting the counter). Mutating
   // vnode operations record it as the touched file's data_version, giving a
   // volume-global "changed since V" order for replication and caching.
-  Result<uint64_t> BumpVersion(TxnId txn, uint32_t slot_index, VolumeSlot& vol);
+  Result<uint64_t> BumpVersion(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol)
+      REQUIRES(txn);
 
   // Ensures the table block holding `vnode` is privately owned by this volume
   // (COW away from any clone) so subsequent refcount arithmetic on the
   // anode's block tree is correct. Every mutating vnode operation calls this
   // before touching the anode's map.
-  Status PrivatizeAnode(TxnId txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode);
+  Status PrivatizeAnode(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol, uint64_t vnode)
+      REQUIRES(txn);
 
   // Block accounting.
   Result<uint16_t> GetRefcount(uint64_t blockno);
@@ -183,11 +188,16 @@ class Aggregate : public VolumeOps {
   Result<SalvageReport> Salvage(bool repair);
 
   // Runs a mutation as a WAL transaction under the aggregate op lock:
-  // commits on OK, aborts on error. fn: Status(TxnId).
+  // commits on OK, aborts on error. fn: Status(const TxnToken&). The token is
+  // the open-transaction capability (see wal.h): only these two templates can
+  // obtain one, so a WAL-mutating helper — they all take `const TxnToken&`
+  // with REQUIRES(txn) — cannot be reached outside a transaction.
   // The callback runs with op_mu_ held, but the analysis checks a lambda body
   // as a free function and cannot see that; helpers that touch guarded
   // aggregate state from inside a transaction use Mutex::AssertHeld instead
-  // of REQUIRES so RunTxn callers need no annotation.
+  // of REQUIRES so RunTxn callers need no annotation. Likewise the lambda
+  // starts with an empty capability set, so its body calls txn.AssertIssued()
+  // (the token analogue of AssertHeld) before using token-requiring helpers.
   template <typename Fn>
   Status RunTxn(Fn&& fn) {
     MutexLock lock(op_mu_);
@@ -195,7 +205,8 @@ class Aggregate : public VolumeOps {
   }
   template <typename Fn>
   Status RunTxnLocked(Fn&& fn) REQUIRES(op_mu_) {
-    TxnId txn = wal_->Begin();
+    TxnToken txn = wal_->Begin();
+    txn.AssertIssued();
     Status s = fn(txn);
     if (s.ok()) {
       return wal_->Commit(txn);
@@ -210,50 +221,51 @@ class Aggregate : public VolumeOps {
   Status InitWal();
 
   // Refcount table primitives (logged).
-  Status SetRefcount(TxnId txn, uint64_t blockno, uint16_t value);
-  Status IncRef(TxnId txn, uint64_t blockno);
+  Status SetRefcount(const TxnToken& txn, uint64_t blockno, uint16_t value) REQUIRES(txn);
+  Status IncRef(const TxnToken& txn, uint64_t blockno) REQUIRES(txn);
   // Decrements; sets *now_free when the count reaches zero.
-  Status DecRef(TxnId txn, uint64_t blockno, bool* now_free);
-  Status AdjustFreeBlocks(TxnId txn, int64_t delta);
+  Status DecRef(const TxnToken& txn, uint64_t blockno, bool* now_free) REQUIRES(txn);
+  Status AdjustFreeBlocks(const TxnToken& txn, int64_t delta) REQUIRES(txn);
 
   // Allocates a block (refcount 0 -> 1). Content is whatever was there.
-  Result<uint64_t> AllocBlock(TxnId txn);
+  Result<uint64_t> AllocBlock(const TxnToken& txn) REQUIRES(txn);
   // Allocates a block and durably zeroes it (fresh metadata block).
-  Result<uint64_t> AllocMetaBlockZeroed(TxnId txn);
+  Result<uint64_t> AllocMetaBlockZeroed(const TxnToken& txn) REQUIRES(txn);
 
   // Copy-on-write primitives. Each returns the private replacement block.
-  Result<uint64_t> CowInterior(TxnId txn, uint64_t blockno);          // children: 512 ptrs
-  Result<uint64_t> CowLeaf(TxnId txn, uint64_t blockno, Kind kind);   // leaf (per kind)
+  Result<uint64_t> CowInterior(const TxnToken& txn, uint64_t blockno);  // children: 512 ptrs
+  Result<uint64_t> CowLeaf(const TxnToken& txn, uint64_t blockno, Kind kind);  // leaf (per kind)
 
   // Logical-children hooks for anode-table leaf blocks.
-  Status IncAnodeTableLeafChildren(TxnId txn, uint64_t blockno);
-  Status FreeAnodeTreesInLeaf(TxnId txn, uint64_t blockno);
+  Status IncAnodeTableLeafChildren(const TxnToken& txn, uint64_t blockno) REQUIRES(txn);
+  Status FreeAnodeTreesInLeaf(const TxnToken& txn, uint64_t blockno) REQUIRES(txn);
 
   // Block-map navigation. Returns 0 for holes.
   Result<uint64_t> MapBlockForRead(const AnodeRecord& desc, uint64_t fblock);
   // Ensures a privately-owned leaf block exists for fblock (allocating and
   // COWing along the path); logs interior-pointer updates.
-  Result<uint64_t> MapBlockForWrite(TxnId txn, AnodeRecord& desc, Kind kind, uint64_t fblock,
-                                    bool* desc_changed);
+  Result<uint64_t> MapBlockForWrite(const TxnToken& txn, AnodeRecord& desc, Kind kind,
+                                    uint64_t fblock, bool* desc_changed) REQUIRES(txn);
 
   // Frees the subtree rooted at ptr (level 0 = leaf), honoring shared nodes.
-  Status FreeSubtree(TxnId txn, uint64_t ptr, int level, Kind kind);
+  Status FreeSubtree(const TxnToken& txn, uint64_t ptr, int level, Kind kind) REQUIRES(txn);
   // Truncation helper over one top-level slot.
-  Status TruncSubtree(TxnId txn, uint64_t* slot, int level, uint64_t base_fblock,
-                      uint64_t keep_blocks, Kind kind, bool* changed);
+  Status TruncSubtree(const TxnToken& txn, uint64_t* slot, int level, uint64_t base_fblock,
+                      uint64_t keep_blocks, Kind kind, bool* changed) REQUIRES(txn);
   Status CountSubtree(uint64_t ptr, int level, Kind kind, uint64_t* count);
 
   // Writes a full-block logged update (old value read from disk/cache).
-  Status LogWholeBlock(TxnId txn, uint64_t blockno, std::span<const uint8_t> content);
+  Status LogWholeBlock(const TxnToken& txn, uint64_t blockno, std::span<const uint8_t> content)
+      REQUIRES(txn);
 
   // Logged partial update helper.
-  Status LogBlockBytes(TxnId txn, uint64_t blockno, uint32_t offset,
-                       std::span<const uint8_t> bytes);
+  Status LogBlockBytes(const TxnToken& txn, uint64_t blockno, uint32_t offset,
+                       std::span<const uint8_t> bytes) REQUIRES(txn);
 
   Result<VolumeDumpFile> DumpOneFile(const VolumeSlot& vol, uint64_t vnode,
                                      const AnodeRecord& an);
-  Status RestoreOneFile(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
-                        const VolumeDumpFile& f, bool overwrite);
+  Status RestoreOneFile(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
+                        const VolumeDumpFile& f, bool overwrite) REQUIRES(txn);
 
   Result<uint64_t> CreateVolumeLocked(std::string_view name, uint64_t forced_id)
       REQUIRES(op_mu_);

@@ -142,7 +142,8 @@ Result<Aggregate::SalvageReport> Aggregate::Salvage(bool repair) {
       report.refcount_fixes += 1;
     }
     if (repair) {
-      RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+      RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+        txn.AssertIssued();
         return SetRefcount(txn, b, static_cast<uint16_t>(want));
       }));
     }
@@ -175,7 +176,8 @@ Result<Aggregate::SalvageReport> Aggregate::Salvage(bool repair) {
         if (bad) {
           report.orphan_entries += 1;
           if (repair) {
-            RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+            RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+              txn.AssertIssued();
               RETURN_IF_ERROR(PrivatizeAnode(txn, slot_index, vol, v));
               ASSIGN_OR_RETURN(AnodeRecord dir, ReadAnode(vol, v));
               bool ch = false;
@@ -207,7 +209,8 @@ Result<Aggregate::SalvageReport> Aggregate::Salvage(bool repair) {
       if (rec.nlink != want) {
         report.nlink_fixes += 1;
         if (repair) {
-          RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+          RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+            txn.AssertIssued();
             ASSIGN_OR_RETURN(AnodeRecord fresh, ReadAnode(vol, v));
             fresh.nlink = static_cast<uint16_t>(want);
             return WriteAnode(txn, slot_index, vol, v, fresh);

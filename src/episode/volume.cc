@@ -137,7 +137,8 @@ Result<FileAttr> EpisodeVnode::GetAttr() {
 Status EpisodeVnode::SetAttr(const AttrUpdate& update) {
   MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     AnodeRecord rec = ctx.rec;
     if (update.mode) {
       rec.mode = *update.mode;
@@ -186,7 +187,8 @@ Result<size_t> EpisodeVnode::Write(uint64_t offset, std::span<const uint8_t> dat
   size_t done = 0;
   while (done < data.size() || data.empty()) {
     size_t chunk = std::min(kChunkBytes, data.size() - done);
-    Status s = agg_->RunTxnLocked([&](TxnId txn) -> Status {
+    Status s = agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
       RETURN_IF_ERROR(agg_->PrivatizeAnode(txn, ctx.vc.slot_index, ctx.vc.vol, vnode_));
       ASSIGN_OR_RETURN(AnodeRecord rec, agg_->ReadAnode(ctx.vc.vol, vnode_));
       bool changed = false;
@@ -225,7 +227,8 @@ Status EpisodeVnode::Truncate(uint64_t new_size) {
     } else {
       step_size = target;
     }
-    Status s = agg_->RunTxnLocked([&](TxnId txn) -> Status {
+    Status s = agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
       RETURN_IF_ERROR(agg_->PrivatizeAnode(txn, ctx.vc.slot_index, ctx.vc.vol, vnode_));
       ASSIGN_OR_RETURN(AnodeRecord rec, agg_->ReadAnode(ctx.vc.vol, vnode_));
       bool changed = false;
@@ -264,7 +267,8 @@ Result<VnodeRef> EpisodeVnode::Create(std::string_view name, FileType type, uint
   }
   uint64_t child_vnode = 0;
   uint64_t child_uniq = 0;
-  Status s = agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  Status s = agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     if (agg_->DirFind(ctx.rec, name).ok()) {
       return Status(ErrorCode::kExists, "entry exists: " + std::string(name));
     }
@@ -322,7 +326,8 @@ Result<VnodeRef> EpisodeVnode::CreateSymlink(std::string_view name, std::string_
   }
   uint64_t child_vnode = 0;
   uint64_t child_uniq = 0;
-  Status s = agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  Status s = agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     if (agg_->DirFind(ctx.rec, name).ok()) {
       return Status(ErrorCode::kExists, "entry exists: " + std::string(name));
     }
@@ -369,7 +374,8 @@ Status EpisodeVnode::Link(std::string_view name, Vnode& target) {
   if (ctx.rec.type != AnodeType::kDirectory) {
     return Status(ErrorCode::kNotDirectory, "link target dir is not a directory");
   }
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(AnodeRecord trec, agg_->ReadAnode(ctx.vc.vol, other->vnode_));
     if (trec.type != AnodeType::kFile || trec.uniq != other->uniq_) {
       return Status(ErrorCode::kInvalidArgument, "hard link target must be a regular file");
@@ -402,7 +408,8 @@ Status EpisodeVnode::Unlink(std::string_view name) {
   if (name == "." || name == "..") {
     return Status(ErrorCode::kInvalidArgument, "cannot unlink . or ..");
   }
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(DirSlot entry, agg_->DirFind(ctx.rec, name));
     ASSIGN_OR_RETURN(AnodeRecord child, agg_->ReadAnode(ctx.vc.vol, entry.vnode));
     if (child.type == AnodeType::kDirectory) {
@@ -435,7 +442,8 @@ Status EpisodeVnode::Rmdir(std::string_view name) {
   if (name == "." || name == "..") {
     return Status(ErrorCode::kInvalidArgument, "cannot rmdir . or ..");
   }
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(DirSlot entry, agg_->DirFind(ctx.rec, name));
     ASSIGN_OR_RETURN(AnodeRecord child, agg_->ReadAnode(ctx.vc.vol, entry.vnode));
     if (child.type != AnodeType::kDirectory) {
@@ -500,7 +508,8 @@ Result<Acl> EpisodeVnode::GetAcl() {
 Status EpisodeVnode::SetAcl(const Acl& acl) {
   MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(NodeCtx ctx, LoadNode(*agg_, volume_id_, vnode_, uniq_, true));
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     Writer w;
     acl.Serialize(w);
     uint64_t acl_vnode = ctx.rec.acl_vnode;
@@ -540,7 +549,8 @@ Status EpisodeVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_
   }
   MutexLock lock(agg_->op_mu());
   ASSIGN_OR_RETURN(VolCtx vc, LoadVolume(*agg_, volume_id_, /*for_write=*/true));
-  return agg_->RunTxnLocked([&](TxnId txn) -> Status {
+  return agg_->RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     RETURN_IF_ERROR(agg_->PrivatizeAnode(txn, vc.slot_index, vc.vol, src->vnode_));
     RETURN_IF_ERROR(agg_->PrivatizeAnode(txn, vc.slot_index, vc.vol, dst->vnode_));
     ASSIGN_OR_RETURN(AnodeRecord sdir, agg_->ReadAnode(vc.vol, src->vnode_));

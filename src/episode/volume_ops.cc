@@ -38,7 +38,8 @@ FileType FileTypeFor(AnodeType t) {
 
 Result<uint64_t> Aggregate::CreateVolumeLocked(std::string_view name, uint64_t forced_id) {
   uint64_t new_id = 0;
-  Status s = RunTxnLocked([&](TxnId txn) -> Status {
+  Status s = RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(Superblock sb, ReadSuper());
     if (forced_id != 0) {
       new_id = forced_id;
@@ -114,11 +115,14 @@ Status Aggregate::DeleteVolumeLocked(uint64_t volume_id) {
     if (rec.type == AnodeType::kFree) {
       continue;
     }
-    RETURN_IF_ERROR(RunTxnLocked(
-        [&](TxnId txn) -> Status { return FreeAnode(txn, slot_index, vol, v); }));
+    RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
+      return FreeAnode(txn, slot_index, vol, v);
+    }));
   }
   // Release the (now empty of live anodes) table's blocks and clear the slot.
-  RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+  RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     for (uint32_t d = 0; d < kDirectBlocks; ++d) {
       RETURN_IF_ERROR(FreeSubtree(txn, vol.table.direct[d], 0, Kind::kAnodeTable));
     }
@@ -138,7 +142,8 @@ Status Aggregate::DeleteVolume(uint64_t volume_id) {
 Result<uint64_t> Aggregate::CloneVolume(uint64_t volume_id, std::string_view clone_name) {
   MutexLock lock(op_mu_);
   uint64_t clone_id = 0;
-  Status s = RunTxnLocked([&](TxnId txn) -> Status {
+  Status s = RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
     VolumeSlot src = std::move(pair.first);
     if (src.flags & kVolFlagBusy) {
@@ -225,7 +230,8 @@ Result<VfsRef> Aggregate::MountVolume(uint64_t volume_id) {
 
 Status Aggregate::SetVolumeBusy(uint64_t volume_id, bool busy) {
   MutexLock lock(op_mu_);
-  return RunTxnLocked([&](TxnId txn) -> Status {
+  return RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     ASSIGN_OR_RETURN(auto pair, FindVolumeSlot(volume_id));
     VolumeSlot vol = std::move(pair.first);
     if (busy) {
@@ -302,7 +308,7 @@ Result<VolumeDump> Aggregate::DumpVolume(uint64_t volume_id, uint64_t since_vers
   return dump;
 }
 
-Status Aggregate::RestoreOneFile(TxnId txn, uint32_t slot_index, VolumeSlot& vol,
+Status Aggregate::RestoreOneFile(const TxnToken& txn, uint32_t slot_index, VolumeSlot& vol,
                                  const VolumeDumpFile& f, bool overwrite) {
   ASSIGN_OR_RETURN(AnodeRecord cur, ReadAnode(vol, f.vnode));
   if (cur.type != AnodeType::kFree) {
@@ -368,12 +374,14 @@ Result<uint64_t> Aggregate::RestoreVolume(const VolumeDump& dump) {
   VolumeSlot vol = std::move(pair.first);
   uint32_t slot_index = pair.second;
   for (const VolumeDumpFile& f : dump.files) {
-    RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+    RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
       return RestoreOneFile(txn, slot_index, vol, f, /*overwrite=*/true);
     }));
   }
   // Restore volume-level flags last (a read-only flag would block the loads).
-  RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+  RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     vol.flags = 0;
     if (dump.info.read_only) {
       vol.flags |= kVolFlagReadOnly;
@@ -395,7 +403,8 @@ Status Aggregate::ApplyDelta(uint64_t volume_id, const VolumeDump& delta) {
   uint32_t slot_index = pair.second;
 
   for (const VolumeDumpFile& f : delta.files) {
-    RETURN_IF_ERROR(RunTxnLocked([&](TxnId txn) -> Status {
+    RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
       return RestoreOneFile(txn, slot_index, vol, f, /*overwrite=*/true);
     }));
   }
@@ -408,12 +417,15 @@ Status Aggregate::ApplyDelta(uint64_t volume_id, const VolumeDump& delta) {
         continue;
       }
       if (live.count(v) == 0) {
-        RETURN_IF_ERROR(RunTxnLocked(
-            [&](TxnId txn) -> Status { return FreeAnode(txn, slot_index, vol, v); }));
+        RETURN_IF_ERROR(RunTxnLocked([&](const TxnToken& txn) -> Status {
+          txn.AssertIssued();
+          return FreeAnode(txn, slot_index, vol, v);
+        }));
       }
     }
   }
-  return RunTxnLocked([&](TxnId txn) -> Status {
+  return RunTxnLocked([&](const TxnToken& txn) -> Status {
+    txn.AssertIssued();
     vol.version_counter = std::max(vol.version_counter, delta.info.max_data_version);
     return WriteSlot(txn, slot_index, vol);
   });

@@ -158,6 +158,7 @@ class Network {
     uint32_t inflight_submits = 0;
   };
 
+  // GUARD-EXEMPT: fixed at construction, read-only afterwards.
   VirtualClock* clock_;
   // LOCK-EXEMPT(leaf): guards the node/stats/partition tables; a leaf below
   // everything — never held across a handler, a pool submit wait, or any

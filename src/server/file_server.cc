@@ -770,7 +770,9 @@ FileServer::Body FileServer::DoRename(const RpcRequest& req, Reader& r) {
     std::swap(first, second);
   }
   OrderedLockGuard l2a(*first);
-  // Conditional second lock (cross-directory rename), taken in tag order.
+  // Conditional second lock (cross-directory rename).
+  // LOCK-ORDER(same-level): first/second are sorted by OrderedMutex tag above,
+  // so the pair is always acquired in ascending tag order.
   MaybeLockGuard l2b(second);
 
   ASSIGN_OR_RETURN(VfsRef vfs, ExportedVolume(src_fid.volume));

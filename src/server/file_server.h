@@ -41,8 +41,8 @@ class FidLockTable {
   OrderedMutex& Get(const Fid& fid);
 
  private:
-  LockLevel level_;
-  const char* name_;
+  const LockLevel level_;
+  const char* const name_;
   // LOCK-EXEMPT(leaf): registry map guard; held only for the map lookup,
   // never while acquiring the OrderedMutex it hands out.
   Mutex mu_;
@@ -227,17 +227,30 @@ class FileServer : public RpcHandler {
   Network& network_;
   AuthService& auth_;
   const NodeId node_;
+  // GUARD-EXEMPT: configuration snapshot, never written after construction.
   Options options_;
   std::atomic<bool> registered_{false};
 
   // Recovery subsystem (declared before tokens_: the host_silent hook the
   // token manager holds reads leases_ and rclock_).
+  // GUARD-EXEMPT: SimClock is a monotonic counter driven by the simulated
+  // network's single-threaded event pump; rclock_ is fixed at construction.
   SimClock own_clock_;
+  // GUARD-EXEMPT: fixed at construction (points at own_clock_ or the
+  // caller's clock), never reseated.
   SimClock* rclock_;
+  // GUARD-EXEMPT: LeaseTable and RecoveryManager are internally synchronized
+  // (each owns its leaf mutex); the objects themselves are never reseated.
   LeaseTable leases_;
+  // GUARD-EXEMPT: internally synchronized (owns its leaf mutex); never
+  // reseated after construction.
   RecoveryManager recovery_;
 
+  // GUARD-EXEMPT: internally synchronized — the token manager owns the
+  // kTokenShard/kHostRegistry capabilities for all of its state.
   TokenManager tokens_;
+  // GUARD-EXEMPT: stateless adapter routing local-host calls back into this
+  // server; wired at construction.
   LocalHost local_host_handler_;
   FidLockTable vnode_locks_{LockLevel::kServerVnode, "server-vnode"};
   FidLockTable io_locks_{LockLevel::kServerIo, "server-io"};

@@ -159,7 +159,9 @@ Status LocalVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_di
     std::swap(first, second);
   }
   OrderedLockGuard l2a(*first);
-  // Conditional second lock (cross-directory rename), taken in tag order.
+  // Conditional second lock (cross-directory rename).
+  // LOCK-ORDER(same-level): first/second are sorted by OrderedMutex tag above,
+  // so the pair is always acquired in ascending tag order.
   MaybeLockGuard l2b(second);
   ASSIGN_OR_RETURN(Token g1, server_->tokens().Grant(server_->local_host(), src_fid,
                                                      kTokenStatusWrite | kTokenDataWrite,

@@ -58,7 +58,7 @@ Status Wal::Format() {
   return WriteHeader(LogHeader{kHeaderMagic, epoch_, epoch_start_lsn_});
 }
 
-TxnId Wal::Begin() {
+TxnToken Wal::Begin() {
   // Checkpoint between transactions only: checkpointing mid-transaction would
   // flush uncommitted buffer changes whose undo records it then discards.
   bool checkpoint = false;
@@ -73,7 +73,7 @@ TxnId Wal::Begin() {
   MutexLock lock(mu_);
   TxnId txn = next_txn_++;
   active_txns_.emplace(txn, std::vector<UndoEntry>{});
-  return txn;
+  return TxnToken(txn);
 }
 
 Status Wal::AppendRecordLocked(RecordKind kind, TxnId txn, uint64_t blockno, uint32_t offset,
@@ -109,33 +109,35 @@ Status Wal::AppendRecordLocked(RecordKind kind, TxnId txn, uint64_t blockno, uin
   return Status::Ok();
 }
 
-Status Wal::LogUpdate(TxnId txn, BufferCache::Ref& buf, uint32_t offset,
+Status Wal::LogUpdate(const TxnToken& txn, BufferCache::Ref& buf, uint32_t offset,
                       std::span<const uint8_t> new_bytes) {
+  txn.AssertIssued();
   if (offset + new_bytes.size() > kBlockSize) {
     return Status(ErrorCode::kInvalidArgument, "update crosses block boundary");
   }
   MutexLock lock(mu_);
-  auto it = active_txns_.find(txn);
+  auto it = active_txns_.find(txn.value());
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
   }
   std::span<const uint8_t> old_bytes(buf.data() + offset, new_bytes.size());
   it->second.push_back(UndoEntry{buf.blockno(), offset,
                                  std::vector<uint8_t>(old_bytes.begin(), old_bytes.end())});
-  RETURN_IF_ERROR(AppendRecordLocked(RecordKind::kUpdate, txn, buf.blockno(), offset, old_bytes,
-                                     new_bytes));
+  RETURN_IF_ERROR(AppendRecordLocked(RecordKind::kUpdate, txn.value(), buf.blockno(), offset,
+                                     old_bytes, new_bytes));
   std::memcpy(buf.data() + offset, new_bytes.data(), new_bytes.size());
   cache_.MarkDirty(buf, next_lsn_);  // durable point: end of this record
   return Status::Ok();
 }
 
-Status Wal::Commit(TxnId txn) {
+Status Wal::Commit(const TxnToken& txn) {
+  txn.AssertIssued();
   MutexLock lock(mu_);
-  auto it = active_txns_.find(txn);
+  auto it = active_txns_.find(txn.value());
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
   }
-  RETURN_IF_ERROR(AppendRecordLocked(RecordKind::kCommit, txn, 0, 0, {}, {}));
+  RETURN_IF_ERROR(AppendRecordLocked(RecordKind::kCommit, txn.value(), 0, 0, {}, {}));
   active_txns_.erase(it);
   ++stats_.commits;
 
@@ -149,9 +151,10 @@ Status Wal::Commit(TxnId txn) {
   return Status::Ok();
 }
 
-Status Wal::Abort(TxnId txn) {
+Status Wal::Abort(const TxnToken& txn) {
+  txn.AssertIssued();
   UniqueMutexLock lock(mu_);
-  auto it = active_txns_.find(txn);
+  auto it = active_txns_.find(txn.value());
   if (it == active_txns_.end()) {
     return Status(ErrorCode::kInvalidArgument, "unknown transaction");
   }
@@ -160,7 +163,7 @@ Status Wal::Abort(TxnId txn) {
   // Best effort: if the log area is full the abort record cannot be appended,
   // but recovery then sees an uncommitted transaction and undoes it — the same
   // outcome as the in-memory restoration below.
-  (void)AppendRecordLocked(RecordKind::kAbort, txn, 0, 0, {}, {});
+  (void)AppendRecordLocked(RecordKind::kAbort, txn.value(), 0, 0, {}, {});
   uint64_t abort_lsn = next_lsn_;
   ++stats_.aborts;
   lock.Unlock();

@@ -31,6 +31,7 @@
 
 #include "src/blockdev/block_device.h"
 #include "src/buf/buffer_cache.h"
+#include "src/common/capability.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/vclock.h"
@@ -38,6 +39,15 @@
 namespace dfs {
 
 using TxnId = uint64_t;
+
+class Wal;
+
+// Proof that a WAL transaction is open. Only Wal::Begin can mint one (the
+// constructor is private to Wal and the type is non-copyable), so every
+// log-mutating entry point taking `const TxnToken&` is statically unreachable
+// from outside a Begin/Commit|Abort window — "WAL write outside a
+// transaction" is a compile error, not a runtime kInvalidArgument.
+using TxnToken = CapabilityToken<Wal, struct WalTxnTag, TxnId>;
 
 class Wal : public WalFlusher {
  public:
@@ -78,19 +88,23 @@ class Wal : public WalFlusher {
   // rewritten underneath it).
   Result<RecoveryStats> Recover();
 
-  TxnId Begin();
+  // Opens a transaction. The returned token is the open-transaction
+  // capability: it cannot be copied or forged, so holding a `const TxnToken&`
+  // *is* the proof the transaction is open. (C++17 guaranteed copy elision
+  // lets the non-movable token be returned by value.)
+  TxnToken Begin();
 
   // Applies `new_bytes` to the pinned metadata buffer at `offset`, logging the
   // old and new values under `txn`. The buffer is marked dirty with the
   // record's LSN so the cache enforces the write-ahead rule.
-  Status LogUpdate(TxnId txn, BufferCache::Ref& buf, uint32_t offset,
-                   std::span<const uint8_t> new_bytes);
+  Status LogUpdate(const TxnToken& txn, BufferCache::Ref& buf, uint32_t offset,
+                   std::span<const uint8_t> new_bytes) REQUIRES(txn);
 
-  Status Commit(TxnId txn);
+  Status Commit(const TxnToken& txn) REQUIRES(txn);
 
   // Restores old values in memory and logs an abort record; recovery treats
   // the transaction as undone (idempotent with the in-memory restore).
-  Status Abort(TxnId txn);
+  Status Abort(const TxnToken& txn) REQUIRES(txn);
 
   // Forces the in-memory log tail to disk (sync/fsync path).
   Status Sync();

@@ -174,7 +174,8 @@ TEST(EpisodeLimitsTest, SalvagerRemovesOrphanDirectoryEntries) {
   {
     ASSERT_OK_AND_ASSIGN(auto pair, fs.agg->FindVolumeSlot(fs.volume_id));
     VolumeSlot vol = pair.first;
-    ASSERT_OK(fs.agg->RunTxn([&](TxnId txn) -> Status {
+    ASSERT_OK(fs.agg->RunTxn([&](const TxnToken& txn) -> Status {
+      txn.AssertIssued();
       return fs.agg->WriteAnode(txn, pair.second, vol, fid.vnode, AnodeRecord{});
     }));
   }

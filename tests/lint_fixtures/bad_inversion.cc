@@ -1,0 +1,20 @@
+// Known-bad fixture for lint_lock_hierarchy: acquires a lower hierarchy level
+// while already holding a higher one. The self-test asserts the lint reports
+// exactly this inversion. Never built — the file exists only as lint input.
+#include "src/common/lock_order.h"
+
+namespace dfs {
+
+class FixtureInversion {
+ public:
+  void Op() {
+    OrderedLockGuard io(io_mu_);
+    OrderedLockGuard high(high_mu_);  // kClientHigh (100) under kServerIo (400)
+  }
+
+ private:
+  OrderedMutex high_mu_{LockLevel::kClientHigh, "fixture-high"};
+  OrderedMutex io_mu_{LockLevel::kServerIo, "fixture-io"};
+};
+
+}  // namespace dfs

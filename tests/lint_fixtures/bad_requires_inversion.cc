@@ -1,0 +1,19 @@
+// Known-bad fixture for lint_lock_hierarchy: a method whose REQUIRES
+// annotation says a high level is already held at entry then acquires a lower
+// one in its body — the held-at-entry seeding path. Never built.
+#include "src/common/lock_order.h"
+
+namespace dfs {
+
+class FixtureRequiresInversion {
+ public:
+  void Op() REQUIRES(io_mu_) {
+    OrderedLockGuard g(vnode_mu_);  // kServerVnode (200) under kServerIo (400)
+  }
+
+ private:
+  OrderedMutex vnode_mu_{LockLevel::kServerVnode, "fixture-vnode"};
+  OrderedMutex io_mu_{LockLevel::kServerIo, "fixture-io"};
+};
+
+}  // namespace dfs

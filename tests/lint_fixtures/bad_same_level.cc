@@ -1,0 +1,20 @@
+// Known-bad fixture for lint_lock_hierarchy: acquires two locks of the same
+// hierarchy level without a // LOCK-ORDER(same-level) tag-order argument.
+// Never built — lint input only.
+#include "src/common/lock_order.h"
+
+namespace dfs {
+
+class FixtureSameLevel {
+ public:
+  void Op() {
+    OrderedLockGuard a(left_mu_);
+    OrderedLockGuard b(right_mu_);  // same level, no tag-order exemption
+  }
+
+ private:
+  OrderedMutex left_mu_{LockLevel::kClientLow, "fixture-left"};
+  OrderedMutex right_mu_{LockLevel::kClientLow, "fixture-right"};
+};
+
+}  // namespace dfs

@@ -1,0 +1,20 @@
+// Known-bad fixture for lint_annotation_coverage check 2: a GUARDED_BY that
+// names a lock which exists nowhere — the rot this check exists to catch
+// (under GCC the macro expands to nothing, so the compiler never notices).
+// Never built — lint input only.
+#ifndef TESTS_LINT_FIXTURES_BAD_STALE_ANNOTATION_H_
+#define TESTS_LINT_FIXTURES_BAD_STALE_ANNOTATION_H_
+
+#include "src/common/mutex.h"
+
+namespace dfs {
+
+class FixtureStale {
+ private:
+  Mutex mu_;
+  uint64_t count_ GUARDED_BY(renamed_away_mu_) = 0;
+};
+
+}  // namespace dfs
+
+#endif  // TESTS_LINT_FIXTURES_BAD_STALE_ANNOTATION_H_

@@ -1,0 +1,19 @@
+// Known-bad fixture for lint_annotation_coverage check 1: a lock-holding
+// class with a mutable member that is neither GUARDED_BY, atomic, const, nor
+// GUARD-EXEMPT. Never built — lint input only.
+#ifndef TESTS_LINT_FIXTURES_BAD_UNGUARDED_MEMBER_H_
+#define TESTS_LINT_FIXTURES_BAD_UNGUARDED_MEMBER_H_
+
+#include "src/common/mutex.h"
+
+namespace dfs {
+
+class FixtureUnguarded {
+ private:
+  Mutex mu_;
+  uint64_t unguarded_counter_ = 0;
+};
+
+}  // namespace dfs
+
+#endif  // TESTS_LINT_FIXTURES_BAD_UNGUARDED_MEMBER_H_

@@ -1,0 +1,31 @@
+// Known-good fixture for lint_lock_hierarchy: ascending-level acquisition and
+// a properly annotated same-level pair. The self-test asserts the lint stays
+// silent. Never built — lint input only.
+#include "src/common/lock_order.h"
+
+namespace dfs {
+
+class FixtureGood {
+ public:
+  void Descend() {
+    OrderedLockGuard h(high_mu_);
+    OrderedLockGuard v(vnode_mu_);
+    OrderedLockGuard io(io_mu_);
+  }
+
+  void SameLevelOrdered() {
+    OrderedLockGuard a(left_mu_);
+    // LOCK-ORDER(same-level): fixture stand-in for a tag-ordered pair; the
+    // real call sites sort by OrderedMutex tag before acquiring.
+    OrderedLockGuard b(right_mu_);
+  }
+
+ private:
+  OrderedMutex high_mu_{LockLevel::kClientHigh, "fixture-high"};
+  OrderedMutex vnode_mu_{LockLevel::kServerVnode, "fixture-vnode"};
+  OrderedMutex io_mu_{LockLevel::kServerIo, "fixture-io"};
+  OrderedMutex left_mu_{LockLevel::kClientLow, "fixture-left"};
+  OrderedMutex right_mu_{LockLevel::kClientLow, "fixture-right"};
+};
+
+}  // namespace dfs

@@ -1,0 +1,38 @@
+# Negative-compile test driver. Invoked at ctest time as
+#
+#   cmake -DCXX=<compiler> -DSRC=<fixture.cc> -DINC=<repo root>
+#         -DEXPECT=FAIL|PASS [-DEXTRA_FLAGS=<;-list>]
+#         -P run_negative_compile.cmake
+#
+# Runs the compiler front end only (-fsyntax-only) on the fixture and asserts
+# the outcome. EXPECT=FAIL proves an invariant is *structurally* enforced —
+# the fixture's misuse (minting a capability token outside its issuer, passing
+# a raw integer where a token is required) must be rejected by the type
+# system, not merely discouraged. Every must-fail fixture has a positive twin
+# registered with EXPECT=PASS so a broken include path cannot masquerade as
+# enforcement.
+
+if(NOT CXX OR NOT SRC OR NOT INC OR NOT EXPECT)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSRC=... -DINC=... -DEXPECT=FAIL|PASS "
+                      "[-DEXTRA_FLAGS=...] -P run_negative_compile.cmake")
+endif()
+
+separate_arguments(flags UNIX_COMMAND "${EXTRA_FLAGS}")
+execute_process(
+  COMMAND ${CXX} -std=c++20 -fsyntax-only -I${INC} ${flags} ${SRC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${SRC} compiled, but must NOT: the invariant it "
+                        "misuses is no longer enforced at compile time")
+  endif()
+  message(STATUS "${SRC} rejected as required (exit ${rc})")
+else()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SRC} must compile but failed (exit ${rc}):\n${err}")
+  endif()
+  message(STATUS "${SRC} accepted as required")
+endif()

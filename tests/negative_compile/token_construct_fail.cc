@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: TxnToken's constructor is private to its issuer (Wal), so
+// minting a transaction token anywhere but Wal::Begin is a type error. This
+// is the teeth of the capability pattern — if this fixture ever compiles,
+// "WAL write outside a transaction" is no longer a compile-time invariant.
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+TxnToken Forge() { return TxnToken(42); }
+
+}  // namespace dfs

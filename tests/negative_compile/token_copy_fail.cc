@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: capability tokens are non-copyable and non-movable — a
+// token identifies one live transaction and cannot be duplicated, stored, or
+// smuggled past the Commit/Abort that retires it.
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+TxnToken Duplicate(const TxnToken& txn) { return TxnToken(txn); }
+
+}  // namespace dfs

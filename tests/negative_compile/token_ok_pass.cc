@@ -1,0 +1,23 @@
+// MUST COMPILE: the positive twin of the token_*_fail fixtures — the full
+// legitimate WAL transaction shape (Begin mints the token; LogUpdate, Commit
+// and Abort consume it by reference). If this fixture fails to build, the
+// must-fail fixtures are failing for the wrong reason (broken include graph,
+// not enforcement).
+#include <span>
+
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+Status UseTransaction(Wal& wal, BufferCache::Ref& buf, std::span<const uint8_t> bytes) {
+  TxnToken txn = wal.Begin();
+  txn.AssertIssued();
+  Status s = wal.LogUpdate(txn, buf, 0, bytes);
+  if (!s.ok()) {
+    (void)wal.Abort(txn);
+    return s;
+  }
+  return wal.Commit(txn);
+}
+
+}  // namespace dfs

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under Clang with -Wthread-safety
+// -Werror=thread-safety-analysis: acquiring a mutex the scope already holds
+// is a self-deadlock, and the annotation layer must reject it statically.
+// (Registered only when the compiler is Clang.)
+#include "src/common/mutex.h"
+
+namespace dfs {
+
+class FixtureDoubleLock {
+ public:
+  void Op() {
+    MutexLock a(mu_);
+    MutexLock b(mu_);  // second acquisition of a held capability
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace dfs

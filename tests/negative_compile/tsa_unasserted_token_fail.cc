@@ -1,0 +1,16 @@
+// MUST NOT COMPILE under Clang with -Wthread-safety
+// -Werror=thread-safety-analysis: Wal::Commit REQUIRES(txn), and a function
+// that receives a token parameter holds no capabilities until it calls
+// txn.AssertIssued(). Forwarding the token without asserting it is exactly
+// the "token of unknown provenance" hole the analysis layer closes.
+// (Registered only when the compiler is Clang; GCC compiles the annotations
+// away.)
+#include "src/wal/wal.h"
+
+namespace dfs {
+
+Status CommitWithoutProof(Wal& wal, const TxnToken& txn) {
+  return wal.Commit(txn);  // no AssertIssued(): capability not established
+}
+
+}  // namespace dfs

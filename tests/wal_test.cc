@@ -35,7 +35,8 @@ struct WalRig {
     cache.AttachWal(wal.get());
   }
 
-  Status Update(TxnId txn, uint64_t blockno, uint32_t offset, std::string_view bytes) {
+  Status Update(const TxnToken& txn, uint64_t blockno, uint32_t offset, std::string_view bytes) {
+    txn.AssertIssued();
     auto buf = cache.Get(blockno);
     RETURN_IF_ERROR(buf.status());
     return wal->LogUpdate(
@@ -62,7 +63,8 @@ struct WalRig {
 
 TEST(WalTest, UpdateAppliesToBufferImmediately) {
   WalRig rig;
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   ASSERT_TRUE(rig.Update(txn, kDataBlock, 10, "AB").ok());
   EXPECT_EQ(rig.CacheByte(kDataBlock, 10), 'A');
   EXPECT_EQ(rig.CacheByte(kDataBlock, 11), 'B');
@@ -71,7 +73,8 @@ TEST(WalTest, UpdateAppliesToBufferImmediately) {
 
 TEST(WalTest, CommittedTxnSurvivesCrash) {
   WalRig rig;
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "hello").ok());
   ASSERT_TRUE(rig.wal->Commit(txn).ok());
   ASSERT_TRUE(rig.wal->Sync().ok());
@@ -87,12 +90,14 @@ TEST(WalTest, CommittedTxnSurvivesCrash) {
 TEST(WalTest, UncommittedTxnIsUndone) {
   WalRig rig;
   // Committed baseline.
-  TxnId t1 = rig.wal->Begin();
+  TxnToken t1 = rig.wal->Begin();
+  t1.AssertIssued();
   ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "X").ok());
   ASSERT_TRUE(rig.wal->Commit(t1).ok());
   // Uncommitted change on top; force its record to disk, then flush the
   // buffer (legal: log is ahead), then crash.
-  TxnId t2 = rig.wal->Begin();
+  TxnToken t2 = rig.wal->Begin();
+  t2.AssertIssued();
   ASSERT_TRUE(rig.Update(t2, kDataBlock, 0, "Y").ok());
   ASSERT_TRUE(rig.wal->Sync().ok());
   ASSERT_TRUE(rig.cache.FlushAll().ok());
@@ -106,7 +111,8 @@ TEST(WalTest, UncommittedTxnIsUndone) {
 
 TEST(WalTest, UnflushedCommitIsLostButConsistent) {
   WalRig rig;  // group commit on: commit stays in memory
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "Z").ok());
   ASSERT_TRUE(rig.wal->Commit(txn).ok());
   // No Sync: crash loses the commit — UNIX semantics allow this.
@@ -121,7 +127,8 @@ TEST(WalTest, ForceOnCommitMakesEveryCommitDurable) {
   Wal::Options opts;
   opts.force_on_commit = true;
   WalRig rig(opts);
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "D").ok());
   ASSERT_TRUE(rig.wal->Commit(txn).ok());
   rig.Remount();
@@ -133,10 +140,12 @@ TEST(WalTest, ForceOnCommitMakesEveryCommitDurable) {
 
 TEST(WalTest, AbortRestoresOldValuesInMemory) {
   WalRig rig;
-  TxnId t1 = rig.wal->Begin();
+  TxnToken t1 = rig.wal->Begin();
+  t1.AssertIssued();
   ASSERT_TRUE(rig.Update(t1, kDataBlock, 5, "old").ok());
   ASSERT_TRUE(rig.wal->Commit(t1).ok());
-  TxnId t2 = rig.wal->Begin();
+  TxnToken t2 = rig.wal->Begin();
+  t2.AssertIssued();
   ASSERT_TRUE(rig.Update(t2, kDataBlock, 5, "new").ok());
   EXPECT_EQ(rig.CacheByte(kDataBlock, 5), 'n');
   ASSERT_TRUE(rig.wal->Abort(t2).ok());
@@ -145,10 +154,12 @@ TEST(WalTest, AbortRestoresOldValuesInMemory) {
 
 TEST(WalTest, AbortedTxnStaysAbortedAfterCrash) {
   WalRig rig;
-  TxnId t1 = rig.wal->Begin();
+  TxnToken t1 = rig.wal->Begin();
+  t1.AssertIssued();
   ASSERT_TRUE(rig.Update(t1, kDataBlock, 5, "old").ok());
   ASSERT_TRUE(rig.wal->Commit(t1).ok());
-  TxnId t2 = rig.wal->Begin();
+  TxnToken t2 = rig.wal->Begin();
+  t2.AssertIssued();
   ASSERT_TRUE(rig.Update(t2, kDataBlock, 5, "new").ok());
   ASSERT_TRUE(rig.wal->Abort(t2).ok());
   ASSERT_TRUE(rig.wal->Sync().ok());
@@ -160,7 +171,8 @@ TEST(WalTest, AbortedTxnStaysAbortedAfterCrash) {
 TEST(WalTest, GroupCommitBatchesMultipleTxns) {
   WalRig rig;
   for (int i = 0; i < 10; ++i) {
-    TxnId txn = rig.wal->Begin();
+    TxnToken txn = rig.wal->Begin();
+    txn.AssertIssued();
     ASSERT_TRUE(rig.Update(txn, kDataBlock, static_cast<uint32_t>(i), "q").ok());
     ASSERT_TRUE(rig.wal->Commit(txn).ok());
   }
@@ -175,7 +187,8 @@ TEST(WalTest, GroupCommitIntervalOnVirtualClock) {
   opts.clock = &clock;
   opts.group_commit_interval_ns = 30 * VirtualClock::kSecond;
   WalRig rig(opts);
-  TxnId t1 = rig.wal->Begin();
+  TxnToken t1 = rig.wal->Begin();
+  t1.AssertIssued();
   ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "a").ok());
   ASSERT_TRUE(rig.wal->Commit(t1).ok());
   EXPECT_EQ(rig.wal->stats().log_flushes, 0u);
@@ -187,7 +200,8 @@ TEST(WalTest, GroupCommitIntervalOnVirtualClock) {
 TEST(WalTest, LogAppendsAreSequentialWrites) {
   WalRig rig;
   for (int i = 0; i < 50; ++i) {
-    TxnId txn = rig.wal->Begin();
+    TxnToken txn = rig.wal->Begin();
+    txn.AssertIssued();
     ASSERT_TRUE(rig.Update(txn, kDataBlock, static_cast<uint32_t>(i), "ab").ok());
     ASSERT_TRUE(rig.wal->Commit(txn).ok());
   }
@@ -201,7 +215,8 @@ TEST(WalTest, LogAppendsAreSequentialWrites) {
 
 TEST(WalTest, CheckpointResetsActiveLog) {
   WalRig rig;
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   ASSERT_TRUE(rig.Update(txn, kDataBlock, 0, "ck").ok());
   ASSERT_TRUE(rig.wal->Commit(txn).ok());
   EXPECT_GT(rig.wal->active_bytes(), 0u);
@@ -220,7 +235,8 @@ TEST(WalTest, AutomaticCheckpointWhenLogFills) {
   std::vector<uint8_t> big(2048, 0x33);
   // Each record is ~4 KiB (old+new); the 63-block data area fills quickly.
   for (int i = 0; i < 200; ++i) {
-    TxnId txn = rig.wal->Begin();
+    TxnToken txn = rig.wal->Begin();
+    txn.AssertIssued();
     auto buf = rig.cache.Get(kDataBlock + (i % 8));
     ASSERT_TRUE(buf.ok());
     ASSERT_TRUE(rig.wal->LogUpdate(txn, *buf, 0, big).ok());
@@ -233,7 +249,8 @@ TEST(WalTest, AutomaticCheckpointWhenLogFills) {
 TEST(WalTest, OversizedTransactionIsRejected) {
   WalRig rig;
   std::vector<uint8_t> big(4096, 1);
-  TxnId txn = rig.wal->Begin();
+  TxnToken txn = rig.wal->Begin();
+  txn.AssertIssued();
   Status last = Status::Ok();
   // One transaction cannot exceed the log area; it must hit kNoSpace.
   for (int i = 0; i < 100 && last.ok(); ++i) {
@@ -247,7 +264,8 @@ TEST(WalTest, OversizedTransactionIsRejected) {
 
 TEST(WalTest, TornTailStopsScanCleanly) {
   WalRig rig;
-  TxnId t1 = rig.wal->Begin();
+  TxnToken t1 = rig.wal->Begin();
+  t1.AssertIssued();
   ASSERT_TRUE(rig.Update(t1, kDataBlock, 0, "ok").ok());
   ASSERT_TRUE(rig.wal->Commit(t1).ok());
   ASSERT_TRUE(rig.wal->Sync().ok());
@@ -263,7 +281,8 @@ TEST(WalTest, TornTailStopsScanCleanly) {
 TEST(WalTest, RecoveryCostTracksActiveLogSize) {
   WalRig small;
   for (int i = 0; i < 5; ++i) {
-    TxnId txn = small.wal->Begin();
+    TxnToken txn = small.wal->Begin();
+    txn.AssertIssued();
     ASSERT_TRUE(small.Update(txn, kDataBlock, static_cast<uint32_t>(i), "x").ok());
     ASSERT_TRUE(small.wal->Commit(txn).ok());
   }
@@ -274,7 +293,8 @@ TEST(WalTest, RecoveryCostTracksActiveLogSize) {
 
   WalRig large;
   for (int i = 0; i < 100; ++i) {
-    TxnId txn = large.wal->Begin();
+    TxnToken txn = large.wal->Begin();
+    txn.AssertIssued();
     ASSERT_TRUE(large.Update(txn, kDataBlock, static_cast<uint32_t>(i % 512), "x").ok());
     ASSERT_TRUE(large.wal->Commit(txn).ok());
   }

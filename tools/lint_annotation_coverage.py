@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Thread-safety annotation coverage lint for the distributed layer.
+
+Clang's -Wthread-safety only checks data that is GUARDED_BY something; an
+unannotated member is silently unchecked, which is how races slip past the
+analysis. This lint closes that hole with two checks over src/tokens,
+src/client, src/server, src/recovery and src/rpc:
+
+  1. Coverage: in every class that declares a lock member, every mutable data
+     member must be accounted for — GUARDED_BY / PT_GUARDED_BY a capability,
+     a std::atomic, const/reference (immutable), itself a lock, or carry an
+     explicit exemption:
+
+        // GUARD-EXEMPT: <why this member needs no capability>
+
+     on the declaration or in the contiguous comment block directly above it
+     (LOCK-EXEMPT(leaf) declarations of the lock itself also count).
+
+  2. Reality: every capability named by a GUARDED_BY / PT_GUARDED_BY /
+     REQUIRES / ACQUIRE / RELEASE / EXCLUDES / RETURN_CAPABILITY annotation in
+     the linted dirs must resolve to a lock (or capability-token parameter)
+     that actually exists, so annotations cannot rot into referencing
+     renamed-away members (under GCC the macros expand to nothing, so the
+     compiler would never notice).
+
+Run as:  lint_annotation_coverage.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINTED_DIRS = ("src/tokens", "src/client", "src/server", "src/recovery", "src/rpc")
+# Lock names are collected repo-wide so cross-module annotations resolve.
+LOCK_SCAN_DIRS = ("src",)
+
+LOCK_TYPES = (
+    "OrderedMutex",
+    "SharedOrderedMutex",
+    "FidLockTable",
+    "Mutex",
+    "std::mutex",
+    "std::shared_mutex",
+    "std::condition_variable",
+    "std::condition_variable_any",
+    "CondVar",
+)
+LOCK_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:dfs::)?(" + "|".join(t.replace("::", "::") for t in LOCK_TYPES) +
+    r")\s+([A-Za-z_]\w*)\s*(?:\{[^;]*\}|=[^;]*)?\s*;")
+ANNOTATION_RE = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|"
+    r"RELEASE|RELEASE_SHARED|EXCLUDES|RETURN_CAPABILITY|TRY_ACQUIRE)\s*\(([^()]*)\)")
+TOKEN_PARAM_RE = re.compile(r"(?:const\s+)?(\w*Token)\s*&\s*([A-Za-z_]\w*)")
+EXEMPT_RE = re.compile(r"//\s*(?:GUARD-EXEMPT|LOCK-EXEMPT\(\w+\)):\s*\S")
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+([A-Za-z_]\w*)[^;]*$")
+MEMBER_RE = re.compile(
+    r"^\s*(mutable\s+)?(?:(const)\s+)?([\w:<>,*&\s]+?)\s+([A-Za-z_]\w*)\s*"
+    r"(\{[^;]*\}|=[^;]*|\[[^\]]*\])?\s*;\s*$")
+NON_MEMBER_KEYWORDS = (
+    "using", "typedef", "friend", "static", "return", "public", "private",
+    "protected", "namespace", "template", "explicit", "virtual", "case",
+    "goto", "break", "continue", "delete", "extern",
+)
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def strip_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def collect_lock_names(root: Path):
+    """Every identifier declared anywhere in src/ as a lock member/variable,
+    plus capability-token parameter names — the resolution universe for
+    check 2."""
+    names = {"this"}
+    for d in LOCK_SCAN_DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            for raw in path.read_text().splitlines():
+                line = strip_comment(raw)
+                m = LOCK_DECL_RE.match(line)
+                if m:
+                    names.add(m.group(2))
+                for tm in TOKEN_PARAM_RE.finditer(line):
+                    names.add(tm.group(2))
+    return names
+
+
+def is_exempt(lines, i):
+    window = [lines[i]]
+    j = i - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        window.append(lines[j])
+        j -= 1
+    return any(EXEMPT_RE.search(w) for w in window)
+
+
+def accounted_for(decl_line: str) -> bool:
+    """A member declaration that needs no GUARDED_BY."""
+    s = decl_line.strip()
+    if "GUARDED_BY" in s or "PT_GUARDED_BY" in s:
+        return True
+    if re.search(r"\bconst\b", s) and "*" not in s.split("const")[1][:2]:
+        return True  # const member (not pointer-to-const data member)
+    if "std::atomic" in s or re.match(r"\s*std::atomic_", s):
+        return True
+    if "&" in s.split("=")[0].split("{")[0]:
+        return True  # reference member: bound once
+    for t in LOCK_TYPES:
+        if re.search(r"\b" + re.escape(t) + r"\b", s):
+            return True
+    return False
+
+
+def lint_header_coverage(path: Path, violations):
+    lines = path.read_text().splitlines()
+    # Scope stack entries: [depth_at_open, kind] where kind is a class name or
+    # None for non-class scopes. A "lock class" check runs per class: first
+    # gather its member lines, then test.
+    depth = 0
+    stack = []  # (depth, class_name or None, members: list[(lineno, text)])
+    results = []  # (class_name, members)
+
+    for i, raw in enumerate(lines):
+        line = strip_comment(raw)
+        cm = CLASS_RE.match(line)
+        opens = line.count("{")
+        closes = line.count("}")
+        if cm and (opens > 0 or (i + 1 < len(lines) and
+                                 strip_comment(lines[i + 1]).lstrip().startswith("{"))):
+            # class Foo { … — the next pushed scope is this class.
+            pending_class = cm.group(1)
+        else:
+            pending_class = None
+        for _ in range(opens):
+            depth += 1
+            stack.append([depth, pending_class, []])
+            pending_class = None
+        # Member statements live directly inside a class scope.
+        if stack and stack[-1][1] is not None and raw.strip().endswith(";"):
+            first_word = (line.strip().split() or [""])[0].rstrip(":")
+            if first_word not in NON_MEMBER_KEYWORDS:
+                m = MEMBER_RE.match(line)
+                stripped = strip_annotations(line)
+                # A ')' with no matching '(' is the tail of a multi-line
+                # function declaration, not a member.
+                if m and "(" not in stripped and ")" not in stripped:
+                    stack[-1][2].append((i, raw))
+        for _ in range(closes):
+            if stack:
+                top = stack.pop()
+                if top[1] is not None:
+                    results.append((top[1], top[2]))
+            depth = max(0, depth - 1)
+
+    for class_name, members in results:
+        member_text = "\n".join(t for _, t in members)
+        if not any(re.search(r"\b" + re.escape(t).replace("std::", "(?:std::)?") + r"\s+\w",
+                             member_text) for t in LOCK_TYPES):
+            continue  # no lock in this class: nothing to guard with
+        for i, raw in members:
+            if accounted_for(strip_comment(raw)):
+                continue
+            if is_exempt(lines, i):
+                continue
+            violations.append(
+                (path, i + 1,
+                 f"mutable member of lock-holding class {class_name} has no GUARDED_BY/"
+                 f"atomic/const/GUARD-EXEMPT accounting: {raw.strip()}"))
+
+
+def strip_annotations(line: str) -> str:
+    return ANNOTATION_RE.sub("", line)
+
+
+def lint_annotation_reality(path: Path, lock_names, violations):
+    lines = path.read_text().splitlines()
+    for i, raw in enumerate(lines):
+        line = strip_comment(raw)
+        for m in ANNOTATION_RE.finditer(line):
+            macro, args = m.group(1), m.group(2)
+            for arg in args.split(","):
+                arg = arg.strip()
+                if not arg:
+                    continue
+                idents = IDENT_RE.findall(arg)
+                if not idents:
+                    continue
+                if not any(ident in lock_names or ident + "_" in lock_names
+                           for ident in idents):
+                    violations.append(
+                        (path, i + 1,
+                         f"{macro}({arg}) names no declared lock or capability token"))
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    missing = [d for d in LINTED_DIRS if not (root / d).is_dir()]
+    if missing:
+        print(f"lint_annotation_coverage: {root} is not the repo root "
+              f"(missing {', '.join(missing)})", file=sys.stderr)
+        return 2
+    lock_names = collect_lock_names(root)
+    violations = []
+    nfiles = 0
+    for d in LINTED_DIRS:
+        for path in sorted((root / d).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            nfiles += 1
+            if path.suffix == ".h":
+                lint_header_coverage(path, violations)
+            lint_annotation_reality(path, lock_names, violations)
+    if violations:
+        print("annotation-coverage lint FAILED:\n")
+        for path, lineno, msg in violations:
+            print(f"  {path.relative_to(root)}:{lineno}: {msg}")
+        print(
+            "\nEvery mutable member of a lock-holding class must be GUARDED_BY a "
+            "capability, atomic, const, or carry // GUARD-EXEMPT: <reason>; every "
+            "annotation must name a lock that exists."
+        )
+        return 1
+    print(f"annotation-coverage lint OK ({nfiles} files, "
+          f"{len(lock_names)} known capabilities)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

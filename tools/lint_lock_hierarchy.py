@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Static lock-hierarchy lint for the distributed layer.
+
+The runtime LockOrderChecker (src/common/lock_order.h) aborts on a hierarchy
+inversion, but only on interleavings the tests happen to execute. This lint is
+the static complement: it extracts, per function, the set of LockLevels the
+function can already hold — from `REQUIRES`/`ACQUIRE` annotations and from
+guard objects constructed earlier in an enclosing scope — and flags any
+acquisition of a level less than or equal to a held one, on every path, tested
+or not.
+
+What it understands (the codebase's actual idioms, enforced by
+lint_lock_discipline.py and this file's resolution rules):
+
+  * Level bindings: member declarations `OrderedMutex m{LockLevel::kX, ...}`,
+    `SharedOrderedMutex`, `FidLockTable locks_{LockLevel::kX, ...}`, and
+    constructor-initializer bindings `m(LockLevel::kX, ...)`.
+  * Acquisitions: OrderedLockGuard / SharedOrderedLockGuard /
+    SharedOrderedReadGuard / OrderedUniqueLock / MaybeLockGuard / ShardGuard
+    constructions, and explicit `.lock()` / `.lock_shared()` calls.
+  * Aliases: `OrderedMutex& a = <expr>;` / `OrderedMutex* p = <expr>;` bind
+    the alias to the level of <expr>.
+  * Held-at-entry: `REQUIRES(x)` / `ACQUIRE(x)` on a declaration seed the
+    definition's scope (matched into .cc files by `Class::Method(` name).
+
+Same-level acquisitions deadlock unless performed in tag order, which a
+static pass cannot prove; they require an explicit
+
+  // LOCK-ORDER(same-level): <why the tag order is ascending here>
+
+comment on the acquisition or the contiguous comment block above it.
+Acquisitions whose lock expression the lint cannot map to a level must carry
+a `// LOCK-ORDER(<kLevelName>): <reason>` comment naming the level.
+
+Run as:  lint_lock_hierarchy.py [repo_root]
+"""
+
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+LINTED_DIRS = ("src/tokens", "src/client", "src/server", "src/recovery", "src/rpc")
+
+GUARD_TYPES = (
+    "OrderedLockGuard",
+    "SharedOrderedLockGuard",
+    "SharedOrderedReadGuard",
+    "OrderedUniqueLock",
+    "MaybeLockGuard",
+)
+# Custom RAII guards: type name -> the lock member they acquire on their
+# argument (ShardGuard g(shard) locks shard.mu).
+CUSTOM_GUARDS = {"ShardGuard": "mu"}
+
+LEVEL_ENUM_RE = re.compile(r"^\s*(k\w+)\s*=\s*(\d+)\s*,")
+# OrderedMutex m_{LockLevel::kX, ...};  /  FidLockTable t_{LockLevel::kX, ...};
+BRACE_DECL_RE = re.compile(
+    r"\b(?:OrderedMutex|SharedOrderedMutex|FidLockTable)\s+([A-Za-z_]\w*)\s*\{\s*"
+    r"LockLevel::(k\w+)")
+# Constructor-initializer: name(LockLevel::kX, ...)
+CTOR_INIT_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(\s*LockLevel::(k\w+)")
+GUARD_RE = re.compile(
+    r"\b(" + "|".join(GUARD_TYPES + tuple(CUSTOM_GUARDS)) + r")\s+[A-Za-z_]\w*\s*[({](.*)[)}]\s*;")
+ALIAS_RE = re.compile(r"\bOrderedMutex[&*]\s+([A-Za-z_]\w*)\s*=\s*([^;]+);")
+LOCK_CALL_RE = re.compile(r"([A-Za-z_][\w.>-]*?)[.-]>?lock(?:_shared)?\(\)")
+# Annotations that mean "held on entry" (ACQUIRE means the body performs the
+# acquisition itself, so it must NOT seed the held set).
+ENTRY_RE = re.compile(r"\bREQUIRES(?:_SHARED)?\s*\(([^)]*)\)")
+DEFN_RE = re.compile(r"^[A-Za-z][\w:<>,&*\s]*?\b[A-Za-z_]\w*::([A-Za-z_]\w*)\s*\(")
+ORDER_EXEMPT_RE = re.compile(r"//\s*LOCK-ORDER\((same-level|k\w+)\):\s*\S")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def strip_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.levels = {}            # enum name -> numeric level
+        self.global_bind = defaultdict(set)   # member name -> {enum name}
+        self.file_bind = defaultdict(dict)    # file stem -> {member: enum}
+        self.method_entry = defaultdict(set)  # method name -> {enum} held at entry
+        self.violations = []
+
+    # ---- pass 0: the hierarchy itself --------------------------------------
+    def parse_levels(self):
+        in_enum = False
+        for line in (self.root / "src/common/lock_order.h").read_text().splitlines():
+            if "enum class LockLevel" in line:
+                in_enum = True
+            elif in_enum:
+                if line.strip().startswith("}"):
+                    break
+                m = LEVEL_ENUM_RE.match(line)
+                if m:
+                    self.levels[m.group(1)] = int(m.group(2))
+
+    # ---- pass 1: level bindings and held-at-entry annotations --------------
+    def collect(self, path: Path):
+        stem = path.stem
+        text = path.read_text()
+        for m in BRACE_DECL_RE.finditer(text):
+            name, level = m.group(1), m.group(2)
+            if level in self.levels:
+                self.global_bind[name].add(level)
+                self.file_bind[stem][name] = level
+        for m in CTOR_INIT_RE.finditer(text):
+            name, level = m.group(1), m.group(2)
+            if level in self.levels:
+                self.global_bind[name].add(level)
+                self.file_bind[stem][name] = level
+        # Held-at-entry: split the comment-stripped text into statements at
+        # ';'/'{'/'}' boundaries; a statement carrying REQUIRES names its
+        # method as the identifier before the statement's first '('. Recorded
+        # by method name so out-of-line definitions in the .cc inherit them.
+        code = "\n".join(strip_comment(l) for l in text.splitlines())
+        for stmt in re.split(r"[;{}]", code):
+            if "REQUIRES" not in stmt:
+                continue
+            nm = re.search(r"([A-Za-z_]\w*)\s*\(", stmt)
+            if nm is None:
+                continue
+            method = nm.group(1)
+            for a in ENTRY_RE.finditer(stmt):
+                for arg in a.group(1).split(","):
+                    level = self.resolve(arg.strip(), stem)
+                    if level is not None:
+                        self.method_entry[method].add(level)
+
+    # ---- expression -> level resolution ------------------------------------
+    def resolve(self, expr: str, stem: str, aliases=None):
+        # Longest terminal identifier bound to a level wins; scan all
+        # identifiers in the expression (handles cv->low, t_.Get(fid),
+        # ternaries, &x, *x).
+        candidates = []
+        for ident in IDENT_RE.findall(expr):
+            for name in (ident, ident + "_"):  # accessor foo() -> member foo_
+                if aliases and name in aliases:
+                    candidates.append(aliases[name])
+                    break
+                if name in self.file_bind[stem]:
+                    candidates.append(self.file_bind[stem][name])
+                    break
+                if len(self.global_bind[name]) == 1:
+                    candidates.append(next(iter(self.global_bind[name])))
+                    break
+        if not candidates:
+            return None
+        # An expression mentioning several distinctly-bound names is
+        # ambiguous; treat the highest-risk (lowest level) as the answer so
+        # the lint errs toward reporting.
+        return min(candidates, key=lambda lv: self.levels[lv])
+
+    # ---- pass 2: per-file scope walk ---------------------------------------
+    def lint_file(self, path: Path):
+        stem = path.stem
+        lines = path.read_text().splitlines()
+        # Scope stack: each entry is [depth_at_open, set(levels), aliases dict]
+        # Base scope for the file.
+        depth = 0
+        scopes = [[0, set(), {}]]
+        pending_entry = set()  # levels to seed into the next opened scope
+
+        def held():
+            s = set()
+            for _, lv, _ in scopes:
+                s |= lv
+            return s
+
+        def aliases():
+            d = {}
+            for _, _, a in scopes:
+                d.update(a)
+            return d
+
+        def exempt(i, want=None):
+            """LOCK-ORDER comment on line i or the comment block above."""
+            window = [lines[i]]
+            j = i - 1
+            while j >= 0 and lines[j].lstrip().startswith("//"):
+                window.append(lines[j])
+                j -= 1
+            for w in window:
+                m = ORDER_EXEMPT_RE.search(w)
+                if m and (want is None or m.group(1) in ("same-level", want)):
+                    return m.group(1)
+            return None
+
+        def check_acquire(i, level, expr):
+            h = held()
+            for hl in h:
+                if self.levels[level] < self.levels[hl]:
+                    self.violations.append(
+                        (path, i + 1,
+                         f"acquires {level} ({self.levels[level]}) while holding "
+                         f"{hl} ({self.levels[hl]}): hierarchy inversion — {expr.strip()}"))
+                elif self.levels[level] == self.levels[hl] and not exempt(i):
+                    self.violations.append(
+                        (path, i + 1,
+                         f"same-level acquisition of {level} while already holding it; "
+                         f"needs // LOCK-ORDER(same-level): <tag-order argument> — "
+                         f"{expr.strip()}"))
+
+        for i, raw in enumerate(lines):
+            line = strip_comment(raw)
+
+            # Function definition in a .cc: seed held-at-entry levels from the
+            # header annotations (matched by method name).
+            dm = DEFN_RE.match(line)
+            if dm and dm.group(1) in self.method_entry:
+                pending_entry = set(self.method_entry[dm.group(1)])
+            # Inline definition carrying its own annotations.
+            if "{" in line:
+                for a in ENTRY_RE.finditer(line):
+                    for arg in a.group(1).split(","):
+                        level = self.resolve(arg.strip(), stem, aliases())
+                        if level is not None:
+                            pending_entry.add(level)
+
+            # Aliases bind in the current scope.
+            am = ALIAS_RE.search(line)
+            if am:
+                level = self.resolve(am.group(2), stem, aliases())
+                if level is not None:
+                    scopes[-1][2][am.group(1)] = level
+
+            # Guard constructions.
+            gm = GUARD_RE.search(line)
+            if gm:
+                gtype, arg = gm.group(1), gm.group(2)
+                if gtype in CUSTOM_GUARDS:
+                    arg = arg + "." + CUSTOM_GUARDS[gtype]
+                level = self.resolve(arg, stem, aliases())
+                if level is None:
+                    want = exempt(i)
+                    if want and want in self.levels:
+                        level = want
+                    else:
+                        self.violations.append(
+                            (path, i + 1,
+                             "cannot map lock expression to a LockLevel; annotate with "
+                             f"// LOCK-ORDER(<kLevelName>): <reason> — {arg.strip()}"))
+                if level is not None:
+                    check_acquire(i, level, arg)
+                    scopes[-1][1].add(level)
+
+            # Explicit lock() calls on hierarchy locks.
+            for lm in LOCK_CALL_RE.finditer(line):
+                level = self.resolve(lm.group(1), stem, aliases())
+                if level is not None:
+                    check_acquire(i, level, lm.group(1))
+                    scopes[-1][1].add(level)
+
+            # Brace tracking (after the checks: a guard on an opening line
+            # belongs to the outer statement, e.g. `if (...) { guard g(mu);`
+            # is rare; block scopes open first on their own line here).
+            for ch in line:
+                if ch == "{":
+                    depth += 1
+                    scopes.append([depth, set(pending_entry), {}])
+                    pending_entry = set()
+                elif ch == "}":
+                    while scopes and scopes[-1][0] >= depth and len(scopes) > 1:
+                        scopes.pop()
+                    depth = max(0, depth - 1)
+
+    def run(self) -> int:
+        self.parse_levels()
+        if not self.levels:
+            print("lint_lock_hierarchy: could not parse LockLevel enum", file=sys.stderr)
+            return 2
+        files = []
+        for d in LINTED_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                print(f"lint_lock_hierarchy: {self.root} is not the repo root "
+                      f"(missing {d})", file=sys.stderr)
+                return 2
+            files.extend(p for p in sorted(base.rglob("*")) if p.suffix in (".h", ".cc"))
+        for p in files:
+            self.collect(p)
+        for p in files:
+            self.lint_file(p)
+        if self.violations:
+            print("lock-hierarchy lint FAILED:\n")
+            for path, lineno, msg in self.violations:
+                print(f"  {path.relative_to(self.root)}:{lineno}: {msg}")
+            print(
+                "\nThe Section-6 hierarchy requires every acquisition to be of a "
+                "strictly greater LockLevel than any lock already held; same-level "
+                "pairs must be tag-ordered and annotated with "
+                "// LOCK-ORDER(same-level): <reason>."
+            )
+            return 1
+        n = len(files)
+        print(f"lock-hierarchy lint OK ({n} files, {len(self.levels)} levels)")
+        return 0
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
