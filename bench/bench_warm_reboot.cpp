@@ -144,10 +144,11 @@ int main() {
               (unsigned long long)warm_bytes, warm_ttfb_ms, warm_total_ms);
   std::printf(
       "\nwarm recovery: %.2f ms (%llu tokens reasserted, %llu blocks revalidated, "
-      "%llu dropped)\n",
+      "%llu dropped, %llu attr revalidations skipped)\n",
       recover_ms, (unsigned long long)wstats.warm_tokens_recovered,
       (unsigned long long)wstats.warm_blocks_recovered,
-      (unsigned long long)wstats.warm_blocks_dropped);
+      (unsigned long long)wstats.warm_blocks_dropped,
+      (unsigned long long)wstats.warm_attr_hits);
   double refetch_pct = cold_bytes ? 100.0 * double(warm_bytes) / double(cold_bytes) : 0.0;
   std::printf("warm boot moved %.1f%% of the cold boot's bytes (acceptance: <10%%)\n",
               refetch_pct);
@@ -167,6 +168,7 @@ int main() {
   breport.Metric("warm_total_ms", warm_total_ms, "ms");
   breport.Metric("recover_ms", recover_ms, "ms");
   breport.Metric("warm_refetch_pct", refetch_pct, "%");
+  breport.Metric("warm_attr_hits", double(wstats.warm_attr_hits), "files");
 
   if (warm_fetches != 0 || refetch_pct >= 10.0) {
     std::printf("\nFAIL: warm boot re-fetched data it should have had on disk\n");

@@ -41,7 +41,7 @@ void AfsServer::BreakCallbacks(const Fid& fid, NodeId except) {
   }
 }
 
-Result<std::vector<uint8_t>> AfsServer::Handle(const RpcRequest& req) {
+Result<WireMessage> AfsServer::Handle(const RpcRequest& req) {
   Reader r(req.payload);
   auto body = [&]() -> Result<Writer> {
     Writer w;
@@ -143,11 +143,11 @@ AfsClient::AfsClient(Network& network, NodeId node, NodeId server)
 
 AfsClient::~AfsClient() { network_.UnregisterNode(node_); }
 
-Result<std::vector<uint8_t>> AfsClient::Call(uint32_t proc, const Writer& w) {
+Result<WireMessage> AfsClient::Call(uint32_t proc, const Writer& w) {
   return UnwrapReply(network_.Call(node_, server_, proc, w.data(), "afs"));
 }
 
-Result<std::vector<uint8_t>> AfsClient::Handle(const RpcRequest& req) {
+Result<WireMessage> AfsClient::Handle(const RpcRequest& req) {
   if (req.proc != kAfsBreakCallback) {
     return EncodeErrorReply(Status(ErrorCode::kNotSupported, "unknown client procedure"));
   }
@@ -183,7 +183,7 @@ Status AfsClient::Open(const Fid& fid) {
     MutexLock lock(mu_);
     stats_.fetches += 1;
   }
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsFetch, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kAfsFetch, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
@@ -252,7 +252,7 @@ Status AfsClient::Close(const Fid& fid) {
       MutexLock lock(mu_);
       stats_.stores += 1;
     }
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsStore, w));
+    ASSIGN_OR_RETURN(WireMessage payload, Call(kAfsStore, w));
     Reader r(payload);
     ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
     MutexLock lock(mu_);
@@ -263,7 +263,7 @@ Status AfsClient::Close(const Fid& fid) {
 
 Result<Fid> AfsClient::Root() {
   Writer w;
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsGetRootAfs, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kAfsGetRootAfs, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   return attr.fid;
@@ -273,7 +273,7 @@ Result<Fid> AfsClient::Lookup(const Fid& dir, const std::string& name) {
   Writer w;
   PutFid(w, dir);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsLookup, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kAfsLookup, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   return attr.fid;
@@ -283,7 +283,7 @@ Result<Fid> AfsClient::Create(const Fid& dir, const std::string& name) {
   Writer w;
   PutFid(w, dir);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kAfsCreate, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kAfsCreate, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   return attr.fid;

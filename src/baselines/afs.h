@@ -37,7 +37,7 @@ class AfsServer : public RpcHandler {
   AfsServer(Network& network, NodeId node, VfsRef vfs);
   ~AfsServer() override;
 
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
   NodeId node() const { return node_; }
 
   struct Stats {
@@ -77,7 +77,7 @@ class AfsClient : public RpcHandler {
   Result<Fid> Create(const Fid& dir, const std::string& name);
 
   // RpcHandler: callback breaks from the server.
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
 
   struct Stats {
     uint64_t fetches = 0;
@@ -96,7 +96,7 @@ class AfsClient : public RpcHandler {
     int open_count = 0;
   };
 
-  Result<std::vector<uint8_t>> Call(uint32_t proc, const Writer& w);
+  Result<WireMessage> Call(uint32_t proc, const Writer& w);
 
   Network& network_;
   NodeId node_;

@@ -14,7 +14,7 @@ NfsServer::NfsServer(Network& network, NodeId node, VfsRef vfs)
 
 NfsServer::~NfsServer() { network_.UnregisterNode(node_); }
 
-Result<std::vector<uint8_t>> NfsServer::Handle(const RpcRequest& req) {
+Result<WireMessage> NfsServer::Handle(const RpcRequest& req) {
   Reader r(req.payload);
   auto body = [&]() -> Result<Writer> {
     Writer w;
@@ -105,13 +105,13 @@ NfsClient::NfsClient(Network& network, NodeId server, VirtualClock& clock, Optio
     : network_(network), server_(server), node_(options.node), clock_(clock),
       options_(options) {}
 
-Result<std::vector<uint8_t>> NfsClient::Call(uint32_t proc, const Writer& w) {
+Result<WireMessage> NfsClient::Call(uint32_t proc, const Writer& w) {
   return UnwrapReply(network_.Call(node_, server_, proc, w.data(), "nfs"));
 }
 
 Result<Fid> NfsClient::Root() {
   Writer w;
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetRootNfs, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsGetRootNfs, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   MutexLock lock(mu_);
@@ -138,7 +138,7 @@ Status NfsClient::Revalidate(const Fid& fid, bool is_dir) {
     MutexLock lock(mu_);
     ++stats_.getattr_rpcs;
   }
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsGetAttr, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsGetAttr, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   MutexLock lock(mu_);
@@ -164,7 +164,7 @@ Result<Fid> NfsClient::Lookup(const Fid& dir, const std::string& name) {
   Writer w;
   PutFid(w, dir);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsLookup, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsLookup, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   MutexLock lock(mu_);
@@ -219,7 +219,7 @@ Result<size_t> NfsClient::Read(const Fid& fid, uint64_t offset, std::span<uint8_
     MutexLock lock(mu_);
     ++stats_.read_rpcs;
   }
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsRead, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsRead, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
@@ -254,7 +254,7 @@ Status NfsClient::Write(const Fid& fid, uint64_t offset, std::span<const uint8_t
     MutexLock lock(mu_);
     ++stats_.write_rpcs;
   }
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsWrite, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsWrite, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   MutexLock lock(mu_);
@@ -270,7 +270,7 @@ Result<Fid> NfsClient::Create(const Fid& dir, const std::string& name) {
   Writer w;
   PutFid(w, dir);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsCreate, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsCreate, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr attr, ReadAttr(r));
   return attr.fid;
@@ -287,7 +287,7 @@ Result<std::vector<DirEntry>> NfsClient::ReadDir(const Fid& dir) {
   RETURN_IF_ERROR(Revalidate(dir, /*is_dir=*/true));
   Writer w;
   PutFid(w, dir);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(kNfsReadDir, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(kNfsReadDir, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
   std::vector<DirEntry> out;

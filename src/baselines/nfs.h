@@ -35,7 +35,7 @@ class NfsServer : public RpcHandler {
   NfsServer(Network& network, NodeId node, VfsRef vfs);
   ~NfsServer() override;
 
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
   NodeId node() const { return node_; }
 
  private:
@@ -83,7 +83,7 @@ class NfsClient {
   // Revalidates (or fetches) the attributes per TTL; drops cached data when
   // the file changed underneath us.
   Status Revalidate(const Fid& fid, bool is_dir);
-  Result<std::vector<uint8_t>> Call(uint32_t proc, const Writer& w);
+  Result<WireMessage> Call(uint32_t proc, const Writer& w);
 
   Network& network_;
   NodeId server_;

@@ -15,6 +15,13 @@ uint64_t BlockEnd(uint64_t offset, size_t len) {
   return (offset + len + kBlockSize - 1) / kBlockSize;
 }
 
+// Adaptive RPC sizing: EWMA smoothing factor for the link estimates and the
+// pipelining headroom multiplied into the bandwidth-delay product (chunks a
+// little larger than one BDP keep the parallel sub-range pipe full across
+// scheduling jitter).
+constexpr double kEwmaAlpha = 0.25;
+constexpr double kAdaptiveHeadroom = 1.5;
+
 uint32_t OpenTokenFor(OpenMode mode) {
   switch (mode) {
     case OpenMode::kRead:
@@ -187,7 +194,7 @@ Status CacheManager::EnsureConnected(NodeId server) {
   Writer w;
   ticket_.Serialize(w);
   ASSIGN_OR_RETURN(
-      std::vector<uint8_t> payload,
+      WireMessage payload,
       UnwrapReply(network_.Call(options_.node, server, kConnect, w.data(), ticket_.principal)));
   // Reply: principal string, then the server's incarnation epoch (appended
   // to the wire format; tolerate its absence so old-format replies parse).
@@ -216,9 +223,9 @@ uint64_t CacheManager::EpochFor(NodeId server) {
   return it == server_epochs_.end() ? 0 : it->second;
 }
 
-Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32_t proc,
-                                                      const Writer& w, const Fid* fid,
-                                                      bool allow_recovery) {
+Result<WireMessage> CacheManager::CallVolume(uint64_t volume_id, uint32_t proc,
+                                             const Writer& w, const Fid* fid,
+                                             bool allow_recovery) {
   Status last = Status::Ok();
   uint32_t backoff_ms = 1;  // doubles per kRecovering answer, capped at 16
   for (int attempt = 0; attempt < 100; ++attempt) {
@@ -241,7 +248,10 @@ Result<std::vector<uint8_t>> CacheManager::CallVolume(uint64_t volume_id, uint32
             (void)HandleStaleEpoch(*server, nullptr);
           }
         }
-        auto payload = UnwrapReply(network_.Call(options_.node, *server, proc, w.data(),
+        // Ship the full message (head + any scatter-gather segments); the
+        // Writer outlives the retry loop, so each attempt re-sends a cheap
+        // copy that shares the segment regions.
+        auto payload = UnwrapReply(network_.Call(options_.node, *server, proc, w.Message(),
                                                  ticket_.principal, EpochFor(*server)));
         if (payload.ok()) {
           if (network_.clock() != nullptr) {
@@ -519,6 +529,11 @@ bool CacheManager::MergeSyncLocked(CVnode& cv, const SyncInfo& sync) {
   }
   cv.attr = sync.attr;
   cv.attr_valid = true;
+  // Every applied merge refreshes the persisted attribute record, so a warm
+  // reboot whose status token survives can trust the journal (no merge path
+  // may skip this — a stale record plus a surviving token would resurrect
+  // old attributes as authoritative).
+  JournalAttrLocked(cv);
   return true;
 }
 
@@ -546,19 +561,26 @@ Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
       }
       continue;
     }
-    std::vector<uint8_t> data(end - offset);
-    for (uint64_t b = first; b <= last; ++b) {
-      uint64_t boff = b * kBlockSize - offset;
-      size_t n = std::min<size_t>(kBlockSize, data.size() - boff);
-      std::vector<uint8_t> block(kBlockSize, 0);
-      (void)store_->Get(cv.fid, b, block);
-      std::memcpy(data.data() + boff, block.data(), n);
-    }
+    uint64_t run_len = end - offset;
     Writer w;
     PutFid(w, cv.fid);
     w.PutU64(offset);
-    w.PutBytes(data);
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+    w.PutU32(static_cast<uint32_t>(last - first + 1));
+    for (uint64_t b = first; b <= last; ++b) {
+      uint64_t boff = b * kBlockSize - offset;
+      size_t n = std::min<size_t>(kBlockSize, run_len - boff);
+      auto slice = store_->GetSlice(cv.fid, b, n);
+      w.PutSlice(slice.ok() ? *std::move(slice)
+                            : BufferSlice::TakeOwnership(std::vector<uint8_t>(n, 0)));
+    }
+    {
+      MutexLock lock(mu_);
+      stats_.bytes_moved += run_len;
+      if (!store_->SharesSlices()) {
+        stats_.bytes_copied += run_len;  // GetSlice's adapter copied out
+      }
+    }
+    ASSIGN_OR_RETURN(WireMessage payload,
                      CallVolume(cv.fid.volume, revocation_path ? kRevocationStore : kStoreData,
                                 w, &cv.fid, /*allow_recovery=*/false));
     Reader r(payload);
@@ -571,6 +593,7 @@ Status CacheManager::StoreDirtyRangeLocked(CVnode& cv, const ByteRange& range,
     }
     PersistMarkCleanLocked(cv, first, last, sync);
     MergeSyncLocked(cv, sync);
+    JournalAttrLocked(cv);
     MutexLock lock(mu_);
     if (revocation_path) {
       stats_.revocation_stores += 1;
@@ -687,7 +710,13 @@ Status CacheManager::StorePutLocked(CVnode& cv, uint64_t block, std::span<const 
   }
   uint64_t dv = cv.attr_valid ? cv.attr.data_version : 0;
   uint64_t size = cv.attr_valid ? cv.attr.size : 0;
-  return persist_->PutBlock(cv.fid, block, data, dirty, cv.stamp, dv, size);
+  Status s = persist_->PutBlock(cv.fid, block, data, dirty, cv.stamp, dv, size);
+  if (s.ok()) {
+    // Keep the persisted attribute snapshot in step with the blocks it
+    // vouches for (deduplicated by stamp, so steady-state stores are free).
+    JournalAttrLocked(cv);
+  }
+  return s;
 }
 
 void CacheManager::PersistMarkCleanLocked(CVnode& cv, uint64_t first, uint64_t last,
@@ -723,6 +752,16 @@ void CacheManager::JournalEraseLocked(const CVnode& cv, const Token& token) {
   }
   (void)persist_->Journal(PersistentCacheStore::JournalOp::kErase, token,
                           JournalEpochFor(cv.fid.volume));
+}
+
+void CacheManager::JournalAttrLocked(CVnode& cv, bool force) {
+  if (persist_ == nullptr || !cv.attr_valid ||
+      (!force && cv.stamp == cv.attr_journal_stamp)) {
+    return;
+  }
+  if (persist_->JournalAttr(cv.fid, cv.stamp, cv.attr, JournalEpochFor(cv.fid.volume)).ok()) {
+    cv.attr_journal_stamp = cv.stamp;
+  }
 }
 
 uint64_t CacheManager::JournalEpochFor(uint64_t volume) {
@@ -799,7 +838,11 @@ Status CacheManager::Recover() {
           CVnodeRef cv = GetCVnode(t.fid);
           OrderedLockGuard low(cv->low);
           AddTokenLocked(*cv, t);  // re-journals the grant under the new epoch
-          live.push_back({PersistentCacheStore::JournalOp::kGrant, t, epoch});
+          PersistentCacheStore::JournalRecord rec;
+          rec.op = PersistentCacheStore::JournalOp::kGrant;
+          rec.token = t;
+          rec.epoch = epoch;
+          live.push_back(rec);
           MutexLock lock(mu_);
           stats_.warm_tokens_recovered += 1;
           stats_.reasserted_tokens += 1;
@@ -828,20 +871,38 @@ Status CacheManager::Recover() {
   for (const PersistentCacheStore::RecoveredFile& f : rec.files) {
     CVnodeRef cv = GetCVnode(f.fid);
     OrderedLockGuard high(cv->high);
-    Writer w;
-    PutFid(w, f.fid);
-    w.PutU32(0);  // status only; no token wanted
-    auto payload = CallVolume(f.fid.volume, kFetchStatus, w, &f.fid);
     bool have_sync = false;
     SyncInfo sync;
-    if (payload.ok()) {
-      Reader r(*payload);
-      auto has_token = r.ReadBool();
-      if (has_token.ok() && !*has_token) {
-        auto s = ReadSyncInfo(r);
-        if (s.ok()) {
-          sync = *s;
-          have_sync = true;
+    // Warm-attr fast path: a persisted attribute snapshot plus a status-read
+    // token the server just re-accepted means no conflicting grant was issued
+    // since the snapshot — the attributes cannot have changed, so the
+    // revalidation RPC is pure overhead. (Token survival is the proof: any
+    // peer write would have had to revoke the status token first, and the
+    // reassertion would then have rejected it.)
+    if (f.has_attr) {
+      OrderedLockGuard low(cv->low);
+      if (HasTokenLocked(*cv, kTokenStatusRead, ByteRange::All())) {
+        sync.attr = f.attr;
+        sync.stamp = f.attr_stamp;
+        have_sync = true;
+        MutexLock lock(mu_);
+        stats_.warm_attr_hits += 1;
+      }
+    }
+    if (!have_sync) {
+      Writer w;
+      PutFid(w, f.fid);
+      w.PutU32(0);  // status only; no token wanted
+      auto payload = CallVolume(f.fid.volume, kFetchStatus, w, &f.fid);
+      if (payload.ok()) {
+        Reader r(*payload);
+        auto has_token = r.ReadBool();
+        if (has_token.ok() && !*has_token) {
+          auto s = ReadSyncInfo(r);
+          if (s.ok()) {
+            sync = *s;
+            have_sync = true;
+          }
         }
       }
     }
@@ -974,8 +1035,7 @@ ByteRange CacheManager::TokenRangeFor(uint64_t offset, size_t len) const {
 }
 
 Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
-                                             uint64_t aligned_len,
-                                             const std::vector<uint8_t>& reply,
+                                             uint64_t aligned_len, const WireMessage& reply,
                                              bool install_data, bool mark_prefetched,
                                              std::vector<uint64_t>* installed) {
   Reader r(reply);
@@ -985,7 +1045,9 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
     ASSIGN_OR_RETURN(token, Token::Deserialize(r));
   }
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
-  ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+  // Zero-copy: the data payload arrives as a shared region of the reply
+  // message; whole blocks install as sub-slices of it, untouched.
+  ASSIGN_OR_RETURN(BufferSlice data, r.ReadSlice());
   // Sync and token land unconditionally: even a cancelled prefetch must keep
   // the token it was granted (dropping it would leak it at the server) and
   // the stamp rule makes the sync merge safe in any order.
@@ -998,16 +1060,26 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
   }
   // Install whole blocks; the tail block of the file is zero-padded. Blocks
   // we have dirty locally are NOT overwritten: our copy is newer than what
-  // the server just sent.
+  // the server just sent. Only a short tail (needing the zero pad) or a
+  // persistent store (which owns its on-medium layout) costs a copy.
+  uint64_t copied = 0;
   for (uint64_t i = 0; i * kBlockSize < data.size(); ++i) {
     uint64_t block = BlockOf(aligned_off) + i;
     if (cv.dirty_blocks.count(block) != 0) {
       continue;
     }
-    std::vector<uint8_t> blockbuf(kBlockSize, 0);
     size_t n = std::min<size_t>(kBlockSize, data.size() - i * kBlockSize);
-    std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
-    RETURN_IF_ERROR(StorePutLocked(cv, block, blockbuf, /*dirty=*/false));
+    if (n == kBlockSize && persist_ == nullptr) {
+      RETURN_IF_ERROR(store_->PutSlice(cv.fid, block, data.Sub(i * kBlockSize, n)));
+      if (!store_->SharesSlices()) {
+        copied += n;  // the store's adapter fell back to the copying Put
+      }
+    } else {
+      std::vector<uint8_t> blockbuf(kBlockSize, 0);
+      std::memcpy(blockbuf.data(), data.data() + i * kBlockSize, n);
+      RETURN_IF_ERROR(StorePutLocked(cv, block, blockbuf, /*dirty=*/false));
+      copied += n;
+    }
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
     if (fresh && installed != nullptr) {
@@ -1017,13 +1089,25 @@ Status CacheManager::InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off,
       cv.prefetched_blocks.insert(block);
     }
   }
+  {
+    MutexLock lock(mu_);
+    stats_.bytes_moved += data.size();
+    stats_.bytes_copied += copied;
+  }
   // Blocks past EOF within the fetched range are implicit zeros: cacheable.
+  // A single shared zero region serves every such block (no wire bytes, no
+  // copy over a sharing store).
+  static const BufferSlice kZeroBlock =
+      BufferSlice::TakeOwnership(std::vector<uint8_t>(kBlockSize, 0));
   for (uint64_t block = BlockOf(aligned_off) + (data.size() + kBlockSize - 1) / kBlockSize;
        block < BlockEnd(aligned_off, aligned_len) &&
        block * kBlockSize >= cv.attr.size && cv.attr_valid;
        ++block) {
-    std::vector<uint8_t> zeros(kBlockSize, 0);
-    RETURN_IF_ERROR(StorePutLocked(cv, block, zeros, /*dirty=*/false));
+    if (persist_ == nullptr) {
+      RETURN_IF_ERROR(store_->PutSlice(cv.fid, block, kZeroBlock));
+    } else {
+      RETURN_IF_ERROR(StorePutLocked(cv, block, kZeroBlock.span(), /*dirty=*/false));
+    }
     bool fresh = cv.cached_blocks.insert(block).second;
     TouchLru(cv.fid, block);
     if (fresh && installed != nullptr) {
@@ -1070,20 +1154,21 @@ void CacheManager::RunDataTasks(std::vector<std::function<void()>>& tasks) {
 
 Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
                                      uint32_t want_types,
-                                     const std::function<void()>& after_install) {
+                                     const std::function<void()>& after_install,
+                                     bool token_only) {
   ByteRange trange = TokenRangeFor(offset, len);
   uint64_t aligned_off = BlockOf(offset) * kBlockSize;
   uint64_t aligned_len = BlockEnd(offset, len) * kBlockSize - aligned_off;
-  bool split = options_.max_rpc_bytes > 0 && aligned_len > options_.max_rpc_bytes &&
-               aligned_len > kBlockSize;
+  uint64_t limit = EffectiveMaxRpcBytes(cv.fid.volume);
+  // A token-only fetch carries no data, so there is nothing to split.
+  bool split = !token_only && limit > 0 && aligned_len > limit && aligned_len > kBlockSize;
 
   {
     OrderedLockGuard low(cv.low);
     cv.rpc_in_flight += 1;
   }
 
-  auto fetch_one = [&](uint64_t off, uint64_t clen,
-                       uint32_t want) -> Result<std::vector<uint8_t>> {
+  auto fetch_one = [&](uint64_t off, uint64_t clen, uint32_t want) -> Result<WireMessage> {
     Writer w;
     PutFid(w, cv.fid);
     w.PutU64(off);
@@ -1091,8 +1176,26 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
     w.PutU32(want);
     w.PutU64(trange.start);
     w.PutU64(trange.end);
+    if (token_only) {
+      w.PutU8(kFetchFlagTokenOnly);
+    }
     InflightTracker inflight(this);
-    return CallVolume(cv.fid.volume, kFetchData, w);
+    auto t0 = std::chrono::steady_clock::now();
+    auto reply = CallVolume(cv.fid.volume, kFetchData, w);
+    if (reply.ok() && options_.adaptive_rpc_sizing && reply->total_bytes() >= kBlockSize) {
+      uint64_t wall_us = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                                   std::chrono::steady_clock::now() - t0)
+                                                   .count());
+      auto server = ServerForVolume(cv.fid.volume, /*refresh=*/false);
+      if (server.ok()) {
+        NoteBandwidthSample(*server, reply->total_bytes(), wall_us);
+      }
+    }
+    if (reply.ok() && token_only) {
+      MutexLock lock(mu_);
+      stats_.token_only_grants += 1;
+    }
+    return reply;
   };
 
   Status result = Status::Ok();
@@ -1132,8 +1235,7 @@ Status CacheManager::FetchAndInstall(CVnode& cv, uint64_t offset, size_t len,
     MutexLock lock(mu_);
     stats_.bulk_rpcs_split += 1;
   }
-  uint64_t chunk_bytes =
-      std::max<uint64_t>(kBlockSize, options_.max_rpc_bytes / kBlockSize * kBlockSize);
+  uint64_t chunk_bytes = std::max<uint64_t>(kBlockSize, limit / kBlockSize * kBlockSize);
   struct Chunk {
     uint64_t off;
     uint64_t len;
@@ -1411,7 +1513,7 @@ uint8_t CacheManager::HandleOneRevocation(const Token& token, uint32_t types, ui
   return applied.ok() ? kRevokeReturned : kRevokeDeferred;
 }
 
-Result<std::vector<uint8_t>> CacheManager::Handle(const RpcRequest& req) {
+Result<WireMessage> CacheManager::Handle(const RpcRequest& req) {
   Reader r(req.payload);
   if (req.proc == kRevokeToken) {
     auto parse = [&]() -> Result<std::tuple<Token, uint32_t, uint64_t>> {
@@ -1516,7 +1618,8 @@ Status CacheManager::Fsync(const Fid& fid) {
 // lock while revoking one of our tokens — which needs our low lock).
 Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background) {
   uint64_t offset = 0;
-  std::vector<uint8_t> data;
+  uint64_t run_len = 0;
+  std::vector<BufferSlice> parts;  // one per block of the run, in block order
   std::vector<uint64_t> blocks;
   for (;;) {
     OrderedLockGuard low(cv.low);
@@ -1547,29 +1650,59 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       }
       continue;  // run past EOF (truncate): discard it and look again
     }
-    data.resize(end - offset);
+    run_len = end - offset;
     for (uint64_t b = first; b <= last; ++b) {
-      std::vector<uint8_t> block(kBlockSize, 0);
-      (void)store_->Get(cv.fid, b, block);
       uint64_t boff = b * kBlockSize - offset;
-      std::memcpy(data.data() + boff, block.data(),
-                  std::min<size_t>(kBlockSize, data.size() - boff));
+      size_t n = std::min<size_t>(kBlockSize, run_len - boff);
+      auto slice = store_->GetSlice(cv.fid, b, n);
+      parts.push_back(slice.ok() ? *std::move(slice)
+                                 : BufferSlice::TakeOwnership(std::vector<uint8_t>(n, 0)));
       blocks.push_back(b);
     }
     break;
   }
-  bool split = options_.max_rpc_bytes > 0 && data.size() > options_.max_rpc_bytes &&
-               data.size() > kBlockSize;
+  {
+    MutexLock lock(mu_);
+    stats_.bytes_moved += run_len;
+    if (!store_->SharesSlices()) {
+      stats_.bytes_copied += run_len;  // GetSlice's adapter copied out of the store
+    }
+  }
+  // Adaptive sizing: goodput samples from timed store RPCs feed the link
+  // estimate the split decision below consults.
+  auto note_bw = [&](uint64_t bytes, std::chrono::steady_clock::time_point t0) {
+    if (!options_.adaptive_rpc_sizing || bytes < kBlockSize) {
+      return;
+    }
+    uint64_t wall_us = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                                 std::chrono::steady_clock::now() - t0)
+                                                 .count());
+    auto server = ServerForVolume(cv.fid.volume, /*refresh=*/false);
+    if (server.ok()) {
+      NoteBandwidthSample(*server, bytes, wall_us);
+    }
+  };
+  uint64_t limit = EffectiveMaxRpcBytes(cv.fid.volume);
+  bool split = limit > 0 && run_len > limit && run_len > kBlockSize;
   Status store_result = Status::Ok();
   if (!split) {
-    // Legacy single-RPC path: the whole run in one kStoreData.
+    // Legacy single-RPC path: the whole run in one kStoreData, the block
+    // slices riding out-of-band.
     Writer w;
     PutFid(w, cv.fid);
     w.PutU64(offset);
-    w.PutBytes(data);
+    w.PutU32(static_cast<uint32_t>(parts.size()));
+    for (const BufferSlice& part : parts) {
+      w.PutSlice(part);
+    }
     auto payload = [&] {
       InflightTracker inflight(this);
-      return CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+      auto t0 = std::chrono::steady_clock::now();
+      auto reply = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+      if (reply.ok()) {
+        note_bw(run_len, t0);
+      }
+      return reply;
     }();
     bool pushed_by_revocation = false;
     for (int attempt = 0; attempt < 8 && payload.code() == ErrorCode::kConflict; ++attempt) {
@@ -1596,7 +1729,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
         break;
       }
       Status refetch = FetchAndInstall(
-          cv, offset, data.size(),
+          cv, offset, run_len,
           kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
       if (!refetch.ok()) {
         if (refetch.code() == ErrorCode::kTimedOut) {
@@ -1625,6 +1758,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       }
       PersistMarkCleanLocked(cv, blocks.front(), blocks.back(), *sync);
       MergeSyncLocked(cv, *sync);
+      JournalAttrLocked(cv);
       store_result = Status::Ok();
     } else {
       store_result = payload.status();
@@ -1638,15 +1772,14 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       MutexLock lock(mu_);
       stats_.bulk_rpcs_split += 1;
     }
-    uint64_t chunk_bytes =
-        std::max<uint64_t>(kBlockSize, options_.max_rpc_bytes / kBlockSize * kBlockSize);
+    uint64_t chunk_bytes = std::max<uint64_t>(kBlockSize, limit / kBlockSize * kBlockSize);
     struct Chunk {
       size_t pos;
       size_t len;
     };
     std::vector<Chunk> chunks;
-    for (size_t pos = 0; pos < data.size(); pos += chunk_bytes) {
-      chunks.push_back({pos, std::min<size_t>(chunk_bytes, data.size() - pos)});
+    for (size_t pos = 0; pos < run_len; pos += chunk_bytes) {
+      chunks.push_back({pos, std::min<size_t>(chunk_bytes, run_len - pos)});
     }
     std::vector<Status> statuses(chunks.size(), Status::Ok());
     auto run_chunk = [&](size_t i) {
@@ -1655,10 +1788,18 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       Writer w;
       PutFid(w, cv.fid);
       w.PutU64(coff);
-      w.PutBytes(std::span<const uint8_t>(data.data() + c.pos, c.len));
+      w.PutU32(static_cast<uint32_t>((c.len + kBlockSize - 1) / kBlockSize));
+      for (size_t j = c.pos / kBlockSize; j * kBlockSize < c.pos + c.len; ++j) {
+        w.PutSlice(parts[j]);
+      }
       auto payload = [&] {
         InflightTracker inflight(this);
-        return CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+        auto t0 = std::chrono::steady_clock::now();
+        auto reply = CallVolume(cv.fid.volume, kStoreData, w, &cv.fid);
+        if (reply.ok()) {
+          note_bw(c.len, t0);
+        }
+        return reply;
       }();
       if (!payload.ok()) {
         statuses[i] = payload.status();
@@ -1679,6 +1820,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
       }
       PersistMarkCleanLocked(cv, coff / kBlockSize, (coff + c.len - 1) / kBlockSize, *sync);
       MergeSyncLocked(cv, *sync);
+      JournalAttrLocked(cv);
       statuses[i] = Status::Ok();
     };
     std::vector<std::function<void()>> tasks;
@@ -1722,7 +1864,7 @@ Result<bool> CacheManager::PushOneDirtyRunHighLocked(CVnode& cv, bool background
         break;
       }
       Status refetch = FetchAndInstall(
-          cv, offset, data.size(),
+          cv, offset, run_len,
           kTokenDataRead | kTokenDataWrite | kTokenStatusRead | kTokenStatusWrite);
       if (!refetch.ok()) {
         if (refetch.code() == ErrorCode::kTimedOut) {
@@ -1924,20 +2066,31 @@ void CacheManager::KeepAlivePass() {
   }
   // Pipelined pings: issue one kKeepAlive per server before waiting for any
   // reply, so a slow (or dead) server does not delay the others' renewals.
+  // Each ping is timed issue-to-reply: a keep-alive carries no payload, so
+  // the elapsed wall time is a clean RTT sample for adaptive RPC sizing.
   std::vector<Network::PendingCall> pings;
+  std::vector<std::chrono::steady_clock::time_point> issued;
   pings.reserve(servers.size());
+  issued.reserve(servers.size());
   for (NodeId server : servers) {
     Writer w;
     {
       MutexLock lock(mu_);
       stats_.keepalives_sent += 1;
     }
+    issued.push_back(std::chrono::steady_clock::now());
     pings.push_back(network_.CallAsync(options_.node, server, kKeepAlive, w.data(),
                                        ticket_.principal, EpochFor(server)));
   }
   for (size_t i = 0; i < servers.size(); ++i) {
     NodeId server = servers[i];
     auto payload = UnwrapReply(pings[i].Wait());
+    if (payload.ok()) {
+      NoteRttSample(server,
+                    static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                              std::chrono::steady_clock::now() - issued[i])
+                                              .count()));
+    }
     if (!payload.ok()) {
       if (payload.code() == ErrorCode::kAuthFailed ||
           payload.code() == ErrorCode::kStaleEpoch) {
@@ -1976,6 +2129,61 @@ void CacheManager::MaybeCheckpointJournal() {
     MutexLock lock(mu_);
     stats_.journal_checkpoints += 1;
   }
+}
+
+// --- adaptive RPC sizing ---
+
+uint64_t CacheManager::EffectiveMaxRpcBytes(uint64_t volume) {
+  if (!options_.adaptive_rpc_sizing) {
+    return options_.max_rpc_bytes;
+  }
+  auto loc = vldb_.Peek(volume);
+  if (!loc.has_value()) {
+    return options_.max_rpc_bytes;
+  }
+  MutexLock lock(mu_);
+  auto it = link_estimates_.find(loc->server);
+  if (it == link_estimates_.end() || it->second.rtt_us <= 0 ||
+      it->second.bytes_per_sec <= 0) {
+    return options_.max_rpc_bytes;  // no estimate yet: the static limit rules
+  }
+  // Chunk near the link's bandwidth-delay product (goodput x RTT), with
+  // headroom so the parallel sub-range RPCs keep the pipe full; round to
+  // blocks and clamp to [one block, the static cap].
+  double bdp = it->second.bytes_per_sec * (it->second.rtt_us / 1e6);
+  uint64_t limit = static_cast<uint64_t>(bdp * kAdaptiveHeadroom);
+  limit = std::max<uint64_t>(limit / kBlockSize * kBlockSize, kBlockSize);
+  if (options_.max_rpc_bytes > 0) {
+    limit = std::min<uint64_t>(limit, options_.max_rpc_bytes);
+  }
+  if (limit != it->second.last_limit) {
+    it->second.last_limit = limit;
+    stats_.adaptive_resizes += 1;
+  }
+  return limit;
+}
+
+void CacheManager::NoteRttSample(NodeId server, uint64_t rtt_us) {
+  if (!options_.adaptive_rpc_sizing || rtt_us == 0) {
+    return;
+  }
+  MutexLock lock(mu_);
+  LinkEstimate& e = link_estimates_[server];
+  double sample = static_cast<double>(rtt_us);
+  e.rtt_us = e.rtt_us == 0 ? sample : e.rtt_us + kEwmaAlpha * (sample - e.rtt_us);
+}
+
+void CacheManager::NoteBandwidthSample(NodeId server, uint64_t bytes, uint64_t wall_us) {
+  if (!options_.adaptive_rpc_sizing || bytes == 0 || wall_us == 0) {
+    return;
+  }
+  MutexLock lock(mu_);
+  LinkEstimate& e = link_estimates_[server];
+  // bytes / wall includes the RTT legs, so the sample understates the link's
+  // raw throughput — conservative in the right direction for chunk sizing.
+  double sample = static_cast<double>(bytes) / (static_cast<double>(wall_us) / 1e6);
+  e.bytes_per_sec =
+      e.bytes_per_sec == 0 ? sample : e.bytes_per_sec + kEwmaAlpha * (sample - e.bytes_per_sec);
 }
 
 Status CacheManager::SyncAll() {
@@ -2050,7 +2258,7 @@ Status CacheManager::AcquireLockToken(const Fid& fid, bool exclusive, ByteRange 
   w.PutU32(exclusive ? kTokenLockWrite : kTokenLockRead);
   w.PutU64(range.start);
   w.PutU64(range.end);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallVolume(fid.volume, kGetToken, w));
+  ASSIGN_OR_RETURN(WireMessage payload, CallVolume(fid.volume, kGetToken, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(Token token, Token::Deserialize(r));
   OrderedLockGuard low(cv->low);

@@ -118,6 +118,13 @@ class CacheManager : public RpcHandler {
     // and merged under the cvnode low lock. 0 (the default) = unlimited, the
     // legacy one-RPC-per-transfer behaviour.
     uint64_t max_rpc_bytes = 0;
+    // Adaptive RPC sizing: size bulk-transfer chunks near each server link's
+    // measured bandwidth-delay product instead of the static max_rpc_bytes
+    // (which stays as the upper cap). RTT comes from timed keep-alive pings,
+    // throughput from an EWMA over data RPCs — so the keep-alive daemon must
+    // be running for the estimate to form; until both samples exist the
+    // static limit applies. Off by default.
+    bool adaptive_rpc_sizing = false;
     // Background write-behind: a flusher daemon pushes dirty blocks toward
     // the server during idle time, so the writeback a token revocation must
     // perform shrinks to the residual delta. Off by default — callers that
@@ -203,6 +210,21 @@ class CacheManager : public RpcHandler {
     uint64_t warm_blocks_dropped = 0;    // on-disk blocks discarded as stale/unvouched
     uint64_t warm_dirty_resumed = 0;     // pre-crash dirty blocks resumed for push
     uint64_t journal_checkpoints = 0;    // keep-alive-piggybacked compactions
+    // Files whose persisted attributes plus a surviving status-read token let
+    // Recover() skip the per-file kFetchStatus revalidation RPC entirely.
+    uint64_t warm_attr_hits = 0;
+    // Zero-copy data path (the copy-ratio instrumentation). bytes_moved:
+    // data payload bytes that crossed the wire for this client (fetch replies
+    // in + stores out). bytes_copied: payload bytes memcpy'd client-side
+    // while moving them (partial-block install pads, span-read copy-out,
+    // copying-store puts). The datapath bench drives copied/moved toward 1.
+    uint64_t bytes_moved = 0;
+    uint64_t bytes_copied = 0;
+    // Whole-range overwrites that took the token-only kFetchData grant
+    // instead of fetching bytes they were about to clobber.
+    uint64_t token_only_grants = 0;
+    // Adaptive RPC sizing: recomputations that changed the effective limit.
+    uint64_t adaptive_resizes = 0;
   };
 
   CacheManager(Network& network, std::vector<NodeId> vldb_nodes, Ticket ticket,
@@ -242,7 +264,7 @@ class CacheManager : public RpcHandler {
   Status AcquireLockToken(const Fid& fid, bool exclusive, ByteRange range);
 
   // RpcHandler: the server calls back to revoke tokens.
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
   bool IsRevocationPathProc(uint32_t proc) const override {
     return proc == kRevokeToken || proc == kRevokeTokenBatch;
   }
@@ -314,6 +336,9 @@ class CacheManager : public RpcHandler {
     // contract applied to us). Surfaced as kIoError on the next foreground
     // fsync/store and then cleared.
     bool dirty_lost GUARDED_BY(low) = false;
+    // Stamp of the last attr snapshot appended to the token journal, so
+    // unchanged attributes are not re-journaled on every block store.
+    uint64_t attr_journal_stamp GUARDED_BY(low) = 0;
   };
   using CVnodeRef = std::shared_ptr<CVnode>;
 
@@ -331,9 +356,8 @@ class CacheManager : public RpcHandler {
   // `allow_recovery=false` disables the reassert/backoff machinery for
   // callers that hold a cvnode low lock across the call (the revocation-path
   // store and token returns), where reasserting would self-deadlock.
-  Result<std::vector<uint8_t>> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w,
-                                          const Fid* fid = nullptr,
-                                          bool allow_recovery = true);
+  Result<WireMessage> CallVolume(uint64_t volume_id, uint32_t proc, const Writer& w,
+                                 const Fid* fid = nullptr, bool allow_recovery = true);
   // The epoch this client last learned for `server` (0 = never connected).
   uint64_t EpochFor(NodeId server);
   // kStaleEpoch response: reconnect to `server`, learn its new epoch, and
@@ -402,8 +426,12 @@ class CacheManager : public RpcHandler {
   // concurrently, so every data chunk reads under a token conflicting
   // writers must revoke (first error by chunk order wins; a failed op
   // uninstalls the blocks it freshly installed).
+  // `token_only` asks the server for the grant + sync info without the data
+  // bytes (kFetchFlagTokenOnly): used by whole-range overwrites, which would
+  // clobber every byte they fetched. A token-only fetch is never split.
   Status FetchAndInstall(CVnode& cv, uint64_t offset, size_t len, uint32_t want_types,
-                         const std::function<void()>& after_install = nullptr)
+                         const std::function<void()>& after_install = nullptr,
+                         bool token_only = false)
       REQUIRES(cv.high) EXCLUDES(cv.low);
 
   // --- asynchronous data path ---
@@ -414,7 +442,7 @@ class CacheManager : public RpcHandler {
   // (not already validly cached) are appended to `installed` (when non-null)
   // so a failed multi-chunk op can roll back exactly its own side effects.
   Status InstallFetchReplyLocked(CVnode& cv, uint64_t aligned_off, uint64_t aligned_len,
-                                 const std::vector<uint8_t>& reply, bool install_data,
+                                 const WireMessage& reply, bool install_data,
                                  bool mark_prefetched, std::vector<uint64_t>* installed)
       REQUIRES(cv.low);
   // Runs the tasks to completion — concurrently on the prefetch pool when one
@@ -452,6 +480,24 @@ class CacheManager : public RpcHandler {
   ByteRange TokenRangeFor(uint64_t offset, size_t len) const;
   Status EnsureStatus(CVnode& cv) REQUIRES(cv.high) EXCLUDES(cv.low);
 
+  // --- adaptive RPC sizing ---
+  // Per-server link estimate: RTT from timed keep-alive pings, goodput from
+  // data-RPC samples, both EWMAs (alpha 0.25). The effective chunk limit is
+  // the bandwidth-delay product times a pipelining headroom factor, rounded
+  // to blocks and clamped to [kBlockSize, Options::max_rpc_bytes].
+  struct LinkEstimate {
+    double rtt_us = 0;
+    double bytes_per_sec = 0;
+    uint64_t last_limit = 0;
+  };
+  // The bulk-transfer split limit for the server owning `volume`:
+  // Options::max_rpc_bytes unless adaptive sizing is on and both estimates
+  // exist. Never issues an RPC beyond the location-cache lookup the data
+  // call itself would make.
+  uint64_t EffectiveMaxRpcBytes(uint64_t volume);
+  void NoteRttSample(NodeId server, uint64_t rtt_us);
+  void NoteBandwidthSample(NodeId server, uint64_t bytes, uint64_t wall_us);
+
   Status ReturnToken(const Fid& fid, TokenId id, uint32_t types);
 
   // --- persistent cache hooks (all no-ops when persist_ == nullptr) ---
@@ -472,6 +518,10 @@ class CacheManager : public RpcHandler {
   // Token-journal appends (grant / update / erase).
   void JournalGrantLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
   void JournalEraseLocked(const CVnode& cv, const Token& token) REQUIRES(cv.low);
+  // Journals the file's current attributes + stamp (deduplicated by stamp) so
+  // a warm reboot can revalidate from the persisted copy instead of a
+  // per-file kFetchStatus RPC.
+  void JournalAttrLocked(CVnode& cv, bool force = false) REQUIRES(cv.low);
   // Best-known epoch of the server owning `volume`, from the VLDB location
   // cache + the connect-time epoch map only — never an RPC, so it is safe
   // under cvnode locks. 0 when unknown.
@@ -527,6 +577,8 @@ class CacheManager : public RpcHandler {
   // Write-behind dirty list: fid -> steady-clock ms when it first went dirty.
   // The flusher walks this instead of scanning every cvnode.
   std::unordered_map<Fid, uint64_t, FidHash> dirty_since_ GUARDED_BY(mu_);
+  // Adaptive RPC sizing estimates, one per connected server.
+  std::map<NodeId, LinkEstimate> link_estimates_ GUARDED_BY(mu_);
   uint64_t next_tag_ GUARDED_BY(mu_) = 1;
   Stats stats_ GUARDED_BY(mu_);
   // Nanoseconds (network virtual clock) of the last successful server
@@ -602,6 +654,10 @@ class DfsVnode : public Vnode {
   Result<FileAttr> GetAttr() override;
   Status SetAttr(const AttrUpdate& update) override;
   Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) override;
+  // Zero-copy read: serves ref-counted block slices straight out of the cache
+  // store (no copy at all over MemoryCacheStore). Same token/fetch semantics
+  // as Read.
+  Result<std::vector<BufferSlice>> ReadSlices(uint64_t offset, size_t len) override;
   Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) override;
   Status Truncate(uint64_t new_size) override;
   Result<VnodeRef> Lookup(std::string_view name) override;

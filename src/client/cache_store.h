@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "src/blockdev/block_device.h"
+#include "src/common/buffer.h"
 #include "src/common/mutex.h"
 #include "src/ffs/ffs.h"
 #include "src/vfs/types.h"
@@ -27,12 +28,32 @@ class CacheStore {
   virtual void Erase(const Fid& fid, uint64_t block) = 0;
   virtual void EraseFile(const Fid& fid) = 0;
   virtual uint64_t bytes_used() const = 0;
+
+  // Slice-aware entry points for the zero-copy data path. The defaults adapt
+  // to the byte interface with one copy each way; stores that can share
+  // ref-counted regions (MemoryCacheStore) override both and copy nothing.
+  virtual Status PutSlice(const Fid& fid, uint64_t block, BufferSlice data) {
+    return Put(fid, block, data.span());
+  }
+  // Reads `len` bytes of the block (zero-padded past the stored length, like
+  // Get). Returns kNotFound when the block is absent.
+  virtual Result<BufferSlice> GetSlice(const Fid& fid, uint64_t block, size_t len) {
+    std::vector<uint8_t> buf(len);
+    RETURN_IF_ERROR(Get(fid, block, buf));
+    return BufferSlice::TakeOwnership(std::move(buf));
+  }
+  // True when PutSlice/GetSlice share regions instead of copying — the copy
+  // counters use this to attribute store traffic.
+  virtual bool SharesSlices() const { return false; }
 };
 
 class MemoryCacheStore : public CacheStore {
  public:
   Status Put(const Fid& fid, uint64_t block, std::span<const uint8_t> data) override;
   Status Get(const Fid& fid, uint64_t block, std::span<uint8_t> out) override;
+  Status PutSlice(const Fid& fid, uint64_t block, BufferSlice data) override;
+  Result<BufferSlice> GetSlice(const Fid& fid, uint64_t block, size_t len) override;
+  bool SharesSlices() const override { return true; }
   void Erase(const Fid& fid, uint64_t block) override;
   void EraseFile(const Fid& fid) override;
   uint64_t bytes_used() const override;
@@ -46,8 +67,11 @@ class MemoryCacheStore : public CacheStore {
     }
   };
   // LOCK-EXEMPT(leaf): guards only this store's block map; no calls out.
+  // Values are immutable shared regions: Put/PutSlice replace the whole
+  // mapping, so a reader holding a previously returned slice keeps a stable
+  // snapshot while the map moves on (the eviction/overwrite race test).
   mutable Mutex mu_;
-  std::map<Key, std::vector<uint8_t>, KeyLess> blocks_ GUARDED_BY(mu_);
+  std::map<Key, BufferSlice, KeyLess> blocks_ GUARDED_BY(mu_);
 };
 
 // Cache files live in a local FFS: one file per remote fid.

@@ -29,7 +29,7 @@ Result<VnodeRef> DfsVfs::Root() {
   }
   Writer w;
   w.PutU64(volume_id_);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(volume_id_, kGetRoot, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(volume_id_, kGetRoot, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(Fid root_fid, ReadFid(r));
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
@@ -86,7 +86,7 @@ Status DfsVfs::Rename(Vnode& src_dir, std::string_view src_name, Vnode& dst_dir,
   w.PutString(src_name);
   PutFid(w, dst->fid_);
   w.PutString(dst_name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(volume_id_, kRename, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(volume_id_, kRename, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo src_sync, ReadSyncInfo(r));
   ASSIGN_OR_RETURN(SyncInfo dst_sync, ReadSyncInfo(r));
@@ -124,7 +124,7 @@ Status DfsVnode::SetAttr(const AttrUpdate& update) {
   Writer w;
   PutFid(w, fid_);
   PutAttrUpdate(w, update);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kStoreStatus, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kStoreStatus, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);
@@ -156,18 +156,24 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
     }
     bool from_prefetch = false;
     for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
-      std::vector<uint8_t> block(kBlockSize);
-      RETURN_IF_ERROR(cm_->store_->Get(fid_, b, block));
       uint64_t bstart = b * kBlockSize;
       uint64_t copy_from = std::max(offset, bstart);
       uint64_t copy_to = std::min(offset + n, bstart + kBlockSize);
+      // One copy, straight from the store's shared region into the caller's
+      // buffer — the span interface's mandatory copy-out (ReadSlices avoids
+      // even this one).
+      ASSIGN_OR_RETURN(BufferSlice block,
+                       cm_->store_->GetSlice(fid_, b, static_cast<size_t>(copy_to - bstart)));
       std::memcpy(out.data() + (copy_from - offset), block.data() + (copy_from - bstart),
                   copy_to - copy_from);
       from_prefetch = cv->prefetched_blocks.erase(b) != 0 || from_prefetch;
     }
-    if (from_prefetch) {
+    {
       MutexLock lock(cm_->mu_);
-      cm_->stats_.prefetch_hits += 1;
+      if (from_prefetch) {
+        cm_->stats_.prefetch_hits += 1;
+      }
+      cm_->stats_.bytes_copied += n;
     }
     cv->last_read_end = offset + n;
     return n;
@@ -223,6 +229,108 @@ Result<size_t> DfsVnode::Read(uint64_t offset, std::span<uint8_t> out) {
   }
   if (applied.ok()) {
     cm_->MaybeStartPrefetch(cv, offset, *applied, sequential);
+  }
+  return applied;
+}
+
+Result<std::vector<BufferSlice>> DfsVnode::ReadSlices(uint64_t offset, size_t len) {
+  auto cv = cm_->GetCVnode(fid_);
+  cm_->MaybeEvict();  // before any cvnode lock: eviction locks victims itself
+  OrderedLockGuard high(cv->high);
+
+  // Same contract as Read's try_local_locked, but the blocks come back as
+  // sub-slices of the store's shared regions: zero copies over a sharing
+  // store. The slices stay valid past eviction/overwrite — regions are
+  // immutable and writers publish new ones.
+  auto try_local_locked = [&]() -> Result<std::vector<BufferSlice>> {
+    cv->low.AssertHeld();  // callers hold it; lambdas are analyzed alone
+    ByteRange want{offset, offset + len};
+    if (!cv->attr_valid ||
+        !cm_->HasTokenLocked(*cv, kTokenStatusRead | kTokenDataRead, want)) {
+      return Status(ErrorCode::kNotFound, "tokens missing");
+    }
+    if (offset >= cv->attr.size) {
+      return std::vector<BufferSlice>{};
+    }
+    size_t n = static_cast<size_t>(std::min<uint64_t>(len, cv->attr.size - offset));
+    for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
+      if (cv->cached_blocks.count(b) == 0) {
+        return Status(ErrorCode::kNotFound, "block missing");
+      }
+    }
+    std::vector<BufferSlice> slices;
+    bool from_prefetch = false;
+    for (uint64_t b = BlockOf(offset); b < BlockEnd(offset, n); ++b) {
+      uint64_t bstart = b * kBlockSize;
+      uint64_t from = std::max(offset, bstart);
+      uint64_t to = std::min(offset + n, bstart + kBlockSize);
+      ASSIGN_OR_RETURN(BufferSlice block,
+                       cm_->store_->GetSlice(fid_, b, static_cast<size_t>(to - bstart)));
+      slices.push_back(
+          block.Sub(static_cast<size_t>(from - bstart), static_cast<size_t>(to - from)));
+      from_prefetch = cv->prefetched_blocks.erase(b) != 0 || from_prefetch;
+    }
+    {
+      MutexLock lock(cm_->mu_);
+      if (from_prefetch) {
+        cm_->stats_.prefetch_hits += 1;
+      }
+      if (!cm_->store_->SharesSlices()) {
+        cm_->stats_.bytes_copied += n;  // the store's adapter copied out
+      }
+    }
+    cv->last_read_end = offset + n;
+    return slices;
+  };
+
+  bool sequential;
+  {
+    Result<std::vector<BufferSlice>> local = Status(ErrorCode::kNotFound, "not tried");
+    {
+      OrderedLockGuard low(cv->low);
+      sequential = offset == cv->last_read_end && offset != 0;
+      local = try_local_locked();
+    }
+    if (local.ok()) {
+      {
+        MutexLock lock(cm_->mu_);
+        cm_->stats_.data_cache_hits += 1;
+      }
+      size_t got = 0;
+      for (const BufferSlice& s : *local) {
+        got += s.size();
+      }
+      cm_->MaybeStartPrefetch(cv, offset, std::max<size_t>(got, 1), sequential);
+      return local;
+    }
+  }
+  {
+    MutexLock lock(cm_->mu_);
+    cm_->stats_.data_cache_misses += 1;
+  }
+  size_t fetch_len = std::max<size_t>(len, 1);
+  if (!cm_->prefetcher_->enabled() && cm_->options_.readahead_blocks > 0 && sequential) {
+    fetch_len += static_cast<size_t>(cm_->options_.readahead_blocks) * kBlockSize;
+  }
+  Result<std::vector<BufferSlice>> applied =
+      Status(ErrorCode::kConflict, "read raced with revocations");
+  for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
+    Status fetch = cm_->FetchAndInstall(*cv, offset, fetch_len,
+                                        kTokenDataRead | kTokenStatusRead,
+                                        [&] { applied = try_local_locked(); });
+    if (!fetch.ok()) {
+      if (fetch.code() == ErrorCode::kTimedOut && attempt + 1 < 8) {
+        continue;
+      }
+      return fetch;
+    }
+  }
+  if (applied.ok()) {
+    size_t got = 0;
+    for (const BufferSlice& s : *applied) {
+      got += s.size();
+    }
+    cm_->MaybeStartPrefetch(cv, offset, std::max<size_t>(got, 1), sequential);
   }
   return applied;
 }
@@ -297,6 +405,27 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
     return data.size();
   };
 
+  // True when a partial edge block exists server-side but is not cached — the
+  // only case where the write actually needs the server's bytes. A whole-range
+  // overwrite (block-aligned, or edges past EOF / already cached) can take the
+  // grant token-only: the fetched data would be clobbered anyway.
+  auto needs_edge_fetch = [&]() -> bool {
+    cv->low.AssertHeld();
+    if (!cv->attr_valid) {
+      return true;  // unknown size: be conservative, fetch
+    }
+    for (uint64_t b : {BlockOf(offset), BlockEnd(offset, data.size()) - 1}) {
+      uint64_t bstart = b * kBlockSize;
+      bool partial = (b == BlockOf(offset) && offset % kBlockSize != 0) ||
+                     (b == BlockEnd(offset, data.size()) - 1 &&
+                      (offset + data.size()) % kBlockSize != 0);
+      if (partial && bstart < cv->attr.size && cv->cached_blocks.count(b) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   {
     OrderedLockGuard low(cv->low);
     auto fast = apply_locked();
@@ -309,8 +438,17 @@ Result<size_t> DfsVnode::Write(uint64_t offset, std::span<const uint8_t> data) {
   // them at the server, so the write legitimately lands in between.
   Result<size_t> applied = Status(ErrorCode::kConflict, "write raced with revocations");
   for (int attempt = 0; attempt < 8 && !applied.ok(); ++attempt) {
+    // Re-evaluated each attempt: a peer extending the file between the check
+    // and the grant flips this to a data fetch on the retry instead of
+    // livelocking on kWouldBlock.
+    bool token_only;
+    {
+      OrderedLockGuard low(cv->low);
+      token_only = !needs_edge_fetch();
+    }
     Status fetch = cm_->FetchAndInstall(*cv, offset, std::max<size_t>(data.size(), 1),
-                                        write_tokens, [&] { applied = apply_locked(); });
+                                        write_tokens, [&] { applied = apply_locked(); },
+                                        token_only);
     if (!fetch.ok()) {
       // Same retry rule as Read: a timed-out grant means we lost a deferred-
       // revocation cycle, and completing this fetch drained our queue.
@@ -329,14 +467,16 @@ Status DfsVnode::Truncate(uint64_t new_size) {
   Writer w;
   PutFid(w, fid_);
   w.PutU64(new_size);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kTruncate, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kTruncate, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);
   cm_->MergeSyncLocked(*cv, sync);
   // Even when local dirty state blocks the merge, the truncation is ours:
-  // apply the new size to the local attributes.
+  // apply the new size to the local attributes, and force the journal record
+  // current — a stale persisted size must not survive a truncate.
   cv->attr.size = new_size;
+  cm_->JournalAttrLocked(*cv, /*force=*/true);
   // Drop cached blocks at and beyond the new end (including the boundary
   // block, whose tail changed server-side).
   uint64_t boundary = new_size / kBlockSize;
@@ -413,7 +553,7 @@ Result<VnodeRef> DfsVnode::Create(std::string_view name, FileType type, uint32_t
   w.PutString(name);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutU32(mode);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kCreate, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kCreate, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
@@ -435,7 +575,7 @@ Result<VnodeRef> DfsVnode::CreateSymlink(std::string_view name, std::string_view
   PutFid(w, fid_);
   w.PutString(name);
   w.PutString(target);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kSymlink, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kSymlink, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(FileAttr child_attr, ReadAttr(r));
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
@@ -455,7 +595,7 @@ Status DfsVnode::Link(std::string_view name, Vnode& target) {
   PutFid(w, fid_);
   w.PutString(name);
   PutFid(w, target.fid());
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kLink, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kLink, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);
@@ -471,7 +611,7 @@ Status DfsVnode::Unlink(std::string_view name) {
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemove, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kRemove, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);
@@ -487,7 +627,7 @@ Status DfsVnode::Rmdir(std::string_view name) {
   Writer w;
   PutFid(w, fid_);
   w.PutString(name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kRemoveDir, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kRemoveDir, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo dir_sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);
@@ -511,7 +651,7 @@ Result<std::vector<DirEntry>> DfsVnode::ReadDir() {
   RETURN_IF_ERROR(cm_->EnsureStatus(*cv));
   Writer w;
   PutFid(w, fid_);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kReadDir, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kReadDir, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
   std::vector<DirEntry> entries;
@@ -530,7 +670,7 @@ Result<std::vector<DirEntry>> DfsVnode::ReadDir() {
 Result<std::string> DfsVnode::ReadSymlink() {
   Writer w;
   PutFid(w, fid_);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kReadlink, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kReadlink, w));
   Reader r(payload);
   return r.ReadString();
 }
@@ -538,7 +678,7 @@ Result<std::string> DfsVnode::ReadSymlink() {
 Result<Acl> DfsVnode::GetAcl() {
   Writer w;
   PutFid(w, fid_);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kGetAcl, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kGetAcl, w));
   Reader r(payload);
   return Acl::Deserialize(r);
 }
@@ -549,7 +689,7 @@ Status DfsVnode::SetAcl(const Acl& acl) {
   Writer w;
   PutFid(w, fid_);
   acl.Serialize(w);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, cm_->CallVolume(fid_.volume, kSetAcl, w));
+  ASSIGN_OR_RETURN(WireMessage payload, cm_->CallVolume(fid_.volume, kSetAcl, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(SyncInfo sync, ReadSyncInfo(r));
   OrderedLockGuard low(cv->low);

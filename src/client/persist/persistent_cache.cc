@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/vfs/wire.h"
+
 namespace dfs {
 
 namespace {
@@ -231,6 +233,19 @@ Status PersistentCacheStore::RecoverLocked() {
   for (const auto& [id, rec] : live_tokens_) {
     recovered_.tokens.push_back(rec);
   }
+  // Attach journaled attributes to their files (creating a blockless entry
+  // when only attrs survived — directories, files evicted down to metadata).
+  for (const auto& [fid, rec] : live_attrs_) {
+    auto [it, inserted] = file_ix.try_emplace(fid, recovered_.files.size());
+    if (inserted) {
+      recovered_.files.push_back(RecoveredFile{});
+      recovered_.files.back().fid = fid;
+    }
+    RecoveredFile& f = recovered_.files[it->second];
+    f.has_attr = true;
+    f.attr = rec.attr;
+    f.attr_stamp = rec.stamp;
+  }
   return Status::Ok();
 }
 
@@ -276,17 +291,33 @@ Status PersistentCacheStore::ReplayJournalLocked() {
     JournalRecord rec;
     auto op = pr.ReadU8();
     auto epoch = pr.ReadU64();
-    auto token = Token::Deserialize(pr);
-    if (!op.ok() || !epoch.ok() || !token.ok()) {
+    if (!op.ok() || !epoch.ok()) {
       break;
     }
     rec.op = static_cast<JournalOp>(*op);
     rec.epoch = *epoch;
-    rec.token = *token;
-    if (rec.op == JournalOp::kErase) {
-      live_tokens_.erase(rec.token.id);
+    if (rec.op == JournalOp::kAttr) {
+      auto fid = ReadFid(pr);
+      auto stamp = pr.ReadU64();
+      auto attr = ReadAttr(pr);
+      if (!fid.ok() || !stamp.ok() || !attr.ok()) {
+        break;
+      }
+      rec.fid = *fid;
+      rec.stamp = *stamp;
+      rec.attr = *attr;
+      live_attrs_[rec.fid] = rec;
     } else {
-      live_tokens_[rec.token.id] = rec;
+      auto token = Token::Deserialize(pr);
+      if (!token.ok()) {
+        break;
+      }
+      rec.token = *token;
+      if (rec.op == JournalOp::kErase) {
+        live_tokens_.erase(rec.token.id);
+      } else {
+        live_tokens_[rec.token.id] = rec;
+      }
     }
     pos += 10 + *len;
   }
@@ -501,7 +532,13 @@ void PersistentCacheStore::SerializeRecord(Writer& w, const JournalRecord& rec) 
   Writer payload;
   payload.PutU8(static_cast<uint8_t>(rec.op));
   payload.PutU64(rec.epoch);
-  rec.token.Serialize(payload);
+  if (rec.op == JournalOp::kAttr) {
+    PutFid(payload, rec.fid);
+    payload.PutU64(rec.stamp);
+    PutAttr(payload, rec.attr);
+  } else {
+    rec.token.Serialize(payload);
+  }
   w.PutU32(kRecordMagic);
   w.PutU16(static_cast<uint16_t>(payload.size()));
   w.PutU32(Checksum(payload.data()));
@@ -535,7 +572,9 @@ Status PersistentCacheStore::AppendJournalLocked(const JournalRecord& rec) {
       return s;
     }
   }
-  if (rec.op == JournalOp::kErase) {
+  if (rec.op == JournalOp::kAttr) {
+    live_attrs_[rec.fid] = rec;
+  } else if (rec.op == JournalOp::kErase) {
     live_tokens_.erase(rec.token.id);
   } else {
     live_tokens_[rec.token.id] = rec;
@@ -553,6 +592,21 @@ Status PersistentCacheStore::Journal(JournalOp op, const Token& token, uint64_t 
   rec.op = op;
   rec.token = token;
   rec.epoch = epoch;
+  return AppendJournalLocked(rec);
+}
+
+Status PersistentCacheStore::JournalAttr(const Fid& fid, uint64_t stamp, const FileAttr& attr,
+                                         uint64_t epoch) {
+  MutexLock lock(mu_);
+  if (wal_ == nullptr) {
+    return Status(ErrorCode::kCrashed, "store not open");
+  }
+  JournalRecord rec;
+  rec.op = JournalOp::kAttr;
+  rec.epoch = epoch;
+  rec.fid = fid;
+  rec.stamp = stamp;
+  rec.attr = attr;
   return AppendJournalLocked(rec);
 }
 
@@ -581,6 +635,12 @@ Status PersistentCacheStore::CompactJournalLocked(const std::vector<JournalRecor
     if (rec.op == JournalOp::kGrant) {
       SerializeRecord(w, rec);
     }
+  }
+  // Attr records ride along even when the caller's `live` set is tokens-only
+  // (CacheManager checkpoints know nothing about attrs): one latest record
+  // per fid survives every compaction.
+  for (const auto& [fid, rec] : live_attrs_) {
+    SerializeRecord(w, rec);
   }
   const uint64_t half_bytes = geo_.journal_half_blocks * kBlockSize;
   if (w.size() > half_bytes) {

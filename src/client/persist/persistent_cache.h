@@ -88,12 +88,18 @@ class PersistentCacheStore : public CacheStore {
     uint64_t journal_blocks = 33;  // 1 header + two halves
   };
 
-  enum class JournalOp : uint8_t { kGrant = 1, kErase = 2 };
+  enum class JournalOp : uint8_t { kGrant = 1, kErase = 2, kAttr = 3 };
 
   struct JournalRecord {
     JournalOp op = JournalOp::kGrant;
     Token token;
     uint64_t epoch = 0;  // server epoch when the grant was journaled
+    // kAttr payload: the file's attributes at `stamp`. A warm reboot whose
+    // status-read token survives reassertion can trust these without a
+    // kFetchStatus round trip (no conflicting grant can have intervened).
+    Fid fid;
+    uint64_t stamp = 0;
+    FileAttr attr;
   };
 
   struct RecoveredBlock {
@@ -110,6 +116,10 @@ class PersistentCacheStore : public CacheStore {
   struct RecoveredFile {
     Fid fid;
     std::vector<RecoveredBlock> blocks;
+    // Journaled attributes (latest kAttr record for this fid), if any.
+    bool has_attr = false;
+    FileAttr attr;
+    uint64_t attr_stamp = 0;
   };
   struct RecoveredState {
     bool recovered = false;  // false: the disk was virgin and got formatted
@@ -152,6 +162,10 @@ class PersistentCacheStore : public CacheStore {
 
   // Appends a token-journal record (write-through).
   Status Journal(JournalOp op, const Token& token, uint64_t epoch);
+
+  // Appends an attribute record (write-through). Latest record per fid wins
+  // at replay; checkpoints carry live attr records across compaction.
+  Status JournalAttr(const Fid& fid, uint64_t stamp, const FileAttr& attr, uint64_t epoch);
 
   // Compacts `live` into the inactive half and atomically flips the header.
   Status CheckpointJournal(const std::vector<JournalRecord>& live);
@@ -256,8 +270,16 @@ class PersistentCacheStore : public CacheStore {
   std::map<Key, uint64_t, KeyLess> by_key_ GUARDED_BY(mu_);  // key -> slot
   uint64_t next_victim_ GUARDED_BY(mu_) = 0;
   uint64_t bytes_used_ GUARDED_BY(mu_) = 0;
+  struct FidLess {
+    bool operator()(const Fid& a, const Fid& b) const {
+      return std::tie(a.volume, a.vnode, a.uniq) < std::tie(b.volume, b.vnode, b.uniq);
+    }
+  };
+
   // Token journal in-memory state (mirrors the active half).
   std::map<TokenId, JournalRecord> live_tokens_ GUARDED_BY(mu_);
+  // Latest attr record per fid (kAttr replay state).
+  std::map<Fid, JournalRecord, FidLess> live_attrs_ GUARDED_BY(mu_);
   uint8_t active_half_ GUARDED_BY(mu_) = 0;
   uint64_t journal_appends_ GUARDED_BY(mu_) = 0;  // since last compaction
   uint64_t journal_seq_ GUARDED_BY(mu_) = 1;

@@ -1,0 +1,75 @@
+// Ref-counted, immutable byte buffers for the zero-copy data path.
+//
+// A BufferSlice is a view (offset + length) into a shared, immutable byte
+// region. Copying a slice bumps a reference count; Sub() carves a narrower
+// view for free. The region stays alive as long as any slice refers to it, so
+// a block handed from an RPC reply into the client cache — and from the cache
+// to a reader — survives cache eviction and token revocation without ever
+// being memcpy'd. Immutability is the safety argument: writers never mutate a
+// published region, they publish a *new* region and replace the reference, so
+// concurrent readers holding old slices see a stable snapshot (the TSAN race
+// test in tests/buffer_slice_test.cc pins this down).
+#ifndef SRC_COMMON_BUFFER_H_
+#define SRC_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dfs {
+
+class BufferSlice {
+ public:
+  // Empty slice: no backing region, zero length.
+  BufferSlice() = default;
+
+  // Takes ownership of `bytes` with no copy; the vector's storage becomes the
+  // shared region.
+  static BufferSlice TakeOwnership(std::vector<uint8_t>&& bytes) {
+    auto owner = std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+    size_t n = owner->size();
+    return BufferSlice(std::move(owner), 0, n);
+  }
+
+  // The one place a copy is explicit: materializes `bytes` into a fresh
+  // shared region (callers counting bytes_copied do so at this call site).
+  static BufferSlice CopyOf(std::span<const uint8_t> bytes) {
+    return TakeOwnership(std::vector<uint8_t>(bytes.begin(), bytes.end()));
+  }
+
+  // Narrower view of the same region; shares ownership, never copies.
+  // Clamped to this slice's bounds, so Sub(off, huge) yields the tail.
+  BufferSlice Sub(size_t offset, size_t length) const {
+    if (offset > length_) {
+      offset = length_;
+    }
+    if (length > length_ - offset) {
+      length = length_ - offset;
+    }
+    return BufferSlice(owner_, offset_ + offset, length);
+  }
+
+  const uint8_t* data() const { return owner_ ? owner_->data() + offset_ : nullptr; }
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  std::span<const uint8_t> span() const { return {data(), length_}; }
+
+  // True when two slices view the exact same region bytes (pointer identity,
+  // not content) — used by tests to prove a path took no copy.
+  bool SharesRegionWith(const BufferSlice& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+ private:
+  BufferSlice(std::shared_ptr<const std::vector<uint8_t>> owner, size_t offset, size_t length)
+      : owner_(std::move(owner)), offset_(offset), length_(length) {}
+
+  std::shared_ptr<const std::vector<uint8_t>> owner_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+}  // namespace dfs
+
+#endif  // SRC_COMMON_BUFFER_H_

@@ -4,6 +4,15 @@
 // Writer appends to a growable buffer; Reader consumes a span and reports
 // truncation as kCorrupt so malformed on-disk state and short RPC payloads
 // surface as errors instead of undefined behaviour.
+//
+// Scatter-gather: bulk payloads need not be copied into the byte stream.
+// Writer::PutSlice records only the u32 length prefix in the head stream and
+// carries the bytes out-of-band as a ref-counted BufferSlice; the resulting
+// WireMessage is {head, segment list}. A Reader over a WireMessage hands the
+// segment back (ReadSlice) without a copy; a Reader over a flat stream — or
+// over a Flatten()ed message — decodes the same call sequence identically, so
+// flat and scatter-gather encodings of one message are interchangeable on the
+// decode side (the property test in tests/codec_test.cc holds this).
 #ifndef SRC_COMMON_CODEC_H_
 #define SRC_COMMON_CODEC_H_
 
@@ -14,9 +23,55 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/status.h"
 
 namespace dfs {
+
+// A serialized message: a contiguous head stream plus zero or more
+// out-of-band segments. Each segment's `offset` is the head position right
+// after its u32 length prefix — where its bytes would sit if the message were
+// flat. Segments appear in ascending offset order (Writer appends in order).
+struct WireMessage {
+  struct Segment {
+    size_t offset = 0;
+    BufferSlice slice;
+  };
+
+  std::vector<uint8_t> head;
+  std::vector<Segment> segments;
+
+  WireMessage() = default;
+  // Implicit on purpose: a flat byte vector is a message with no segments,
+  // which keeps header-only call sites (the vast majority) unchanged.
+  WireMessage(std::vector<uint8_t> flat) : head(std::move(flat)) {}  // NOLINT
+
+  // Bytes this message puts on the wire: head plus all out-of-band segments.
+  size_t total_bytes() const {
+    size_t n = head.size();
+    for (const Segment& s : segments) {
+      n += s.slice.size();
+    }
+    return n;
+  }
+
+  // Materializes the flat encoding: segment bytes spliced into the head at
+  // their recorded offsets. The one deliberate full copy on the wire path;
+  // only tests and flat-format consumers (dumps) should need it.
+  std::vector<uint8_t> Flatten() const {
+    std::vector<uint8_t> out;
+    out.reserve(total_bytes());
+    size_t pos = 0;
+    for (const Segment& s : segments) {
+      out.insert(out.end(), head.begin() + static_cast<ptrdiff_t>(pos),
+                 head.begin() + static_cast<ptrdiff_t>(s.offset));
+      out.insert(out.end(), s.slice.data(), s.slice.data() + s.slice.size());
+      pos = s.offset;
+    }
+    out.insert(out.end(), head.begin() + static_cast<ptrdiff_t>(pos), head.end());
+    return out;
+  }
+};
 
 class Writer {
  public:
@@ -42,9 +97,40 @@ class Writer {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
+  // Length-prefixed like PutBytes, but the bytes ride out-of-band: only the
+  // u32 prefix lands in the head, the slice itself is carried by reference in
+  // the message's segment list. Pair with Reader::ReadSlice (or ReadBytes —
+  // both decode either encoding).
+  void PutSlice(BufferSlice slice) {
+    PutU32(static_cast<uint32_t>(slice.size()));
+    segments_.push_back({buf_.size(), std::move(slice)});
+  }
+
+  // The head stream only; any PutSlice segments are not included. Call sites
+  // that may carry segments must ship a WireMessage instead.
   const std::vector<uint8_t>& data() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
+
+  bool has_segments() const { return !segments_.empty(); }
+
+  // Moves the head and segment list out as a sendable message.
+  WireMessage TakeMessage() {
+    WireMessage m;
+    m.head = std::move(buf_);
+    m.segments = std::move(segments_);
+    return m;
+  }
+
+  // Copy of the message: the head bytes are duplicated (they are small), the
+  // segments share their regions by reference. Lets a caller re-send the same
+  // request on a retry loop without rebuilding it.
+  WireMessage Message() const {
+    WireMessage m;
+    m.head = buf_;
+    m.segments = segments_;
+    return m;
+  }
 
  private:
   template <typename T>
@@ -55,11 +141,20 @@ class Writer {
   }
 
   std::vector<uint8_t> buf_;
+  std::vector<WireMessage::Segment> segments_;
 };
 
 class Reader {
  public:
   explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+  // Exact match for the ubiquitous `Reader r(vec)` call sites — a vector
+  // converts to both span and WireMessage, which would otherwise be ambiguous.
+  explicit Reader(const std::vector<uint8_t>& data)
+      : data_(std::span<const uint8_t>(data)) {}
+  // Reader over a scatter-gather message; `m` must outlive the reader. The
+  // head is the byte stream; out-of-band segments surface from ReadSlice /
+  // ReadBytes at their recorded positions.
+  explicit Reader(const WireMessage& m) : data_(m.head), segments_(&m.segments) {}
 
   Result<uint8_t> ReadU8() { return ReadLe<uint8_t>(); }
   Result<uint16_t> ReadU16() { return ReadLe<uint16_t>(); }
@@ -76,11 +171,30 @@ class Reader {
 
   Result<std::vector<uint8_t>> ReadBytes() {
     ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (const BufferSlice* seg = SegmentHere(n)) {
+      return std::vector<uint8_t>(seg->data(), seg->data() + seg->size());
+    }
     if (n > Remaining()) {
       return Status(ErrorCode::kCorrupt, "byte string truncated");
     }
     std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
                              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  // Zero-copy counterpart of ReadBytes: an out-of-band segment at this
+  // position is returned by reference (shared region, no copy); a flat
+  // encoding falls back to copying the inline bytes into a fresh slice.
+  Result<BufferSlice> ReadSlice() {
+    ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (const BufferSlice* seg = SegmentHere(n)) {
+      return *seg;
+    }
+    if (n > Remaining()) {
+      return Status(ErrorCode::kCorrupt, "byte string truncated");
+    }
+    BufferSlice out = BufferSlice::CopyOf(data_.subspan(pos_, n));
     pos_ += n;
     return out;
   }
@@ -114,7 +228,25 @@ class Reader {
     return v;
   }
 
+  // Consumes and returns the next out-of-band segment iff one sits exactly at
+  // the current head position with the expected length (segments are ordered,
+  // so one cursor suffices). Null when reading a flat stream or the field was
+  // encoded inline.
+  const BufferSlice* SegmentHere(uint32_t expected_len) {
+    if (segments_ == nullptr || next_segment_ >= segments_->size()) {
+      return nullptr;
+    }
+    const WireMessage::Segment& s = (*segments_)[next_segment_];
+    if (s.offset != pos_ || s.slice.size() != expected_len) {
+      return nullptr;
+    }
+    ++next_segment_;
+    return &s.slice;
+  }
+
   std::span<const uint8_t> data_;
+  const std::vector<WireMessage::Segment>* segments_ = nullptr;
+  size_t next_segment_ = 0;
   size_t pos_ = 0;
 };
 

@@ -121,7 +121,9 @@ class CAPABILITY("ordered_mutex") OrderedMutex {
   uint64_t tag() const { return tag_; }
 
  private:
+  // GUARD-EXEMPT: set in the constructor, immutable thereafter.
   LockLevel level_;
+  // GUARD-EXEMPT: set in the constructor, immutable thereafter.
   uint64_t tag_;
   const char* name_;
   std::mutex mu_;
@@ -231,7 +233,9 @@ class SHARED_CAPABILITY("shared_ordered_mutex") SharedOrderedMutex {
   uint64_t tag() const { return tag_; }
 
  private:
+  // GUARD-EXEMPT: set in the constructor, immutable thereafter.
   LockLevel level_;
+  // GUARD-EXEMPT: set in the constructor, immutable thereafter.
   uint64_t tag_;
   const char* name_;
   std::shared_mutex mu_;

@@ -44,6 +44,8 @@ class ThreadPool {
   CondVar cv_;
   CondVar idle_cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // GUARD-EXEMPT: filled in the constructor, joined in the destructor; no
+  // concurrent mutation in between.
   std::vector<std::thread> workers_;
   size_t busy_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;

@@ -62,15 +62,14 @@ void Network::UnregisterNode(NodeId id) {
   // Pools drain and join outside the lock.
 }
 
-Result<std::vector<uint8_t>> Network::Call(NodeId from, NodeId to, uint32_t proc,
-                                           std::span<const uint8_t> payload,
-                                           const Principal& principal, uint64_t epoch) {
-  return CallAsync(from, to, proc, payload, principal, epoch).Wait();
+Result<WireMessage> Network::Call(NodeId from, NodeId to, uint32_t proc, WireMessage payload,
+                                  const Principal& principal, uint64_t epoch) {
+  return CallAsync(from, to, proc, std::move(payload), principal, epoch).Wait();
 }
 
 Network::PendingCall Network::CallAsync(NodeId from, NodeId to, uint32_t proc,
-                                        std::span<const uint8_t> payload,
-                                        const Principal& principal, uint64_t epoch) {
+                                        WireMessage payload, const Principal& principal,
+                                        uint64_t epoch) {
   PendingCall pending;
   pending.net_ = this;
   pending.from_ = from;
@@ -82,7 +81,10 @@ Network::PendingCall Network::CallAsync(NodeId from, NodeId to, uint32_t proc,
   Node* node_ref = nullptr;
   uint64_t sim_latency_us = 0;
   uint64_t sim_bandwidth = 0;
-  uint64_t request_bytes = payload.size() + kMessageOverheadBytes;
+  // Scatter-gather accounting: the head and every out-of-band segment crossed
+  // the wire, so both count toward the link bytes and the simulated transfer
+  // time — zero-copy saves memcpys, not (simulated) network time.
+  uint64_t request_bytes = payload.total_bytes() + kMessageOverheadBytes;
   {
     MutexLock lock(mu_);
     auto it = nodes_.find(to);
@@ -120,16 +122,18 @@ Network::PendingCall Network::CallAsync(NodeId from, NodeId to, uint32_t proc,
   request->proc = proc;
   request->principal = principal;
   request->epoch = epoch;
-  request->payload.assign(payload.begin(), payload.end());
+  // The head vector and the segment references move — the in-process wire
+  // never copies payload bytes.
+  request->payload = std::move(payload);
 
-  auto promise = std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
+  auto promise = std::make_shared<std::promise<Result<WireMessage>>>();
   pending.future_ = promise->get_future();
   bool submitted = pool->Submit(
       [handler, request, promise, sim_latency_us, sim_bandwidth, request_bytes] {
         SimWireDelay(sim_latency_us, sim_bandwidth, request_bytes);
         auto reply = handler->Handle(*request);
         SimWireDelay(sim_latency_us, sim_bandwidth,
-                     (reply.ok() ? reply->size() : 0) + kMessageOverheadBytes);
+                     (reply.ok() ? reply->total_bytes() : 0) + kMessageOverheadBytes);
         promise->set_value(std::move(reply));
       });
   {
@@ -144,7 +148,7 @@ Network::PendingCall Network::CallAsync(NodeId from, NodeId to, uint32_t proc,
   return pending;
 }
 
-Result<std::vector<uint8_t>> Network::PendingCall::Wait() {
+Result<WireMessage> Network::PendingCall::Wait() {
   if (done_) {
     return result_;
   }
@@ -161,8 +165,10 @@ Result<std::vector<uint8_t>> Network::PendingCall::Wait() {
   result_ = future_.get();
   {
     MutexLock lock(net_->mu_);
+    // Reply leg: head + out-of-band segments + per-message overhead, matching
+    // the request-leg accounting in CallAsync.
     net_->stats_[{from_, to_}].bytes +=
-        (result_.ok() ? result_->size() : 0) + kMessageOverheadBytes;
+        (result_.ok() ? result_->total_bytes() : 0) + kMessageOverheadBytes;
   }
   return result_;
 }

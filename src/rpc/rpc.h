@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/codec.h"
 #include "src/common/mutex.h"
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
@@ -35,14 +36,17 @@ struct RpcRequest {
   // Server incarnation epoch the caller believes it is talking to; 0 means
   // "unfenced" (legacy caller or epoch-less service) and skips the check.
   uint64_t epoch = 0;
-  std::vector<uint8_t> payload;
+  // Scatter-gather payload: a head byte stream plus out-of-band ref-counted
+  // segments. The in-process transport hands segments across by reference —
+  // a bulk store's block bytes are never copied between client and server.
+  WireMessage payload;
 };
 
 // A node's dispatch table.
 class RpcHandler {
  public:
   virtual ~RpcHandler() = default;
-  virtual Result<std::vector<uint8_t>> Handle(const RpcRequest& request) = 0;
+  virtual Result<WireMessage> Handle(const RpcRequest& request) = 0;
   // Procedures on the revocation call path run on a small dedicated pool so a
   // saturated regular pool cannot deadlock token revocation (Section 6.4).
   virtual bool IsRevocationPathProc(uint32_t proc) const {
@@ -98,9 +102,25 @@ class Network {
   void UnregisterNode(NodeId id);
 
   // Synchronous call: runs on the destination's pool, blocks for the reply.
-  Result<std::vector<uint8_t>> Call(NodeId from, NodeId to, uint32_t proc,
-                                    std::span<const uint8_t> payload,
-                                    const Principal& principal, uint64_t epoch = 0);
+  // The WireMessage overload ships scatter-gather segments by reference; the
+  // span overload wraps a flat header-only payload (one copy of the head,
+  // as before).
+  Result<WireMessage> Call(NodeId from, NodeId to, uint32_t proc, WireMessage payload,
+                           const Principal& principal, uint64_t epoch = 0);
+  Result<WireMessage> Call(NodeId from, NodeId to, uint32_t proc,
+                           std::span<const uint8_t> payload, const Principal& principal,
+                           uint64_t epoch = 0) {
+    return Call(from, to, proc,
+                WireMessage(std::vector<uint8_t>(payload.begin(), payload.end())), principal,
+                epoch);
+  }
+  // Exact-match overload so `Call(..., writer.data(), ...)` call sites stay
+  // unambiguous (a vector converts to both span and WireMessage otherwise).
+  Result<WireMessage> Call(NodeId from, NodeId to, uint32_t proc,
+                           const std::vector<uint8_t>& payload, const Principal& principal,
+                           uint64_t epoch = 0) {
+    return Call(from, to, proc, WireMessage(payload), principal, epoch);
+  }
 
   // A call issued but not yet waited for (the pipelined client): CallAsync
   // submits the request to the destination's pool and returns immediately;
@@ -114,7 +134,7 @@ class Network {
     PendingCall(PendingCall&&) = default;
     PendingCall& operator=(PendingCall&&) = default;
 
-    Result<std::vector<uint8_t>> Wait();
+    Result<WireMessage> Wait();
 
    private:
     friend class Network;
@@ -123,17 +143,28 @@ class Network {
     NodeId to_ = 0;
     uint32_t proc_ = 0;
     uint64_t timeout_ms_ = 0;
-    std::future<Result<std::vector<uint8_t>>> future_;
+    std::future<Result<WireMessage>> future_;
     bool done_ = false;
-    Result<std::vector<uint8_t>> result_ = Status(ErrorCode::kUnavailable, "never issued");
+    Result<WireMessage> result_ = Status(ErrorCode::kUnavailable, "never issued");
   };
 
   // Issues a call without blocking for its reply; pair with PendingCall::Wait.
   // Several CallAsyncs before the first Wait = several RPCs in flight on one
   // caller thread.
+  PendingCall CallAsync(NodeId from, NodeId to, uint32_t proc, WireMessage payload,
+                        const Principal& principal, uint64_t epoch = 0);
   PendingCall CallAsync(NodeId from, NodeId to, uint32_t proc,
                         std::span<const uint8_t> payload, const Principal& principal,
-                        uint64_t epoch = 0);
+                        uint64_t epoch = 0) {
+    return CallAsync(from, to, proc,
+                     WireMessage(std::vector<uint8_t>(payload.begin(), payload.end())),
+                     principal, epoch);
+  }
+  PendingCall CallAsync(NodeId from, NodeId to, uint32_t proc,
+                        const std::vector<uint8_t>& payload, const Principal& principal,
+                        uint64_t epoch = 0) {
+    return CallAsync(from, to, proc, WireMessage(payload), principal, epoch);
+  }
 
   // Failure injection: calls between a and b fail with kUnavailable.
   void Partition(NodeId a, NodeId b, bool blocked);

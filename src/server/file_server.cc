@@ -208,7 +208,7 @@ Status FileServer::RemoteHost::Revoke(const Token& token, uint32_t types) {
     server_->OnHostUnreachable(client_);
     return Status::Ok();
   }
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, UnwrapReply(std::move(raw)));
+  ASSIGN_OR_RETURN(WireMessage payload, UnwrapReply(std::move(raw)));
   Reader r(payload);
   ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
   switch (code) {
@@ -238,7 +238,7 @@ std::vector<Status> FileServer::RemoteHost::RevokeBatch(
       server_->OnHostUnreachable(client_);
       return std::vector<Status>(items.size(), Status::Ok());
     }
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, UnwrapReply(std::move(raw)));
+    ASSIGN_OR_RETURN(WireMessage payload, UnwrapReply(std::move(raw)));
     Reader r(payload);
     ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
     if (count != items.size()) {
@@ -271,13 +271,24 @@ std::vector<Status> FileServer::RemoteHost::RevokeBatch(
   return std::vector<Status>(items.size(), statuses.status());
 }
 
-Result<std::vector<uint8_t>> UnwrapReply(Result<std::vector<uint8_t>> raw) {
+Result<WireMessage> UnwrapReply(Result<WireMessage> raw) {
   RETURN_IF_ERROR(raw.status());
+  if (raw->head.empty()) {
+    return Status(ErrorCode::kCorrupt, "empty reply");
+  }
+  if (raw->head[0] != 0) {
+    // Success: strip the status byte in place — out-of-band segments shift
+    // with the head, their bytes are never touched.
+    WireMessage m = *std::move(raw);
+    m.head.erase(m.head.begin());
+    for (WireMessage::Segment& seg : m.segments) {
+      seg.offset -= 1;
+    }
+    return m;
+  }
   Reader r(*raw);
   ASSIGN_OR_RETURN(uint8_t ok, r.ReadU8());
-  if (ok != 0) {
-    return std::vector<uint8_t>(raw->begin() + 1, raw->end());
-  }
+  (void)ok;
   ASSIGN_OR_RETURN(uint16_t code, r.ReadU16());
   ASSIGN_OR_RETURN(std::string message, r.ReadString());
   return Status(static_cast<ErrorCode>(code), std::move(message));
@@ -285,7 +296,7 @@ Result<std::vector<uint8_t>> UnwrapReply(Result<std::vector<uint8_t>> raw) {
 
 // --- Dispatch ---
 
-Result<std::vector<uint8_t>> FileServer::Handle(const RpcRequest& req) {
+Result<WireMessage> FileServer::Handle(const RpcRequest& req) {
   {
     MutexLock lock(mu_);
     stats_.requests += 1;
@@ -519,6 +530,11 @@ FileServer::Body FileServer::DoFetchData(const RpcRequest& req, Reader& r) {
   ByteRange range;
   ASSIGN_OR_RETURN(range.start, r.ReadU64());
   ASSIGN_OR_RETURN(range.end, r.ReadU64());
+  // Optional trailing flags byte; its absence (older caller) means 0.
+  uint8_t flags = 0;
+  if (!r.AtEnd()) {
+    ASSIGN_OR_RETURN(flags, r.ReadU8());
+  }
 
   OrderedLockGuard l2(vnode_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
@@ -534,13 +550,30 @@ FileServer::Body FileServer::DoFetchData(const RpcRequest& req, Reader& r) {
   }
   ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
   PutSyncInfo(w, SyncInfo{attr, NextStamp(fid)});
+  if ((flags & kFetchFlagTokenOnly) != 0) {
+    // Token-only grant: the caller is about to overwrite the whole range, so
+    // the bytes it asked authority over would be clobbered unread — serve the
+    // grant and the sync info, move no data.
+    w.PutSlice(BufferSlice());
+    MutexLock lock(mu_);
+    stats_.token_only_fetches += 1;
+    return w;
+  }
   std::vector<uint8_t> data(len);
   size_t n = 0;
   if (len > 0) {
     ASSIGN_OR_RETURN(n, vnode->Read(offset, data));
   }
   data.resize(n);
-  w.PutBytes(data);
+  // The one server-side copy on the fetch path: vnode bytes land in a fresh
+  // region that rides to the client out-of-band, untouched from here on.
+  w.PutSlice(BufferSlice::TakeOwnership(std::move(data)));
+  {
+    MutexLock lock(mu_);
+    stats_.bytes_copied += n;
+    stats_.bytes_moved += n;
+    stats_.fetch_data_bytes += n;
+  }
   return w;
 }
 
@@ -549,7 +582,25 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
   RETURN_IF_ERROR(CredForHost(req.from).status());
   ASSIGN_OR_RETURN(Fid fid, ReadFid(r));
   ASSIGN_OR_RETURN(uint64_t offset, r.ReadU64());
-  ASSIGN_OR_RETURN(std::vector<uint8_t> data, r.ReadBytes());
+  // Scatter-gather store: a count of length-prefixed parts, contiguous at
+  // `offset`. Over the in-process wire each part is a reference into the
+  // client's cache blocks — the payload was never flattened or copied on its
+  // way here.
+  ASSIGN_OR_RETURN(uint32_t part_count, r.ReadU32());
+  // Every part costs at least a u32 length prefix in the head, so a count
+  // beyond that is corrupt — reject before reserving (a garbage count would
+  // otherwise size a multi-gigabyte vector).
+  if (part_count > r.Remaining() / sizeof(uint32_t)) {
+    return Status(ErrorCode::kCorrupt, "store part count exceeds payload");
+  }
+  std::vector<BufferSlice> parts;
+  parts.reserve(part_count);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < part_count; ++i) {
+    ASSIGN_OR_RETURN(BufferSlice part, r.ReadSlice());
+    total += part.size();
+    parts.push_back(std::move(part));
+  }
 
   // The normal store serializes through the vnode lock; the special store
   // issued by token-revocation code must not touch L2 (the revoking thread
@@ -560,7 +611,7 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
     bool covered = false;
     for (const Token& t : tokens_.TokensForFid(fid)) {
       if (t.host == req.from && (t.types & kTokenDataWrite) &&
-          t.range.Contains(ByteRange{offset, offset + data.size()})) {
+          t.range.Contains(ByteRange{offset, offset + total})) {
         covered = true;
         break;
       }
@@ -571,9 +622,20 @@ FileServer::Body FileServer::DoStoreData(const RpcRequest& req, Reader& r,
   }
   OrderedLockGuard l4(io_locks_.Get(fid));
   ASSIGN_OR_RETURN(VnodeRef vnode, ResolveFid(fid));
-  if (!data.empty()) {
-    ASSIGN_OR_RETURN(size_t n, vnode->Write(offset, data));
-    (void)n;
+  uint64_t pos = offset;
+  for (const BufferSlice& part : parts) {
+    if (!part.empty()) {
+      ASSIGN_OR_RETURN(size_t n, vnode->Write(pos, part.span()));
+      (void)n;
+    }
+    pos += part.size();
+  }
+  {
+    MutexLock lock(mu_);
+    stats_.bytes_moved += total;
+    // The one server-side copy on the store path: vnode->Write absorbs the
+    // wire segments into the physical file system's own blocks.
+    stats_.bytes_copied += total;
   }
   ASSIGN_OR_RETURN(FileAttr attr, vnode->GetAttr());
   Writer w;

@@ -109,7 +109,7 @@ class FileServer : public RpcHandler {
   Result<VfsRef> LocalMount(uint64_t volume_id, const Cred& cred);
 
   // RpcHandler.
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
   bool IsRevocationPathProc(uint32_t proc) const override {
     return proc == kRevocationStore || proc == kReturnToken;
   }
@@ -129,6 +129,19 @@ class FileServer : public RpcHandler {
     // Data-plane RPCs served, so tests can prove a warm-rebooted client never
     // re-fetched bytes its persistent cache already held.
     uint64_t fetch_data_calls = 0;
+    // Token-only kFetchData grants: whole-range overwriters asked for the
+    // write token without the bytes they are about to clobber.
+    uint64_t token_only_fetches = 0;
+    // Zero-copy instrumentation. bytes_moved: data payload bytes that crossed
+    // the wire through this server (fetch replies out + store requests in).
+    // bytes_copied: payload bytes this server memcpy'd while handling them
+    // (vnode reads into a staging slice, vnode writes out of the wire
+    // segment). The datapath bench drives copied/moved toward 1.
+    uint64_t bytes_moved = 0;
+    uint64_t bytes_copied = 0;
+    // Data payload bytes served by kFetchData specifically (the token-only
+    // grant test asserts a whole-range overwrite leaves this at zero).
+    uint64_t fetch_data_bytes = 0;
   };
   Stats stats() const;
 

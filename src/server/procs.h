@@ -68,6 +68,12 @@ enum Proc : uint32_t {
   kVldbRemove = 203,
 };
 
+// kFetchData trailing flags byte (optional on the wire; absent means 0).
+// Token-only grant: serve the token + sync info but no data bytes — the
+// caller is about to overwrite the entire requested range, so fetching the
+// bytes it will clobber would be pure network waste.
+inline constexpr uint8_t kFetchFlagTokenOnly = 0x1;
+
 // Revocation reply codes.
 inline constexpr uint8_t kRevokeReturned = 0;
 inline constexpr uint8_t kRevokeDeferred = 1;
@@ -136,23 +142,27 @@ inline Result<AttrUpdate> ReadAttrUpdate(Reader& r) {
 
 // Errors travel as a status byte + code + message so RPC-level failures are
 // distinguishable from application-level ones.
-inline std::vector<uint8_t> EncodeErrorReply(const Status& s) {
+inline WireMessage EncodeErrorReply(const Status& s) {
   Writer w;
   w.PutU8(0);
   w.PutU16(static_cast<uint16_t>(s.code()));
   w.PutString(std::string(s.message()));
-  return w.Take();
+  return WireMessage(w.Take());
 }
 
-inline std::vector<uint8_t> EncodeOkReply(Writer&& body) {
-  Writer w;
-  w.PutU8(1);
-  w.PutRaw(body.data());
-  return w.Take();
+// Prepends the ok byte to the body's head; any scatter-gather segments ride
+// along untouched (their offsets shift with the head).
+inline WireMessage EncodeOkReply(Writer&& body) {
+  WireMessage m = body.TakeMessage();
+  m.head.insert(m.head.begin(), 1);
+  for (WireMessage::Segment& seg : m.segments) {
+    seg.offset += 1;
+  }
+  return m;
 }
 
 // Client-side: unwraps the status byte; returns a Reader-able payload.
-Result<std::vector<uint8_t>> UnwrapReply(Result<std::vector<uint8_t>> raw);
+Result<WireMessage> UnwrapReply(Result<WireMessage> raw);
 
 }  // namespace dfs
 

@@ -4,7 +4,7 @@
 
 namespace dfs {
 
-Result<std::vector<uint8_t>> ReplicationAgent::CallMaster(uint32_t proc, const Writer& w) {
+Result<WireMessage> ReplicationAgent::CallMaster(uint32_t proc, const Writer& w) {
   return UnwrapReply(
       network_.Call(local_server_.node(), master_, proc, w.data(), "replication"));
 }
@@ -25,7 +25,7 @@ Status ReplicationAgent::InitialClone() {
   Writer w;
   w.PutU64(volume_id_);
   w.PutU64(0);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kVolDump, w));
+  ASSIGN_OR_RETURN(WireMessage payload, CallMaster(kVolDump, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(VolumeDump dump, VolumeDump::Deserialize(r));
   dump.info.read_only = true;  // replicas are read-only snapshots
@@ -35,7 +35,7 @@ Status ReplicationAgent::InitialClone() {
   last_version_ = dump.info.max_data_version;
   stats_.refreshes += 1;
   stats_.files_fetched += dump.files.size();
-  stats_.bytes_fetched += payload.size();
+  stats_.bytes_fetched += payload.total_bytes();
   RETURN_IF_ERROR(local_server_.RefreshExports());
   return Status::Ok();
 }
@@ -51,7 +51,7 @@ Status ReplicationAgent::Refresh() {
     w.PutU32(kTokenWholeVolume);
     w.PutU64(0);
     w.PutU64(UINT64_MAX);
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kGetToken, w));
+    ASSIGN_OR_RETURN(WireMessage payload, CallMaster(kGetToken, w));
     Reader r(payload);
     ASSIGN_OR_RETURN(token, Token::Deserialize(r));
   }
@@ -60,7 +60,7 @@ Status ReplicationAgent::Refresh() {
     Writer w;
     w.PutU64(volume_id_);
     w.PutU64(last_version_);
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallMaster(kVolDump, w));
+    ASSIGN_OR_RETURN(WireMessage payload, CallMaster(kVolDump, w));
     Reader r(payload);
     ASSIGN_OR_RETURN(VolumeDump delta, VolumeDump::Deserialize(r));
     stats_.refreshes += 1;
@@ -68,7 +68,7 @@ Status ReplicationAgent::Refresh() {
       stats_.empty_refreshes += 1;
     } else {
       stats_.files_fetched += delta.files.size();
-      stats_.bytes_fetched += payload.size();
+      stats_.bytes_fetched += payload.total_bytes();
       RETURN_IF_ERROR(replica_ops_->ApplyDelta(replica_volume_id_, delta));
     }
     // Monotonic: the version floor never regresses, so replica clients never

@@ -54,7 +54,7 @@ class ReplicationAgent {
   Stats stats() const { return stats_; }
 
  private:
-  Result<std::vector<uint8_t>> CallMaster(uint32_t proc, const Writer& w);
+  Result<WireMessage> CallMaster(uint32_t proc, const Writer& w);
   Status EnsureConnected();
 
   Network& network_;

@@ -52,7 +52,7 @@ size_t VldbServer::entry_count() const {
   return by_id_.size();
 }
 
-Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
+Result<WireMessage> VldbServer::Handle(const RpcRequest& req) {
   Reader r(req.payload);
   Writer w;
   switch (req.proc) {
@@ -120,7 +120,7 @@ Result<std::vector<uint8_t>> VldbServer::Handle(const RpcRequest& req) {
   }
 }
 
-Result<std::vector<uint8_t>> VldbClient::CallAny(uint32_t proc, const Writer& w) {
+Result<WireMessage> VldbClient::CallAny(uint32_t proc, const Writer& w) {
   Status last(ErrorCode::kUnavailable, "no VLDB replicas configured");
   for (NodeId node : vldb_nodes_) {
     auto raw = network_.Call(self_, node, proc, w.data(), "vldb-client");
@@ -144,7 +144,7 @@ Result<VolumeLocation> VldbClient::LookupById(uint64_t volume_id) {
   Writer w;
   w.PutU64(volume_id);
   lookup_rpcs_.fetch_add(1, std::memory_order_relaxed);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupById, w));
+  ASSIGN_OR_RETURN(WireMessage payload, CallAny(kVldbLookupById, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
   SharedOrderedLockGuard lock(mu_);
@@ -164,7 +164,7 @@ Result<VolumeLocation> VldbClient::LookupByName(const std::string& name) {
   Writer w;
   w.PutString(name);
   lookup_rpcs_.fetch_add(1, std::memory_order_relaxed);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, CallAny(kVldbLookupByName, w));
+  ASSIGN_OR_RETURN(WireMessage payload, CallAny(kVldbLookupByName, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(VolumeLocation loc, ReadLocation(r));
   SharedOrderedLockGuard lock(mu_);

@@ -36,7 +36,7 @@ class VldbServer : public RpcHandler {
   // Replication: updates applied here propagate to every peer.
   void AddPeer(VldbServer* peer);
 
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& request) override;
+  Result<WireMessage> Handle(const RpcRequest& request) override;
 
   size_t entry_count() const;
 
@@ -75,7 +75,7 @@ class VldbClient {
  private:
   // Tries each VLDB replica until one answers (availability through
   // replication).
-  Result<std::vector<uint8_t>> CallAny(uint32_t proc, const Writer& w);
+  Result<WireMessage> CallAny(uint32_t proc, const Writer& w);
 
   Network& network_;
   NodeId self_;

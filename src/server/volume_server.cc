@@ -2,7 +2,7 @@
 
 namespace dfs {
 
-Result<std::vector<uint8_t>> VolumeAdmin::Call(NodeId server, uint32_t proc, const Writer& w) {
+Result<WireMessage> VolumeAdmin::Call(NodeId server, uint32_t proc, const Writer& w) {
   return UnwrapReply(network_.Call(node_, server, proc, w.data(), "admin"));
 }
 
@@ -27,14 +27,15 @@ Status VolumeAdmin::MoveVolume(uint64_t volume_id, NodeId src_server, NodeId dst
     Writer w;
     w.PutU64(volume_id);
     w.PutU64(0);  // full dump
-    ASSIGN_OR_RETURN(dump_bytes, Call(src_server, kVolDump, w));
+    ASSIGN_OR_RETURN(WireMessage dump_msg, Call(src_server, kVolDump, w));
+    dump_bytes = dump_msg.Flatten();  // dumps are a flat-format consumer
   }
   // 3. Restore at the destination (which re-exports automatically).
   uint64_t new_id = 0;
   {
     Writer w;
     w.PutRaw(dump_bytes);
-    ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(dst_server, kVolRestore, w));
+    ASSIGN_OR_RETURN(WireMessage payload, Call(dst_server, kVolRestore, w));
     Reader r(payload);
     ASSIGN_OR_RETURN(new_id, r.ReadU64());
   }
@@ -61,7 +62,7 @@ Result<uint64_t> VolumeAdmin::CloneVolume(uint64_t volume_id, NodeId server,
   Writer w;
   w.PutU64(volume_id);
   w.PutString(clone_name);
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(server, kVolClone, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(server, kVolClone, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(uint64_t clone_id, r.ReadU64());
   if (vldb_ != nullptr) {
@@ -72,7 +73,7 @@ Result<uint64_t> VolumeAdmin::CloneVolume(uint64_t volume_id, NodeId server,
 
 Result<std::vector<VolumeInfo>> VolumeAdmin::ListVolumes(NodeId server) {
   Writer w;
-  ASSIGN_OR_RETURN(std::vector<uint8_t> payload, Call(server, kVolList, w));
+  ASSIGN_OR_RETURN(WireMessage payload, Call(server, kVolList, w));
   Reader r(payload);
   ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
   std::vector<VolumeInfo> out;

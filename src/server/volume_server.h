@@ -33,7 +33,7 @@ class VolumeAdmin {
   Result<std::vector<VolumeInfo>> ListVolumes(NodeId server);
 
  private:
-  Result<std::vector<uint8_t>> Call(NodeId server, uint32_t proc, const Writer& w);
+  Result<WireMessage> Call(NodeId server, uint32_t proc, const Writer& w);
 
   Network& network_;
   NodeId node_;

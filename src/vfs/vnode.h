@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/status.h"
 #include "src/vfs/acl.h"
 #include "src/vfs/types.h"
@@ -38,6 +39,21 @@ class Vnode {
 
   virtual Result<size_t> Read(uint64_t offset, std::span<uint8_t> out) = 0;
   virtual Result<size_t> Write(uint64_t offset, std::span<const uint8_t> data) = 0;
+  // Zero-copy read: ref-counted slices covering [offset, offset + len),
+  // clamped to EOF, in order. The base adapter reads into a fresh buffer (one
+  // copy); caching implementations override it to hand back shared regions —
+  // the returned slices stay valid even if the file is later overwritten or
+  // evicted (regions are immutable; writers publish new ones).
+  virtual Result<std::vector<BufferSlice>> ReadSlices(uint64_t offset, size_t len) {
+    std::vector<uint8_t> buf(len);
+    ASSIGN_OR_RETURN(size_t n, Read(offset, std::span<uint8_t>(buf)));
+    buf.resize(n);
+    std::vector<BufferSlice> out;
+    if (n > 0) {
+      out.push_back(BufferSlice::TakeOwnership(std::move(buf)));
+    }
+    return out;
+  }
   virtual Status Truncate(uint64_t new_size) = 0;
 
   // Directory operations (kNotDirectory on non-directories).

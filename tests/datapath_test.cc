@@ -349,6 +349,102 @@ TEST(DatapathTest, SeekResetsPrefetchStream) {
   }
 }
 
+TEST(DatapathTest, WholeRangeOverwriteTakesTokenOnlyGrant) {
+  // A block-aligned overwrite of server-resident data needs the write token
+  // but not the bytes it is about to clobber: the client asks for a
+  // token-only grant and the server ships zero data payload.
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  SeedFile(*rig, "/clobber", 8, 'o');
+
+  CacheManager* writer = rig->NewClient("alice");
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, writer->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/clobber"));
+
+  FileServer::Stats before = rig->server->stats();
+  std::vector<uint8_t> fresh(8 * kBlockSize, 'n');
+  ASSERT_OK_AND_ASSIGN(size_t n, f->Write(0, fresh));
+  ASSERT_EQ(n, fresh.size());
+
+  FileServer::Stats after = rig->server->stats();
+  EXPECT_EQ(after.fetch_data_bytes, before.fetch_data_bytes)
+      << "whole-range overwrite fetched data it was about to clobber";
+  EXPECT_GT(after.token_only_fetches, before.token_only_fetches);
+  EXPECT_GT(writer->stats().token_only_grants, 0u);
+
+  // The write really landed: read it back through a second client.
+  ASSERT_OK(writer->SyncAll());
+  CacheManager* reader = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef rvfs, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*rvfs, "/clobber"));
+  ASSERT_EQ(back.size(), 8 * kBlockSize);
+  EXPECT_EQ(back[0], 'n');
+  EXPECT_EQ(back[back.size() - 1], 'n');
+}
+
+TEST(DatapathTest, PartialOverwriteStillFetchesEdgeBlock) {
+  // The guard rail for the token-only path: a write that merges into an
+  // existing partial edge block must still fetch that block's bytes.
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  SeedFile(*rig, "/merge", 4, 'e');
+
+  CacheManager* writer = rig->NewClient("alice");
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, writer->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/merge"));
+
+  FileServer::Stats before = rig->server->stats();
+  std::vector<uint8_t> patch(100, 'p');  // mid-block: both edges partial
+  ASSERT_OK(f->Write(kBlockSize + 50, patch).status());
+  FileServer::Stats after = rig->server->stats();
+  EXPECT_GT(after.fetch_data_bytes, before.fetch_data_bytes)
+      << "partial overwrite must fetch the edge block to merge into";
+
+  ASSERT_OK(writer->SyncAll());
+  CacheManager* reader = rig->NewClient("bob");
+  ASSERT_OK_AND_ASSIGN(VfsRef rvfs, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(std::string back, ReadFileAt(*rvfs, "/merge"));
+  EXPECT_EQ(back[kBlockSize + 49], 'e');
+  EXPECT_EQ(back[kBlockSize + 50], 'p');
+  EXPECT_EQ(back[kBlockSize + 150], 'e');
+}
+
+TEST(DatapathTest, ReadSlicesServesZeroCopyOverMemoryStore) {
+  // ReadSlices hands back sub-slices of the store's regions: once the file is
+  // cached, repeated slice reads move bytes without copying them (the client
+  // copy counter stays put while the moved counter is already paid).
+  auto rig = DfsRig::Create();
+  ASSERT_NE(rig, nullptr);
+  SeedFile(*rig, "/zc", 16, 'z');
+
+  CacheManager::Options opts;
+  opts.diskless = true;  // MemoryCacheStore: the region-sharing store
+  CacheManager* reader = rig->NewClient("alice", opts);
+  ASSERT_OK_AND_ASSIGN(VfsRef vfs, reader->MountVolume("home"));
+  ASSERT_OK_AND_ASSIGN(VnodeRef f, ResolvePath(*vfs, "/zc"));
+
+  // Warm the cache (fetch + install).
+  ASSERT_OK_AND_ASSIGN(std::vector<BufferSlice> first, f->ReadSlices(0, 16 * kBlockSize));
+  size_t total = 0;
+  for (const BufferSlice& s : first) {
+    total += s.size();
+    for (size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(s.data()[i], 'z');
+    }
+  }
+  ASSERT_EQ(total, 16 * kBlockSize);
+
+  // Cached re-reads over the sharing store take zero copies.
+  uint64_t copied_before = reader->stats().bytes_copied;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_OK_AND_ASSIGN(std::vector<BufferSlice> again, f->ReadSlices(0, 16 * kBlockSize));
+    ASSERT_EQ(again.size(), 16u);
+  }
+  EXPECT_EQ(reader->stats().bytes_copied, copied_before)
+      << "cached ReadSlices over MemoryCacheStore must not copy";
+  EXPECT_GE(reader->stats().bytes_moved, 16u * kBlockSize);
+}
+
 TEST(DatapathTest, RigAutotunesShardCountFromVolumeCount) {
   // shards = 0 arms autotuning; the rig's single-volume aggregate sizes the
   // table down to one shard at ExportAggregate time.

@@ -210,7 +210,11 @@ TEST(PersistentStoreTest, CrashPointSweepRecoversFromAnyPrefix) {
   Fid a{1, 20, 1};
   Token t1 = MakeToken(1, a, kTokenDataRead);
   Token t2 = MakeToken(2, a, kTokenDataRead | kTokenDataWrite);
-  std::vector<JournalRecord> checkpoint{{JournalOp::kGrant, t2, 1}};
+  JournalRecord ckpt_rec;
+  ckpt_rec.op = JournalOp::kGrant;
+  ckpt_rec.token = t2;
+  ckpt_rec.epoch = 1;
+  std::vector<JournalRecord> checkpoint{ckpt_rec};
 
   // The scripted op sequence; `acked[i]` records which ops returned Ok before
   // the injected crash cut the device off.

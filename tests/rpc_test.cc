@@ -14,14 +14,14 @@ namespace {
 
 class EchoHandler : public RpcHandler {
  public:
-  Result<std::vector<uint8_t>> Handle(const RpcRequest& req) override {
+  Result<WireMessage> Handle(const RpcRequest& req) override {
     ++calls;
     if (req.proc == 99) {  // sleeper proc
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
     }
-    std::vector<uint8_t> reply(req.payload.begin(), req.payload.end());
+    std::vector<uint8_t> reply = req.payload.Flatten();
     reply.push_back(static_cast<uint8_t>(req.proc));
-    return reply;
+    return WireMessage(std::move(reply));
   }
   bool IsRevocationPathProc(uint32_t proc) const override { return proc == 50; }
   std::atomic<int> calls{0};
@@ -33,14 +33,14 @@ TEST(NetworkTest, CallRoundTrips) {
   ASSERT_OK(net.RegisterNode(2, &handler));
   std::vector<uint8_t> payload = {1, 2, 3};
   ASSERT_OK_AND_ASSIGN(auto reply, net.Call(1, 2, 7, payload, "tester"));
-  ASSERT_EQ(reply.size(), 4u);
-  EXPECT_EQ(reply[3], 7);
+  ASSERT_EQ(reply.total_bytes(), 4u);
+  EXPECT_EQ(reply.head[3], 7);
   EXPECT_EQ(handler.calls.load(), 1);
 }
 
 TEST(NetworkTest, UnknownNodeIsUnavailable) {
   Network net;
-  EXPECT_EQ(net.Call(1, 42, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net.Call(1, 42, 0, WireMessage(), "x").code(), ErrorCode::kUnavailable);
 }
 
 TEST(NetworkTest, NodeDownIsUnavailable) {
@@ -48,9 +48,9 @@ TEST(NetworkTest, NodeDownIsUnavailable) {
   EchoHandler handler;
   ASSERT_OK(net.RegisterNode(2, &handler));
   net.SetNodeDown(2, true);
-  EXPECT_EQ(net.Call(1, 2, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net.Call(1, 2, 0, WireMessage(), "x").code(), ErrorCode::kUnavailable);
   net.SetNodeDown(2, false);
-  EXPECT_OK(net.Call(1, 2, 0, {}, "x").status());
+  EXPECT_OK(net.Call(1, 2, 0, WireMessage(), "x").status());
 }
 
 TEST(NetworkTest, PartitionBlocksBothDirections) {
@@ -59,10 +59,10 @@ TEST(NetworkTest, PartitionBlocksBothDirections) {
   ASSERT_OK(net.RegisterNode(2, &h2));
   ASSERT_OK(net.RegisterNode(3, &h3));
   net.Partition(2, 3, true);
-  EXPECT_EQ(net.Call(2, 3, 0, {}, "x").code(), ErrorCode::kUnavailable);
-  EXPECT_EQ(net.Call(3, 2, 0, {}, "x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net.Call(2, 3, 0, WireMessage(), "x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net.Call(3, 2, 0, WireMessage(), "x").code(), ErrorCode::kUnavailable);
   net.Partition(2, 3, false);
-  EXPECT_OK(net.Call(2, 3, 0, {}, "x").status());
+  EXPECT_OK(net.Call(2, 3, 0, WireMessage(), "x").status());
 }
 
 TEST(NetworkTest, StatsCountCallsAndBytes) {
@@ -86,7 +86,7 @@ TEST(NetworkTest, TimeoutSurfacesAsTimedOut) {
   opts.worker_threads = 1;
   opts.call_timeout_ms = 50;
   ASSERT_OK(net.RegisterNode(2, &handler, opts));
-  EXPECT_EQ(net.Call(1, 2, 99, {}, "x").code(), ErrorCode::kTimedOut);  // 200 ms sleeper
+  EXPECT_EQ(net.Call(1, 2, 99, WireMessage(), "x").code(), ErrorCode::kTimedOut);  // 200 ms sleeper
 }
 
 TEST(NetworkTest, DedicatedPoolServesRevocationProcsUnderLoad) {
@@ -100,12 +100,12 @@ TEST(NetworkTest, DedicatedPoolServesRevocationProcsUnderLoad) {
   // Saturate the regular pool with sleepers.
   std::vector<std::thread> stuck;
   for (int i = 0; i < 2; ++i) {
-    stuck.emplace_back([&net] { (void)net.Call(1, 2, 99, {}, "x"); });
+    stuck.emplace_back([&net] { (void)net.Call(1, 2, 99, WireMessage(), "x"); });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   // Revocation-path proc 50 still completes promptly on the dedicated pool.
   auto start = std::chrono::steady_clock::now();
-  ASSERT_OK(net.Call(1, 2, 50, {}, "x").status());
+  ASSERT_OK(net.Call(1, 2, 50, WireMessage(), "x").status());
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 150);
   for (auto& t : stuck) {
